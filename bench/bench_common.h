@@ -1,0 +1,48 @@
+// Shared helpers for the experiment harnesses: section headers and
+// paper-vs-measured rows with a uniform format, so EXPERIMENTS.md can be
+// cross-checked against raw bench output.
+
+#ifndef OPCQA_BENCH_BENCH_COMMON_H_
+#define OPCQA_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace opcqa {
+namespace bench {
+
+inline void Header(const std::string& experiment_id,
+                   const std::string& title) {
+  std::printf("\n====================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), title.c_str());
+  std::printf("====================================================\n");
+}
+
+inline void Row(const std::string& what, const std::string& paper,
+                const std::string& measured) {
+  std::printf("%-46s | paper: %-18s | measured: %s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+inline void Note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bench
+}  // namespace opcqa
+
+#endif  // OPCQA_BENCH_BENCH_COMMON_H_

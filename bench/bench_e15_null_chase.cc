@@ -1,0 +1,81 @@
+// E15 — Null-based TGD repairs (Section 6, "Null Values"): the grounded
+// operational framework loses probability mass to failing sequences when
+// TGD witnesses clash with other constraints, while the chase with marked
+// nulls (weak acyclicity permitting) always reaches a consistent
+// database. Also reports chase cost scaling on inclusion-dependency
+// workloads.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "constraints/weak_acyclicity.h"
+#include "gen/workloads.h"
+#include "logic/formula_parser.h"
+#include "repair/null_chase.h"
+#include "repair/repair_enumerator.h"
+
+int main() {
+  using namespace opcqa;
+  bench::Header("E15", "null-chase repairs vs grounded failing mass");
+
+  // The paper's failing instance: R(a) with R(x) → T(x), T(x) → ⊥.
+  {
+    gen::Workload w = gen::PaperFailingExample();
+    UniformChainGenerator generator;
+    EnumerationResult chain = EnumerateRepairs(w.db, w.constraints, generator);
+    bench::Row("grounded chain failing mass (Sec. 3 instance)",
+               "> 0 (has failing seq)", chain.failing_mass.ToString());
+    Rng rng(3);
+    auto chase = ChaseRepair(w.db, w.constraints, &rng);
+    bench::Row("chase reaches consistency", "yes (deletes its way out)",
+               chase.ok() ? "yes" : "no");
+  }
+
+  // Inclusion workload: grounded additions may fail when the base lacks
+  // a coherent witness; the chase invents one. Kept tiny so the grounded
+  // chain enumerates exactly (grounded TGD chains explode fast).
+  {
+    gen::Workload w = gen::MakeInclusionWorkload(4, 0.5, /*seed=*/21);
+    bench::Row("inclusion Σ weakly acyclic",
+               "yes (chase terminates)",
+               IsWeaklyAcyclic(*w.schema, w.constraints) ? "yes" : "no");
+    UniformChainGenerator generator;
+    EnumerationOptions options;
+    options.max_states = 1u << 20;
+    EnumerationResult chain =
+        EnumerateRepairs(w.db, w.constraints, generator, options);
+    std::printf("  grounded chain: %zu repairs, success %s, failing %s%s\n",
+                chain.repairs.size(), chain.success_mass.ToString().c_str(),
+                chain.failing_mass.ToString().c_str(),
+                chain.truncated ? " (truncated)" : "");
+    ChaseOcaResult chase = EstimateChaseOca(
+        w.db, w.constraints,
+        ParseQuery(*w.schema, "Q(x,y) := R(x,y)").value(),
+        /*runs=*/200, /*seed=*/4);
+    std::printf("  chase: %zu/%zu runs consistent, mean %.1f steps, "
+                "mean %.1f fresh nulls\n",
+                chase.runs - chase.failed_runs, chase.runs,
+                chase.mean_steps, chase.mean_nulls);
+    bench::Note("every R-fact is certain under the chase (insert-only "
+                "repairs): frequencies are 1.");
+  }
+
+  // Chase cost scaling (weakly acyclic inclusion chains).
+  std::printf("\n  chase scaling on inclusion workloads:\n");
+  std::printf("  %8s %10s %12s %12s\n", "R-facts", "steps", "nulls",
+              "time (ms)");
+  for (size_t facts : {50, 200, 800}) {
+    gen::Workload w = gen::MakeInclusionWorkload(facts, 0.5, /*seed=*/31);
+    Rng rng(9);
+    bench::Timer timer;
+    auto chase = ChaseRepair(w.db, w.constraints, &rng);
+    if (!chase.ok()) return 1;
+    std::printf("  %8zu %10zu %12zu %12.1f\n", facts,
+                chase.value().steps, chase.value().nulls_created,
+                timer.ElapsedMs());
+  }
+  bench::Note("polynomial chase growth — the weak-acyclicity bound in "
+              "action; the grounded exact chain is exponential on the "
+              "same instances (E5).");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E16 — Update-based repairs (Section 6, "Different Types of Updates",
+// after Wijsen): the three repair families side by side on key-violating
+// data. Deletion repairs can lose a key entirely (the Example 5 "trust
+// neither" case), update repairs never do — key-presence queries are
+// certain under updates, graded under deletions. Also measures the
+// sampling cost of update repairs vs chain walks.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "constraints/constraint_parser.h"
+#include "gen/workloads.h"
+#include "logic/formula_parser.h"
+#include "repair/null_chase.h"
+#include "repair/ocqa.h"
+#include "repair/sampler.h"
+#include "repair/update_repair.h"
+
+int main() {
+  using namespace opcqa;
+  bench::Header("E16", "deletion vs update vs chase repairs on keys");
+
+  // The introduction's two-fact conflict.
+  {
+    gen::Workload w = gen::PaperKeyPairExample();
+    Query exists_a =
+        ParseQuery(*w.schema, "Q() := exists y: R(a,y)").value();
+    UniformChainGenerator uniform;
+    Rational deletion_cp = ComputeTupleProbability(
+        w.db, w.constraints, uniform, exists_a, Tuple{});
+    auto keys = ExtractKeyEgds(*w.schema, w.constraints).value();
+    UpdateOcaResult updates = EstimateUpdateOca(w.db, keys, exists_a,
+                                                /*runs=*/500, /*seed=*/3);
+    ChaseOcaResult chase = EstimateChaseOca(w.db, w.constraints, exists_a,
+                                            /*runs=*/500, /*seed=*/5);
+    bench::Row("P(key a survives), deletion chain", "2/3 (loses -both)",
+               deletion_cp.ToString());
+    bench::Row("P(key a survives), update repairs", "1 (keys never die)",
+               std::to_string(updates.Frequency({})));
+    bench::Row("P(key a survives), chase repairs", "2/3 (same choices)",
+               std::to_string(chase.Frequency({})));
+  }
+
+  // Per-value frequencies on a 3-wide group, uniform vs trust-weighted.
+  {
+    Schema schema;
+    PredId r = schema.AddRelation("R", 2);
+    Database db(&schema);
+    db.Insert(Fact(r, {Const("k"), Const("v1")}));
+    db.Insert(Fact(r, {Const("k"), Const("v2")}));
+    db.Insert(Fact(r, {Const("k"), Const("v3")}));
+    ConstraintSet sigma =
+        ParseConstraints(schema, "key: R(x,y), R(x,z) -> y = z").value();
+    auto keys = ExtractKeyEgds(schema, sigma).value();
+    Query q = ParseQuery(schema, "Q(y) := R(k,y)").value();
+
+    UpdateOcaResult uniform_updates =
+        EstimateUpdateOca(db, keys, q, /*runs=*/3000, /*seed=*/7);
+    std::map<Fact, double> trust = {
+        {Fact(r, {Const("k"), Const("v1")}), 6.0},
+        {Fact(r, {Const("k"), Const("v2")}), 3.0},
+        {Fact(r, {Const("k"), Const("v3")}), 1.0},
+    };
+    UpdateOcaResult trusted_updates =
+        EstimateUpdateOca(db, keys, q, /*runs=*/3000, /*seed=*/9, trust);
+    std::printf("\n  3-way conflict, survivor frequencies:\n");
+    std::printf("  %8s %12s %16s\n", "value", "uniform", "trust 6:3:1");
+    for (const char* value : {"v1", "v2", "v3"}) {
+      std::printf("  %8s %12.3f %16.3f\n", value,
+                  uniform_updates.Frequency({Const(value)}),
+                  trusted_updates.Frequency({Const(value)}));
+    }
+    bench::Note("update repairs reproduce the keep-one distribution "
+                "without ever losing the key; trust weights skew the "
+                "surviving value exactly as in Example 5.");
+  }
+
+  // Cost: update-repair sampling vs chain-walk sampling, growing sizes.
+  // Chain walks pay per-step violation maintenance (quadratic-ish in the
+  // instance), so the sweep stays modest.
+  std::printf("\n  50-sample cost, update repairs vs chain walks:\n");
+  std::printf("  %8s %8s %16s %16s\n", "keys", "groups", "updates (ms)",
+              "chain walks (ms)");
+  for (size_t keys_n : {20, 40, 80, 160}) {
+    gen::Workload w =
+        gen::MakeKeyViolationWorkload(keys_n, keys_n / 2, 2, /*seed=*/41);
+    Query q = ParseQuery(*w.schema, "Q(x,y) := R(x,y)").value();
+    auto keys = ExtractKeyEgds(*w.schema, w.constraints).value();
+    bench::Timer t_updates;
+    UpdateOcaResult updates =
+        EstimateUpdateOca(w.db, keys, q, /*runs=*/50, /*seed=*/43);
+    double ms_updates = t_updates.ElapsedMs();
+
+    UniformChainGenerator uniform;
+    Sampler sampler(w.db, w.constraints, &uniform, /*seed=*/45);
+    bench::Timer t_chain;
+    ApproxOcaResult chain = sampler.EstimateOcaWithWalks(q, 50);
+    double ms_chain = t_chain.ElapsedMs();
+    std::printf("  %8zu %8zu %16.1f %16.1f\n", keys_n, keys_n / 2,
+                ms_updates, ms_chain);
+    (void)updates;
+    (void)chain;
+  }
+  bench::Note("update sampling is one group-collapse pass per round "
+              "(near-linear); chain walks recompute violations and "
+              "extensions per step, so their per-sample cost grows "
+              "super-linearly with the instance.");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// E3 — Reproduces Example 7: the operational consistent answers to
+// Q(x) = ∀y (Pref(x,y) ∨ x=y) are {(a, 0.45)} while the ABC certain
+// answers are empty — "information the traditional CQA approach cannot
+// provide".
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gen/workloads.h"
+#include "logic/formula_parser.h"
+#include "repair/abc.h"
+#include "repair/ocqa.h"
+#include "repair/preference_generator.h"
+
+int main() {
+  using namespace opcqa;
+  bench::Header("E3", "Example 7: OCA vs ABC certain answers");
+
+  gen::Workload w = gen::PaperPreferenceExample();
+  PreferenceChainGenerator generator(w.schema->RelationOrDie("Pref"));
+  Result<Query> q =
+      ParseQuery(*w.schema, "Q(x) := forall y (Pref(x,y) | x = y)");
+  if (!q.ok()) {
+    std::printf("query parse error: %s\n", q.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Q: %s\n\n", q->ToString(*w.schema).c_str());
+
+  OcaResult oca = ComputeOca(w.db, w.constraints, generator, *q);
+  std::string measured;
+  for (const auto& [tuple, p] : oca.answers) {
+    measured += TupleToString(tuple) + " @ " + p.ToString() + " ";
+  }
+  bench::Row("OCA_MΣ(D,Q)", "{(a, 0.45)}", measured);
+
+  Result<std::vector<Database>> abc = AbcRepairs(w.db, w.constraints);
+  if (!abc.ok()) {
+    std::printf("ABC error: %s\n", abc.status().ToString().c_str());
+    return 1;
+  }
+  std::set<Tuple> certain = CertainAnswers(*abc, *q);
+  bench::Row("ABC certain answers", "{} (empty)",
+             certain.empty() ? "{} (empty)"
+                             : std::to_string(certain.size()) + " tuples");
+  bench::Row("# ABC repairs", "4 (Example 6)",
+             std::to_string(abc->size()));
+
+  // The per-repair view the example walks through.
+  std::printf("\nper-repair evaluation of Q:\n");
+  for (const Database& repair : *abc) {
+    std::set<Tuple> answers = q->Evaluate(repair);
+    std::printf("  { %s } -> %zu answer(s)\n", repair.ToString().c_str(),
+                answers.size());
+  }
+  bool ok = oca.answers.size() == 1 &&
+            oca.Probability({Const("a")}) == Rational(9, 20) &&
+            certain.empty();
+  std::printf("\n%s\n", ok ? "E3 REPRODUCED" : "E3 MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// E4 — Reproduces Example 5 / the introduction's data-integration
+// numbers: with two 50%-reliable sources, the conflicting pair is fixed by
+// removing either fact with probability 0.375 and both with 0.25; sweeps
+// the trust level to show how the distribution shifts.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gen/workloads.h"
+#include "repair/ocqa.h"
+#include "repair/trust_generator.h"
+
+int main() {
+  using namespace opcqa;
+  bench::Header("E4", "Example 5: trust-based integration generator");
+
+  gen::Workload w = gen::PaperKeyPairExample();
+  Fact ab = Fact::Make(*w.schema, "R", {"a", "b"});
+  Fact ac = Fact::Make(*w.schema, "R", {"a", "c"});
+
+  {
+    TrustChainGenerator generator({}, Rational(1, 2));
+    EnumerationResult result =
+        EnumerateRepairs(w.db, w.constraints, generator);
+    Database keep_ab(w.schema.get());
+    keep_ab.Insert(ab);
+    Database keep_ac(w.schema.get());
+    keep_ac.Insert(ac);
+    Database keep_none(w.schema.get());
+    bench::Row("P(remove R(a,c)) [trust 0.5/0.5]", "0.375",
+               result.ProbabilityOf(keep_ab).ToString());
+    bench::Row("P(remove R(a,b)) [trust 0.5/0.5]", "0.375",
+               result.ProbabilityOf(keep_ac).ToString());
+    bench::Row("P(remove both)   [trust 0.5/0.5]", "0.25",
+               result.ProbabilityOf(keep_none).ToString());
+  }
+
+  std::printf("\ntrust sweep for tr(R(a,b)) = t, tr(R(a,c)) = 1-t:\n");
+  std::printf("%6s %14s %14s %14s\n", "t", "P(keep ab)", "P(keep ac)",
+              "P(keep none)");
+  for (int tenth = 1; tenth <= 9; ++tenth) {
+    TrustChainGenerator generator(
+        {{ab, Rational(tenth, 10)}, {ac, Rational(10 - tenth, 10)}});
+    EnumerationResult result =
+        EnumerateRepairs(w.db, w.constraints, generator);
+    Database keep_ab(w.schema.get());
+    keep_ab.Insert(ab);
+    Database keep_ac(w.schema.get());
+    keep_ac.Insert(ac);
+    Database keep_none(w.schema.get());
+    std::printf("%6.1f %14.4f %14.4f %14.4f\n", tenth / 10.0,
+                result.ProbabilityOf(keep_ab).ToDouble(),
+                result.ProbabilityOf(keep_ac).ToDouble(),
+                result.ProbabilityOf(keep_none).ToDouble());
+  }
+  bench::Note("shape check: higher trust in R(a,b) ⇒ it survives more "
+              "often; 'remove both' peaks at balanced distrust (paper's "
+              "flexibility claim vs ABC, which never removes both).");
+
+  // Larger integrated instance: exact distribution over a seeded trust
+  // workload, to show the generator scales beyond the two-fact example.
+  gen::TrustWorkload tw = gen::MakeTrustWorkload(4, 2, 2, /*seed=*/20);
+  TrustChainGenerator generator(tw.trust);
+  EnumerationResult result = EnumerateRepairs(
+      tw.workload.db, tw.workload.constraints, generator);
+  std::printf("\nseeded integration instance (%zu facts, 2 conflicting "
+              "keys): %zu repairs, success mass = %s\n",
+              tw.workload.db.size(), result.repairs.size(),
+              result.success_mass.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E5 — Theorem 5's observable consequence: exact OCQA is FP#P-complete,
+// so the exact chain enumeration blows up exponentially with the number of
+// key conflicts, while each individual chain walk stays polynomial.
+// google-benchmark over the key-violation workload family.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/workloads.h"
+#include "logic/formula_parser.h"
+#include "repair/ocqa.h"
+
+namespace {
+
+using namespace opcqa;
+
+void BM_ExactEnumeration(benchmark::State& state) {
+  size_t violating_keys = static_cast<size_t>(state.range(0));
+  gen::Workload w = gen::MakeKeyViolationWorkload(
+      violating_keys + 2, violating_keys, 2, /*seed=*/100);
+  UniformChainGenerator generator;
+  size_t states_visited = 0;
+  size_t repairs = 0;
+  for (auto _ : state) {
+    EnumerationResult result =
+        EnumerateRepairs(w.db, w.constraints, generator);
+    states_visited = result.states_visited;
+    repairs = result.repairs.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["chain_states"] = static_cast<double>(states_visited);
+  state.counters["repairs"] = static_cast<double>(repairs);
+}
+// n = 6 already needs ~7·10^5 chain states (each extra conflict multiplies
+// the state count by ~15: 3 resolution choices × interleavings); n = 7
+// would truncate the 2^22-state budget.
+BENCHMARK(BM_ExactEnumeration)->DenseRange(1, 6, 1)->Unit(benchmark::kMillisecond);
+
+void BM_ExactOcqaQuery(benchmark::State& state) {
+  size_t violating_keys = static_cast<size_t>(state.range(0));
+  gen::Workload w = gen::MakeKeyViolationWorkload(
+      violating_keys + 2, violating_keys, 2, /*seed=*/100);
+  UniformChainGenerator generator;
+  Result<Query> q = ParseQuery(*w.schema, "Q(x,y) := R(x,y)");
+  for (auto _ : state) {
+    OcaResult oca = ComputeOca(w.db, w.constraints, generator, *q);
+    benchmark::DoNotOptimize(oca);
+  }
+}
+BENCHMARK(BM_ExactOcqaQuery)->DenseRange(1, 5, 1)->Unit(benchmark::kMillisecond);
+
+// Group size sweep: wider conflicts explode the branching factor.
+void BM_ExactEnumerationGroupSize(benchmark::State& state) {
+  size_t group = static_cast<size_t>(state.range(0));
+  gen::Workload w =
+      gen::MakeKeyViolationWorkload(3, 2, group, /*seed=*/101);
+  UniformChainGenerator generator;
+  for (auto _ : state) {
+    EnumerationResult result =
+        EnumerateRepairs(w.db, w.constraints, generator);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExactEnumerationGroupSize)
+    ->DenseRange(2, 4, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// E7 — The point of Section 5: one Sample walk is polynomial in |D| while
+// exact enumeration is exponential in the number of conflicts. Times both
+// on the same workload family (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "gen/workloads.h"
+#include "logic/formula_parser.h"
+#include "repair/ocqa.h"
+#include "repair/sampler.h"
+
+namespace {
+
+using namespace opcqa;
+
+// One random walk of the chain; |D| grows, conflicts grow linearly.
+void BM_SampleWalk(benchmark::State& state) {
+  size_t keys = static_cast<size_t>(state.range(0));
+  gen::Workload w =
+      gen::MakeKeyViolationWorkload(keys, keys / 2, 2, /*seed=*/400);
+  UniformChainGenerator generator;
+  Sampler sampler(w.db, w.constraints, &generator, /*seed=*/401);
+  size_t steps = 0;
+  for (auto _ : state) {
+    WalkResult walk = sampler.RunWalk();
+    steps = walk.steps;
+    benchmark::DoNotOptimize(walk);
+  }
+  state.counters["facts"] = static_cast<double>(w.db.size());
+  state.counters["walk_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_SampleWalk)->RangeMultiplier(2)->Range(4, 64)->Unit(benchmark::kMillisecond);
+
+// Full additive-error OCQA at ε=δ=0.1 (150 walks) vs exact enumeration on
+// the same instance: the crossover the paper's approach is about.
+void BM_ApproxOcqa150Walks(benchmark::State& state) {
+  size_t conflicts = static_cast<size_t>(state.range(0));
+  gen::Workload w = gen::MakeKeyViolationWorkload(
+      conflicts + 2, conflicts, 2, /*seed=*/402);
+  UniformChainGenerator generator;
+  Result<Query> q = ParseQuery(*w.schema, "Q(x,y) := R(x,y)");
+  for (auto _ : state) {
+    Sampler sampler(w.db, w.constraints, &generator, /*seed=*/403);
+    ApproxOcaResult result = sampler.EstimateOcaWithWalks(*q, 150);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ApproxOcqa150Walks)
+    ->DenseRange(1, 9, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactOcqaSameInstances(benchmark::State& state) {
+  size_t conflicts = static_cast<size_t>(state.range(0));
+  gen::Workload w = gen::MakeKeyViolationWorkload(
+      conflicts + 2, conflicts, 2, /*seed=*/402);
+  UniformChainGenerator generator;
+  Result<Query> q = ParseQuery(*w.schema, "Q(x,y) := R(x,y)");
+  for (auto _ : state) {
+    OcaResult result = ComputeOca(w.db, w.constraints, generator, *q);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExactOcqaSameInstances)
+    ->DenseRange(1, 5, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Consistent aggregation demo (Section 6, "More Expressive Languages"):
+// an inventory whose stock counts are disputed between sources. Classical
+// range semantics answers "SUM is somewhere in [lo, hi]"; the operational
+// framework answers with the full probability distribution of SUM, its
+// expectation and variance, and lets a trust-aware chain skew the result
+// toward the more reliable source.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/aggregation_demo
+
+#include <cstdio>
+
+#include "constraints/constraint_parser.h"
+#include "logic/formula_parser.h"
+#include "relational/fact_parser.h"
+#include "repair/aggregation.h"
+#include "repair/trust_generator.h"
+
+int main() {
+  using namespace opcqa;
+
+  // Stock(item, count): two items have conflicting counts.
+  Schema schema;
+  schema.AddRelation("Stock", 2);
+  Database db = *ParseDatabase(schema,
+                               "Stock(bolts, 100). Stock(bolts, 40). "
+                               "Stock(nuts, 75). "
+                               "Stock(washers, 20). Stock(washers, 90).");
+  ConstraintSet sigma =
+      *ParseConstraints(schema, "key: Stock(x,y), Stock(x,z) -> y = z");
+  Query q = *ParseQuery(schema, "Q(x,y) := Stock(x,y)");
+
+  std::printf("D = { %s }\n\n", db.ToString().c_str());
+
+  // 1. Uniform chain: every repair choice equally likely.
+  UniformChainGenerator uniform;
+  EnumerationResult chain = EnumerateRepairs(db, sigma, uniform);
+  auto sum = ComputeAggregateDistribution(chain, q, AggregateKind::kSum, 1)
+                 .value();
+  std::printf("SUM(count) under the uniform chain:\n");
+  std::printf("  classical range: [%s, %s]\n", sum.glb->ToString().c_str(),
+              sum.lub->ToString().c_str());
+  std::printf("  distribution:\n");
+  for (const auto& [value, mass] : sum.distribution) {
+    std::printf("    SUM = %-5s with probability %s\n",
+                value.ToString().c_str(), mass.ToString().c_str());
+  }
+  std::printf("  E[SUM] = %s (≈ %.2f), Var = %s\n\n",
+              sum.expectation.ToString().c_str(),
+              sum.expectation.ToDouble(), sum.variance.ToString().c_str());
+
+  // 2. Trust-aware chain (Example 5): the first source (which reported
+  //    bolts=100, washers=20) is 80% reliable, the second only 40%.
+  std::map<Fact, Rational> trust = {
+      {Fact::Make(schema, "Stock", {"bolts", "100"}), Rational(4, 5)},
+      {Fact::Make(schema, "Stock", {"bolts", "40"}), Rational(2, 5)},
+      {Fact::Make(schema, "Stock", {"washers", "20"}), Rational(4, 5)},
+      {Fact::Make(schema, "Stock", {"washers", "90"}), Rational(2, 5)},
+  };
+  TrustChainGenerator trusted(trust, Rational(1, 2));
+  EnumerationResult trusted_chain = EnumerateRepairs(db, sigma, trusted);
+  auto trusted_sum =
+      ComputeAggregateDistribution(trusted_chain, q, AggregateKind::kSum, 1)
+          .value();
+  std::printf("SUM(count) under the trust chain (source A 0.8 / B 0.4):\n");
+  for (const auto& [value, mass] : trusted_sum.distribution) {
+    std::printf("    SUM = %-5s with probability %s (≈ %.3f)\n",
+                value.ToString().c_str(), mass.ToString().c_str(),
+                mass.ToDouble());
+  }
+  std::printf("  E[SUM] = %s (≈ %.2f)\n",
+              trusted_sum.expectation.ToString().c_str(),
+              trusted_sum.expectation.ToDouble());
+  std::printf("\nthe expectation shifts toward source A's figures — the "
+              "range [%s, %s] alone could never show that.\n",
+              trusted_sum.glb->ToString().c_str(),
+              trusted_sum.lub->ToString().c_str());
+
+  // 3. MIN/MAX are range-certain or not depending on where conflicts sit.
+  auto min_dist =
+      ComputeAggregateDistribution(chain, q, AggregateKind::kMin, 1).value();
+  auto max_dist =
+      ComputeAggregateDistribution(chain, q, AggregateKind::kMax, 1).value();
+  std::printf("\nMIN range [%s, %s]%s; MAX range [%s, %s]%s\n",
+              min_dist.glb->ToString().c_str(),
+              min_dist.lub->ToString().c_str(),
+              min_dist.IsCertain() ? " (certain)" : "",
+              max_dist.glb->ToString().c_str(),
+              max_dist.lub->ToString().c_str(),
+              max_dist.IsCertain() ? " (certain)" : "");
+  return 0;
+}

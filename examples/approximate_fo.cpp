@@ -1,0 +1,87 @@
+// Approximate CQA for a first-order query far beyond the classical
+// tractability frontier: a quantified, negated query over a database with
+// dozens of key conflicts. Exact enumeration would need ~3^40 chain
+// states; the Theorem 9 sampler answers it in milliseconds with an
+// explicit (ε,δ) guarantee.
+
+#include <cstdio>
+
+#include "gen/workloads.h"
+#include "logic/formula_parser.h"
+#include "repair/sampler.h"
+
+int main() {
+  using namespace opcqa;
+
+  // 60 keys, 40 of them with two conflicting values.
+  gen::Workload w = gen::MakeKeyViolationWorkload(60, 40, 2, /*seed=*/7);
+  std::printf("dirty instance: %zu facts, %zu conflicting keys\n",
+              w.db.size(), size_t{40});
+
+  // FO query with universal quantification and negation: keys whose value
+  // is 'uncontested among small values' — here simply: x has some value
+  // and no second distinct value (i.e., x is conflict-free *after*
+  // repair; trivially true per repair, so instead ask which (x,y) pairs
+  // survive): we use two queries to show the machinery.
+  Query survivors = *ParseQuery(*w.schema, "Q(x,y) := R(x,y)");
+  Query unique_value = *ParseQuery(
+      *w.schema,
+      "Q(x) := exists y (R(x,y) & forall z (R(x,z) -> z = y))");
+
+  UniformChainGenerator generator;
+  Sampler sampler(w.db, w.constraints, &generator, /*seed=*/99);
+
+  const double eps = 0.1, delta = 0.1;
+  std::printf("additive-error approximation with eps = %.2f, delta = %.2f "
+              "(n = %zu walks)\n\n",
+              eps, delta, Sampler::NumSamples(eps, delta));
+
+  ApproxOcaResult approx = sampler.EstimateOca(survivors, eps, delta);
+  size_t certain_like = 0, contested = 0;
+  for (const auto& [tuple, estimate] : approx.estimates) {
+    if (estimate > 0.95) {
+      ++certain_like;
+    } else {
+      ++contested;
+    }
+  }
+  std::printf("R(x,y) tuples: %zu with estimate > 0.95 (clean keys), %zu "
+              "contested\n",
+              certain_like, contested);
+
+  // Show a handful of contested estimates (exact value would be 1/3 for
+  // each value of a 2-conflict under the uniform chain: keep-this,
+  // keep-other, drop-both).
+  std::printf("\nsample of contested tuples (uniform-chain CP ≈ 1/3):\n");
+  size_t shown = 0;
+  for (const auto& [tuple, estimate] : approx.estimates) {
+    if (estimate <= 0.95 && shown < 5) {
+      std::printf("  R%s ≈ %.3f\n", TupleToString(tuple).c_str(), estimate);
+      ++shown;
+    }
+  }
+
+  // The ∀-query: every clean key has a unique value in every repair
+  // (estimate ≈ 1); conflicting keys keep a unique value unless both
+  // values were dropped (estimate ≈ 2/3).
+  ApproxOcaResult unique = sampler.EstimateOca(unique_value, eps, delta);
+  double sum_clean = 0, sum_conflicted = 0;
+  size_t n_clean = 0, n_conflicted = 0;
+  for (const auto& [tuple, estimate] : unique.estimates) {
+    if (estimate > 0.95) {
+      sum_clean += estimate;
+      ++n_clean;
+    } else {
+      sum_conflicted += estimate;
+      ++n_conflicted;
+    }
+  }
+  std::printf("\n'unique value after repair' per key: %zu keys ≈ 1.0; %zu "
+              "conflicted keys mean estimate %.3f (exact 2/3)\n",
+              n_clean, n_conflicted,
+              n_conflicted ? sum_conflicted / n_conflicted : 0.0);
+  std::printf("\nwalk statistics: %zu walks, %zu total steps, 0 failing "
+              "(deletion-only repairs of key violations — Prop. 8)\n",
+              unique.walks, unique.total_steps);
+  return 0;
+}

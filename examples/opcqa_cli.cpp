@@ -1,0 +1,318 @@
+// opcqa_cli — command-line operational consistent query answering.
+//
+// A downstream-user-facing driver: schema, database and constraints come
+// from files, the query from the command line; answering is exact (chain
+// enumeration) or approximate (Theorem 9 sampling).
+//
+// Usage (FO query modes):
+//   opcqa_cli --schema=s.txt --db=d.txt --constraints=c.txt
+//             --query='Q(x) := R(x,y)'
+//             [--generator=uniform|deletions|minchange]
+//             [--mode=exact|approx] [--eps=0.1] [--delta=0.1] [--seed=42]
+//             [--show-repairs] [--show-chain]
+//
+// Usage (SQL mode — the Section 5 scheme; keys as table:pos[,pos...],
+// ';'-separated):
+//   opcqa_cli --schema=s.txt --db=d.txt --mode=sql
+//             --sql='SELECT c0 FROM R' --keys='R:0'
+//             [--eps --delta --seed]
+//
+// File formats:
+//   schema:       one "Name/arity" per line, '#' comments
+//   database:     facts "R(a,b)." separated by '.', '#' comments
+//   constraints:  one per line, e.g. "key: R(x,y), R(x,z) -> y = z"
+//
+// SQL-mode tables expose columns c0, c1, ... per relation position.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "constraints/constraint_parser.h"
+#include "logic/formula_parser.h"
+#include "relational/fact_parser.h"
+#include "repair/ocqa.h"
+#include "repair/priority_generator.h"
+#include "repair/sampler.h"
+#include "sql/approx_runner.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace opcqa;
+
+struct Options {
+  std::string schema_path, db_path, constraints_path, query_text;
+  std::string sql_text, keys_spec;
+  std::string generator = "uniform";
+  std::string mode = "exact";
+  double eps = 0.1, delta = 0.1;
+  uint64_t seed = 42;
+  bool show_repairs = false;
+  bool show_chain = false;
+};
+
+/// Parses "R:0;S:0,1" into SQL table keys against `schema`.
+Result<std::vector<sql::TableKey>> ParseKeysSpec(const Schema& schema,
+                                                 const std::string& spec) {
+  std::vector<sql::TableKey> keys;
+  for (const std::string& piece : Split(spec, ';')) {
+    std::string entry = Trim(piece);
+    if (entry.empty()) continue;
+    size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("key spec needs table:positions — " +
+                                     entry);
+    }
+    sql::TableKey key;
+    key.table = Trim(entry.substr(0, colon));
+    PredId pred = schema.FindRelation(key.table);
+    if (pred == Schema::kNotFound) {
+      return Status::NotFound("unknown relation in --keys: " + key.table);
+    }
+    for (const std::string& pos_text :
+         Split(entry.substr(colon + 1), ',')) {
+      int position = std::atoi(Trim(pos_text).c_str());
+      if (position < 0 ||
+          static_cast<uint32_t>(position) >= schema.Arity(pred)) {
+        return Status::OutOfRange("key position out of range: " +
+                                  pos_text);
+      }
+      key.key_positions.push_back(static_cast<size_t>(position));
+    }
+    if (key.key_positions.empty()) {
+      return Status::InvalidArgument("empty key position list for " +
+                                     key.table);
+    }
+    keys.push_back(std::move(key));
+  }
+  if (keys.empty()) {
+    return Status::InvalidArgument("--keys declared no key constraints");
+  }
+  return keys;
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* out) {
+  std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<Schema> ParseSchemaFile(const std::string& text) {
+  Schema schema;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string line = Trim(raw_line);
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = Trim(line.substr(0, hash));
+    if (line.empty()) continue;
+    size_t slash = line.find('/');
+    if (slash == std::string::npos) {
+      return Status::InvalidArgument("schema line must be Name/arity: " +
+                                     line);
+    }
+    std::string name = Trim(line.substr(0, slash));
+    std::string arity_text = Trim(line.substr(slash + 1));
+    if (!IsIdentifier(name)) {
+      return Status::InvalidArgument("bad relation name: " + name);
+    }
+    int arity = std::atoi(arity_text.c_str());
+    if (arity <= 0) {
+      return Status::InvalidArgument("bad arity in schema line: " + line);
+    }
+    if (schema.FindRelation(name) != Schema::kNotFound) {
+      return Status::AlreadyExists("relation declared twice: " + name);
+    }
+    schema.AddRelation(name, static_cast<uint32_t>(arity));
+  }
+  if (schema.size() == 0) {
+    return Status::InvalidArgument("schema file declares no relations");
+  }
+  return schema;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (ParseFlag(arg, "schema", &opt.schema_path)) continue;
+    if (ParseFlag(arg, "db", &opt.db_path)) continue;
+    if (ParseFlag(arg, "constraints", &opt.constraints_path)) continue;
+    if (ParseFlag(arg, "query", &opt.query_text)) continue;
+    if (ParseFlag(arg, "sql", &opt.sql_text)) continue;
+    if (ParseFlag(arg, "keys", &opt.keys_spec)) continue;
+    if (ParseFlag(arg, "generator", &opt.generator)) continue;
+    if (ParseFlag(arg, "mode", &opt.mode)) continue;
+    if (ParseFlag(arg, "eps", &value)) {
+      opt.eps = std::atof(value.c_str());
+      continue;
+    }
+    if (ParseFlag(arg, "delta", &value)) {
+      opt.delta = std::atof(value.c_str());
+      continue;
+    }
+    if (ParseFlag(arg, "seed", &value)) {
+      opt.seed = std::strtoull(value.c_str(), nullptr, 10);
+      continue;
+    }
+    if (arg == "--show-repairs") {
+      opt.show_repairs = true;
+      continue;
+    }
+    if (arg == "--show-chain") {
+      opt.show_chain = true;
+      continue;
+    }
+    std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+    return 2;
+  }
+  bool sql_mode = opt.mode == "sql";
+  bool fo_inputs_ok = !opt.constraints_path.empty() &&
+                      !opt.query_text.empty();
+  bool sql_inputs_ok = !opt.sql_text.empty() && !opt.keys_spec.empty();
+  if (opt.schema_path.empty() || opt.db_path.empty() ||
+      (sql_mode ? !sql_inputs_ok : !fo_inputs_ok)) {
+    std::fprintf(stderr,
+                 "usage: opcqa_cli --schema=F --db=F --constraints=F "
+                 "--query='Q(x) := ...' [--generator=uniform|deletions|"
+                 "minchange] [--mode=exact|approx] [--eps --delta --seed] "
+                 "[--show-repairs] [--show-chain]\n"
+                 "   or: opcqa_cli --schema=F --db=F --mode=sql "
+                 "--sql='SELECT ...' --keys='R:0;S:0,1' "
+                 "[--eps --delta --seed]\n");
+    return 2;
+  }
+
+  Result<std::string> schema_text = ReadFile(opt.schema_path);
+  if (!schema_text.ok()) return Fail(schema_text.status());
+  Result<Schema> schema = ParseSchemaFile(*schema_text);
+  if (!schema.ok()) return Fail(schema.status());
+
+  Result<std::string> db_text = ReadFile(opt.db_path);
+  if (!db_text.ok()) return Fail(db_text.status());
+  Result<Database> db = ParseDatabase(*schema, *db_text);
+  if (!db.ok()) return Fail(db.status());
+
+  if (sql_mode) {
+    Result<std::vector<sql::TableKey>> keys =
+        ParseKeysSpec(*schema, opt.keys_spec);
+    if (!keys.ok()) return Fail(keys.status());
+    sql::Catalog catalog = sql::Catalog::FromDatabase(*db);
+    sql::SqlApproxRunner runner(std::move(catalog), keys.value(),
+                                opt.seed);
+    Result<sql::SqlApproxResult> result =
+        runner.RunWithGuarantee(opt.sql_text, opt.eps, opt.delta);
+    if (!result.ok()) return Fail(result.status());
+    std::printf("rewritten SQL: %s\n", result->rewritten_sql.c_str());
+    std::printf("answer frequencies over %zu rounds (additive error ≤ "
+                "%.3f with confidence ≥ %.3f, per tuple):\n",
+                result->rounds, opt.eps, 1 - opt.delta);
+    for (const auto& [row, frequency] : result->frequency) {
+      std::string rendered = "(";
+      for (size_t i = 0; i < row.size(); ++i) {
+        rendered += (i ? "," : "") + ConstName(row[i]);
+      }
+      rendered += ")";
+      std::printf("  %-24s ≈ %.4f\n", rendered.c_str(), frequency);
+    }
+    return 0;
+  }
+
+  Result<std::string> constraints_text = ReadFile(opt.constraints_path);
+  if (!constraints_text.ok()) return Fail(constraints_text.status());
+  Result<ConstraintSet> constraints =
+      ParseConstraints(*schema, *constraints_text);
+  if (!constraints.ok()) return Fail(constraints.status());
+
+  Result<Query> query = ParseQuery(*schema, opt.query_text);
+  if (!query.ok()) return Fail(query.status());
+
+  std::printf("schema:      %s\n", schema->ToString().c_str());
+  std::printf("database:    %zu facts, consistent: %s\n", db->size(),
+              Satisfies(*db, *constraints) ? "yes" : "no");
+  std::printf("constraints: %zu\n", constraints->size());
+  std::printf("query:       %s\n\n", query->ToString(*schema).c_str());
+
+  UniformChainGenerator uniform;
+  DeletionOnlyUniformGenerator deletions;
+  PriorityChainGenerator minchange = PriorityChainGenerator::MinimalChange();
+  const ChainGenerator* generator = nullptr;
+  if (opt.generator == "uniform") {
+    generator = &uniform;
+  } else if (opt.generator == "deletions") {
+    generator = &deletions;
+  } else if (opt.generator == "minchange") {
+    generator = &minchange;
+  } else {
+    return Fail(Status::InvalidArgument("unknown generator: " +
+                                        opt.generator));
+  }
+
+  if (opt.show_chain) {
+    std::printf("repairing chain:\n%s\n",
+                RenderChainTree(*db, *constraints, *generator).c_str());
+  }
+
+  if (opt.mode == "exact") {
+    OcaResult oca = ComputeOca(*db, *constraints, *generator, *query);
+    if (oca.enumeration.truncated) {
+      return Fail(Status::ResourceExhausted(
+          "chain too large for exact answering; use --mode=approx"));
+    }
+    std::printf("exact operational consistent answers "
+                "(success mass %s, failing mass %s):\n",
+                oca.success_mass.ToString().c_str(),
+                oca.failing_mass.ToString().c_str());
+    for (const auto& [tuple, p] : oca.answers) {
+      std::printf("  %-24s %s  (≈ %.6f)\n", TupleToString(tuple).c_str(),
+                  p.ToString().c_str(), p.ToDouble());
+    }
+    if (oca.answers.empty()) std::printf("  (no tuple has CP > 0)\n");
+    if (opt.show_repairs) {
+      std::printf("\nrepair distribution:\n");
+      for (const RepairInfo& info : oca.enumeration.repairs) {
+        std::printf("  p = %-10s { %s }\n",
+                    info.probability.ToString().c_str(),
+                    info.repair.ToString().c_str());
+      }
+    }
+  } else if (opt.mode == "approx") {
+    Sampler sampler(*db, *constraints, generator, opt.seed);
+    ApproxOcaResult approx =
+        sampler.EstimateOca(*query, opt.eps, opt.delta);
+    std::printf("approximate answers (n = %zu walks, additive error ≤ %.3f "
+                "with confidence ≥ %.3f, per tuple):\n",
+                approx.walks, opt.eps, 1 - opt.delta);
+    for (const auto& [tuple, estimate] : approx.estimates) {
+      std::printf("  %-24s ≈ %.4f\n", TupleToString(tuple).c_str(),
+                  estimate);
+    }
+    if (approx.failing_walks > 0) {
+      std::printf("warning: %zu/%zu walks hit failing sequences; estimates "
+                  "are for the unconditioned numerator (use a non-failing "
+                  "generator such as --generator=deletions)\n",
+                  approx.failing_walks, approx.walks);
+    }
+  } else {
+    return Fail(Status::InvalidArgument("unknown mode: " + opt.mode));
+  }
+  return 0;
+}

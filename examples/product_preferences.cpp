@@ -1,0 +1,61 @@
+// The paper's running example (Sections 3–4): conflicting product
+// preferences repaired by a support-weighted Markov chain (Example 4),
+// ending in Example 7's headline answer — "a is the most preferred product
+// with degree of certainty 0.45", which classical CQA cannot express.
+
+#include <cstdio>
+
+#include "gen/workloads.h"
+#include "logic/formula_parser.h"
+#include "repair/abc.h"
+#include "repair/ocqa.h"
+#include "repair/preference_generator.h"
+
+int main() {
+  using namespace opcqa;
+
+  gen::Workload w = gen::PaperPreferenceExample();
+  std::printf("Dirty preference data:\n  %s\n", w.db.ToString().c_str());
+  std::printf("Constraint: %s\n\n",
+              w.constraints[0].ToString(*w.schema).c_str());
+
+  PreferenceChainGenerator generator(w.schema->RelationOrDie("Pref"));
+
+  // The repairing Markov chain of the paper's figure.
+  std::printf("Repairing Markov chain (the figure in Section 3):\n%s\n",
+              RenderChainTree(w.db, w.constraints, generator).c_str());
+
+  // Example 6: the repair distribution.
+  EnumerationResult repairs =
+      EnumerateRepairs(w.db, w.constraints, generator);
+  std::printf("Operational repairs with probabilities (Example 6):\n");
+  for (const RepairInfo& info : repairs.repairs) {
+    std::printf("  p = %-6s ≈ %.4f  { %s }\n",
+                info.probability.ToString().c_str(),
+                info.probability.ToDouble(), info.repair.ToString().c_str());
+  }
+
+  // Example 7: the most-preferred-product query.
+  Query q = *ParseQuery(*w.schema,
+                        "Q(x) := forall y (Pref(x,y) | x = y)");
+  std::printf("\nQ(x) = 'x is preferred over every other product':\n  %s\n",
+              q.ToString(*w.schema).c_str());
+
+  OcaResult oca = ComputeOca(w.db, w.constraints, generator, q);
+  std::printf("\nOperational consistent answers:\n");
+  for (const auto& [tuple, p] : oca.answers) {
+    std::printf("  %s with degree of certainty %s = %.2f\n",
+                TupleToString(tuple).c_str(), p.ToString().c_str(),
+                p.ToDouble());
+  }
+
+  // What classical CQA would say.
+  Result<std::vector<Database>> abc = AbcRepairs(w.db, w.constraints);
+  std::set<Tuple> certain = CertainAnswers(*abc, q);
+  std::printf("\nClassical (ABC) certain answers: %s\n",
+              certain.empty() ? "{} — nothing can be said"
+                              : "non-empty (unexpected)");
+  std::printf("\nThe operational framework reports (a, 0.45) where the "
+              "classical one reports nothing.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "constraints/constraint.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace opcqa {
+
+Constraint Constraint::Tgd(Conjunction body, Conjunction head,
+                           std::vector<VarId> existential, std::string label) {
+  OPCQA_CHECK(!body.empty()) << "TGD with empty body";
+  OPCQA_CHECK(!head.empty()) << "TGD with empty head";
+  Constraint c(Kind::kTgd, std::move(body), std::move(label));
+  c.head_ = std::move(head);
+  c.existential_ = std::move(existential);
+  std::vector<VarId> body_vars = c.body_.Variables();
+  for (VarId v : c.existential_) {
+    OPCQA_CHECK(std::find(body_vars.begin(), body_vars.end(), v) ==
+                body_vars.end())
+        << "existential variable " << VarName(v) << " also occurs in the body";
+  }
+  for (VarId v : c.head_.Variables()) {
+    bool in_body =
+        std::find(body_vars.begin(), body_vars.end(), v) != body_vars.end();
+    bool is_exist = std::find(c.existential_.begin(), c.existential_.end(),
+                              v) != c.existential_.end();
+    OPCQA_CHECK(in_body || is_exist)
+        << "head variable " << VarName(v) << " is neither universal nor "
+        << "existential";
+  }
+  return c;
+}
+
+Constraint Constraint::Egd(Conjunction body, VarId lhs, VarId rhs,
+                           std::string label) {
+  OPCQA_CHECK(!body.empty()) << "EGD with empty body";
+  Constraint c(Kind::kEgd, std::move(body), std::move(label));
+  std::vector<VarId> body_vars = c.body_.Variables();
+  for (VarId v : {lhs, rhs}) {
+    OPCQA_CHECK(std::find(body_vars.begin(), body_vars.end(), v) !=
+                body_vars.end())
+        << "EGD equality variable " << VarName(v) << " not in the body";
+  }
+  c.eq_lhs_ = lhs;
+  c.eq_rhs_ = rhs;
+  return c;
+}
+
+Constraint Constraint::Dc(Conjunction body, std::string label) {
+  OPCQA_CHECK(!body.empty()) << "DC with empty body";
+  return Constraint(Kind::kDc, std::move(body), std::move(label));
+}
+
+const Conjunction& Constraint::head() const {
+  OPCQA_CHECK(is_tgd());
+  return head_;
+}
+
+const std::vector<VarId>& Constraint::existential() const {
+  OPCQA_CHECK(is_tgd());
+  return existential_;
+}
+
+VarId Constraint::eq_lhs() const {
+  OPCQA_CHECK(is_egd());
+  return eq_lhs_;
+}
+
+VarId Constraint::eq_rhs() const {
+  OPCQA_CHECK(is_egd());
+  return eq_rhs_;
+}
+
+std::vector<ConstId> Constraint::Constants() const {
+  std::vector<ConstId> constants = body_.Constants();
+  if (is_tgd()) {
+    for (ConstId c : head_.Constants()) {
+      if (std::find(constants.begin(), constants.end(), c) ==
+          constants.end()) {
+        constants.push_back(c);
+      }
+    }
+  }
+  return constants;
+}
+
+std::string Constraint::ToString(const Schema& schema) const {
+  std::string out = body_.ToString(schema);
+  switch (kind_) {
+    case Kind::kDc:
+      out += " -> false";
+      break;
+    case Kind::kEgd:
+      out += StrCat(" -> ", VarName(eq_lhs_), " = ", VarName(eq_rhs_));
+      break;
+    case Kind::kTgd: {
+      out += " -> ";
+      if (!existential_.empty()) {
+        std::vector<std::string> names;
+        names.reserve(existential_.size());
+        for (VarId v : existential_) names.push_back(VarName(v));
+        out += StrCat("exists ", Join(names, ","), ": ");
+      }
+      out += head_.ToString(schema);
+      break;
+    }
+  }
+  if (!label_.empty()) out = StrCat("[", label_, "] ", out);
+  return out;
+}
+
+std::vector<ConstId> ConstantsOf(const ConstraintSet& constraints) {
+  std::vector<ConstId> all;
+  for (const Constraint& c : constraints) {
+    for (ConstId id : c.Constants()) {
+      if (std::find(all.begin(), all.end(), id) == all.end()) {
+        all.push_back(id);
+      }
+    }
+  }
+  return all;
+}
+
+bool IsDenialOnly(const ConstraintSet& constraints) {
+  return std::none_of(constraints.begin(), constraints.end(),
+                      [](const Constraint& c) { return c.is_tgd(); });
+}
+
+}  // namespace opcqa

@@ -1,0 +1,81 @@
+// Database constraints: tuple-generating dependencies (TGDs),
+// equality-generating dependencies (EGDs) and denial constraints (DCs),
+// exactly the three classes of the paper (Section 2).
+//
+// All three are viewed uniformly as κ = ϕ(x̄) → ψ where ϕ is a non-empty
+// conjunction of atoms; ψ is ∃z̄ head-conjunction (TGD), x_i = x_j (EGD) or
+// ⊥ (DC).
+
+#ifndef OPCQA_CONSTRAINTS_CONSTRAINT_H_
+#define OPCQA_CONSTRAINTS_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/atom.h"
+
+namespace opcqa {
+
+class Constraint {
+ public:
+  enum class Kind { kTgd, kEgd, kDc };
+
+  /// ϕ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄). `existential` lists z̄; the remaining head
+  /// variables must occur in the body. CHECK-fails on malformed input.
+  static Constraint Tgd(Conjunction body, Conjunction head,
+                        std::vector<VarId> existential,
+                        std::string label = "");
+
+  /// ϕ(x̄) → lhs = rhs with lhs, rhs variables of the body.
+  static Constraint Egd(Conjunction body, VarId lhs, VarId rhs,
+                        std::string label = "");
+
+  /// ¬ϕ(x̄), i.e. ϕ(x̄) → ⊥.
+  static Constraint Dc(Conjunction body, std::string label = "");
+
+  Kind kind() const { return kind_; }
+  bool is_tgd() const { return kind_ == Kind::kTgd; }
+  bool is_egd() const { return kind_ == Kind::kEgd; }
+  bool is_dc() const { return kind_ == Kind::kDc; }
+
+  const Conjunction& body() const { return body_; }
+  /// TGD only.
+  const Conjunction& head() const;
+  const std::vector<VarId>& existential() const;
+  /// EGD only.
+  VarId eq_lhs() const;
+  VarId eq_rhs() const;
+
+  const std::string& label() const { return label_; }
+
+  /// All constants mentioned by the constraint (contribute to B(D,Σ)).
+  std::vector<ConstId> Constants() const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  Constraint(Kind kind, Conjunction body, std::string label)
+      : kind_(kind), body_(std::move(body)), label_(std::move(label)) {}
+
+  Kind kind_;
+  Conjunction body_;
+  Conjunction head_;                  // TGD
+  std::vector<VarId> existential_;    // TGD
+  VarId eq_lhs_ = 0, eq_rhs_ = 0;     // EGD
+  std::string label_;
+};
+
+/// A set of constraints Σ. Order is preserved; violations refer to
+/// constraints by index.
+using ConstraintSet = std::vector<Constraint>;
+
+/// All constants occurring anywhere in Σ.
+std::vector<ConstId> ConstantsOf(const ConstraintSet& constraints);
+
+/// True when no constraint is a TGD (deletion-only repairing suffices;
+/// Proposition 8 territory).
+bool IsDenialOnly(const ConstraintSet& constraints);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_CONSTRAINTS_CONSTRAINT_H_

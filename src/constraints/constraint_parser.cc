@@ -1,0 +1,251 @@
+#include "constraints/constraint_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace opcqa {
+
+bool LooksLikeVariable(std::string_view name) {
+  if (name.empty()) return false;
+  char first = name[0];
+  if (first < 's' || first > 'z') return false;
+  for (char c : name.substr(1)) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+Term MakeConstraintTerm(std::string_view token,
+                        const std::set<std::string>& declared_vars) {
+  std::string name(token);
+  if (declared_vars.count(name) > 0 || LooksLikeVariable(name)) {
+    return Term::MakeVar(name);
+  }
+  return Term::MakeConst(name);
+}
+
+Result<Atom> ParseConstraintAtom(const Schema& schema, std::string_view text,
+                                 const std::set<std::string>& declared_vars) {
+  std::string_view trimmed = TrimView(text);
+  size_t open = trimmed.find('(');
+  if (open == std::string_view::npos || trimmed.empty() ||
+      trimmed.back() != ')') {
+    return Status::InvalidArgument(StrCat("malformed atom: ", text));
+  }
+  std::string_view name = TrimView(trimmed.substr(0, open));
+  if (!IsIdentifier(name)) {
+    return Status::InvalidArgument(StrCat("invalid relation name: ", name));
+  }
+  PredId pred = schema.FindRelation(name);
+  if (pred == Schema::kNotFound) {
+    return Status::NotFound(StrCat("unknown relation: ", name));
+  }
+  std::string_view args = trimmed.substr(open + 1, trimmed.size() - open - 2);
+  std::vector<Term> terms;
+  for (const std::string& piece : SplitTopLevel(args, ',')) {
+    std::string_view token = TrimView(piece);
+    if (token.empty()) {
+      return Status::InvalidArgument(StrCat("empty term in atom: ", text));
+    }
+    bool numeric = std::all_of(token.begin(), token.end(), [](char c) {
+      return std::isdigit(static_cast<unsigned char>(c));
+    });
+    if (!IsIdentifier(token) && !numeric) {
+      return Status::InvalidArgument(
+          StrCat("invalid term '", token, "' in atom: ", text));
+    }
+    terms.push_back(MakeConstraintTerm(token, declared_vars));
+  }
+  if (terms.size() != schema.Arity(pred)) {
+    return Status::InvalidArgument(
+        StrCat("arity mismatch for ", name, ": expected ", schema.Arity(pred),
+               " got ", terms.size()));
+  }
+  return Atom(pred, std::move(terms));
+}
+
+Result<Conjunction> ParseConjunctionOfAtoms(
+    const Schema& schema, std::string_view text,
+    const std::set<std::string>& declared_vars) {
+  Conjunction conj;
+  for (const std::string& piece : SplitTopLevel(text, ',')) {
+    if (TrimView(piece).empty()) {
+      return Status::InvalidArgument(
+          StrCat("empty conjunct in: ", text));
+    }
+    Result<Atom> atom = ParseConstraintAtom(schema, piece, declared_vars);
+    if (!atom.ok()) return atom.status();
+    conj.Add(std::move(atom).value());
+  }
+  if (conj.empty()) {
+    return Status::InvalidArgument("empty conjunction");
+  }
+  return conj;
+}
+
+}  // namespace
+
+Result<Constraint> ParseConstraint(const Schema& schema,
+                                   std::string_view text) {
+  std::string_view trimmed = TrimView(text);
+  // Optional "label:" prefix (label must not contain '(' or '-').
+  std::string label;
+  size_t colon = trimmed.find(':');
+  if (colon != std::string_view::npos) {
+    std::string_view prefix = TrimView(trimmed.substr(0, colon));
+    size_t paren = trimmed.find('(');
+    bool is_label = IsIdentifier(prefix) &&
+                    (paren == std::string_view::npos || colon < paren) &&
+                    // Don't swallow "exists z:" (no '->' before the colon).
+                    trimmed.substr(0, colon).find("->") ==
+                        std::string_view::npos;
+    if (is_label) {
+      label = std::string(prefix);
+      trimmed = TrimView(trimmed.substr(colon + 1));
+    }
+  }
+  // DC alternative form: !( body )
+  if (!trimmed.empty() && trimmed[0] == '!') {
+    std::string_view inner = TrimView(trimmed.substr(1));
+    if (inner.size() < 2 || inner.front() != '(' || inner.back() != ')') {
+      return Status::InvalidArgument(
+          StrCat("malformed denial constraint: ", text));
+    }
+    Result<Conjunction> body = ParseConjunctionOfAtoms(
+        schema, inner.substr(1, inner.size() - 2), {});
+    if (!body.ok()) return body.status();
+    return Constraint::Dc(std::move(body).value(), std::move(label));
+  }
+  size_t arrow = trimmed.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::InvalidArgument(
+        StrCat("constraint must contain '->' (or start with '!'): ", text));
+  }
+  std::string_view body_text = TrimView(trimmed.substr(0, arrow));
+  std::string_view head_text = TrimView(trimmed.substr(arrow + 2));
+  Result<Conjunction> body = ParseConjunctionOfAtoms(schema, body_text, {});
+  if (!body.ok()) return body.status();
+
+  if (head_text == "false" || head_text == "FALSE" || head_text == "bot") {
+    return Constraint::Dc(std::move(body).value(), std::move(label));
+  }
+
+  // EGD: "x = y" (no parentheses in the head).
+  if (head_text.find('(') == std::string_view::npos &&
+      head_text.find('=') != std::string_view::npos) {
+    std::vector<std::string> sides = Split(std::string(head_text), '=');
+    if (sides.size() != 2) {
+      return Status::InvalidArgument(
+          StrCat("malformed EGD head: ", head_text));
+    }
+    std::string lhs = Trim(sides[0]);
+    std::string rhs = Trim(sides[1]);
+    if (!LooksLikeVariable(lhs) || !LooksLikeVariable(rhs)) {
+      return Status::InvalidArgument(StrCat(
+          "EGD head must equate two variables (s..z names): ", head_text));
+    }
+    Conjunction b = std::move(body).value();
+    std::vector<VarId> body_vars = b.Variables();
+    VarId l = Var(lhs), r = Var(rhs);
+    for (VarId v : {l, r}) {
+      if (std::find(body_vars.begin(), body_vars.end(), v) ==
+          body_vars.end()) {
+        return Status::InvalidArgument(
+            StrCat("EGD equality variable not in body: ", VarName(v)));
+      }
+    }
+    return Constraint::Egd(std::move(b), l, r, std::move(label));
+  }
+
+  // TGD: optional "exists z1,z2[:.]" prefix, then a conjunction of atoms.
+  std::set<std::string> declared;
+  std::vector<VarId> existential;
+  if (head_text.substr(0, 6) == "exists") {
+    std::string_view rest = TrimView(head_text.substr(6));
+    // Variables up to ':' or '.' or the first '('.
+    size_t stop = rest.find_first_of(":.");
+    size_t paren = rest.find('(');
+    if (stop == std::string_view::npos || (paren != std::string_view::npos &&
+                                           paren < stop)) {
+      // No separator: variable list ends where the first atom begins; find
+      // the last comma before '('... simpler: require a separator unless the
+      // variable list is a single token followed by whitespace.
+      size_t space = rest.find_first_of(" \t");
+      if (space == std::string_view::npos || (paren != std::string_view::npos
+                                              && space > paren)) {
+        return Status::InvalidArgument(
+            StrCat("malformed exists prefix (use 'exists z:'): ", head_text));
+      }
+      stop = space;
+    }
+    for (const std::string& piece :
+         Split(std::string(TrimView(rest.substr(0, stop))), ',')) {
+      std::string name = Trim(piece);
+      if (!IsIdentifier(name)) {
+        return Status::InvalidArgument(
+            StrCat("invalid existential variable: '", name, "'"));
+      }
+      declared.insert(name);
+      existential.push_back(Var(name));
+    }
+    head_text = TrimView(rest.substr(stop + 1));
+  }
+  Result<Conjunction> head =
+      ParseConjunctionOfAtoms(schema, head_text, declared);
+  if (!head.ok()) return head.status();
+  // Existential variables must not occur in the body (checked by Tgd());
+  // surface that as a Status rather than a crash for parser users.
+  Conjunction b = std::move(body).value();
+  std::vector<VarId> body_vars = b.Variables();
+  for (VarId v : existential) {
+    if (std::find(body_vars.begin(), body_vars.end(), v) != body_vars.end()) {
+      return Status::InvalidArgument(
+          StrCat("existential variable ", VarName(v), " occurs in the body"));
+    }
+  }
+  // Head variables that are neither existential nor in the body are illegal.
+  for (VarId v : head->Variables()) {
+    bool is_exist =
+        std::find(existential.begin(), existential.end(), v) !=
+        existential.end();
+    bool in_body =
+        std::find(body_vars.begin(), body_vars.end(), v) != body_vars.end();
+    if (!is_exist && !in_body) {
+      return Status::InvalidArgument(StrCat(
+          "head variable ", VarName(v),
+          " is neither in the body nor existentially quantified"));
+    }
+  }
+  return Constraint::Tgd(std::move(b), std::move(head).value(),
+                         std::move(existential), std::move(label));
+}
+
+Result<ConstraintSet> ParseConstraints(const Schema& schema,
+                                       std::string_view text) {
+  ConstraintSet constraints;
+  std::string cleaned;
+  for (const std::string& line : Split(text, '\n')) {
+    size_t hash = line.find('#');
+    cleaned += hash == std::string::npos ? line : line.substr(0, hash);
+    cleaned += '\n';
+  }
+  // Split on ';' and newlines.
+  std::string normalized;
+  for (char c : cleaned) normalized += (c == ';') ? '\n' : c;
+  for (const std::string& line : Split(normalized, '\n')) {
+    if (TrimView(line).empty()) continue;
+    Result<Constraint> c = ParseConstraint(schema, line);
+    if (!c.ok()) return c.status();
+    constraints.push_back(std::move(c).value());
+  }
+  return constraints;
+}
+
+}  // namespace opcqa

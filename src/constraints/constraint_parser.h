@@ -1,0 +1,39 @@
+// Text syntax for constraints (rule-based, as in the paper's examples):
+//
+//   TGD:  R(x,y) -> exists z: S(x,y,z)         (multi-atom heads allowed)
+//   EGD:  R(x,y), R(x,z) -> y = z
+//   DC:   Pref(x,y), Pref(y,x) -> false        (or:  !(Pref(x,y), Pref(y,x)))
+//
+// Universal quantification is implicit (as in the paper). Variable naming
+// convention: an identifier is a VARIABLE iff its first character is in
+// 's'..'z' and the rest are digits or '_' (x, y, z2, u, w_1, ...), or it is
+// declared in a TGD's `exists` list. Every other identifier or number is a
+// CONSTANT (a, b, admin, 42, ...).
+//
+// A constraint *set* is newline- or ';'-separated; '#' starts a comment; an
+// optional "label:" prefix names a constraint.
+
+#ifndef OPCQA_CONSTRAINTS_CONSTRAINT_PARSER_H_
+#define OPCQA_CONSTRAINTS_CONSTRAINT_PARSER_H_
+
+#include <string_view>
+
+#include "constraints/constraint.h"
+#include "util/status.h"
+
+namespace opcqa {
+
+/// Parses one constraint.
+Result<Constraint> ParseConstraint(const Schema& schema,
+                                   std::string_view text);
+
+/// Parses a whole constraint set.
+Result<ConstraintSet> ParseConstraints(const Schema& schema,
+                                       std::string_view text);
+
+/// The variable-naming convention used by the constraint syntax.
+bool LooksLikeVariable(std::string_view name);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_CONSTRAINTS_CONSTRAINT_PARSER_H_

@@ -1,0 +1,40 @@
+#include "constraints/satisfaction.h"
+
+namespace opcqa {
+
+bool SatisfiesConclusion(const Database& db, const Constraint& constraint,
+                         const Assignment& h) {
+  switch (constraint.kind()) {
+    case Constraint::Kind::kDc:
+      // A body match of a DC is always a violation.
+      return false;
+    case Constraint::Kind::kEgd:
+      return *h.Get(constraint.eq_lhs()) == *h.Get(constraint.eq_rhs());
+    case Constraint::Kind::kTgd:
+      // Needs an extension of h matching the head in db.
+      return HasHomomorphism(constraint.head(), db, h);
+  }
+  return false;
+}
+
+bool Satisfies(const Database& db, const Constraint& constraint) {
+  bool ok = true;
+  FindHomomorphisms(constraint.body(), db, Assignment(),
+                    [&](const Assignment& h) {
+                      if (!SatisfiesConclusion(db, constraint, h)) {
+                        ok = false;
+                        return false;  // stop early
+                      }
+                      return true;
+                    });
+  return ok;
+}
+
+bool Satisfies(const Database& db, const ConstraintSet& constraints) {
+  for (const Constraint& c : constraints) {
+    if (!Satisfies(db, c)) return false;
+  }
+  return true;
+}
+
+}  // namespace opcqa

@@ -1,0 +1,25 @@
+// Constraint satisfaction D ⊨ κ via homomorphisms (Section 2 of the paper).
+
+#ifndef OPCQA_CONSTRAINTS_SATISFACTION_H_
+#define OPCQA_CONSTRAINTS_SATISFACTION_H_
+
+#include "constraints/constraint.h"
+#include "logic/homomorphism.h"
+#include "relational/database.h"
+
+namespace opcqa {
+
+/// True when the body match `h` satisfies the conclusion of `constraint` in
+/// `db` (i.e. (constraint, h) is *not* a violation).
+bool SatisfiesConclusion(const Database& db, const Constraint& constraint,
+                         const Assignment& h);
+
+/// D ⊨ κ.
+bool Satisfies(const Database& db, const Constraint& constraint);
+
+/// D ⊨ Σ.
+bool Satisfies(const Database& db, const ConstraintSet& constraints);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_CONSTRAINTS_SATISFACTION_H_

@@ -1,0 +1,53 @@
+#include "constraints/violation.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace opcqa {
+
+std::string Violation::ToString(const Schema& schema,
+                                const ConstraintSet& constraints) const {
+  const Constraint& c = constraints[constraint_index];
+  std::string name =
+      c.label().empty() ? StrCat("#", constraint_index) : c.label();
+  std::vector<std::string> image;
+  for (const Fact& fact : h.ApplyAll(c.body())) {
+    image.push_back(fact.ToString(schema));
+  }
+  return StrCat("(", name, ", ", h.ToString(), " over {", Join(image, ", "),
+                "})");
+}
+
+ViolationSet ComputeViolations(const Database& db,
+                               const ConstraintSet& constraints) {
+  ViolationSet violations;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    const Constraint& c = constraints[i];
+    FindHomomorphisms(c.body(), db, Assignment(), [&](const Assignment& h) {
+      if (!SatisfiesConclusion(db, c, h)) {
+        violations.insert(Violation{i, h});
+      }
+      return true;
+    });
+  }
+  return violations;
+}
+
+bool IsViolation(const Database& db, const ConstraintSet& constraints,
+                 const Violation& violation) {
+  OPCQA_CHECK_LT(violation.constraint_index, constraints.size());
+  const Constraint& c = constraints[violation.constraint_index];
+  // h(body) ⊆ db?
+  for (const Fact& fact : violation.h.ApplyAll(c.body())) {
+    if (!db.Contains(fact)) return false;
+  }
+  return !SatisfiesConclusion(db, c, violation.h);
+}
+
+std::vector<Fact> BodyImage(const ConstraintSet& constraints,
+                            const Violation& violation) {
+  const Constraint& c = constraints[violation.constraint_index];
+  return violation.h.ApplyAll(c.body());
+}
+
+}  // namespace opcqa

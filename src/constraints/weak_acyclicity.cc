@@ -1,0 +1,172 @@
+#include "constraints/weak_acyclicity.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace opcqa {
+namespace {
+
+/// Body positions of each universally quantified variable of a TGD.
+std::map<VarId, std::vector<Position>> BodyPositions(const Constraint& tgd) {
+  std::map<VarId, std::vector<Position>> positions;
+  for (const Atom& atom : tgd.body().atoms()) {
+    for (size_t i = 0; i < atom.arity(); ++i) {
+      const Term& term = atom.terms()[i];
+      if (term.is_var()) {
+        positions[term.var()].push_back(Position{atom.pred(), i});
+      }
+    }
+  }
+  return positions;
+}
+
+/// Tarjan-free SCC via Kosaraju (two DFS passes, iterative).
+std::vector<size_t> StronglyConnectedComponents(
+    size_t num_nodes, const std::vector<std::vector<size_t>>& adjacency) {
+  std::vector<std::vector<size_t>> reverse(num_nodes);
+  for (size_t u = 0; u < num_nodes; ++u) {
+    for (size_t v : adjacency[u]) reverse[v].push_back(u);
+  }
+  // First pass: finish order.
+  std::vector<bool> visited(num_nodes, false);
+  std::vector<size_t> order;
+  order.reserve(num_nodes);
+  for (size_t start = 0; start < num_nodes; ++start) {
+    if (visited[start]) continue;
+    // Iterative DFS with an explicit edge-index stack.
+    std::vector<std::pair<size_t, size_t>> stack = {{start, 0}};
+    visited[start] = true;
+    while (!stack.empty()) {
+      auto& [node, edge] = stack.back();
+      if (edge < adjacency[node].size()) {
+        size_t next = adjacency[node][edge++];
+        if (!visited[next]) {
+          visited[next] = true;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        order.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+  // Second pass on the reverse graph in reverse finish order.
+  std::vector<size_t> component(num_nodes, SIZE_MAX);
+  size_t num_components = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (component[*it] != SIZE_MAX) continue;
+    std::vector<size_t> stack = {*it};
+    component[*it] = num_components;
+    while (!stack.empty()) {
+      size_t node = stack.back();
+      stack.pop_back();
+      for (size_t next : reverse[node]) {
+        if (component[next] == SIZE_MAX) {
+          component[next] = num_components;
+          stack.push_back(next);
+        }
+      }
+    }
+    ++num_components;
+  }
+  return component;
+}
+
+}  // namespace
+
+std::string PositionGraph::ToString(const Schema& schema) const {
+  std::vector<std::string> parts;
+  parts.reserve(edges.size());
+  for (const PositionEdge& edge : edges) {
+    parts.push_back(StrCat(schema.RelationName(edge.from.pred), "[",
+                           edge.from.index, "] -",
+                           edge.special ? "*" : "", "-> ",
+                           schema.RelationName(edge.to.pred), "[",
+                           edge.to.index, "]"));
+  }
+  return Join(parts, "\n");
+}
+
+PositionGraph BuildPositionGraph(const Schema& schema,
+                                 const ConstraintSet& constraints) {
+  (void)schema;
+  std::set<PositionEdge> edges;
+  for (const Constraint& constraint : constraints) {
+    if (!constraint.is_tgd()) continue;
+    std::map<VarId, std::vector<Position>> body = BodyPositions(constraint);
+    std::set<VarId> existential(constraint.existential().begin(),
+                                constraint.existential().end());
+    // Head positions of existential variables, per head atom.
+    std::vector<Position> existential_positions;
+    for (const Atom& atom : constraint.head().atoms()) {
+      for (size_t i = 0; i < atom.arity(); ++i) {
+        const Term& term = atom.terms()[i];
+        if (term.is_var() && existential.count(term.var())) {
+          existential_positions.push_back(Position{atom.pred(), i});
+        }
+      }
+    }
+    for (const auto& [var, from_positions] : body) {
+      if (existential.count(var)) continue;  // body vars are universal
+      bool propagated = false;
+      for (const Atom& atom : constraint.head().atoms()) {
+        for (size_t i = 0; i < atom.arity(); ++i) {
+          const Term& term = atom.terms()[i];
+          if (term.is_var() && term.var() == var) {
+            propagated = true;
+            for (const Position& from : from_positions) {
+              edges.insert(
+                  PositionEdge{from, Position{atom.pred(), i}, false});
+            }
+          }
+        }
+      }
+      // Special edges from every body position of every propagated
+      // universal variable to every existential head position.
+      if (propagated) {
+        for (const Position& from : from_positions) {
+          for (const Position& to : existential_positions) {
+            edges.insert(PositionEdge{from, to, true});
+          }
+        }
+      }
+    }
+  }
+  PositionGraph graph;
+  graph.edges.assign(edges.begin(), edges.end());
+  return graph;
+}
+
+bool IsWeaklyAcyclic(const Schema& schema,
+                     const ConstraintSet& constraints) {
+  PositionGraph graph = BuildPositionGraph(schema, constraints);
+  // Dense node ids for the positions that occur in edges.
+  std::map<Position, size_t> node_of;
+  auto node_id = [&](const Position& position) {
+    auto [it, inserted] = node_of.emplace(position, node_of.size());
+    return it->second;
+  };
+  std::vector<std::pair<std::pair<size_t, size_t>, bool>> dense;
+  dense.reserve(graph.edges.size());
+  for (const PositionEdge& edge : graph.edges) {
+    dense.push_back({{node_id(edge.from), node_id(edge.to)}, edge.special});
+  }
+  std::vector<std::vector<size_t>> adjacency(node_of.size());
+  for (const auto& [pair, special] : dense) {
+    adjacency[pair.first].push_back(pair.second);
+  }
+  std::vector<size_t> component =
+      StronglyConnectedComponents(node_of.size(), adjacency);
+  // A special edge inside one SCC lies on a cycle through itself.
+  for (const auto& [pair, special] : dense) {
+    if (special && component[pair.first] == component[pair.second]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace opcqa

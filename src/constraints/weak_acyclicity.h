@@ -1,0 +1,58 @@
+// Weak acyclicity of TGD sets — the standard termination criterion for the
+// chase (Fagin, Kolaitis, Miller, Popa: "Data exchange: semantics and query
+// answering"), used by the null-chase repair construction (the "Null
+// Values" direction of Section 6).
+//
+// The dependency (position) graph has one node per position (R, i). For
+// every TGD σ, every universally quantified variable x occurring in a body
+// position (R, i) that is propagated to a head position (S, j) adds a
+// regular edge (R,i) → (S,j); every existentially quantified variable in a
+// head position (S, j) adds a *special* edge (R,i) → (S,j) from every body
+// position of every propagated variable. Σ is weakly acyclic iff no cycle
+// goes through a special edge; the chase then terminates in polynomially
+// many steps.
+
+#ifndef OPCQA_CONSTRAINTS_WEAK_ACYCLICITY_H_
+#define OPCQA_CONSTRAINTS_WEAK_ACYCLICITY_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/constraint.h"
+
+namespace opcqa {
+
+/// A position (R, i): attribute i of relation R.
+struct Position {
+  PredId pred;
+  size_t index;
+
+  auto operator<=>(const Position&) const = default;
+};
+
+struct PositionEdge {
+  Position from;
+  Position to;
+  bool special;  // target position holds an existential variable
+
+  auto operator<=>(const PositionEdge&) const = default;
+};
+
+/// The dependency graph of the TGDs in Σ (EGDs/DCs contribute no edges).
+struct PositionGraph {
+  std::vector<PositionEdge> edges;  // deduplicated, sorted
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Builds the dependency graph of Σ.
+PositionGraph BuildPositionGraph(const Schema& schema,
+                                 const ConstraintSet& constraints);
+
+/// True iff no cycle of the dependency graph contains a special edge
+/// (checked via strongly connected components).
+bool IsWeaklyAcyclic(const Schema& schema, const ConstraintSet& constraints);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_CONSTRAINTS_WEAK_ACYCLICITY_H_

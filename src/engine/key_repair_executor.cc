@@ -1,0 +1,117 @@
+#include "engine/key_repair_executor.h"
+
+#include <cmath>
+
+#include "repair/sampler.h"
+#include "util/logging.h"
+
+namespace opcqa {
+namespace engine {
+
+KeyRepairExecutor::KeyRepairExecutor(const Database& db,
+                                     std::vector<KeySpec> keys, uint64_t seed,
+                                     ExecutorOptions options)
+    : schema_(&db.schema()),
+      keys_(std::move(keys)),
+      options_(std::move(options)),
+      rng_(seed) {
+  for (PredId pred = 0; pred < schema_->size(); ++pred) {
+    relations_.emplace(pred, Relation::FromDatabase(db, pred));
+  }
+  for (const KeySpec& key : keys_) {
+    const Relation& rel = relations_.at(key.pred);
+    std::map<Row, std::vector<size_t>> by_key;
+    for (size_t i = 0; i < rel.rows().size(); ++i) {
+      Row key_value;
+      key_value.reserve(key.key_positions.size());
+      for (size_t pos : key.key_positions) {
+        OPCQA_CHECK_LT(pos, rel.arity());
+        key_value.push_back(rel.rows()[i][pos]);
+      }
+      by_key[std::move(key_value)].push_back(i);
+    }
+    std::vector<std::vector<size_t>> groups;
+    for (auto& [key_value, indices] : by_key) {
+      if (indices.size() >= 2) groups.push_back(std::move(indices));
+    }
+    violating_groups_[key.pred] = std::move(groups);
+  }
+}
+
+const Relation& KeyRepairExecutor::RelationOf(PredId pred) const {
+  return relations_.at(pred);
+}
+
+std::map<PredId, Relation> KeyRepairExecutor::SampleRepairedRelations() {
+  std::map<PredId, Relation> repaired;
+  for (const auto& [pred, rel] : relations_) {
+    auto groups_it = violating_groups_.find(pred);
+    if (groups_it == violating_groups_.end() || groups_it->second.empty()) {
+      repaired.emplace(pred, rel);
+      continue;
+    }
+    // Collect the indices deleted this round (R_del).
+    std::vector<bool> deleted(rel.rows().size(), false);
+    for (const std::vector<size_t>& group : groups_it->second) {
+      size_t survivor = group.size();  // sentinel: none survives
+      switch (options_.policy) {
+        case SurvivorPolicy::kKeepOneUniform:
+          survivor = rng_.UniformInt(group.size());
+          break;
+        case SurvivorPolicy::kTrustWeighted: {
+          if (options_.keep_none_probability > 0.0 &&
+              rng_.Bernoulli(options_.keep_none_probability)) {
+            break;  // keep none
+          }
+          std::vector<double> weights;
+          weights.reserve(group.size());
+          for (size_t index : group) {
+            auto it = options_.trust.find(rel.rows()[index]);
+            weights.push_back(it == options_.trust.end() ? 1.0 : it->second);
+          }
+          survivor = rng_.WeightedIndex(weights);
+          break;
+        }
+      }
+      for (size_t k = 0; k < group.size(); ++k) {
+        if (k != survivor) deleted[group[k]] = true;
+      }
+    }
+    // R − R_del without materializing R_del separately.
+    Relation reduced(rel.name(), rel.columns());
+    for (size_t i = 0; i < rel.rows().size(); ++i) {
+      if (!deleted[i]) reduced.Add(rel.rows()[i]);
+    }
+    repaired.emplace(pred, std::move(reduced));
+  }
+  return repaired;
+}
+
+ApproxAnswers KeyRepairExecutor::Run(const Query& query, size_t rounds) {
+  OPCQA_CHECK_GT(rounds, 0u);
+  std::map<Tuple, size_t> counts;  // the temporary table T
+  for (size_t round = 0; round < rounds; ++round) {
+    std::map<PredId, Relation> repaired = SampleRepairedRelations();
+    std::map<PredId, const Relation*> pointers;
+    for (const auto& [pred, rel] : repaired) pointers[pred] = &rel;
+    Relation answers = ExecuteConjunctive(query, pointers);
+    std::set<Row> distinct(answers.rows().begin(), answers.rows().end());
+    for (const Row& row : distinct) ++counts[row];
+  }
+  ApproxAnswers result;
+  result.rounds = rounds;
+  for (const auto& [tuple, count] : counts) {
+    result.frequency[tuple] =
+        static_cast<double>(count) / static_cast<double>(rounds);
+  }
+  return result;
+}
+
+ApproxAnswers KeyRepairExecutor::RunWithGuarantee(const Query& query,
+                                                  double epsilon,
+                                                  double delta) {
+  return Run(query, Sampler::NumSamples(epsilon, delta));
+}
+
+}  // namespace engine
+}  // namespace opcqa

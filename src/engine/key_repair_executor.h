@@ -1,0 +1,92 @@
+// The practical approximation scheme sketched at the end of Section 5.
+//
+// "The user sets ε and δ and computes n = 1/(2ε²)·ln(2/δ). We then do the
+//  following n times: from each group of tuples in relation R that violate
+//  a key, randomly pick at most one tuple to be left there, and collect
+//  others in a relation R_del. Then run the original query Q in which each
+//  relation R is replaced with R − R_del, and append the outcome to a
+//  temporary table T. [...] for each tuple t̄, return n_t̄ / n."
+//
+// KeyRepairExecutor implements exactly that loop over the in-repo algebra
+// engine. Two survivor policies:
+//   * kKeepOneUniform — classical subset-repair sampling (each group keeps
+//     one uniformly-chosen tuple);
+//   * kTrustWeighted  — survivors sampled proportionally to trust weights,
+//     with an optional "keep none" probability per group (the Example 5
+//     behaviour where neither conflicting source is trusted).
+
+#ifndef OPCQA_ENGINE_KEY_REPAIR_EXECUTOR_H_
+#define OPCQA_ENGINE_KEY_REPAIR_EXECUTOR_H_
+
+#include <map>
+#include <vector>
+
+#include "engine/algebra.h"
+#include "util/random.h"
+
+namespace opcqa {
+namespace engine {
+
+/// Key constraint on one relation: the positions forming the key.
+struct KeySpec {
+  PredId pred;
+  std::vector<size_t> key_positions;
+};
+
+enum class SurvivorPolicy { kKeepOneUniform, kTrustWeighted };
+
+struct ExecutorOptions {
+  SurvivorPolicy policy = SurvivorPolicy::kKeepOneUniform;
+  /// kTrustWeighted: per-row weights; missing rows default to 1.
+  std::map<Row, double> trust;
+  /// kTrustWeighted: probability of keeping *no* tuple from a group of
+  /// conflicting tuples.
+  double keep_none_probability = 0.0;
+};
+
+struct ApproxAnswers {
+  /// tuple → n_t / n.
+  std::map<Tuple, double> frequency;
+  size_t rounds = 0;
+
+  double Frequency(const Tuple& tuple) const {
+    auto it = frequency.find(tuple);
+    return it == frequency.end() ? 0.0 : it->second;
+  }
+};
+
+class KeyRepairExecutor {
+ public:
+  /// `db` is the dirty database; `keys` the key constraints per relation.
+  KeyRepairExecutor(const Database& db, std::vector<KeySpec> keys,
+                    uint64_t seed, ExecutorOptions options = {});
+
+  /// Materialized dirty relation for `pred`.
+  const Relation& RelationOf(PredId pred) const;
+
+  /// Samples one R_del per keyed relation and returns the map
+  /// pred → R − R_del (non-keyed relations are returned unchanged).
+  std::map<PredId, Relation> SampleRepairedRelations();
+
+  /// The paper's n-round loop for a conjunctive query.
+  ApproxAnswers Run(const Query& query, size_t rounds);
+
+  /// n(ε,δ) = ⌈ln(2/δ)/(2ε²)⌉, then Run.
+  ApproxAnswers RunWithGuarantee(const Query& query, double epsilon,
+                                 double delta);
+
+ private:
+  const Schema* schema_;
+  std::vector<KeySpec> keys_;
+  std::map<PredId, Relation> relations_;
+  // Per keyed relation: groups of row indices sharing a key value, only for
+  // groups of size ≥ 2 (the violating ones).
+  std::map<PredId, std::vector<std::vector<size_t>>> violating_groups_;
+  ExecutorOptions options_;
+  Rng rng_;
+};
+
+}  // namespace engine
+}  // namespace opcqa
+
+#endif  // OPCQA_ENGINE_KEY_REPAIR_EXECUTOR_H_

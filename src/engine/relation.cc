@@ -1,0 +1,56 @@
+#include "engine/relation.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace opcqa {
+namespace engine {
+
+void Relation::Add(Row row) {
+  OPCQA_CHECK_EQ(row.size(), columns_.size())
+      << "arity mismatch adding row to " << name_;
+  rows_.push_back(std::move(row));
+}
+
+size_t Relation::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == column) return i;
+  }
+  return kNotFound;
+}
+
+void Relation::Normalize() {
+  std::sort(rows_.begin(), rows_.end());
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+Relation Relation::FromDatabase(const Database& db, PredId pred,
+                                std::vector<std::string> columns) {
+  const Schema& schema = db.schema();
+  uint32_t arity = schema.Arity(pred);
+  if (columns.empty()) {
+    for (uint32_t i = 0; i < arity; ++i) {
+      columns.push_back(StrCat("c", i));
+    }
+  }
+  OPCQA_CHECK_EQ(columns.size(), arity);
+  Relation rel(schema.RelationName(pred), std::move(columns));
+  for (const Fact& fact : db.FactsOf(pred)) {
+    rel.Add(fact.args());
+  }
+  return rel;
+}
+
+std::string Relation::ToString() const {
+  std::string out = name_ + "(" + Join(columns_, ",") + ") {";
+  for (const Row& row : rows_) {
+    out += " " + TupleToString(row);
+  }
+  out += " }";
+  return out;
+}
+
+}  // namespace engine
+}  // namespace opcqa

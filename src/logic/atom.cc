@@ -1,0 +1,73 @@
+#include "logic/atom.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace opcqa {
+
+bool Atom::is_ground() const {
+  return std::all_of(terms_.begin(), terms_.end(),
+                     [](const Term& t) { return t.is_const(); });
+}
+
+Fact Atom::ToFact() const {
+  std::vector<ConstId> args;
+  args.reserve(terms_.size());
+  for (const Term& t : terms_) {
+    OPCQA_CHECK(t.is_const()) << "ToFact on non-ground atom";
+    args.push_back(t.constant());
+  }
+  return Fact(pred_, std::move(args));
+}
+
+void Atom::CollectVariables(std::vector<VarId>* out) const {
+  for (const Term& t : terms_) {
+    if (t.is_var() &&
+        std::find(out->begin(), out->end(), t.var()) == out->end()) {
+      out->push_back(t.var());
+    }
+  }
+}
+
+void Atom::CollectConstants(std::vector<ConstId>* out) const {
+  for (const Term& t : terms_) {
+    if (t.is_const() &&
+        std::find(out->begin(), out->end(), t.constant()) == out->end()) {
+      out->push_back(t.constant());
+    }
+  }
+}
+
+std::string Atom::ToString(const Schema& schema) const {
+  std::string out = schema.RelationName(pred_);
+  out += "(";
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += terms_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<VarId> Conjunction::Variables() const {
+  std::vector<VarId> vars;
+  for (const Atom& atom : atoms_) atom.CollectVariables(&vars);
+  return vars;
+}
+
+std::vector<ConstId> Conjunction::Constants() const {
+  std::vector<ConstId> constants;
+  for (const Atom& atom : atoms_) atom.CollectConstants(&constants);
+  return constants;
+}
+
+std::string Conjunction::ToString(const Schema& schema) const {
+  std::vector<std::string> parts;
+  parts.reserve(atoms_.size());
+  for (const Atom& atom : atoms_) parts.push_back(atom.ToString(schema));
+  return Join(parts, ", ");
+}
+
+}  // namespace opcqa

@@ -1,0 +1,73 @@
+// Atoms R(t1,...,tn) over terms, and conjunctions of atoms (viewed as sets
+// of atoms / tableaux, as the paper does when talking about homomorphisms).
+
+#ifndef OPCQA_LOGIC_ATOM_H_
+#define OPCQA_LOGIC_ATOM_H_
+
+#include <compare>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "logic/term.h"
+#include "relational/fact.h"
+#include "relational/schema.h"
+
+namespace opcqa {
+
+class Atom {
+ public:
+  Atom() = default;
+  Atom(PredId pred, std::vector<Term> terms)
+      : pred_(pred), terms_(std::move(terms)) {}
+
+  PredId pred() const { return pred_; }
+  const std::vector<Term>& terms() const { return terms_; }
+  size_t arity() const { return terms_.size(); }
+
+  bool is_ground() const;
+  /// Converts a ground atom to a fact; CHECK-fails when variables remain.
+  Fact ToFact() const;
+
+  /// Variables occurring in the atom, in order of first occurrence.
+  void CollectVariables(std::vector<VarId>* out) const;
+  /// Constants occurring in the atom.
+  void CollectConstants(std::vector<ConstId>* out) const;
+
+  auto operator<=>(const Atom&) const = default;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  PredId pred_ = 0;
+  std::vector<Term> terms_;
+};
+
+/// A conjunction of atoms (the tableau of a constraint body/head or of a
+/// conjunctive query).
+class Conjunction {
+ public:
+  Conjunction() = default;
+  explicit Conjunction(std::vector<Atom> atoms) : atoms_(std::move(atoms)) {}
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  bool empty() const { return atoms_.empty(); }
+  size_t size() const { return atoms_.size(); }
+  void Add(Atom atom) { atoms_.push_back(std::move(atom)); }
+
+  /// Distinct variables in order of first occurrence.
+  std::vector<VarId> Variables() const;
+  /// Distinct constants.
+  std::vector<ConstId> Constants() const;
+
+  auto operator<=>(const Conjunction&) const = default;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace opcqa
+
+#endif  // OPCQA_LOGIC_ATOM_H_

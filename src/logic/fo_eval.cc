@@ -1,0 +1,94 @@
+#include "logic/fo_eval.h"
+
+#include "util/logging.h"
+
+namespace opcqa {
+
+namespace {
+
+class Evaluator {
+ public:
+  Evaluator(const Database& db, const std::vector<ConstId>& domain)
+      : db_(db), domain_(domain) {}
+
+  bool Eval(const Formula& f, Assignment* env) {
+    switch (f.kind()) {
+      case Formula::Kind::kTrue:
+        return true;
+      case Formula::Kind::kFalse:
+        return false;
+      case Formula::Kind::kAtom:
+        return db_.Contains(env->Apply(f.atom()));
+      case Formula::Kind::kEquals:
+        return env->Apply(f.lhs()) == env->Apply(f.rhs());
+      case Formula::Kind::kNot:
+        return !Eval(*f.child(), env);
+      case Formula::Kind::kAnd:
+        for (const FormulaPtr& c : f.children()) {
+          if (!Eval(*c, env)) return false;
+        }
+        return true;
+      case Formula::Kind::kOr:
+        for (const FormulaPtr& c : f.children()) {
+          if (Eval(*c, env)) return true;
+        }
+        return false;
+      case Formula::Kind::kExists:
+        return Quantify(f, env, /*existential=*/true, 0);
+      case Formula::Kind::kForall:
+        return Quantify(f, env, /*existential=*/false, 0);
+    }
+    OPCQA_CHECK(false) << "unreachable";
+    return false;
+  }
+
+ private:
+  bool Quantify(const Formula& f, Assignment* env, bool existential,
+                size_t index) {
+    if (index == f.quantified().size()) {
+      return Eval(*f.child(), env);
+    }
+    VarId var = f.quantified()[index];
+    // A quantified variable may shadow an outer binding of the same name;
+    // save and restore it.
+    std::optional<ConstId> saved = env->Get(var);
+    bool result = !existential;
+    for (ConstId value : domain_) {
+      env->Unbind(var);
+      env->Bind(var, value);
+      bool sub = Quantify(f, env, existential, index + 1);
+      if (existential && sub) {
+        result = true;
+        break;
+      }
+      if (!existential && !sub) {
+        result = false;
+        break;
+      }
+    }
+    env->Unbind(var);
+    if (saved.has_value()) env->Bind(var, *saved);
+    return result;
+  }
+
+  const Database& db_;
+  const std::vector<ConstId>& domain_;
+};
+
+}  // namespace
+
+bool EvalFormula(const Formula& formula, const Database& db,
+                 const std::vector<ConstId>& domain,
+                 const Assignment& assignment) {
+  Assignment env = assignment;
+  Evaluator evaluator(db, domain);
+  return evaluator.Eval(formula, &env);
+}
+
+bool EvalFormula(const Formula& formula, const Database& db,
+                 const Assignment& assignment) {
+  std::vector<ConstId> domain = db.ActiveDomain();
+  return EvalFormula(formula, db, domain, assignment);
+}
+
+}  // namespace opcqa

@@ -1,0 +1,29 @@
+// Active-domain evaluation of first-order formulas.
+//
+// D ⊨ φ(ā) with quantifiers ranging over dom(D), matching the paper's query
+// semantics Q(D) = { c̄ ∈ dom(D)^|x̄| : D ⊨ ϕ(c̄) }.
+
+#ifndef OPCQA_LOGIC_FO_EVAL_H_
+#define OPCQA_LOGIC_FO_EVAL_H_
+
+#include "logic/formula.h"
+#include "logic/homomorphism.h"
+#include "relational/database.h"
+
+namespace opcqa {
+
+/// Evaluates `formula` on `db` under `assignment` (which must bind every
+/// free variable of the formula). Quantified variables range over the
+/// active domain of `db`.
+bool EvalFormula(const Formula& formula, const Database& db,
+                 const Assignment& assignment);
+
+/// Evaluation against a precomputed domain (used when many evaluations run
+/// against the same database).
+bool EvalFormula(const Formula& formula, const Database& db,
+                 const std::vector<ConstId>& domain,
+                 const Assignment& assignment);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_LOGIC_FO_EVAL_H_

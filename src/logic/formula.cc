@@ -1,0 +1,195 @@
+#include "logic/formula.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace opcqa {
+
+const Atom& Formula::atom() const {
+  OPCQA_CHECK(kind_ == Kind::kAtom);
+  return atom_;
+}
+
+const Term& Formula::lhs() const {
+  OPCQA_CHECK(kind_ == Kind::kEquals);
+  return lhs_;
+}
+
+const Term& Formula::rhs() const {
+  OPCQA_CHECK(kind_ == Kind::kEquals);
+  return rhs_;
+}
+
+const std::vector<FormulaPtr>& Formula::children() const {
+  OPCQA_CHECK(kind_ == Kind::kAnd || kind_ == Kind::kOr);
+  return children_;
+}
+
+const FormulaPtr& Formula::child() const {
+  OPCQA_CHECK(kind_ == Kind::kNot || kind_ == Kind::kExists ||
+              kind_ == Kind::kForall);
+  return children_.front();
+}
+
+const std::vector<VarId>& Formula::quantified() const {
+  OPCQA_CHECK(kind_ == Kind::kExists || kind_ == Kind::kForall);
+  return quantified_;
+}
+
+FormulaPtr Formula::True() {
+  return FormulaPtr(new Formula(Kind::kTrue));
+}
+
+FormulaPtr Formula::False() {
+  return FormulaPtr(new Formula(Kind::kFalse));
+}
+
+FormulaPtr Formula::MakeAtom(Atom atom) {
+  auto f = new Formula(Kind::kAtom);
+  f->atom_ = std::move(atom);
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::Equals(Term lhs, Term rhs) {
+  auto f = new Formula(Kind::kEquals);
+  f->lhs_ = lhs;
+  f->rhs_ = rhs;
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::Not(FormulaPtr child) {
+  OPCQA_CHECK(child != nullptr);
+  auto f = new Formula(Kind::kNot);
+  f->children_.push_back(std::move(child));
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::And(std::vector<FormulaPtr> children) {
+  OPCQA_CHECK(!children.empty());
+  if (children.size() == 1) return children.front();
+  auto f = new Formula(Kind::kAnd);
+  f->children_ = std::move(children);
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::Or(std::vector<FormulaPtr> children) {
+  OPCQA_CHECK(!children.empty());
+  if (children.size() == 1) return children.front();
+  auto f = new Formula(Kind::kOr);
+  f->children_ = std::move(children);
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::Implies(FormulaPtr premise, FormulaPtr conclusion) {
+  return Or({Not(std::move(premise)), std::move(conclusion)});
+}
+
+FormulaPtr Formula::Exists(std::vector<VarId> vars, FormulaPtr child) {
+  OPCQA_CHECK(child != nullptr);
+  if (vars.empty()) return child;
+  auto f = new Formula(Kind::kExists);
+  f->quantified_ = std::move(vars);
+  f->children_.push_back(std::move(child));
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::Forall(std::vector<VarId> vars, FormulaPtr child) {
+  OPCQA_CHECK(child != nullptr);
+  if (vars.empty()) return child;
+  auto f = new Formula(Kind::kForall);
+  f->quantified_ = std::move(vars);
+  f->children_.push_back(std::move(child));
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::FromConjunction(const Conjunction& conjunction) {
+  std::vector<FormulaPtr> parts;
+  parts.reserve(conjunction.size());
+  for (const Atom& atom : conjunction.atoms()) {
+    parts.push_back(MakeAtom(atom));
+  }
+  if (parts.empty()) return True();
+  return And(std::move(parts));
+}
+
+void Formula::CollectFreeVariables(std::vector<VarId>* bound,
+                                   std::vector<VarId>* free) const {
+  auto add_free = [&](VarId v) {
+    if (std::find(bound->begin(), bound->end(), v) != bound->end()) return;
+    if (std::find(free->begin(), free->end(), v) != free->end()) return;
+    free->push_back(v);
+  };
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return;
+    case Kind::kAtom:
+      for (const Term& t : atom_.terms()) {
+        if (t.is_var()) add_free(t.var());
+      }
+      return;
+    case Kind::kEquals:
+      if (lhs_.is_var()) add_free(lhs_.var());
+      if (rhs_.is_var()) add_free(rhs_.var());
+      return;
+    case Kind::kNot:
+    case Kind::kAnd:
+    case Kind::kOr:
+      for (const FormulaPtr& c : children_) {
+        c->CollectFreeVariables(bound, free);
+      }
+      return;
+    case Kind::kExists:
+    case Kind::kForall: {
+      size_t before = bound->size();
+      bound->insert(bound->end(), quantified_.begin(), quantified_.end());
+      children_.front()->CollectFreeVariables(bound, free);
+      bound->resize(before);
+      return;
+    }
+  }
+}
+
+std::vector<VarId> Formula::FreeVariables() const {
+  std::vector<VarId> bound, free;
+  CollectFreeVariables(&bound, &free);
+  return free;
+}
+
+std::string Formula::ToString(const Schema& schema) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kAtom:
+      return atom_.ToString(schema);
+    case Kind::kEquals:
+      return lhs_.ToString() + " = " + rhs_.ToString();
+    case Kind::kNot:
+      return "not (" + children_.front()->ToString(schema) + ")";
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const FormulaPtr& c : children_) {
+        parts.push_back("(" + c->ToString(schema) + ")");
+      }
+      return Join(parts, kind_ == Kind::kAnd ? " & " : " | ");
+    }
+    case Kind::kExists:
+    case Kind::kForall: {
+      std::vector<std::string> vars;
+      vars.reserve(quantified_.size());
+      for (VarId v : quantified_) vars.push_back(VarName(v));
+      return StrCat(kind_ == Kind::kExists ? "exists " : "forall ",
+                    Join(vars, ","), " (",
+                    children_.front()->ToString(schema), ")");
+    }
+  }
+  return "?";
+}
+
+}  // namespace opcqa

@@ -1,0 +1,82 @@
+// First-order formulas over a relational schema.
+//
+// The query language of the paper is full first-order logic; operational
+// consistent answers are defined for arbitrary FO queries (Definition 7),
+// and the additive-error approximation of Theorem 9 covers all of them.
+//
+// Formulas are immutable trees shared via shared_ptr<const Formula>.
+
+#ifndef OPCQA_LOGIC_FORMULA_H_
+#define OPCQA_LOGIC_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logic/atom.h"
+
+namespace opcqa {
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+class Formula {
+ public:
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kAtom,      // R(t1,...,tn)
+    kEquals,    // t1 = t2
+    kNot,       // ¬φ
+    kAnd,       // φ1 ∧ ... ∧ φk
+    kOr,        // φ1 ∨ ... ∨ φk
+    kExists,    // ∃x1...xk φ
+    kForall,    // ∀x1...xk φ
+  };
+
+  Kind kind() const { return kind_; }
+
+  /// Payload accessors; CHECK-fail when the kind does not match.
+  const Atom& atom() const;
+  const Term& lhs() const;
+  const Term& rhs() const;
+  const std::vector<FormulaPtr>& children() const;
+  const FormulaPtr& child() const;
+  const std::vector<VarId>& quantified() const;
+
+  /// Free variables, in order of first occurrence.
+  std::vector<VarId> FreeVariables() const;
+
+  std::string ToString(const Schema& schema) const;
+
+  // ---- Factories ----
+  static FormulaPtr True();
+  static FormulaPtr False();
+  static FormulaPtr MakeAtom(Atom atom);
+  static FormulaPtr Equals(Term lhs, Term rhs);
+  static FormulaPtr Not(FormulaPtr f);
+  static FormulaPtr And(std::vector<FormulaPtr> children);
+  static FormulaPtr Or(std::vector<FormulaPtr> children);
+  /// φ → ψ, desugared to ¬φ ∨ ψ.
+  static FormulaPtr Implies(FormulaPtr premise, FormulaPtr conclusion);
+  static FormulaPtr Exists(std::vector<VarId> vars, FormulaPtr f);
+  static FormulaPtr Forall(std::vector<VarId> vars, FormulaPtr f);
+  /// Conjunction of atoms as a formula.
+  static FormulaPtr FromConjunction(const Conjunction& conjunction);
+
+ private:
+  explicit Formula(Kind kind) : kind_(kind) {}
+
+  void CollectFreeVariables(std::vector<VarId>* bound,
+                            std::vector<VarId>* free) const;
+
+  Kind kind_;
+  Atom atom_;
+  Term lhs_, rhs_;
+  std::vector<FormulaPtr> children_;
+  std::vector<VarId> quantified_;
+};
+
+}  // namespace opcqa
+
+#endif  // OPCQA_LOGIC_FORMULA_H_

@@ -1,0 +1,40 @@
+// Text syntax for first-order queries and formulas.
+//
+//   query   := Name '(' vars? ')' ':=' formula
+//   formula := ('exists'|'forall') vars ('.'|':')? formula
+//            | formula '->' formula            (right assoc, lowest prec)
+//            | formula ('|' | 'or') formula
+//            | formula ('&' | ',' | 'and') formula
+//            | ('not' | '!') formula
+//            | '(' formula ')' | 'true' | 'false'
+//            | Atom | term '=' term | term '!=' term
+//
+// Variable scoping is explicit: the head variables of a query and the
+// variables bound by quantifiers are variables; every other identifier is a
+// constant. Example:
+//
+//   Q(x) := forall y (Pref(x,y) | x = y)        -- Example 7 of the paper
+//   HasAdmin() := exists u Role(u, admin)        -- `admin` is a constant
+
+#ifndef OPCQA_LOGIC_FORMULA_PARSER_H_
+#define OPCQA_LOGIC_FORMULA_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logic/query.h"
+#include "util/status.h"
+
+namespace opcqa {
+
+/// Parses a named query definition like "Q(x,y) := R(x,z), S(z,y)".
+Result<Query> ParseQuery(const Schema& schema, std::string_view text);
+
+/// Parses a formula whose free variables are `free_vars` (names).
+Result<FormulaPtr> ParseFormula(const Schema& schema, std::string_view text,
+                                const std::vector<std::string>& free_vars);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_LOGIC_FORMULA_PARSER_H_

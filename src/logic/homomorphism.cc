@@ -1,0 +1,192 @@
+#include "logic/homomorphism.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace opcqa {
+
+std::optional<ConstId> Assignment::Get(VarId var) const {
+  auto it = map_.find(var);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Assignment::Bind(VarId var, ConstId value) {
+  auto [it, inserted] = map_.emplace(var, value);
+  if (!inserted) {
+    OPCQA_CHECK_EQ(it->second, value)
+        << "rebinding " << VarName(var) << " to a different constant";
+  }
+}
+
+void Assignment::Unbind(VarId var) { map_.erase(var); }
+
+ConstId Assignment::Apply(const Term& term) const {
+  if (term.is_const()) return term.constant();
+  auto value = Get(term.var());
+  OPCQA_CHECK(value.has_value())
+      << "unbound variable " << VarName(term.var());
+  return *value;
+}
+
+Fact Assignment::Apply(const Atom& atom) const {
+  std::vector<ConstId> args;
+  args.reserve(atom.arity());
+  for (const Term& t : atom.terms()) args.push_back(Apply(t));
+  return Fact(atom.pred(), std::move(args));
+}
+
+std::vector<Fact> Assignment::ApplyAll(const Conjunction& conjunction) const {
+  std::vector<Fact> facts;
+  facts.reserve(conjunction.size());
+  for (const Atom& atom : conjunction.atoms()) facts.push_back(Apply(atom));
+  std::sort(facts.begin(), facts.end());
+  facts.erase(std::unique(facts.begin(), facts.end()), facts.end());
+  return facts;
+}
+
+bool Assignment::ExtendedBy(const Assignment& other) const {
+  for (const auto& [var, value] : map_) {
+    auto theirs = other.Get(var);
+    if (!theirs.has_value() || *theirs != value) return false;
+  }
+  return true;
+}
+
+std::string Assignment::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(map_.size());
+  for (const auto& [var, value] : map_) {
+    parts.push_back(StrCat(VarName(var), "->", ConstName(value)));
+  }
+  return "{" + Join(parts, ", ") + "}";
+}
+
+namespace {
+
+// Backtracking conjunctive matcher. Atoms are chosen most-bound-first,
+// candidates are the facts of the atom's relation.
+class Searcher {
+ public:
+  Searcher(const Conjunction& conjunction, const Database& db,
+           const std::function<bool(const Assignment&)>& callback)
+      : atoms_(conjunction.atoms()),
+        db_(db),
+        callback_(callback),
+        used_(atoms_.size(), false) {}
+
+  size_t Run(const Assignment& partial) {
+    assign_ = partial;
+    count_ = 0;
+    stop_ = false;
+    Recurse(atoms_.size());
+    return count_;
+  }
+
+ private:
+  // Number of terms of `atom` already determined under assign_.
+  size_t BoundTerms(const Atom& atom) const {
+    size_t bound = 0;
+    for (const Term& t : atom.terms()) {
+      if (t.is_const() || assign_.IsBound(t.var())) ++bound;
+    }
+    return bound;
+  }
+
+  void Recurse(size_t remaining) {
+    if (stop_) return;
+    if (remaining == 0) {
+      ++count_;
+      if (!callback_(assign_)) stop_ = true;
+      return;
+    }
+    // Pick the unused atom with the most bound terms (cheap selectivity
+    // heuristic that makes chained joins near-linear).
+    size_t best = atoms_.size();
+    size_t best_bound = 0;
+    for (size_t i = 0; i < atoms_.size(); ++i) {
+      if (used_[i]) continue;
+      size_t bound = BoundTerms(atoms_[i]);
+      if (best == atoms_.size() || bound > best_bound) {
+        best = i;
+        best_bound = bound;
+      }
+    }
+    const Atom& atom = atoms_[best];
+    used_[best] = true;
+    for (const Fact& fact : db_.FactsOf(atom.pred())) {
+      std::vector<VarId> newly_bound;
+      if (Unify(atom, fact, &newly_bound)) {
+        Recurse(remaining - 1);
+      }
+      for (VarId v : newly_bound) assign_.Unbind(v);
+      if (stop_) break;
+    }
+    used_[best] = false;
+  }
+
+  bool Unify(const Atom& atom, const Fact& fact,
+             std::vector<VarId>* newly_bound) {
+    for (size_t i = 0; i < atom.arity(); ++i) {
+      const Term& t = atom.terms()[i];
+      ConstId value = fact.args()[i];
+      if (t.is_const()) {
+        if (t.constant() != value) return false;
+        continue;
+      }
+      auto bound = assign_.Get(t.var());
+      if (bound.has_value()) {
+        if (*bound != value) return false;
+      } else {
+        assign_.Bind(t.var(), value);
+        newly_bound->push_back(t.var());
+      }
+    }
+    return true;
+  }
+
+  const std::vector<Atom>& atoms_;
+  const Database& db_;
+  const std::function<bool(const Assignment&)>& callback_;
+  std::vector<bool> used_;
+  Assignment assign_;
+  size_t count_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+size_t FindHomomorphisms(
+    const Conjunction& conjunction, const Database& db,
+    const Assignment& partial,
+    const std::function<bool(const Assignment&)>& callback) {
+  OPCQA_CHECK(!conjunction.empty())
+      << "constraints/queries have non-empty conjunctions";
+  Searcher searcher(conjunction, db, callback);
+  return searcher.Run(partial);
+}
+
+bool HasHomomorphism(const Conjunction& conjunction, const Database& db,
+                     const Assignment& partial) {
+  bool found = false;
+  FindHomomorphisms(conjunction, db, partial, [&](const Assignment&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+std::vector<Assignment> AllHomomorphisms(const Conjunction& conjunction,
+                                         const Database& db,
+                                         const Assignment& partial) {
+  std::vector<Assignment> all;
+  FindHomomorphisms(conjunction, db, partial, [&](const Assignment& a) {
+    all.push_back(a);
+    return true;
+  });
+  return all;
+}
+
+}  // namespace opcqa

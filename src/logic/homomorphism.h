@@ -1,0 +1,77 @@
+// Homomorphisms from conjunctions of atoms into databases.
+//
+// A homomorphism h maps the variables of a conjunction ϕ to constants (and
+// is the identity on constants) such that h(ϕ) ⊆ D. Violations of
+// constraints (Definition 2) are exactly such homomorphisms, so Assignment
+// supports ordering/equality — violation sets are kept in std::set.
+
+#ifndef OPCQA_LOGIC_HOMOMORPHISM_H_
+#define OPCQA_LOGIC_HOMOMORPHISM_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/atom.h"
+#include "relational/database.h"
+
+namespace opcqa {
+
+/// A (partial) assignment of constants to variables.
+class Assignment {
+ public:
+  Assignment() = default;
+
+  /// Value bound to `var`, if any.
+  std::optional<ConstId> Get(VarId var) const;
+  /// Binds var := value; CHECK-fails when already bound to something else.
+  void Bind(VarId var, ConstId value);
+  /// Removes a binding (backtracking).
+  void Unbind(VarId var);
+  bool IsBound(VarId var) const { return map_.count(var) > 0; }
+  size_t size() const { return map_.size(); }
+
+  /// Applies the assignment to a term; CHECK-fails on unbound variables.
+  ConstId Apply(const Term& term) const;
+  /// Applies to an atom producing a fact; CHECK-fails on unbound variables.
+  Fact Apply(const Atom& atom) const;
+  /// Image of a whole conjunction: h(ϕ) as a set of facts (deduplicated).
+  std::vector<Fact> ApplyAll(const Conjunction& conjunction) const;
+
+  /// True when `other` agrees with this assignment on all bound variables
+  /// of this assignment (i.e., `other` extends it).
+  bool ExtendedBy(const Assignment& other) const;
+
+  auto operator<=>(const Assignment&) const = default;
+
+  /// "{x->a, y->b}".
+  std::string ToString() const;
+
+  const std::map<VarId, ConstId>& map() const { return map_; }
+
+ private:
+  std::map<VarId, ConstId> map_;
+};
+
+/// Enumerates every homomorphism from `conjunction` into `db` extending
+/// `partial` (pass an empty Assignment for all homomorphisms). Invokes
+/// `callback` for each; stops early when the callback returns false.
+/// Returns the number of homomorphisms visited.
+size_t FindHomomorphisms(const Conjunction& conjunction, const Database& db,
+                         const Assignment& partial,
+                         const std::function<bool(const Assignment&)>& callback);
+
+/// True when at least one homomorphism exists.
+bool HasHomomorphism(const Conjunction& conjunction, const Database& db,
+                     const Assignment& partial);
+
+/// Collects all homomorphisms (convenience for tests and small inputs).
+std::vector<Assignment> AllHomomorphisms(const Conjunction& conjunction,
+                                         const Database& db,
+                                         const Assignment& partial);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_LOGIC_HOMOMORPHISM_H_

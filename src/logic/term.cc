@@ -1,0 +1,63 @@
+#include "logic/term.h"
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace opcqa {
+
+namespace {
+
+// Variable name interning (separate universe from constants).
+class VarTable {
+ public:
+  static VarTable& Global() {
+    static VarTable* table = new VarTable();
+    return *table;
+  }
+
+  VarId Intern(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(std::string(name));
+    if (it != index_.end()) return it->second;
+    VarId id = static_cast<VarId>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  const std::string& NameOf(VarId id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    OPCQA_CHECK_LT(id, names_.size()) << "unknown VarId";
+    return names_[id];
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, VarId> index_;
+};
+
+}  // namespace
+
+VarId Var(std::string_view name) { return VarTable::Global().Intern(name); }
+
+const std::string& VarName(VarId id) { return VarTable::Global().NameOf(id); }
+
+VarId Term::var() const {
+  OPCQA_CHECK(is_var_) << "Term::var() on a constant";
+  return id_;
+}
+
+ConstId Term::constant() const {
+  OPCQA_CHECK(!is_var_) << "Term::constant() on a variable";
+  return id_;
+}
+
+std::string Term::ToString() const {
+  return is_var_ ? VarName(id_) : ConstName(id_);
+}
+
+}  // namespace opcqa

@@ -1,0 +1,58 @@
+// Terms: variables or constants, as they occur in atoms of constraints and
+// queries. Variable names are interned in a process-global table (disjoint
+// from the constant table, mirroring the paper's V ∩ C = ∅).
+
+#ifndef OPCQA_LOGIC_TERM_H_
+#define OPCQA_LOGIC_TERM_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "relational/symbol_table.h"
+
+namespace opcqa {
+
+/// Dense handle for an interned variable name.
+using VarId = uint32_t;
+
+/// Interns a variable name in the global variable table.
+VarId Var(std::string_view name);
+
+/// Name of an interned variable.
+const std::string& VarName(VarId id);
+
+class Term {
+ public:
+  /// Default: constant 0 (valid but rarely meaningful; prefer factories).
+  Term() : is_var_(false), id_(0) {}
+
+  static Term MakeVar(VarId id) { return Term(true, id); }
+  static Term MakeConst(ConstId id) { return Term(false, id); }
+  /// Interning factories from names.
+  static Term MakeVar(std::string_view name) { return MakeVar(Var(name)); }
+  static Term MakeConst(std::string_view name) {
+    return MakeConst(Const(name));
+  }
+
+  bool is_var() const { return is_var_; }
+  bool is_const() const { return !is_var_; }
+  VarId var() const;
+  ConstId constant() const;
+
+  auto operator<=>(const Term&) const = default;
+
+  /// Variable or constant name.
+  std::string ToString() const;
+
+ private:
+  Term(bool is_var, uint32_t id) : is_var_(is_var), id_(id) {}
+
+  bool is_var_;
+  uint32_t id_;
+};
+
+}  // namespace opcqa
+
+#endif  // OPCQA_LOGIC_TERM_H_

@@ -1,0 +1,95 @@
+#include "relational/base.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace opcqa {
+
+BaseSpec::BaseSpec(const Schema* schema, std::vector<ConstId> domain)
+    : schema_(schema), domain_(std::move(domain)) {
+  OPCQA_CHECK(schema_ != nullptr);
+  std::sort(domain_.begin(), domain_.end());
+  domain_.erase(std::unique(domain_.begin(), domain_.end()), domain_.end());
+}
+
+BaseSpec BaseSpec::ForDatabase(const Database& db,
+                               const std::vector<ConstId>& extra_constants) {
+  std::vector<ConstId> domain = db.ActiveDomain();
+  domain.insert(domain.end(), extra_constants.begin(), extra_constants.end());
+  return BaseSpec(&db.schema(), std::move(domain));
+}
+
+bool BaseSpec::Contains(const Fact& fact) const {
+  if (fact.pred() >= schema_->size()) return false;
+  if (fact.arity() != schema_->Arity(fact.pred())) return false;
+  for (ConstId c : fact.args()) {
+    if (!std::binary_search(domain_.begin(), domain_.end(), c)) return false;
+  }
+  return true;
+}
+
+bool BaseSpec::ContainsAll(const Database& db) const {
+  for (const Fact& fact : db.AllFacts()) {
+    if (!Contains(fact)) return false;
+  }
+  return true;
+}
+
+BigInt BaseSpec::Size() const {
+  BigInt total(int64_t{0});
+  BigInt n(static_cast<uint64_t>(domain_.size()));
+  for (PredId p = 0; p < schema_->size(); ++p) {
+    total += n.Pow(schema_->Arity(p));
+  }
+  return total;
+}
+
+bool BaseSpec::EnumerateTuples(
+    size_t arity,
+    const std::function<bool(const std::vector<ConstId>&)>& callback,
+    size_t budget) const {
+  if (domain_.empty()) return true;
+  std::vector<size_t> index(arity, 0);
+  std::vector<ConstId> tuple(arity);
+  size_t produced = 0;
+  for (;;) {
+    if (produced >= budget) return false;
+    for (size_t i = 0; i < arity; ++i) tuple[i] = domain_[index[i]];
+    ++produced;
+    if (!callback(tuple)) return true;
+    // Odometer increment.
+    size_t i = arity;
+    while (i > 0) {
+      --i;
+      if (++index[i] < domain_.size()) break;
+      index[i] = 0;
+      if (i == 0) return true;  // wrapped around: done
+    }
+    if (arity == 0) return true;
+  }
+}
+
+bool BaseSpec::Enumerate(const std::function<bool(const Fact&)>& callback,
+                         size_t budget) const {
+  size_t remaining = budget;
+  for (PredId p = 0; p < schema_->size(); ++p) {
+    bool stop = false;
+    bool complete = EnumerateTuples(
+        schema_->Arity(p),
+        [&](const std::vector<ConstId>& tuple) {
+          --remaining;
+          if (!callback(Fact(p, tuple))) {
+            stop = true;
+            return false;
+          }
+          return true;
+        },
+        remaining);
+    if (stop) return true;
+    if (!complete) return false;
+  }
+  return true;
+}
+
+}  // namespace opcqa

@@ -1,0 +1,63 @@
+// The base B(D,Σ): all facts R(c1,...,cn) with R in the schema and every ci
+// drawn from dom(D) ∪ dom(Σ) (Definition 1 of the paper). Operations and
+// repairs live inside P(B(D,Σ)).
+//
+// The base is exponentially large in arity, so it is represented by a
+// BaseSpec (schema + constant pool) supporting membership tests, counting,
+// and budgeted enumeration, never by materializing all facts.
+
+#ifndef OPCQA_RELATIONAL_BASE_H_
+#define OPCQA_RELATIONAL_BASE_H_
+
+#include <functional>
+#include <vector>
+
+#include "relational/database.h"
+#include "util/bigint.h"
+
+namespace opcqa {
+
+class BaseSpec {
+ public:
+  /// `domain` is deduplicated and sorted internally.
+  BaseSpec(const Schema* schema, std::vector<ConstId> domain);
+
+  /// Base of a database plus extra constants (e.g. those in Σ).
+  static BaseSpec ForDatabase(const Database& db,
+                              const std::vector<ConstId>& extra_constants);
+
+  const Schema& schema() const { return *schema_; }
+  const std::vector<ConstId>& domain() const { return domain_; }
+
+  /// True when the fact's relation is in the schema and all its constants
+  /// are in the base domain.
+  bool Contains(const Fact& fact) const;
+
+  /// True when every fact of `db` is in the base.
+  bool ContainsAll(const Database& db) const;
+
+  /// |B(D,Σ)| = Σ_R |domain|^arity(R); exact (may be astronomically large).
+  BigInt Size() const;
+
+  /// Enumerates base facts in deterministic order, stopping early when the
+  /// callback returns false or after `budget` facts. Returns false when the
+  /// enumeration was truncated by the budget.
+  bool Enumerate(const std::function<bool(const Fact&)>& callback,
+                 size_t budget) const;
+
+  /// Enumerates all tuples over the base domain of the given arity
+  /// (candidate query answers range over dom(B(D,Σ))^k). Same budget
+  /// semantics as Enumerate.
+  bool EnumerateTuples(
+      size_t arity,
+      const std::function<bool(const std::vector<ConstId>&)>& callback,
+      size_t budget) const;
+
+ private:
+  const Schema* schema_;
+  std::vector<ConstId> domain_;
+};
+
+}  // namespace opcqa
+
+#endif  // OPCQA_RELATIONAL_BASE_H_

@@ -1,0 +1,118 @@
+#include "relational/database.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace opcqa {
+
+Database::Database(const Schema* schema) : schema_(schema) {
+  OPCQA_CHECK(schema != nullptr);
+  facts_.resize(schema->size());
+}
+
+const Schema& Database::schema() const {
+  OPCQA_CHECK(schema_ != nullptr) << "default-constructed Database used";
+  return *schema_;
+}
+
+bool Database::Insert(const Fact& fact) {
+  OPCQA_CHECK_LT(fact.pred(), facts_.size());
+  OPCQA_CHECK_EQ(fact.arity(), schema().Arity(fact.pred()))
+      << "arity mismatch inserting into " << schema().RelationName(fact.pred());
+  bool inserted = facts_[fact.pred()].insert(fact).second;
+  if (inserted) ++size_;
+  return inserted;
+}
+
+void Database::InsertAll(const std::vector<Fact>& facts) {
+  for (const Fact& fact : facts) Insert(fact);
+}
+
+bool Database::Erase(const Fact& fact) {
+  OPCQA_CHECK_LT(fact.pred(), facts_.size());
+  bool erased = facts_[fact.pred()].erase(fact) > 0;
+  if (erased) --size_;
+  return erased;
+}
+
+bool Database::Contains(const Fact& fact) const {
+  if (fact.pred() >= facts_.size()) return false;
+  return facts_[fact.pred()].count(fact) > 0;
+}
+
+const std::set<Fact>& Database::FactsOf(PredId pred) const {
+  OPCQA_CHECK_LT(pred, facts_.size());
+  return facts_[pred];
+}
+
+std::vector<Fact> Database::AllFacts() const {
+  std::vector<Fact> all;
+  all.reserve(size_);
+  for (const auto& bucket : facts_) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  }
+  return all;
+}
+
+std::vector<ConstId> Database::ActiveDomain() const {
+  std::set<ConstId> domain;
+  for (const auto& bucket : facts_) {
+    for (const Fact& fact : bucket) {
+      domain.insert(fact.args().begin(), fact.args().end());
+    }
+  }
+  return std::vector<ConstId>(domain.begin(), domain.end());
+}
+
+void Database::SymmetricDifference(const Database& other,
+                                   std::vector<Fact>* only_here,
+                                   std::vector<Fact>* only_there) const {
+  only_here->clear();
+  only_there->clear();
+  size_t buckets = std::max(facts_.size(), other.facts_.size());
+  static const std::set<Fact> kEmpty;
+  for (size_t p = 0; p < buckets; ++p) {
+    const std::set<Fact>& mine = p < facts_.size() ? facts_[p] : kEmpty;
+    const std::set<Fact>& theirs =
+        p < other.facts_.size() ? other.facts_[p] : kEmpty;
+    std::set_difference(mine.begin(), mine.end(), theirs.begin(), theirs.end(),
+                        std::back_inserter(*only_here));
+    std::set_difference(theirs.begin(), theirs.end(), mine.begin(), mine.end(),
+                        std::back_inserter(*only_there));
+  }
+}
+
+size_t Database::SymmetricDifferenceSize(const Database& other) const {
+  std::vector<Fact> here, there;
+  SymmetricDifference(other, &here, &there);
+  return here.size() + there.size();
+}
+
+bool Database::operator==(const Database& other) const {
+  return facts_ == other.facts_;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const auto& bucket : facts_) {
+    for (const Fact& fact : bucket) {
+      if (!out.empty()) out += " ";
+      out += fact.ToString(schema());
+      out += ".";
+    }
+  }
+  return out;
+}
+
+size_t Database::Hash() const {
+  size_t h = 0;
+  for (const auto& bucket : facts_) {
+    for (const Fact& fact : bucket) {
+      h ^= fact.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+  }
+  return h;
+}
+
+}  // namespace opcqa

@@ -1,0 +1,76 @@
+// Database instances: finite sets of facts over a schema.
+//
+// Storage is an ordered set per relation symbol, which gives deterministic
+// iteration, O(log n) membership, and cheap value comparison — databases act
+// as map keys when aggregating operational repairs (Definition 6).
+
+#ifndef OPCQA_RELATIONAL_DATABASE_H_
+#define OPCQA_RELATIONAL_DATABASE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/fact.h"
+#include "relational/schema.h"
+
+namespace opcqa {
+
+class Database {
+ public:
+  Database() : schema_(nullptr) {}
+  explicit Database(const Schema* schema);
+
+  const Schema& schema() const;
+
+  /// Inserts a fact; returns true if it was not already present.
+  bool Insert(const Fact& fact);
+  /// Inserts many facts.
+  void InsertAll(const std::vector<Fact>& facts);
+  /// Removes a fact; returns true if it was present.
+  bool Erase(const Fact& fact);
+
+  bool Contains(const Fact& fact) const;
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Facts of one relation, in sorted order.
+  const std::set<Fact>& FactsOf(PredId pred) const;
+
+  /// All facts, grouped by relation, in sorted order.
+  std::vector<Fact> AllFacts() const;
+
+  /// The active domain dom(D): constants occurring in the instance, sorted.
+  std::vector<ConstId> ActiveDomain() const;
+
+  /// Symmetric difference ∆(D, D') as (only-in-this, only-in-other).
+  void SymmetricDifference(const Database& other,
+                           std::vector<Fact>* only_here,
+                           std::vector<Fact>* only_there) const;
+
+  /// Total size |∆(D, D')|.
+  size_t SymmetricDifferenceSize(const Database& other) const;
+
+  /// True when ∆(this, other) ⊆ ∆(this, reference) strictly (used for
+  /// checking ⊆-minimality of classical repairs w.r.t. a dirty instance).
+  bool operator==(const Database& other) const;
+  bool operator<(const Database& other) const { return facts_ < other.facts_; }
+
+  /// "R(a,b). R(a,c). S(d)." — deterministic, usable as a canonical key.
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+ private:
+  const Schema* schema_;
+  std::vector<std::set<Fact>> facts_;  // indexed by PredId
+  size_t size_ = 0;
+};
+
+struct DatabaseHash {
+  size_t operator()(const Database& db) const { return db.Hash(); }
+};
+
+}  // namespace opcqa
+
+#endif  // OPCQA_RELATIONAL_DATABASE_H_

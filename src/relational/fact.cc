@@ -1,0 +1,37 @@
+#include "relational/fact.h"
+
+#include "util/logging.h"
+
+namespace opcqa {
+
+Fact Fact::Make(const Schema& schema, std::string_view relation,
+                const std::vector<std::string>& constants) {
+  PredId pred = schema.RelationOrDie(relation);
+  OPCQA_CHECK_EQ(schema.Arity(pred), constants.size())
+      << "arity mismatch building fact over " << relation;
+  std::vector<ConstId> args;
+  args.reserve(constants.size());
+  for (const std::string& c : constants) args.push_back(Const(c));
+  return Fact(pred, std::move(args));
+}
+
+std::string Fact::ToString(const Schema& schema) const {
+  std::string out = schema.RelationName(pred_);
+  out += "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += ConstName(args_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+size_t Fact::Hash() const {
+  size_t h = pred_ * 0x9e3779b97f4a7c15ULL;
+  for (ConstId c : args_) {
+    h ^= c + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace opcqa

@@ -1,0 +1,48 @@
+// Facts: ground atoms R(c1, ..., cn).
+
+#ifndef OPCQA_RELATIONAL_FACT_H_
+#define OPCQA_RELATIONAL_FACT_H_
+
+#include <compare>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/symbol_table.h"
+
+namespace opcqa {
+
+class Fact {
+ public:
+  Fact() = default;
+  Fact(PredId pred, std::vector<ConstId> args)
+      : pred_(pred), args_(std::move(args)) {}
+
+  /// Convenience: builds a fact interning constant names in the global
+  /// symbol table, e.g. MakeFact(schema, "R", {"a", "b"}).
+  static Fact Make(const Schema& schema, std::string_view relation,
+                   const std::vector<std::string>& constants);
+
+  PredId pred() const { return pred_; }
+  const std::vector<ConstId>& args() const { return args_; }
+  size_t arity() const { return args_.size(); }
+
+  auto operator<=>(const Fact&) const = default;
+
+  /// "R(a,b)" using the global symbol table for constant names.
+  std::string ToString(const Schema& schema) const;
+
+  size_t Hash() const;
+
+ private:
+  PredId pred_ = 0;
+  std::vector<ConstId> args_;
+};
+
+struct FactHash {
+  size_t operator()(const Fact& fact) const { return fact.Hash(); }
+};
+
+}  // namespace opcqa
+
+#endif  // OPCQA_RELATIONAL_FACT_H_

@@ -1,0 +1,81 @@
+#include "relational/fact_parser.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace opcqa {
+
+namespace {
+
+bool IsConstantToken(std::string_view text) {
+  if (text.empty()) return false;
+  if (IsIdentifier(text)) return true;
+  // Signed integers are also permitted as constants.
+  size_t start = (text[0] == '-' || text[0] == '+') ? 1 : 0;
+  if (start == text.size()) return false;
+  for (char c : text.substr(start)) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Fact> ParseFact(const Schema& schema, std::string_view text) {
+  std::string_view trimmed = TrimView(text);
+  size_t open = trimmed.find('(');
+  if (open == std::string_view::npos || trimmed.back() != ')') {
+    return Status::InvalidArgument(
+        StrCat("malformed fact (expected R(c1,...,cn)): ", text));
+  }
+  std::string_view name = TrimView(trimmed.substr(0, open));
+  if (!IsIdentifier(name)) {
+    return Status::InvalidArgument(StrCat("invalid relation name: ", name));
+  }
+  PredId pred = schema.FindRelation(name);
+  if (pred == Schema::kNotFound) {
+    return Status::NotFound(StrCat("unknown relation: ", name));
+  }
+  std::string_view args_text =
+      trimmed.substr(open + 1, trimmed.size() - open - 2);
+  std::vector<std::string> pieces = SplitTopLevel(args_text, ',');
+  std::vector<ConstId> args;
+  args.reserve(pieces.size());
+  for (const std::string& piece : pieces) {
+    std::string_view token = TrimView(piece);
+    if (!IsConstantToken(token)) {
+      return Status::InvalidArgument(StrCat("invalid constant: '", token,
+                                            "' in fact: ", text));
+    }
+    args.push_back(Const(token));
+  }
+  if (args.size() != schema.Arity(pred)) {
+    return Status::InvalidArgument(
+        StrCat("arity mismatch for ", name, ": expected ", schema.Arity(pred),
+               " got ", args.size()));
+  }
+  return Fact(pred, std::move(args));
+}
+
+Result<Database> ParseDatabase(const Schema& schema, std::string_view text) {
+  Database db(&schema);
+  std::string cleaned;
+  cleaned.reserve(text.size());
+  // Strip '#' comments line by line.
+  for (const std::string& line : Split(text, '\n')) {
+    size_t hash = line.find('#');
+    cleaned += hash == std::string::npos ? line : line.substr(0, hash);
+    cleaned += '\n';
+  }
+  for (const std::string& piece : SplitTopLevel(cleaned, '.')) {
+    std::string_view fact_text = TrimView(piece);
+    if (fact_text.empty()) continue;
+    Result<Fact> fact = ParseFact(schema, fact_text);
+    if (!fact.ok()) return fact.status();
+    db.Insert(fact.value());
+  }
+  return db;
+}
+
+}  // namespace opcqa

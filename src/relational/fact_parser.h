@@ -1,0 +1,28 @@
+// Text format for facts and databases.
+//
+//   fact     := RelationName '(' const (',' const)* ')'
+//   const    := identifier | integer
+//   database := (fact '.')*   -- whitespace/newlines between facts;
+//                                '#' starts a line comment
+//
+// Example: "Pref(a,b). Pref(b,a). # conflicting preferences"
+
+#ifndef OPCQA_RELATIONAL_FACT_PARSER_H_
+#define OPCQA_RELATIONAL_FACT_PARSER_H_
+
+#include <string_view>
+
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace opcqa {
+
+/// Parses a single fact like "R(a,b)" against `schema`.
+Result<Fact> ParseFact(const Schema& schema, std::string_view text);
+
+/// Parses a whole database: facts terminated by '.', '#' comments allowed.
+Result<Database> ParseDatabase(const Schema& schema, std::string_view text);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_RELATIONAL_FACT_PARSER_H_

@@ -1,0 +1,48 @@
+#include "relational/schema.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace opcqa {
+
+PredId Schema::AddRelation(std::string_view name, uint32_t arity) {
+  OPCQA_CHECK_GT(arity, 0u) << "relations must have positive arity: " << name;
+  OPCQA_CHECK(index_.find(std::string(name)) == index_.end())
+      << "relation declared twice: " << name;
+  PredId id = static_cast<PredId>(relations_.size());
+  relations_.push_back(Relation{std::string(name), arity});
+  index_.emplace(std::string(name), id);
+  return id;
+}
+
+PredId Schema::FindRelation(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+PredId Schema::RelationOrDie(std::string_view name) const {
+  PredId id = FindRelation(name);
+  OPCQA_CHECK_NE(id, kNotFound) << "unknown relation: " << name;
+  return id;
+}
+
+const std::string& Schema::RelationName(PredId id) const {
+  OPCQA_CHECK_LT(id, relations_.size());
+  return relations_[id].name;
+}
+
+uint32_t Schema::Arity(PredId id) const {
+  OPCQA_CHECK_LT(id, relations_.size());
+  return relations_[id].arity;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(relations_.size());
+  for (const Relation& r : relations_) {
+    parts.push_back(StrCat(r.name, "/", r.arity));
+  }
+  return "{" + Join(parts, ", ") + "}";
+}
+
+}  // namespace opcqa

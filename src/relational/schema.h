@@ -1,0 +1,54 @@
+// Relational schemas: finite sets of relation symbols with arities.
+
+#ifndef OPCQA_RELATIONAL_SCHEMA_H_
+#define OPCQA_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace opcqa {
+
+/// Dense handle for a relation symbol within one Schema.
+using PredId = uint32_t;
+
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds relation `name` with the given arity and returns its id.
+  /// CHECK-fails if the name is already declared (use FindRelation first) or
+  /// if arity is zero (the paper requires n > 0).
+  PredId AddRelation(std::string_view name, uint32_t arity);
+
+  static constexpr PredId kNotFound = UINT32_MAX;
+  /// Id of relation `name`, or kNotFound.
+  PredId FindRelation(std::string_view name) const;
+
+  /// CHECK-failing lookup for code paths where the relation must exist.
+  PredId RelationOrDie(std::string_view name) const;
+
+  const std::string& RelationName(PredId id) const;
+  uint32_t Arity(PredId id) const;
+
+  /// Number of relation symbols.
+  size_t size() const { return relations_.size(); }
+
+  std::string ToString() const;
+
+ private:
+  struct Relation {
+    std::string name;
+    uint32_t arity;
+  };
+  std::vector<Relation> relations_;
+  std::unordered_map<std::string, PredId> index_;
+};
+
+}  // namespace opcqa
+
+#endif  // OPCQA_RELATIONAL_SCHEMA_H_

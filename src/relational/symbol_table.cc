@@ -1,0 +1,47 @@
+#include "relational/symbol_table.h"
+
+#include "util/logging.h"
+
+namespace opcqa {
+
+SymbolTable& SymbolTable::Global() {
+  static SymbolTable* table = new SymbolTable();
+  return *table;
+}
+
+ConstId SymbolTable::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  ConstId id = static_cast<ConstId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+ConstId SymbolTable::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+const std::string& SymbolTable::NameOf(ConstId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OPCQA_CHECK_LT(id, names_.size()) << "unknown ConstId";
+  return names_[id];
+}
+
+size_t SymbolTable::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return names_.size();
+}
+
+ConstId Const(std::string_view name) {
+  return SymbolTable::Global().Intern(name);
+}
+
+const std::string& ConstName(ConstId id) {
+  return SymbolTable::Global().NameOf(id);
+}
+
+}  // namespace opcqa

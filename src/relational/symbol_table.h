@@ -1,0 +1,57 @@
+// Interning of constant symbols.
+//
+// Database elements (the countably infinite set C of the paper) are interned
+// strings; all tuples, facts and homomorphisms work with dense ConstId
+// handles. The table is process-global: constants such as "a" denote the
+// same element in every database, schema and constraint.
+
+#ifndef OPCQA_RELATIONAL_SYMBOL_TABLE_H_
+#define OPCQA_RELATIONAL_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace opcqa {
+
+/// Dense handle for an interned constant.
+using ConstId = uint32_t;
+
+class SymbolTable {
+ public:
+  /// The process-global table.
+  static SymbolTable& Global();
+
+  /// Returns the id for `name`, interning it on first use.
+  ConstId Intern(std::string_view name);
+
+  /// Returns the id for `name` or npos if it was never interned.
+  static constexpr ConstId kNotFound = UINT32_MAX;
+  ConstId Find(std::string_view name) const;
+
+  /// Name of an interned constant; CHECK-fails for unknown ids.
+  const std::string& NameOf(ConstId id) const;
+
+  /// Number of interned constants.
+  size_t size() const;
+
+ private:
+  SymbolTable() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ConstId> index_;
+};
+
+/// Convenience: intern in the global table.
+ConstId Const(std::string_view name);
+
+/// Convenience: name of a constant in the global table.
+const std::string& ConstName(ConstId id);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_RELATIONAL_SYMBOL_TABLE_H_

@@ -1,0 +1,85 @@
+// Consistent scalar aggregation over operational repairs — the "More
+// Expressive Languages" direction of Section 6, after Arenas, Bertossi,
+// Chomicki, He, Raghavan & Spinrad, "Scalar aggregation in inconsistent
+// databases" (TCS 2003).
+//
+// For an aggregate AGG over column `value_column` of the answers to Q,
+// each operational repair D′ yields one scalar AGG(Q(D′)). The classical
+// range semantics reports the interval [glb, lub] of that scalar across
+// repairs; the operational framework refines it with the full probability
+// distribution of the scalar under the hitting distribution (conditioned
+// on success), its expectation and its variance — all exact rationals.
+//
+// Values are interned constants whose names must parse as (possibly
+// negative) decimal integers; otherwise Status::InvalidArgument.
+//
+// MIN/MAX/AVG are undefined on repairs with an empty answer set; the mass
+// of such repairs is reported separately as `undefined_mass` and the
+// distribution/statistics are conditioned on the defined repairs.
+
+#ifndef OPCQA_REPAIR_AGGREGATION_H_
+#define OPCQA_REPAIR_AGGREGATION_H_
+
+#include <map>
+#include <optional>
+
+#include "logic/query.h"
+#include "repair/repair_enumerator.h"
+#include "repair/sampler.h"
+
+namespace opcqa {
+
+enum class AggregateKind { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggregateKindName(AggregateKind kind);
+
+/// Parses a constant as an exact integer Rational; InvalidArgument when
+/// the name is not a decimal integer.
+Result<Rational> NumericValueOf(ConstId id);
+
+/// Computes AGG over one answer set (the per-repair scalar). Returns
+/// nullopt for MIN/MAX/AVG of an empty answer set; COUNT/SUM of an empty
+/// set are 0.
+Result<std::optional<Rational>> AggregateOfAnswers(
+    const std::set<Tuple>& answers, AggregateKind kind, size_t value_column);
+
+struct AggregateDistribution {
+  /// scalar value → probability (conditioned on success and, for MIN, MAX
+  /// and AVG, on the answer set being non-empty).
+  std::map<Rational, Rational> distribution;
+  /// Range semantics of the classical approach: glb / lub over repairs
+  /// with a defined scalar. Unset when no repair defines the scalar.
+  std::optional<Rational> glb;
+  std::optional<Rational> lub;
+  /// E[AGG] and Var[AGG] under the (conditioned) distribution.
+  Rational expectation;
+  Rational variance;
+  /// Probability mass of repairs where the scalar is undefined.
+  Rational undefined_mass;
+  size_t num_repairs = 0;
+
+  /// True when every repair yields the same scalar — the aggregate is
+  /// *certain* in the classical sense.
+  bool IsCertain() const { return distribution.size() == 1; }
+};
+
+/// Exact aggregate distribution from an enumerated chain.
+Result<AggregateDistribution> ComputeAggregateDistribution(
+    const EnumerationResult& enumeration, const Query& query,
+    AggregateKind kind, size_t value_column);
+
+/// Sampled estimate of E[AGG] over `walks` chain walks (non-failing
+/// generators; undefined walks are skipped and counted).
+struct AggregateEstimate {
+  double expectation = 0;
+  size_t walks = 0;
+  size_t undefined_walks = 0;
+};
+
+Result<AggregateEstimate> EstimateExpectedAggregate(
+    Sampler& sampler, const Query& query, AggregateKind kind,
+    size_t value_column, size_t walks);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_REPAIR_AGGREGATION_H_

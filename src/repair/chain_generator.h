@@ -1,0 +1,104 @@
+// Repairing Markov chain generators (Definition 5).
+//
+// A generator MΣ assigns, to every non-complete repairing sequence s, a
+// probability distribution over its valid extensions (complete sequences
+// are absorbing with P(s,s) = 1, handled by the framework). Probabilities
+// are exact rationals; the framework CHECKs they are non-negative and sum
+// to 1 at every state — the stochasticity condition of Definition 5.
+//
+// Built-in generators:
+//   * UniformChainGenerator           — M^u of Proposition 4;
+//   * DeletionOnlyUniformGenerator    — uniform over deletion extensions
+//     (supports only deletions ⇒ non-failing, Proposition 8);
+//   * PreferenceChainGenerator        — Example 4 (preference scenario);
+//   * TrustChainGenerator             — Example 5 (data integration);
+//   * LambdaChainGenerator            — any user-provided function.
+
+#ifndef OPCQA_REPAIR_CHAIN_GENERATOR_H_
+#define OPCQA_REPAIR_CHAIN_GENERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "repair/repairing_state.h"
+#include "util/rational.h"
+
+namespace opcqa {
+
+class ChainGenerator {
+ public:
+  virtual ~ChainGenerator() = default;
+
+  /// Distribution over `extensions` (same order) at state `state`.
+  /// `extensions` is non-empty and equals state.ValidExtensions().
+  /// Implementations may assign probability 0 to some extensions (pruning
+  /// them from the chain) but the values must sum to exactly 1.
+  virtual std::vector<Rational> Probabilities(
+      const RepairingState& state,
+      const std::vector<Operation>& extensions) const = 0;
+
+  /// Human-readable generator name for reports.
+  virtual std::string name() const = 0;
+
+  /// True when the generator never assigns positive probability to an
+  /// addition (Proposition 8 then guarantees it is non-failing).
+  virtual bool supports_only_deletions() const { return false; }
+};
+
+/// Validates and returns the distribution for a state: non-negative values
+/// summing to exactly 1 (CHECK-fails otherwise, as the generator would not
+/// define a Markov chain).
+std::vector<Rational> CheckedProbabilities(
+    const ChainGenerator& generator, const RepairingState& state,
+    const std::vector<Operation>& extensions);
+
+/// M^u: uniform over all valid extensions (Proposition 4's generator).
+class UniformChainGenerator : public ChainGenerator {
+ public:
+  std::vector<Rational> Probabilities(
+      const RepairingState& state,
+      const std::vector<Operation>& extensions) const override;
+  std::string name() const override { return "uniform"; }
+};
+
+/// Uniform over deletion extensions only; addition extensions get 0.
+/// Well-defined for every state because any violation can be fixed by
+/// deleting (part of) its body image.
+class DeletionOnlyUniformGenerator : public ChainGenerator {
+ public:
+  std::vector<Rational> Probabilities(
+      const RepairingState& state,
+      const std::vector<Operation>& extensions) const override;
+  std::string name() const override { return "uniform-deletions"; }
+  bool supports_only_deletions() const override { return true; }
+};
+
+/// Wraps an arbitrary probability function.
+class LambdaChainGenerator : public ChainGenerator {
+ public:
+  using Fn = std::function<std::vector<Rational>(
+      const RepairingState&, const std::vector<Operation>&)>;
+
+  LambdaChainGenerator(std::string name, Fn fn, bool deletions_only = false)
+      : name_(std::move(name)), fn_(std::move(fn)),
+        deletions_only_(deletions_only) {}
+
+  std::vector<Rational> Probabilities(
+      const RepairingState& state,
+      const std::vector<Operation>& extensions) const override {
+    return fn_(state, extensions);
+  }
+  std::string name() const override { return name_; }
+  bool supports_only_deletions() const override { return deletions_only_; }
+
+ private:
+  std::string name_;
+  Fn fn_;
+  bool deletions_only_;
+};
+
+}  // namespace opcqa
+
+#endif  // OPCQA_REPAIR_CHAIN_GENERATOR_H_

@@ -1,0 +1,50 @@
+#include "repair/counting.h"
+
+namespace opcqa {
+
+Rational CountingOcaResult::Proportion(const Tuple& tuple) const {
+  auto it = answers.find(tuple);
+  return it == answers.end() ? Rational(0) : it->second;
+}
+
+CountingOcaResult CountingOcaFromEnumeration(
+    const EnumerationResult& enumeration, const Query& query) {
+  std::vector<Database> repairs;
+  repairs.reserve(enumeration.repairs.size());
+  for (const RepairInfo& info : enumeration.repairs) {
+    repairs.push_back(info.repair);
+  }
+  return CountingOcaFromRepairs(repairs, query);
+}
+
+CountingOcaResult CountingOcaFromRepairs(const std::vector<Database>& repairs,
+                                         const Query& query) {
+  CountingOcaResult result;
+  result.num_repairs = repairs.size();
+  if (repairs.empty()) return result;
+  std::map<Tuple, size_t> counts;
+  for (const Database& repair : repairs) {
+    for (const Tuple& tuple : query.Evaluate(repair)) {
+      ++counts[tuple];
+    }
+  }
+  Rational denominator(static_cast<int64_t>(repairs.size()));
+  for (const auto& [tuple, count] : counts) {
+    result.answers[tuple] =
+        Rational(static_cast<int64_t>(count)) / denominator;
+  }
+  return result;
+}
+
+Rational ExpectedAnswerCount(const EnumerationResult& enumeration,
+                             const Query& query) {
+  if (enumeration.success_mass.is_zero()) return Rational(0);
+  Rational total;
+  for (const RepairInfo& info : enumeration.repairs) {
+    total += info.probability *
+             Rational(static_cast<int64_t>(query.Evaluate(info.repair).size()));
+  }
+  return total / enumeration.success_mass;
+}
+
+}  // namespace opcqa

@@ -1,0 +1,98 @@
+#include "repair/fo_rewriting.h"
+
+#include "util/string_util.h"
+
+namespace opcqa {
+
+DeletionSchema ExtendSchemaWithDeletions(const Schema& schema) {
+  DeletionSchema extension;
+  extension.schema = std::make_shared<Schema>();
+  // First the original relations, preserving their ids...
+  for (PredId pred = 0; pred < schema.size(); ++pred) {
+    PredId copied = extension.schema->AddRelation(schema.RelationName(pred),
+                                                  schema.Arity(pred));
+    OPCQA_CHECK_EQ(copied, pred);
+  }
+  // ...then the companion deletion relations.
+  for (PredId pred = 0; pred < schema.size(); ++pred) {
+    PredId del = extension.schema->AddRelation(
+        StrCat(schema.RelationName(pred), "__del"), schema.Arity(pred));
+    extension.del_pred_of[pred] = del;
+  }
+  return extension;
+}
+
+FormulaPtr RewriteWithDeletionPredicates(
+    const FormulaPtr& formula, const std::map<PredId, PredId>& mapping) {
+  OPCQA_CHECK(formula != nullptr);
+  switch (formula->kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+    case Formula::Kind::kEquals:
+      return formula;
+    case Formula::Kind::kAtom: {
+      const Atom& atom = formula->atom();
+      auto it = mapping.find(atom.pred());
+      if (it == mapping.end()) return formula;
+      Atom del_atom(it->second, atom.terms());
+      return Formula::And(
+          {formula, Formula::Not(Formula::MakeAtom(std::move(del_atom)))});
+    }
+    case Formula::Kind::kNot: {
+      FormulaPtr child =
+          RewriteWithDeletionPredicates(formula->child(), mapping);
+      if (child == formula->child()) return formula;  // structural sharing
+      return Formula::Not(std::move(child));
+    }
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      std::vector<FormulaPtr> children;
+      children.reserve(formula->children().size());
+      bool changed = false;
+      for (const FormulaPtr& child : formula->children()) {
+        children.push_back(RewriteWithDeletionPredicates(child, mapping));
+        changed = changed || children.back() != child;
+      }
+      if (!changed) return formula;
+      return formula->kind() == Formula::Kind::kAnd
+                 ? Formula::And(std::move(children))
+                 : Formula::Or(std::move(children));
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      FormulaPtr child =
+          RewriteWithDeletionPredicates(formula->child(), mapping);
+      if (child == formula->child()) return formula;
+      return formula->kind() == Formula::Kind::kExists
+                 ? Formula::Exists(formula->quantified(), std::move(child))
+                 : Formula::Forall(formula->quantified(), std::move(child));
+    }
+  }
+  OPCQA_CHECK(false) << "unreachable formula kind";
+  return formula;
+}
+
+Query RewriteQueryWithDeletionPredicates(
+    const Query& query, const std::map<PredId, PredId>& mapping) {
+  return Query(StrCat(query.name(), "_del_rewritten"), query.head(),
+               RewriteWithDeletionPredicates(query.body(), mapping));
+}
+
+Database MaterializeDeletions(
+    const Database& db, const DeletionSchema& extension,
+    const std::map<PredId, std::vector<Fact>>& deletions) {
+  Database out(extension.schema.get());
+  for (const Fact& fact : db.AllFacts()) out.Insert(fact);
+  for (const auto& [pred, facts] : deletions) {
+    auto it = extension.del_pred_of.find(pred);
+    OPCQA_CHECK(it != extension.del_pred_of.end())
+        << "no deletion relation for predicate " << pred;
+    for (const Fact& fact : facts) {
+      OPCQA_CHECK_EQ(fact.pred(), pred);
+      out.Insert(Fact(it->second, fact.args()));
+    }
+  }
+  return out;
+}
+
+}  // namespace opcqa

@@ -1,0 +1,62 @@
+// First-order rewriting of the Section 5 approximation — the "Query
+// Rewriting" direction of Section 6 ("One can express additive error
+// approximations by means of FO queries").
+//
+// For the deletion-sampling scheme, one sampled repair is D − R_del; a
+// query over the repair can instead be evaluated over the *dirty* database
+// extended with the deletion relations, by rewriting every atom R(t̄) into
+// R(t̄) ∧ ¬R_del(t̄). The rewriting is independent of the data (its size
+// depends only on Q), which is the point of the paper's remark: the
+// per-round work is one FO query over D ∪ R_del.
+//
+// RewriteWithDeletionPredicates performs that atom-wise transformation on
+// arbitrary FO formulas; MaterializeDeletions builds the extended database
+// (schema widened with the R_del symbols).
+//
+// Caveat (active-domain semantics): Q(D − R_del) = Q'(D ∪ R_del) holds
+// exactly for conjunctive queries and, more generally, domain-independent
+// formulas. Under plain active-domain FO semantics the two sides can
+// differ when quantifiers are sensitive to constants that occur *only* in
+// deleted facts, because dom(D ∪ R_del) ⊇ dom(D − R_del). The property
+// tests pin the equivalence for CQs and exhibit the divergence for a
+// domain-dependent universal query.
+
+#ifndef OPCQA_REPAIR_FO_REWRITING_H_
+#define OPCQA_REPAIR_FO_REWRITING_H_
+
+#include <map>
+#include <memory>
+
+#include "logic/query.h"
+
+namespace opcqa {
+
+/// Schema extension: for every relation in `preds`, a companion deletion
+/// relation named "<name>__del" with the same arity. Returns the new
+/// schema and the pred → del-pred mapping.
+struct DeletionSchema {
+  std::shared_ptr<Schema> schema;
+  std::map<PredId, PredId> del_pred_of;
+};
+
+DeletionSchema ExtendSchemaWithDeletions(const Schema& schema);
+
+/// Rewrites every atom R(t̄) with R ∈ dom(mapping) into
+/// R(t̄) ∧ ¬R_del(t̄); other formula nodes are rebuilt recursively.
+FormulaPtr RewriteWithDeletionPredicates(
+    const FormulaPtr& formula, const std::map<PredId, PredId>& mapping);
+
+/// Same transformation at the query level (head unchanged).
+Query RewriteQueryWithDeletionPredicates(
+    const Query& query, const std::map<PredId, PredId>& mapping);
+
+/// Copies `db` into the extended schema and adds the facts of `deletions`
+/// as R_del tuples. `deletions` maps original PredId → deleted facts (all
+/// of that relation).
+Database MaterializeDeletions(
+    const Database& db, const DeletionSchema& extension,
+    const std::map<PredId, std::vector<Fact>>& deletions);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_REPAIR_FO_REWRITING_H_

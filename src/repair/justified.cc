@@ -1,0 +1,166 @@
+#include "repair/justified.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace opcqa {
+
+namespace {
+
+// All completions of a TGD violation (κ,h) w.r.t. db: the sets
+// h′(head) − db over extensions h′ of h mapping existential variables into
+// the base domain. Each completion is sorted/deduplicated.
+std::set<std::vector<Fact>> CollectCompletions(const Database& db,
+                                               const Constraint& tgd,
+                                               const Assignment& h,
+                                               const BaseSpec& base) {
+  OPCQA_CHECK(tgd.is_tgd());
+  std::set<std::vector<Fact>> completions;
+  const std::vector<VarId>& exist = tgd.existential();
+  const std::vector<ConstId>& domain = base.domain();
+  Assignment extended = h;
+  auto emit = [&]() {
+    std::vector<Fact> missing;
+    for (const Fact& fact : extended.ApplyAll(tgd.head())) {
+      if (!db.Contains(fact)) missing.push_back(fact);
+    }
+    // missing is sorted because ApplyAll sorts and db filtering preserves
+    // order.
+    completions.insert(std::move(missing));
+  };
+  if (exist.empty()) {
+    emit();
+    return completions;
+  }
+  if (domain.empty()) return completions;
+  std::vector<size_t> index(exist.size(), 0);
+  for (;;) {
+    for (size_t i = 0; i < exist.size(); ++i) {
+      extended.Unbind(exist[i]);
+      extended.Bind(exist[i], domain[index[i]]);
+    }
+    emit();
+    size_t i = exist.size();
+    bool done = true;
+    while (i > 0) {
+      --i;
+      if (++index[i] < domain.size()) {
+        done = false;
+        break;
+      }
+      index[i] = 0;
+    }
+    if (done) break;
+  }
+  return completions;
+}
+
+// Keeps only the ⊊-minimal completions (Definition 3 tightness for +F).
+std::vector<std::vector<Fact>> MinimalCompletions(
+    const std::set<std::vector<Fact>>& completions) {
+  auto is_subset = [](const std::vector<Fact>& a, const std::vector<Fact>& b) {
+    return std::includes(b.begin(), b.end(), a.begin(), a.end());
+  };
+  std::vector<std::vector<Fact>> minimal;
+  for (const auto& candidate : completions) {
+    bool dominated = false;
+    for (const auto& other : completions) {
+      if (other != candidate && is_subset(other, candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(candidate);
+  }
+  return minimal;
+}
+
+// Emits all non-empty subsets of `pool` (the body image of a violation) as
+// deletion operations. Pool sizes are bounded by constraint body sizes.
+void EmitDeletionSubsets(const std::vector<Fact>& pool,
+                         std::set<Operation>* out) {
+  OPCQA_CHECK_LE(pool.size(), 20u)
+      << "violation body image too large for subset enumeration";
+  size_t n = pool.size();
+  for (size_t mask = 1; mask < (size_t{1} << n); ++mask) {
+    std::vector<Fact> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (size_t{1} << i)) subset.push_back(pool[i]);
+    }
+    out->insert(Operation::Remove(std::move(subset)));
+  }
+}
+
+}  // namespace
+
+std::vector<Operation> JustifiedDeletions(const Database& db,
+                                          const ConstraintSet& constraints,
+                                          const ViolationSet& violations) {
+  (void)db;
+  std::set<Operation> ops;
+  for (const Violation& v : violations) {
+    EmitDeletionSubsets(BodyImage(constraints, v), &ops);
+  }
+  return std::vector<Operation>(ops.begin(), ops.end());
+}
+
+std::vector<Operation> JustifiedOperations(const Database& db,
+                                           const ConstraintSet& constraints,
+                                           const ViolationSet& violations,
+                                           const BaseSpec& base) {
+  std::set<Operation> ops;
+  for (const Violation& v : violations) {
+    EmitDeletionSubsets(BodyImage(constraints, v), &ops);
+    const Constraint& c = constraints[v.constraint_index];
+    if (!c.is_tgd()) continue;  // EGDs/DCs admit no justified additions
+    std::set<std::vector<Fact>> completions =
+        CollectCompletions(db, c, v.h, base);
+    for (std::vector<Fact>& f : MinimalCompletions(completions)) {
+      OPCQA_CHECK(!f.empty())
+          << "empty completion for a violation — V(D,Σ) is stale";
+      ops.insert(Operation::Add(std::move(f)));
+    }
+  }
+  return std::vector<Operation>(ops.begin(), ops.end());
+}
+
+bool IsJustified(const Database& db, const ConstraintSet& constraints,
+                 const BaseSpec& base, const Operation& op) {
+  ViolationSet violations = ComputeViolations(db, constraints);
+  if (op.is_remove()) {
+    // Justified iff F ⊆ h(ϕ) for some current violation (Proposition 1;
+    // the subset relation is equivalent to Definition 3 for our classes).
+    for (const Violation& v : violations) {
+      const std::vector<Fact> image = BodyImage(constraints, v);
+      bool subset = std::all_of(
+          op.facts().begin(), op.facts().end(), [&](const Fact& f) {
+            return std::binary_search(image.begin(), image.end(), f);
+          });
+      if (subset) return true;
+    }
+    return false;
+  }
+  // Addition: F must be a ⊊-minimal completion of some TGD violation.
+  for (const Violation& v : violations) {
+    const Constraint& c = constraints[v.constraint_index];
+    if (!c.is_tgd()) continue;
+    std::set<std::vector<Fact>> completions =
+        CollectCompletions(db, c, v.h, base);
+    if (completions.count(op.facts()) == 0) continue;
+    bool minimal = true;
+    for (const auto& other : completions) {
+      if (other != op.facts() && !other.empty() &&
+          std::includes(op.facts().begin(), op.facts().end(), other.begin(),
+                        other.end())) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) return true;
+  }
+  return false;
+}
+
+}  // namespace opcqa

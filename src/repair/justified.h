@@ -1,0 +1,43 @@
+// Justified operations (Definition 3 / Proposition 1).
+//
+// An operation op is (D′,Σ)-justified when it eliminates some violation
+// (κ,h) ∈ V(D′,Σ) and is "tight" for it:
+//   * +F: no proper non-empty subset of F already fixes (κ,h) — for TGDs
+//     this makes F a ⊊-minimal completion h′(ψ) − D′ over extensions h′ of
+//     h into the base domain;
+//   * −F: every proper non-empty subset of F also fixes (κ,h) — which holds
+//     exactly when ∅ ≠ F ⊆ h(ϕ).
+// EGDs and DCs admit no justified additions (adding facts cannot fix them).
+
+#ifndef OPCQA_REPAIR_JUSTIFIED_H_
+#define OPCQA_REPAIR_JUSTIFIED_H_
+
+#include <vector>
+
+#include "constraints/violation.h"
+#include "relational/base.h"
+#include "repair/operation.h"
+
+namespace opcqa {
+
+/// Enumerates every (D′,Σ)-justified operation, deduplicated and sorted.
+/// `violations` must equal V(D′,Σ); `base` is B(D,Σ) of the *original*
+/// database (additions draw constants from it).
+std::vector<Operation> JustifiedOperations(const Database& db,
+                                           const ConstraintSet& constraints,
+                                           const ViolationSet& violations,
+                                           const BaseSpec& base);
+
+/// Justified deletions only (the support of deletion-only chains).
+std::vector<Operation> JustifiedDeletions(const Database& db,
+                                          const ConstraintSet& constraints,
+                                          const ViolationSet& violations);
+
+/// Decision version of Definition 3: is `op` (db,Σ)-justified? Used to
+/// re-check Global Justification of Additions against D^s_{i-1} − H.
+bool IsJustified(const Database& db, const ConstraintSet& constraints,
+                 const BaseSpec& base, const Operation& op);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_REPAIR_JUSTIFIED_H_

@@ -1,0 +1,88 @@
+// Repair localization — the "Optimizations" direction of Section 6, after
+// Eiter, Fink, Greco & Lembo [15]: concentrate the repairing process on
+// the parts of the database where violations occur.
+//
+// For denial-only constraint sets (EGDs + DCs), violations partition the
+// conflicting facts into connected components of the conflict hypergraph;
+// repairing chains of distinct components never interact (deletions are
+// local, violations are monotone), so
+//
+//   [[D]]_MΣ  =  untouched-facts  ×  Π_i [[component_i]]_MΣ
+//
+// and the exact distribution is computed per component — cost exponential
+// in the size of the *largest component* instead of the whole database.
+//
+// Exactness requires the generator to be *local*: the probabilities it
+// assigns within a component must not depend on facts outside it. The
+// uniform, deletion-only-uniform and trust generators are local; the
+// preference generator of Example 4 is not (its weights count Pref(a,·)
+// across the whole instance) — callers assert locality via the
+// `generator_is_local` flag and the property tests cross-check the
+// factored distribution against the monolithic enumerator.
+
+#ifndef OPCQA_REPAIR_LOCALIZATION_H_
+#define OPCQA_REPAIR_LOCALIZATION_H_
+
+#include <vector>
+
+#include "repair/repair_enumerator.h"
+#include "util/random.h"
+
+namespace opcqa {
+
+struct LocalizedComponent {
+  /// The sub-database of this conflict component.
+  Database sub_db;
+  /// Exact repair distribution of the component.
+  EnumerationResult distribution;
+};
+
+class LocalizedRepairs {
+ public:
+  const Database& untouched() const { return untouched_; }
+  const std::vector<LocalizedComponent>& components() const {
+    return components_;
+  }
+
+  /// Exact number of distinct factored repair combinations
+  /// Π_i |repairs_i| (the materialized set the factoring avoids).
+  BigInt NumRepairCombinations() const;
+
+  /// Exact probability that `fact` survives into an operational repair:
+  /// 1 for untouched facts, the component-local marginal otherwise, 0 for
+  /// facts not in the database.
+  Rational FactSurvivalProbability(const Fact& fact) const;
+
+  /// Draws one operational repair by sampling every component
+  /// independently from its exact distribution — no chain walk needed, so
+  /// approximate OCQA over localized repairs costs O(#components) per
+  /// sample plus the query evaluation.
+  Database SampleRepair(Rng* rng) const;
+
+  /// Largest component size in facts (the new exponent).
+  size_t MaxComponentSize() const;
+
+ private:
+  friend Result<LocalizedRepairs> LocalizeAndEnumerate(
+      const Database& db, const ConstraintSet& constraints,
+      const ChainGenerator& generator, const EnumerationOptions& options);
+
+  Database untouched_;
+  std::vector<LocalizedComponent> components_;
+};
+
+/// Splits D into conflict components and enumerates each component's chain.
+/// Requires denial-only Σ (Status::InvalidArgument otherwise) and a local
+/// generator (see file comment). Component enumerations share `options`.
+Result<LocalizedRepairs> LocalizeAndEnumerate(
+    const Database& db, const ConstraintSet& constraints,
+    const ChainGenerator& generator, const EnumerationOptions& options = {});
+
+/// The conflict components themselves (sorted fact lists), exposed for
+/// diagnostics and tests.
+std::vector<std::vector<Fact>> ConflictComponents(
+    const Database& db, const ConstraintSet& constraints);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_REPAIR_LOCALIZATION_H_

@@ -1,0 +1,262 @@
+#include "repair/null_chase.h"
+
+#include <algorithm>
+
+#include "constraints/satisfaction.h"
+#include "util/string_util.h"
+
+namespace opcqa {
+namespace {
+
+constexpr std::string_view kNullPrefix = "_:n";
+
+/// Scans dom(D) for existing marked nulls and returns the next free index.
+size_t FirstFreeNullIndex(const Database& db) {
+  size_t next = 0;
+  for (ConstId c : db.ActiveDomain()) {
+    const std::string& name = ConstName(c);
+    if (name.rfind(kNullPrefix, 0) != 0) continue;
+    size_t index = 0;
+    bool numeric = name.size() > kNullPrefix.size();
+    for (size_t i = kNullPrefix.size(); i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        numeric = false;
+        break;
+      }
+      index = index * 10 + static_cast<size_t>(name[i] - '0');
+    }
+    if (numeric) next = std::max(next, index + 1);
+  }
+  return next;
+}
+
+/// Replaces every occurrence of `from` with `to` in the database.
+Database SubstituteConstant(const Database& db, ConstId from, ConstId to) {
+  Database out(&db.schema());
+  for (const Fact& fact : db.AllFacts()) {
+    std::vector<ConstId> args = fact.args();
+    for (ConstId& arg : args) {
+      if (arg == from) arg = to;
+    }
+    out.Insert(Fact(fact.pred(), std::move(args)));
+  }
+  return out;
+}
+
+/// Applies the homomorphism `h`, mapping existential variables through
+/// `extension`, to the TGD head; returns the facts missing from `db`.
+std::vector<Fact> HeadCompletion(const Constraint& tgd, const Assignment& h,
+                                 const std::map<VarId, ConstId>& extension,
+                                 const Database& db) {
+  std::vector<Fact> missing;
+  for (const Atom& atom : tgd.head().atoms()) {
+    std::vector<ConstId> args;
+    args.reserve(atom.arity());
+    for (const Term& term : atom.terms()) {
+      if (term.is_const()) {
+        args.push_back(term.constant());
+        continue;
+      }
+      std::optional<ConstId> frontier = h.Get(term.var());
+      if (frontier.has_value()) {
+        args.push_back(*frontier);
+        continue;
+      }
+      auto fresh = extension.find(term.var());
+      OPCQA_CHECK(fresh != extension.end())
+          << "head variable neither frontier nor existential";
+      args.push_back(fresh->second);
+    }
+    Fact fact(atom.pred(), std::move(args));
+    if (!db.Contains(fact)) missing.push_back(std::move(fact));
+  }
+  return missing;
+}
+
+/// Uniformly samples a non-empty subset of `facts` (|facts| ≤ 16).
+std::vector<Fact> SampleNonEmptySubset(const std::vector<Fact>& facts,
+                                       Rng* rng, bool randomize) {
+  OPCQA_CHECK(!facts.empty());
+  OPCQA_CHECK_LE(facts.size(), 16u);
+  uint64_t num_subsets = (uint64_t{1} << facts.size()) - 1;
+  uint64_t mask =
+      randomize ? rng->UniformInt(num_subsets) + 1 : uint64_t{1};
+  std::vector<Fact> subset;
+  for (size_t i = 0; i < facts.size(); ++i) {
+    if (mask & (uint64_t{1} << i)) subset.push_back(facts[i]);
+  }
+  return subset;
+}
+
+}  // namespace
+
+bool IsNullConstant(ConstId id) {
+  return ConstName(id).rfind(kNullPrefix, 0) == 0;
+}
+
+bool HasNulls(const Database& db) {
+  for (ConstId c : db.ActiveDomain()) {
+    if (IsNullConstant(c)) return true;
+  }
+  return false;
+}
+
+Result<ChaseResult> ChaseRepair(const Database& db,
+                                const ConstraintSet& constraints, Rng* rng,
+                                const ChaseOptions& options) {
+  if (options.randomize_choices && rng == nullptr) {
+    return Status::InvalidArgument(
+        "randomized chase requires an Rng instance");
+  }
+  ChaseResult result;
+  result.db = db;
+  size_t next_null = FirstFreeNullIndex(db);
+  // No-resurrection bookkeeping (the chase analogue of the framework's
+  // req2): ground facts deleted by a repair choice must not be re-inserted
+  // by a later TGD step — such violations are resolved by deleting from
+  // the body image instead. Without this, Σ like {R(x) → T(x), T(x) → ⊥}
+  // would loop insert/delete forever.
+  std::set<Fact> deleted_facts;
+
+  while (true) {
+    ViolationSet violations = ComputeViolations(result.db, constraints);
+    if (violations.empty()) return result;
+    if (++result.steps > options.max_steps) {
+      return Status::ResourceExhausted(
+          StrCat("chase exceeded ", options.max_steps, " steps"));
+    }
+    const Violation& violation = *violations.begin();
+    const Constraint& constraint = constraints[violation.constraint_index];
+    switch (constraint.kind()) {
+      case Constraint::Kind::kTgd: {
+        // Chase step: fresh marked nulls for the existential variables.
+        std::map<VarId, ConstId> extension;
+        for (VarId var : constraint.existential()) {
+          extension[var] = Const(StrCat(kNullPrefix, next_null++));
+        }
+        std::vector<Fact> missing =
+            HeadCompletion(constraint, violation.h, extension, result.db);
+        OPCQA_CHECK(!missing.empty()) << "violation with satisfied head";
+        // No resurrection: if a required fact containing no fresh null was
+        // deleted earlier, fall back to deleting from the body image.
+        bool resurrects = false;
+        for (const Fact& fact : missing) {
+          if (deleted_facts.count(fact) != 0) {
+            resurrects = true;
+            break;
+          }
+        }
+        if (resurrects) {
+          std::vector<Fact> image = BodyImage(constraints, violation);
+          std::vector<Fact> doomed =
+              SampleNonEmptySubset(image, rng, options.randomize_choices);
+          for (const Fact& fact : doomed) {
+            if (result.db.Erase(fact)) {
+              ++result.facts_deleted;
+              deleted_facts.insert(fact);
+            }
+          }
+          break;
+        }
+        result.nulls_created += extension.size();
+        for (const Fact& fact : missing) result.db.Insert(fact);
+        break;
+      }
+      case Constraint::Kind::kEgd: {
+        ConstId a = *violation.h.Get(constraint.eq_lhs());
+        ConstId b = *violation.h.Get(constraint.eq_rhs());
+        OPCQA_CHECK_NE(a, b) << "EGD violation with equal sides";
+        if (IsNullConstant(a) || IsNullConstant(b)) {
+          // Unify: promote the null to the other value (null-to-null
+          // unifications collapse the later-created null).
+          ConstId from = a, to = b;
+          if (!IsNullConstant(a)) {
+            from = b;
+            to = a;
+          } else if (IsNullConstant(b) && ConstName(b) > ConstName(a)) {
+            from = b;
+            to = a;
+          }
+          result.db = SubstituteConstant(result.db, from, to);
+          ++result.nulls_unified;
+          break;
+        }
+        [[fallthrough]];  // two distinct constants: repair by deletion
+      }
+      case Constraint::Kind::kDc: {
+        std::vector<Fact> image = BodyImage(constraints, violation);
+        std::vector<Fact> doomed =
+            SampleNonEmptySubset(image, rng, options.randomize_choices);
+        for (const Fact& fact : doomed) {
+          if (result.db.Erase(fact)) {
+            ++result.facts_deleted;
+            deleted_facts.insert(fact);
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+std::set<Tuple> NaiveAnswers(const Database& db_with_nulls,
+                             const Query& query) {
+  std::set<Tuple> answers;
+  for (const Tuple& tuple : query.Evaluate(db_with_nulls)) {
+    bool has_null = false;
+    for (ConstId c : tuple) {
+      if (IsNullConstant(c)) {
+        has_null = true;
+        break;
+      }
+    }
+    if (!has_null) answers.insert(tuple);
+  }
+  return answers;
+}
+
+double ChaseOcaResult::Frequency(const Tuple& tuple) const {
+  auto it = frequency.find(tuple);
+  return it == frequency.end() ? 0.0 : it->second;
+}
+
+ChaseOcaResult EstimateChaseOca(const Database& db,
+                                const ConstraintSet& constraints,
+                                const Query& query, size_t runs,
+                                uint64_t seed, const ChaseOptions& options) {
+  OPCQA_CHECK_GT(runs, 0u);
+  ChaseOcaResult result;
+  result.runs = runs;
+  Rng rng(seed);
+  std::map<Tuple, size_t> counts;
+  size_t total_steps = 0;
+  size_t total_nulls = 0;
+  for (size_t run = 0; run < runs; ++run) {
+    Rng child = rng.Fork();
+    Result<ChaseResult> chased =
+        ChaseRepair(db, constraints, &child, options);
+    if (!chased.ok()) {
+      ++result.failed_runs;
+      continue;
+    }
+    total_steps += chased.value().steps;
+    total_nulls += chased.value().nulls_created;
+    for (const Tuple& tuple : NaiveAnswers(chased.value().db, query)) {
+      ++counts[tuple];
+    }
+  }
+  size_t successful = runs - result.failed_runs;
+  if (successful > 0) {
+    result.mean_steps =
+        static_cast<double>(total_steps) / static_cast<double>(successful);
+    result.mean_nulls =
+        static_cast<double>(total_nulls) / static_cast<double>(successful);
+  }
+  for (const auto& [tuple, count] : counts) {
+    result.frequency[tuple] =
+        static_cast<double>(count) / static_cast<double>(runs);
+  }
+  return result;
+}
+
+}  // namespace opcqa

@@ -1,0 +1,107 @@
+// Null-based repair construction — the "Null Values" direction of
+// Section 6 ("We could also use nulls (either SQL or marked) in repairs, in
+// cases when we insisted on adding tuples from the base").
+//
+// The operational framework of the paper grounds TGD witnesses over the
+// finite base B(D,Σ), which can make repairing sequences fail (the head
+// may need a value that no base constant provides consistently). The
+// standard alternative from data exchange is the *chase*: satisfy a TGD
+// violation by inserting its head image with fresh *marked nulls* for the
+// existential variables. This module implements that repair constructor:
+//
+//   * TGD violations  → chase step with fresh labelled nulls;
+//   * EGD violations  → if one side is a null, unify it (promote the null
+//                        to the other value everywhere); if both sides are
+//                        distinct constants, resolve by deleting part of
+//                        the violation's body image (a repair choice);
+//   * DC violations   → resolve by deletion (a repair choice).
+//
+// A no-resurrection rule (the chase analogue of the framework's req2)
+// keeps insert/delete interaction from looping: a TGD step whose required
+// ground facts were deleted by an earlier repair choice is resolved by
+// deleting from its body image instead of re-inserting.
+//
+// For weakly acyclic Σ (see constraints/weak_acyclicity.h) every
+// insertion-only chase branch terminates; a step budget guards the general
+// case (EGD unification can in principle re-create deleted facts, which
+// the budget catches). Deletion choices are randomized, so running the
+// chase repeatedly samples the space of null repairs; query answering uses
+// naive evaluation (nulls behave as fresh constants, answers containing
+// nulls are discarded).
+
+#ifndef OPCQA_REPAIR_NULL_CHASE_H_
+#define OPCQA_REPAIR_NULL_CHASE_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "constraints/violation.h"
+#include "logic/query.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace opcqa {
+
+/// True when `id` is a marked null created by the chase (name "_:n<k>").
+bool IsNullConstant(ConstId id);
+
+/// True when some fact of `db` contains a marked null.
+bool HasNulls(const Database& db);
+
+struct ChaseOptions {
+  /// Upper bound on chase steps before giving up (ResourceExhausted).
+  size_t max_steps = 100000;
+  /// When false, EGD/DC deletion choices take the deterministically first
+  /// justified deletion instead of a random one.
+  bool randomize_choices = true;
+};
+
+struct ChaseResult {
+  /// The chased database; may contain marked nulls.
+  Database db;
+  size_t steps = 0;
+  size_t nulls_created = 0;
+  size_t facts_deleted = 0;
+  /// Nulls promoted to constants (or other nulls) by EGD unification.
+  size_t nulls_unified = 0;
+};
+
+/// Runs the randomized chase repair. `rng` supplies the deletion choices
+/// (must be non-null when options.randomize_choices is true). On success
+/// the returned database satisfies Σ under naive (null-as-constant)
+/// semantics.
+Result<ChaseResult> ChaseRepair(const Database& db,
+                                const ConstraintSet& constraints, Rng* rng,
+                                const ChaseOptions& options = {});
+
+/// Certain-answer discipline over a database with nulls: evaluates Q
+/// naively (nulls act as ordinary constants) and discards answer tuples
+/// that contain a null.
+std::set<Tuple> NaiveAnswers(const Database& db_with_nulls,
+                             const Query& query);
+
+/// Estimates, over `runs` randomized chase repairs, the frequency with
+/// which each null-free tuple answers Q — the null-repair analogue of the
+/// paper's Sample-based estimator. Chases that exceed the budget are
+/// reported in `failed_runs` and contribute no answers.
+struct ChaseOcaResult {
+  std::map<Tuple, double> frequency;
+  size_t runs = 0;
+  size_t failed_runs = 0;
+  /// Mean chase statistics over successful runs.
+  double mean_steps = 0;
+  double mean_nulls = 0;
+
+  double Frequency(const Tuple& tuple) const;
+};
+
+ChaseOcaResult EstimateChaseOca(const Database& db,
+                                const ConstraintSet& constraints,
+                                const Query& query, size_t runs,
+                                uint64_t seed,
+                                const ChaseOptions& options = {});
+
+}  // namespace opcqa
+
+#endif  // OPCQA_REPAIR_NULL_CHASE_H_

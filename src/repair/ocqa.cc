@@ -1,0 +1,64 @@
+#include "repair/ocqa.h"
+
+namespace opcqa {
+
+Rational OcaResult::Probability(const Tuple& tuple) const {
+  auto it = answers.find(tuple);
+  return it == answers.end() ? Rational(0) : it->second;
+}
+
+std::vector<Tuple> OcaResult::AnswersAtLeast(const Rational& threshold) const {
+  std::vector<Tuple> result;
+  for (const auto& [tuple, p] : answers) {
+    if (p >= threshold) result.push_back(tuple);
+  }
+  return result;
+}
+
+OcaResult OcaFromEnumeration(const EnumerationResult& enumeration,
+                             const Query& query) {
+  OcaResult result;
+  result.success_mass = enumeration.success_mass;
+  result.failing_mass = enumeration.failing_mass;
+  result.enumeration = enumeration;
+  if (enumeration.success_mass.is_zero()) {
+    // No operational repair: CP(t̄) = 0 for every tuple.
+    return result;
+  }
+  for (const RepairInfo& info : enumeration.repairs) {
+    for (const Tuple& tuple : query.Evaluate(info.repair)) {
+      result.answers[tuple] += info.probability;
+    }
+  }
+  for (auto& [tuple, p] : result.answers) {
+    p /= enumeration.success_mass;
+  }
+  return result;
+}
+
+OcaResult ComputeOca(const Database& db, const ConstraintSet& constraints,
+                     const ChainGenerator& generator, const Query& query,
+                     const EnumerationOptions& options) {
+  EnumerationResult enumeration =
+      EnumerateRepairs(db, constraints, generator, options);
+  return OcaFromEnumeration(enumeration, query);
+}
+
+Rational ComputeTupleProbability(const Database& db,
+                                 const ConstraintSet& constraints,
+                                 const ChainGenerator& generator,
+                                 const Query& query, const Tuple& tuple,
+                                 const EnumerationOptions& options) {
+  EnumerationResult enumeration =
+      EnumerateRepairs(db, constraints, generator, options);
+  if (enumeration.success_mass.is_zero()) return Rational(0);
+  Rational numerator;
+  for (const RepairInfo& info : enumeration.repairs) {
+    if (query.Contains(info.repair, tuple)) {
+      numerator += info.probability;
+    }
+  }
+  return numerator / enumeration.success_mass;
+}
+
+}  // namespace opcqa

@@ -1,0 +1,60 @@
+#include "repair/operation.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace opcqa {
+
+Operation::Operation(Kind kind, std::vector<Fact> facts)
+    : kind_(kind), facts_(std::move(facts)) {
+  OPCQA_CHECK(!facts_.empty()) << "operations carry a non-empty set of facts";
+  std::sort(facts_.begin(), facts_.end());
+  facts_.erase(std::unique(facts_.begin(), facts_.end()), facts_.end());
+}
+
+void Operation::ApplyTo(Database* db) const {
+  for (const Fact& fact : facts_) {
+    if (kind_ == Kind::kAdd) {
+      db->Insert(fact);
+    } else {
+      db->Erase(fact);
+    }
+  }
+}
+
+Database Operation::Apply(const Database& db) const {
+  Database result = db;
+  ApplyTo(&result);
+  return result;
+}
+
+bool Operation::Touches(const Fact& fact) const {
+  return std::binary_search(facts_.begin(), facts_.end(), fact);
+}
+
+bool Operation::Intersects(const std::vector<Fact>& facts) const {
+  for (const Fact& fact : facts) {
+    if (Touches(fact)) return true;
+  }
+  return false;
+}
+
+std::string Operation::ToString(const Schema& schema) const {
+  std::vector<std::string> parts;
+  parts.reserve(facts_.size());
+  for (const Fact& fact : facts_) parts.push_back(fact.ToString(schema));
+  return StrCat(kind_ == Kind::kAdd ? "+" : "-", "{", Join(parts, ", "), "}");
+}
+
+std::string SequenceToString(const OperationSequence& sequence,
+                             const Schema& schema) {
+  if (sequence.empty()) return "ε";
+  std::vector<std::string> parts;
+  parts.reserve(sequence.size());
+  for (const Operation& op : sequence) parts.push_back(op.ToString(schema));
+  return Join(parts, " ; ");
+}
+
+}  // namespace opcqa

@@ -1,0 +1,65 @@
+// Operations ±F on databases (Definition 1): +F adds a set of facts from
+// the base B(D,Σ), −F removes a set of facts. Operations are value types
+// ordered deterministically so chains enumerate reproducibly.
+
+#ifndef OPCQA_REPAIR_OPERATION_H_
+#define OPCQA_REPAIR_OPERATION_H_
+
+#include <compare>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace opcqa {
+
+class Operation {
+ public:
+  enum class Kind { kAdd, kRemove };
+
+  Operation() = default;
+  /// `facts` is sorted and deduplicated internally; must be non-empty.
+  Operation(Kind kind, std::vector<Fact> facts);
+
+  static Operation Add(std::vector<Fact> facts) {
+    return Operation(Kind::kAdd, std::move(facts));
+  }
+  static Operation Remove(std::vector<Fact> facts) {
+    return Operation(Kind::kRemove, std::move(facts));
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_add() const { return kind_ == Kind::kAdd; }
+  bool is_remove() const { return kind_ == Kind::kRemove; }
+  const std::vector<Fact>& facts() const { return facts_; }
+  size_t size() const { return facts_.size(); }
+
+  /// In-place application: D := D ∪ F or D := D − F.
+  void ApplyTo(Database* db) const;
+  /// Functional application.
+  Database Apply(const Database& db) const;
+
+  /// True when `fact` ∈ F.
+  bool Touches(const Fact& fact) const;
+  /// True when F and `facts` intersect.
+  bool Intersects(const std::vector<Fact>& facts) const;
+
+  auto operator<=>(const Operation&) const = default;
+
+  /// "+{S(a,b,c)}" / "-{R(a,b), R(a,c)}".
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  Kind kind_ = Kind::kAdd;
+  std::vector<Fact> facts_;  // sorted, unique
+};
+
+/// A sequence of operations (a candidate repairing sequence).
+using OperationSequence = std::vector<Operation>;
+
+std::string SequenceToString(const OperationSequence& sequence,
+                             const Schema& schema);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_REPAIR_OPERATION_H_

@@ -1,0 +1,55 @@
+// Priority-based chain generators — the "Preferences" direction of
+// Section 6, after Staworko, Chomicki & Marcinkowski [34]: instead of
+// numeric likelihoods, the user ranks operations; at every state the
+// chain puts uniform mass on the *highest-ranked* valid extensions and
+// zero on all others. Prioritized repairs are then exactly the repairs
+// reachable through top-priority operations.
+
+#ifndef OPCQA_REPAIR_PRIORITY_GENERATOR_H_
+#define OPCQA_REPAIR_PRIORITY_GENERATOR_H_
+
+#include <functional>
+#include <map>
+
+#include "repair/chain_generator.h"
+
+namespace opcqa {
+
+class PriorityChainGenerator : public ChainGenerator {
+ public:
+  /// Larger rank = more preferred. Ties share the mass uniformly.
+  using RankFn =
+      std::function<int64_t(const RepairingState&, const Operation&)>;
+
+  PriorityChainGenerator(std::string name, RankFn rank,
+                         bool deletions_only = false)
+      : name_(std::move(name)), rank_(std::move(rank)),
+        deletions_only_(deletions_only) {}
+
+  std::vector<Rational> Probabilities(
+      const RepairingState& state,
+      const std::vector<Operation>& extensions) const override;
+
+  std::string name() const override { return name_; }
+  bool supports_only_deletions() const override { return deletions_only_; }
+
+  /// Rank = −|F| : prefer operations that change as few facts as possible
+  /// (single-fact deletions beat pair deletions — the classical
+  /// subset-repair flavour).
+  static PriorityChainGenerator MinimalChange();
+
+  /// Rank by a per-fact score: an operation's rank is the negated maximum
+  /// score of the facts it deletes, so low-score (e.g. low-trust) facts
+  /// are deleted first. Additions rank lowest.
+  static PriorityChainGenerator DeleteLowestScoreFirst(
+      std::map<Fact, int64_t> scores, int64_t default_score = 0);
+
+ private:
+  std::string name_;
+  RankFn rank_;
+  bool deletions_only_;
+};
+
+}  // namespace opcqa
+
+#endif  // OPCQA_REPAIR_PRIORITY_GENERATOR_H_

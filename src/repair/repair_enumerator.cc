@@ -1,0 +1,141 @@
+#include "repair/repair_enumerator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace opcqa {
+
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(const ConstraintSet& constraints, const ChainGenerator& generator,
+             const EnumerationOptions& options)
+      : constraints_(constraints), generator_(generator), options_(options) {}
+
+  EnumerationResult Run(const Database& db) {
+    auto context = RepairContext::Make(db, constraints_);
+    RepairingState root(context);
+    Visit(root, Rational(1));
+    // Assemble the result.
+    EnumerationResult result = std::move(result_);
+    for (auto& [repair, info] : aggregated_) {
+      result.repairs.push_back(RepairInfo{repair, info.first, info.second});
+    }
+    std::sort(result.repairs.begin(), result.repairs.end(),
+              [](const RepairInfo& a, const RepairInfo& b) {
+                int cmp = a.probability.Compare(b.probability);
+                if (cmp != 0) return cmp > 0;
+                return a.repair < b.repair;
+              });
+    return result;
+  }
+
+ private:
+  void Visit(const RepairingState& state, const Rational& mass) {
+    if (result_.truncated) return;
+    ++result_.states_visited;
+    if (result_.states_visited > options_.max_states) {
+      result_.truncated = true;
+      return;
+    }
+    result_.max_depth = std::max(result_.max_depth, state.depth());
+    std::vector<Operation> extensions = state.ValidExtensions();
+    if (extensions.empty()) {
+      // Absorbing state (complete sequence).
+      ++result_.absorbing_states;
+      if (state.IsConsistent()) {
+        ++result_.successful_sequences;
+        result_.success_mass += mass;
+        auto& slot = aggregated_[state.current()];
+        slot.first += mass;
+        slot.second += 1;
+      } else {
+        ++result_.failing_sequences;
+        result_.failing_mass += mass;
+      }
+      return;
+    }
+    std::vector<Rational> probs =
+        CheckedProbabilities(generator_, state, extensions);
+    for (size_t i = 0; i < extensions.size(); ++i) {
+      if (options_.prune_zero_probability && probs[i].is_zero()) continue;
+      RepairingState child = state;
+      child.ApplyTrusted(extensions[i]);
+      Visit(child, mass * probs[i]);
+      if (result_.truncated) return;
+    }
+  }
+
+  const ConstraintSet& constraints_;
+  const ChainGenerator& generator_;
+  const EnumerationOptions& options_;
+  EnumerationResult result_;
+  std::map<Database, std::pair<Rational, size_t>> aggregated_;
+};
+
+}  // namespace
+
+Rational EnumerationResult::ProbabilityOf(const Database& repair) const {
+  for (const RepairInfo& info : repairs) {
+    if (info.repair == repair) return info.probability;
+  }
+  return Rational(0);
+}
+
+EnumerationResult EnumerateRepairs(const Database& db,
+                                   const ConstraintSet& constraints,
+                                   const ChainGenerator& generator,
+                                   const EnumerationOptions& options) {
+  Enumerator enumerator(constraints, generator, options);
+  return enumerator.Run(db);
+}
+
+namespace {
+
+void RenderNode(const RepairingState& state, const ChainGenerator& generator,
+                const std::string& edge_label, size_t depth, size_t max_depth,
+                std::string* out) {
+  const Schema& schema = state.context().initial.schema();
+  for (size_t i = 0; i < depth; ++i) *out += "  ";
+  if (depth == 0) {
+    *out += "ε";
+  } else {
+    *out += edge_label;
+  }
+  std::vector<Operation> extensions = state.ValidExtensions();
+  if (extensions.empty()) {
+    *out += state.IsConsistent() ? "  [repair: " : "  [FAILING: ";
+    *out += state.current().ToString();
+    *out += "]";
+  }
+  *out += "\n";
+  if (extensions.empty() || depth >= max_depth) return;
+  std::vector<Rational> probs =
+      CheckedProbabilities(generator, state, extensions);
+  for (size_t i = 0; i < extensions.size(); ++i) {
+    if (probs[i].is_zero()) continue;
+    RepairingState child = state;
+    child.ApplyTrusted(extensions[i]);
+    std::string label = StrCat(extensions[i].ToString(schema), "  (p=",
+                               probs[i].ToString(), ")");
+    RenderNode(child, generator, label, depth + 1, max_depth, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderChainTree(const Database& db,
+                            const ConstraintSet& constraints,
+                            const ChainGenerator& generator,
+                            size_t max_depth) {
+  auto context = RepairContext::Make(db, constraints);
+  RepairingState root(context);
+  std::string out;
+  RenderNode(root, generator, "", 0, max_depth, &out);
+  return out;
+}
+
+}  // namespace opcqa

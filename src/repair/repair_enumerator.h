@@ -1,0 +1,75 @@
+// Exact enumeration of the repairing Markov chain.
+//
+// The chain MΣ(D) is a finite tree (Proposition 2), so its hitting
+// distribution exists (Proposition 3) and equals, for each absorbing state
+// (complete sequence) s, the product of edge probabilities along the unique
+// path ε → s. EnumerateRepairs walks the virtual tree depth-first,
+// aggregates the probability mass of every operational repair
+// (Definition 6), and reports the failing mass separately — the denominator
+// of the conditional probability CP (Section 4).
+//
+// This is the FP#P-hard exact computation (Theorem 5); a node budget guards
+// against runaway instances and reports truncation honestly.
+
+#ifndef OPCQA_REPAIR_REPAIR_ENUMERATOR_H_
+#define OPCQA_REPAIR_REPAIR_ENUMERATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "repair/chain_generator.h"
+
+namespace opcqa {
+
+struct EnumerationOptions {
+  /// Maximum number of chain states to visit before giving up.
+  size_t max_states = 1u << 22;
+  /// Skip zero-probability edges (they are unreachable in the chain).
+  bool prune_zero_probability = true;
+};
+
+/// One operational repair with its probability.
+struct RepairInfo {
+  Database repair;
+  Rational probability;
+  /// Number of successful sequences s with s(D) = repair.
+  size_t num_sequences = 0;
+};
+
+struct EnumerationResult {
+  /// [[D]]_MΣ: repairs with positive probability, most probable first
+  /// (ties broken by database order for determinism).
+  std::vector<RepairInfo> repairs;
+  /// Σ probabilities of successful absorbing states (the CP denominator).
+  Rational success_mass;
+  /// Σ probabilities of failing absorbing states.
+  Rational failing_mass;
+  size_t states_visited = 0;
+  size_t absorbing_states = 0;
+  size_t successful_sequences = 0;
+  size_t failing_sequences = 0;
+  size_t max_depth = 0;
+  /// True when max_states was hit; masses are then lower bounds.
+  bool truncated = false;
+
+  /// Probability of a specific repair (0 when absent).
+  Rational ProbabilityOf(const Database& repair) const;
+};
+
+/// Walks MΣ(D) and returns the full repair distribution.
+EnumerationResult EnumerateRepairs(const Database& db,
+                                   const ConstraintSet& constraints,
+                                   const ChainGenerator& generator,
+                                   const EnumerationOptions& options = {});
+
+/// Renders the chain as an indented tree (the figure of Section 3) up to
+/// `max_depth`. Intended for small teaching instances.
+std::string RenderChainTree(const Database& db,
+                            const ConstraintSet& constraints,
+                            const ChainGenerator& generator,
+                            size_t max_depth = 8);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_REPAIR_REPAIR_ENUMERATOR_H_

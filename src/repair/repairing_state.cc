@@ -1,0 +1,143 @@
+#include "repair/repairing_state.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace opcqa {
+
+std::shared_ptr<const RepairContext> RepairContext::Make(
+    Database db, ConstraintSet constraints) {
+  BaseSpec base = BaseSpec::ForDatabase(db, ConstantsOf(constraints));
+  bool denial_only = IsDenialOnly(constraints);
+  auto context = std::make_shared<RepairContext>(RepairContext{
+      std::move(db), std::move(constraints), std::move(base), denial_only});
+  return context;
+}
+
+RepairingState::RepairingState(std::shared_ptr<const RepairContext> context)
+    : context_(std::move(context)),
+      db_(context_->initial),
+      violations_(ComputeViolations(db_, context_->constraints)) {}
+
+bool RepairingState::CheckNoCancellation(const Operation& op) const {
+  // "+F then −G with F ∩ G ≠ ∅" is forbidden in either order.
+  const std::set<Fact>& conflicting = op.is_add() ? removed_ : added_;
+  for (const Fact& fact : op.facts()) {
+    if (conflicting.count(fact) > 0) return false;
+  }
+  return true;
+}
+
+bool RepairingState::CheckReq2(const Database& next_db,
+                               ViolationSet* next_violations) const {
+  *next_violations = ComputeViolations(next_db, context_->constraints);
+  // No violation eliminated earlier (including by the candidate op itself,
+  // which cannot re-introduce what it just removed) may be present again.
+  for (const Violation& v : *next_violations) {
+    if (eliminated_.count(v) > 0) return false;
+  }
+  return true;
+}
+
+bool RepairingState::CheckGlobalJustification(const Operation& op) const {
+  if (!op.is_remove()) return true;  // H only grows through deletions
+  for (const AdditionRecord& record : additions_) {
+    Database reduced = record.pre_db;
+    for (const Fact& fact : record.removed_after) reduced.Erase(fact);
+    for (const Fact& fact : op.facts()) reduced.Erase(fact);
+    if (!IsJustified(reduced, context_->constraints, context_->base,
+                     record.op)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RepairingState::CanApply(const Operation& op) const {
+  // Operations must stay inside the base (Definition 1).
+  for (const Fact& fact : op.facts()) {
+    if (!context_->base.Contains(fact)) return false;
+  }
+  // Additions of present facts / removals of absent facts would make the
+  // operation a partial no-op; justified operations never do this, and
+  // tightness below rejects them, but reject cheaply first.
+  for (const Fact& fact : op.facts()) {
+    if (op.is_add() && db_.Contains(fact)) return false;
+    if (op.is_remove() && !db_.Contains(fact)) return false;
+  }
+  if (!CheckNoCancellation(op)) return false;
+  // Local justification (implies req1).
+  if (!IsJustified(db_, context_->constraints, context_->base, op)) {
+    return false;
+  }
+  Database next_db = op.Apply(db_);
+  ViolationSet next_violations;
+  if (!CheckReq2(next_db, &next_violations)) return false;
+  if (!CheckGlobalJustification(op)) return false;
+  return true;
+}
+
+void RepairingState::Apply(const Operation& op) {
+  OPCQA_CHECK(CanApply(op)) << "operation is not a valid extension: "
+                            << op.ToString(context_->initial.schema());
+  ApplyTrusted(op);
+}
+
+void RepairingState::ApplyTrusted(const Operation& op) {
+  Database next_db = op.Apply(db_);
+  ViolationSet next_violations =
+      ComputeViolations(next_db, context_->constraints);
+  // Track eliminated violations (req2 bookkeeping).
+  for (const Violation& v : violations_) {
+    if (next_violations.count(v) == 0) eliminated_.insert(v);
+  }
+  // Track fact provenance (no-cancellation) and addition records (global
+  // justification).
+  if (op.is_add()) {
+    AdditionRecord record{op, db_, {}};
+    additions_.push_back(std::move(record));
+    for (const Fact& fact : op.facts()) added_.insert(fact);
+  } else {
+    for (AdditionRecord& record : additions_) {
+      for (const Fact& fact : op.facts()) record.removed_after.insert(fact);
+    }
+    for (const Fact& fact : op.facts()) removed_.insert(fact);
+  }
+  db_ = std::move(next_db);
+  violations_ = std::move(next_violations);
+  sequence_.push_back(op);
+}
+
+std::vector<Operation> RepairingState::ValidExtensions() const {
+  if (violations_.empty()) return {};  // consistent ⇒ nothing is justified
+  if (context_->denial_only) {
+    // Fast path: every justified deletion is a valid extension (no
+    // cancellation partners, no resurrections, no additions to
+    // re-justify).
+    return JustifiedDeletions(db_, context_->constraints, violations_);
+  }
+  std::vector<Operation> candidates = JustifiedOperations(
+      db_, context_->constraints, violations_, context_->base);
+  std::vector<Operation> valid;
+  valid.reserve(candidates.size());
+  for (const Operation& op : candidates) {
+    // Candidates are locally justified by construction; check the cheaper
+    // conditions first, then req2 / global justification.
+    if (!CheckNoCancellation(op)) continue;
+    Database next_db = op.Apply(db_);
+    ViolationSet next_violations;
+    if (!CheckReq2(next_db, &next_violations)) continue;
+    if (!CheckGlobalJustification(op)) continue;
+    valid.push_back(op);
+  }
+  return valid;
+}
+
+std::string RepairingState::ToString() const {
+  return StrCat(SequenceToString(sequence_, context_->initial.schema()),
+                " ⇒ {", db_.ToString(), "}");
+}
+
+}  // namespace opcqa

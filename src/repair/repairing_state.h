@@ -1,0 +1,109 @@
+// RepairingState: one state of the virtual repairing Markov chain — a
+// repairing sequence s together with everything needed to check, in
+// amortized polynomial time, whether s · op is still a repairing sequence
+// (Definition 4):
+//
+//   req1 (progress)        — op eliminates at least one violation;
+//   req2 (no resurrection) — violations eliminated earlier never reappear;
+//   Local Justification    — op is (D^s_i, Σ)-justified (Definition 3);
+//   No Cancellation        — added facts are never removed and vice versa;
+//   Global Justification   — earlier additions stay justified when later
+//                            deletions are taken into account.
+//
+// States are copyable; the exact enumerator copies them along DFS branches.
+
+#ifndef OPCQA_REPAIR_REPAIRING_STATE_H_
+#define OPCQA_REPAIR_REPAIRING_STATE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "constraints/violation.h"
+#include "relational/base.h"
+#include "repair/justified.h"
+#include "repair/operation.h"
+
+namespace opcqa {
+
+/// Immutable context shared by all states of one repairing process.
+struct RepairContext {
+  Database initial;          // D
+  ConstraintSet constraints; // Σ
+  BaseSpec base;             // B(D,Σ)
+  // With EGDs/DCs only, justified operations are deletions, deletions are
+  // violation-monotone (req2 holds for free) and there are no additions to
+  // re-justify — ValidExtensions takes a fast path.
+  bool denial_only = false;
+
+  /// Builds the context, deriving B(D,Σ) from D and the constants of Σ.
+  static std::shared_ptr<const RepairContext> Make(Database db,
+                                                   ConstraintSet constraints);
+};
+
+class RepairingState {
+ public:
+  /// The empty sequence ε over D.
+  explicit RepairingState(std::shared_ptr<const RepairContext> context);
+
+  const RepairContext& context() const { return *context_; }
+  /// D^s_i — the database after applying the whole sequence.
+  const Database& current() const { return db_; }
+  /// The sequence s itself.
+  const OperationSequence& sequence() const { return sequence_; }
+  size_t depth() const { return sequence_.size(); }
+  /// V(D^s_i, Σ).
+  const ViolationSet& violations() const { return violations_; }
+  bool IsConsistent() const { return violations_.empty(); }
+
+  /// Every operation op such that s · op is a repairing sequence. Sorted
+  /// deterministically. Empty iff the sequence is complete.
+  std::vector<Operation> ValidExtensions() const;
+
+  /// True when s · op is a repairing sequence (op need not come from
+  /// ValidExtensions()).
+  bool CanApply(const Operation& op) const;
+
+  /// Appends op; CHECK-fails unless CanApply(op).
+  void Apply(const Operation& op);
+
+  /// Appends op without re-validating. Only pass operations obtained from
+  /// ValidExtensions() of *this* state (hot path of the enumerator and the
+  /// Sample algorithm).
+  void ApplyTrusted(const Operation& op);
+
+  /// Complete = no valid extension (absorbing state of the chain).
+  bool IsComplete() const { return ValidExtensions().empty(); }
+  /// A complete sequence is successful iff the result satisfies Σ.
+  bool IsSuccessful() const { return IsConsistent() && IsComplete(); }
+  /// Complete but inconsistent (the chain got stuck).
+  bool IsFailing() const { return !IsConsistent() && IsComplete(); }
+
+  std::string ToString() const;
+
+ private:
+  // One record per earlier addition, for Global Justification re-checks.
+  struct AdditionRecord {
+    Operation op;
+    Database pre_db;              // D^s_{i-1}
+    std::set<Fact> removed_after; // H: facts deleted at steps k > i
+  };
+
+  bool CheckNoCancellation(const Operation& op) const;
+  bool CheckReq2(const Database& next_db, ViolationSet* next_violations) const;
+  bool CheckGlobalJustification(const Operation& op) const;
+
+  std::shared_ptr<const RepairContext> context_;
+  Database db_;
+  OperationSequence sequence_;
+  ViolationSet violations_;   // V(current)
+  ViolationSet eliminated_;   // ∪_i V(D_{i-1}) − V(D_i)
+  std::set<Fact> added_;
+  std::set<Fact> removed_;
+  std::vector<AdditionRecord> additions_;
+};
+
+}  // namespace opcqa
+
+#endif  // OPCQA_REPAIR_REPAIRING_STATE_H_

@@ -1,0 +1,90 @@
+#include "repair/sampler.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace opcqa {
+
+double ApproxOcaResult::Estimate(const Tuple& tuple) const {
+  auto it = estimates.find(tuple);
+  return it == estimates.end() ? 0.0 : it->second;
+}
+
+Sampler::Sampler(const Database& db, const ConstraintSet& constraints,
+                 const ChainGenerator* generator, uint64_t seed)
+    : context_(RepairContext::Make(db, constraints)),
+      generator_(generator),
+      rng_(seed) {
+  OPCQA_CHECK(generator != nullptr);
+}
+
+size_t Sampler::NumSamples(double epsilon, double delta) {
+  OPCQA_CHECK_GT(epsilon, 0.0);
+  OPCQA_CHECK(delta > 0.0 && delta < 1.0);
+  return static_cast<size_t>(
+      std::ceil(std::log(2.0 / delta) / (2.0 * epsilon * epsilon)));
+}
+
+WalkResult Sampler::RunWalk() {
+  RepairingState state(context_);
+  WalkResult result;
+  for (;;) {
+    std::vector<Operation> extensions = state.ValidExtensions();
+    if (extensions.empty()) break;  // absorbing
+    std::vector<Rational> probs =
+        CheckedProbabilities(*generator_, state, extensions);
+    size_t pick = rng_.WeightedIndex(probs);
+    state.ApplyTrusted(extensions[pick]);
+    ++result.steps;
+  }
+  result.successful = state.IsConsistent();
+  result.final_db = state.current();
+  return result;
+}
+
+double Sampler::EstimateTuple(const Query& query, const Tuple& tuple,
+                              double epsilon, double delta) {
+  size_t n = NumSamples(epsilon, delta);
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    WalkResult walk = RunWalk();
+    if (walk.successful && query.Contains(walk.final_db, tuple)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+ApproxOcaResult Sampler::EstimateOcaWithWalks(const Query& query,
+                                              size_t walks) {
+  ApproxOcaResult result;
+  result.walks = walks;
+  std::map<Tuple, size_t> counts;
+  for (size_t i = 0; i < walks; ++i) {
+    WalkResult walk = RunWalk();
+    result.total_steps += walk.steps;
+    if (!walk.successful) {
+      ++result.failing_walks;
+      continue;
+    }
+    ++result.successful_walks;
+    for (const Tuple& tuple : query.Evaluate(walk.final_db)) {
+      ++counts[tuple];
+    }
+  }
+  for (const auto& [tuple, count] : counts) {
+    result.estimates[tuple] =
+        static_cast<double>(count) / static_cast<double>(walks);
+  }
+  return result;
+}
+
+ApproxOcaResult Sampler::EstimateOca(const Query& query, double epsilon,
+                                     double delta) {
+  ApproxOcaResult result =
+      EstimateOcaWithWalks(query, NumSamples(epsilon, delta));
+  result.epsilon = epsilon;
+  result.delta = delta;
+  return result;
+}
+
+}  // namespace opcqa

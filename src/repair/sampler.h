@@ -1,0 +1,81 @@
+// The randomized approximation scheme of Section 5 (Theorem 9, Prop. 10).
+//
+// Algorithm Sample performs one random walk of the repairing Markov chain:
+// starting from ε it repeatedly samples an extension according to the
+// generator's probabilities until an absorbing state is reached, then
+// reports the resulting database. For non-failing generators every walk
+// ends in an operational repair distributed by the hitting distribution,
+// so 1{t̄ ∈ Q(s(D))} is an unbiased Bernoulli sample of CP(t̄).
+//
+// Hoeffding's inequality turns n = ⌈ln(2/δ) / (2ε²)⌉ walks into an additive
+// (ε,δ)-approximation: Pr(|estimate − CP(t̄)| ≤ ε) ≥ 1 − δ. (ε = δ = 0.1
+// gives the paper's n = 150.)
+
+#ifndef OPCQA_REPAIR_SAMPLER_H_
+#define OPCQA_REPAIR_SAMPLER_H_
+
+#include <map>
+
+#include "logic/query.h"
+#include "repair/chain_generator.h"
+#include "util/random.h"
+
+namespace opcqa {
+
+/// Result of one chain walk.
+struct WalkResult {
+  Database final_db;
+  size_t steps = 0;
+  /// True when the walk ended in a consistent database (always true for
+  /// non-failing generators, Proposition 8).
+  bool successful = false;
+};
+
+/// Aggregate of an (ε,δ) estimation run.
+struct ApproxOcaResult {
+  /// tuple → fraction of successful walks whose repair answered it. Each
+  /// individual tuple estimate carries the (ε,δ) additive guarantee.
+  std::map<Tuple, double> estimates;
+  size_t walks = 0;
+  size_t successful_walks = 0;
+  size_t failing_walks = 0;
+  size_t total_steps = 0;
+  double epsilon = 0;
+  double delta = 0;
+
+  double Estimate(const Tuple& tuple) const;
+};
+
+class Sampler {
+ public:
+  Sampler(const Database& db, const ConstraintSet& constraints,
+          const ChainGenerator* generator, uint64_t seed);
+
+  /// n(ε,δ) = ⌈ln(2/δ) / (2ε²)⌉ (Hoeffding).
+  static size_t NumSamples(double epsilon, double delta);
+
+  /// One execution of algorithm Sample.
+  WalkResult RunWalk();
+
+  /// Estimates CP(t̄) for a single tuple with additive error ε at
+  /// confidence 1−δ. Failing walks (impossible for non-failing generators)
+  /// contribute 0, matching Pr(Sample = 1) = Σ_{t̄∈Q(D′)} p.
+  double EstimateTuple(const Query& query, const Tuple& tuple, double epsilon,
+                       double delta);
+
+  /// Runs n(ε,δ) walks once and scores every answer tuple encountered.
+  ApproxOcaResult EstimateOca(const Query& query, double epsilon,
+                              double delta);
+
+  /// Same, with an explicit number of walks.
+  ApproxOcaResult EstimateOcaWithWalks(const Query& query, size_t walks);
+
+ private:
+  std::shared_ptr<const RepairContext> context_;
+  const ChainGenerator* generator_;
+  Rng rng_;
+};
+
+}  // namespace opcqa
+
+#endif  // OPCQA_REPAIR_SAMPLER_H_

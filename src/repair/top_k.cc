@@ -1,0 +1,139 @@
+#include "repair/top_k.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <queue>
+
+namespace opcqa {
+namespace {
+
+/// A frontier entry: a state with the probability of its unique path.
+struct FrontierEntry {
+  Rational probability;
+  std::shared_ptr<RepairingState> state;
+};
+
+struct EntryLess {
+  bool operator()(const FrontierEntry& a, const FrontierEntry& b) const {
+    return a.probability < b.probability;  // max-heap on probability
+  }
+};
+
+/// True when the top-k prefix of `masses` (sorted descending) can no
+/// longer be displaced by `frontier_mass` of undiscovered/late mass.
+bool TopKCertified(const std::vector<Rational>& masses, size_t k,
+                   const Rational& frontier_mass) {
+  if (masses.size() < k) return false;
+  Rational kth = masses[k - 1];
+  Rational challenger =
+      masses.size() > k ? masses[k] : Rational(0);
+  return kth >= challenger + frontier_mass;
+}
+
+}  // namespace
+
+const RepairInfo& TopKResult::Map() const {
+  OPCQA_CHECK(!repairs.empty()) << "no repair discovered";
+  return repairs.front();
+}
+
+TopKResult TopKRepairs(const Database& db, const ConstraintSet& constraints,
+                       const ChainGenerator& generator, size_t k,
+                       const TopKOptions& options) {
+  OPCQA_CHECK_GT(k, 0u);
+  TopKResult result;
+  auto context = RepairContext::Make(db, constraints);
+
+  std::priority_queue<FrontierEntry, std::vector<FrontierEntry>, EntryLess>
+      frontier;
+  frontier.push(FrontierEntry{
+      Rational(1), std::make_shared<RepairingState>(context)});
+  result.frontier_mass = Rational(1);
+
+  std::map<Database, Rational> repair_mass;
+  std::map<Database, size_t> repair_sequences;
+
+  auto sorted_masses = [&]() {
+    std::vector<Rational> masses;
+    masses.reserve(repair_mass.size());
+    for (const auto& [repair, mass] : repair_mass) masses.push_back(mass);
+    std::sort(masses.begin(), masses.end(),
+              [](const Rational& a, const Rational& b) { return b < a; });
+    return masses;
+  };
+
+  // The certification test sorts all discovered repair masses; running it
+  // on every expansion would dominate the search, so it is amortized.
+  constexpr size_t kCertificationStride = 16;
+
+  while (!frontier.empty()) {
+    if (result.states_expanded >= options.max_states) break;
+    if (!options.frontier_epsilon.is_zero() &&
+        result.frontier_mass <= options.frontier_epsilon) {
+      break;
+    }
+    if (result.states_expanded % kCertificationStride == 0 &&
+        TopKCertified(sorted_masses(), k, result.frontier_mass)) {
+      result.certified = true;
+      break;
+    }
+
+    FrontierEntry entry = frontier.top();
+    frontier.pop();
+    ++result.states_expanded;
+    result.frontier_mass -= entry.probability;
+
+    std::vector<Operation> extensions = entry.state->ValidExtensions();
+    if (extensions.empty()) {
+      // Absorbing state.
+      if (entry.state->IsConsistent()) {
+        result.explored_success_mass += entry.probability;
+        repair_mass[entry.state->current()] += entry.probability;
+        ++repair_sequences[entry.state->current()];
+      } else {
+        result.explored_failing_mass += entry.probability;
+      }
+      continue;
+    }
+    std::vector<Rational> probabilities =
+        CheckedProbabilities(generator, *entry.state, extensions);
+    for (size_t i = 0; i < extensions.size(); ++i) {
+      if (probabilities[i].is_zero()) continue;  // unreachable edge
+      auto child = std::make_shared<RepairingState>(*entry.state);
+      child->ApplyTrusted(extensions[i]);
+      Rational child_probability = entry.probability * probabilities[i];
+      result.frontier_mass += child_probability;
+      frontier.push(FrontierEntry{std::move(child_probability),
+                                  std::move(child)});
+    }
+  }
+
+  result.exact = frontier.empty();
+  if (result.exact) {
+    // Full enumeration: the prefix is final whatever k is.
+    result.certified = true;
+  } else if (!result.certified) {
+    result.certified =
+        TopKCertified(sorted_masses(), k, result.frontier_mass);
+  }
+
+  result.repairs.reserve(repair_mass.size());
+  for (auto& [repair, mass] : repair_mass) {
+    RepairInfo info;
+    info.repair = repair;
+    info.probability = mass;
+    info.num_sequences = repair_sequences[repair];
+    result.repairs.push_back(std::move(info));
+  }
+  std::sort(result.repairs.begin(), result.repairs.end(),
+            [](const RepairInfo& a, const RepairInfo& b) {
+              if (a.probability != b.probability) {
+                return b.probability < a.probability;
+              }
+              return a.repair < b.repair;
+            });
+  return result;
+}
+
+}  // namespace opcqa

@@ -1,0 +1,64 @@
+// Anytime top-k repair search — an engine-level optimization in the
+// spirit of Section 6's "Optimizations" direction: often one only needs
+// the most probable repair(s) (MAP repair, data cleaning suggestions),
+// not the full FP^#P distribution.
+//
+// The repairing chain is a tree, so the probability of reaching a state
+// only decreases along a path. Best-first expansion by path probability
+// therefore explores high-mass regions first; at any point,
+//
+//   * every discovered repair carries a lower bound on its probability
+//     (the mass of the absorbing states found so far that map to it), and
+//   * `frontier_mass` (the total probability of unexpanded states) upper-
+//     bounds both the mass any undiscovered repair can have and the mass
+//     any discovered repair can still gain.
+//
+// The search certifies the top-k set as soon as the k-th best discovered
+// lower bound is ≥ the (k+1)-th best + frontier mass — no unexplored or
+// trailing repair can break into the top k. Expanding to an empty
+// frontier reproduces exact enumeration.
+
+#ifndef OPCQA_REPAIR_TOP_K_H_
+#define OPCQA_REPAIR_TOP_K_H_
+
+#include <vector>
+
+#include "repair/repair_enumerator.h"
+
+namespace opcqa {
+
+struct TopKOptions {
+  /// Hard budget on expanded states.
+  size_t max_states = 1u << 22;
+  /// Stop early once frontier mass drops to or below this value (0 =
+  /// run until certified / exhausted / out of budget).
+  Rational frontier_epsilon = Rational(0);
+};
+
+struct TopKResult {
+  /// Discovered repairs, most probable first. Probabilities are exact
+  /// lower bounds; when `exact` they are the true probabilities.
+  std::vector<RepairInfo> repairs;
+  /// Mass of successful / failing absorbing states found so far.
+  Rational explored_success_mass;
+  Rational explored_failing_mass;
+  /// Total probability of states not yet expanded.
+  Rational frontier_mass;
+  /// True when the frontier was exhausted (full enumeration).
+  bool exact = false;
+  /// True when the top-k prefix can no longer change (see file comment).
+  bool certified = false;
+  size_t states_expanded = 0;
+
+  /// The best-known repair (CHECK-fails when none was found).
+  const RepairInfo& Map() const;
+};
+
+/// Best-first search for the k most probable operational repairs.
+TopKResult TopKRepairs(const Database& db, const ConstraintSet& constraints,
+                       const ChainGenerator& generator, size_t k,
+                       const TopKOptions& options = {});
+
+}  // namespace opcqa
+
+#endif  // OPCQA_REPAIR_TOP_K_H_

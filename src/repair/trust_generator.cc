@@ -1,0 +1,80 @@
+#include "repair/trust_generator.h"
+
+#include <set>
+
+#include "util/logging.h"
+
+namespace opcqa {
+
+TrustChainGenerator::TrustChainGenerator(std::map<Fact, Rational> trust,
+                                         Rational default_trust)
+    : trust_(std::move(trust)), default_trust_(std::move(default_trust)) {
+  for (const auto& [fact, level] : trust_) {
+    OPCQA_CHECK(!level.is_negative() && !level.is_zero() &&
+                level <= Rational(1))
+        << "trust levels must lie in (0,1]";
+  }
+  OPCQA_CHECK(!default_trust_.is_negative() && !default_trust_.is_zero() &&
+              default_trust_ <= Rational(1));
+}
+
+Rational TrustChainGenerator::TrustOf(const Fact& fact) const {
+  auto it = trust_.find(fact);
+  return it == trust_.end() ? default_trust_ : it->second;
+}
+
+Rational TrustChainGenerator::RelativeTrust(const Fact& alpha,
+                                            const Fact& beta) const {
+  Rational ta = TrustOf(alpha);
+  Rational tb = TrustOf(beta);
+  return ta / (ta + tb);
+}
+
+std::vector<Rational> TrustChainGenerator::Probabilities(
+    const RepairingState& state,
+    const std::vector<Operation>& extensions) const {
+  // VΣ(s(D)): the violating pairs {α,β}. Pairs are stored sorted.
+  std::set<std::pair<Fact, Fact>> pairs;
+  for (const Violation& v : state.violations()) {
+    std::vector<Fact> image = BodyImage(state.context().constraints, v);
+    OPCQA_CHECK_EQ(image.size(), 2u)
+        << "TrustChainGenerator expects key-style violations over exactly "
+        << "two facts";
+    pairs.emplace(image[0], image[1]);
+  }
+  OPCQA_CHECK(!pairs.empty());
+  Rational pair_count(static_cast<int64_t>(pairs.size()));
+
+  auto pair_weight = [&](const Fact& alpha, const Fact& beta,
+                         const Operation& op) -> Rational {
+    if (!op.is_remove()) return Rational(0);
+    Rational t_ab = RelativeTrust(alpha, beta);  // tr_{α|β}
+    Rational t_ba = RelativeTrust(beta, alpha);  // tr_{β|α}
+    Rational distrust_both = (Rational(1) - t_ab) * (Rational(1) - t_ba);
+    Rational keep_one = Rational(1) - t_ab * t_ba;
+    if (op.size() == 1) {
+      const Fact& f = op.facts().front();
+      if (f == alpha) return t_ba * keep_one;  // trust β, drop α
+      if (f == beta) return t_ab * keep_one;   // trust α, drop β
+      return Rational(0);
+    }
+    if (op.size() == 2 && op.facts()[0] == std::min(alpha, beta) &&
+        op.facts()[1] == std::max(alpha, beta)) {
+      return distrust_both;  // trust neither
+    }
+    return Rational(0);
+  };
+
+  std::vector<Rational> probs;
+  probs.reserve(extensions.size());
+  for (const Operation& op : extensions) {
+    Rational weight;
+    for (const auto& [alpha, beta] : pairs) {
+      weight += pair_weight(alpha, beta, op);
+    }
+    probs.push_back(weight / pair_count);
+  }
+  return probs;
+}
+
+}  // namespace opcqa

@@ -1,0 +1,224 @@
+#include "sql/ast.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace opcqa {
+namespace sql {
+namespace {
+
+/// Quotes a literal back into SQL syntax. Bare integers stay bare; anything
+/// else becomes a single-quoted string with '' escaping.
+std::string QuoteLiteral(const std::string& text) {
+  if (!text.empty()) {
+    bool all_digits = true;
+    for (char c : text) {
+      if (c < '0' || c > '9') {
+        all_digits = false;
+        break;
+      }
+    }
+    if (all_digits) return text;
+  }
+  std::string out = "'";
+  for (char c : text) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+std::string Operand::ToString() const {
+  if (kind == Kind::kLiteral) return QuoteLiteral(literal);
+  if (table.empty()) return column;
+  return StrCat(table, ".", column);
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNeq: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+ConditionPtr Condition::Compare(CompareOp op, Operand lhs, Operand rhs) {
+  auto cond = std::make_shared<Condition>();
+  cond->kind = Kind::kCompare;
+  cond->op = op;
+  cond->lhs = std::move(lhs);
+  cond->rhs = std::move(rhs);
+  return cond;
+}
+
+ConditionPtr Condition::And(std::vector<ConditionPtr> children) {
+  OPCQA_CHECK_GE(children.size(), 2u);
+  auto cond = std::make_shared<Condition>();
+  cond->kind = Kind::kAnd;
+  cond->children = std::move(children);
+  return cond;
+}
+
+ConditionPtr Condition::Or(std::vector<ConditionPtr> children) {
+  OPCQA_CHECK_GE(children.size(), 2u);
+  auto cond = std::make_shared<Condition>();
+  cond->kind = Kind::kOr;
+  cond->children = std::move(children);
+  return cond;
+}
+
+ConditionPtr Condition::Not(ConditionPtr child) {
+  OPCQA_CHECK(child != nullptr);
+  auto cond = std::make_shared<Condition>();
+  cond->kind = Kind::kNot;
+  cond->children = {std::move(child)};
+  return cond;
+}
+
+std::string Condition::ToString() const {
+  switch (kind) {
+    case Kind::kCompare:
+      return StrCat(lhs.ToString(), " ", CompareOpName(op), " ",
+                    rhs.ToString());
+    case Kind::kAnd: {
+      std::vector<std::string> parts;
+      parts.reserve(children.size());
+      for (const auto& child : children) {
+        parts.push_back(StrCat("(", child->ToString(), ")"));
+      }
+      return Join(parts, " AND ");
+    }
+    case Kind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(children.size());
+      for (const auto& child : children) {
+        parts.push_back(StrCat("(", child->ToString(), ")"));
+      }
+      return Join(parts, " OR ");
+    }
+    case Kind::kNot:
+      return StrCat("NOT (", children[0]->ToString(), ")");
+  }
+  return "?";
+}
+
+const char* AggregateFnName(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kNone: return "";
+    case AggregateFn::kCount: return "COUNT";
+    case AggregateFn::kCountStar: return "COUNT";
+    case AggregateFn::kSum: return "SUM";
+    case AggregateFn::kMin: return "MIN";
+    case AggregateFn::kMax: return "MAX";
+    case AggregateFn::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+std::string SelectItem::ToString() const {
+  std::string expr;
+  if (agg == AggregateFn::kCountStar) {
+    expr = "COUNT(*)";
+  } else if (agg != AggregateFn::kNone) {
+    expr = StrCat(AggregateFnName(agg), "(", operand.ToString(), ")");
+  } else {
+    expr = operand.ToString();
+  }
+  if (!alias.empty()) return StrCat(expr, " AS ", alias);
+  return expr;
+}
+
+std::string SelectItem::OutputName() const {
+  if (!alias.empty()) return alias;
+  switch (agg) {
+    case AggregateFn::kNone:
+      return operand.column;
+    case AggregateFn::kCountStar:
+      return "count";
+    case AggregateFn::kCount:
+      return StrCat("count_", operand.column);
+    case AggregateFn::kSum:
+      return StrCat("sum_", operand.column);
+    case AggregateFn::kMin:
+      return StrCat("min_", operand.column);
+    case AggregateFn::kMax:
+      return StrCat("max_", operand.column);
+    case AggregateFn::kAvg:
+      return StrCat("avg_", operand.column);
+  }
+  return "?";
+}
+
+std::string FromItem::ToString() const {
+  if (is_derived()) return StrCat("(", derived->ToString(), ") AS ", alias);
+  if (alias != table) return StrCat(table, " AS ", alias);
+  return table;
+}
+
+std::string SelectCore::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  if (select_star) {
+    out += "*";
+  } else {
+    std::vector<std::string> parts;
+    parts.reserve(items.size());
+    for (const SelectItem& item : items) parts.push_back(item.ToString());
+    out += Join(parts, ", ");
+  }
+  out += " FROM ";
+  std::vector<std::string> tables;
+  tables.reserve(from.size());
+  for (const FromItem& item : from) tables.push_back(item.ToString());
+  out += Join(tables, ", ");
+  if (where != nullptr) out += StrCat(" WHERE ", where->ToString());
+  if (!group_by.empty()) {
+    std::vector<std::string> cols;
+    cols.reserve(group_by.size());
+    for (const Operand& col : group_by) cols.push_back(col.ToString());
+    out += StrCat(" GROUP BY ", Join(cols, ", "));
+  }
+  return out;
+}
+
+StatementPtr Statement::MakeSelect(SelectCore core) {
+  auto stmt = std::make_shared<Statement>();
+  stmt->kind = Kind::kSelect;
+  stmt->select = std::move(core);
+  return stmt;
+}
+
+StatementPtr Statement::MakeSetOp(Kind kind, StatementPtr left,
+                                  StatementPtr right) {
+  OPCQA_CHECK(kind != Kind::kSelect);
+  OPCQA_CHECK(left != nullptr && right != nullptr);
+  auto stmt = std::make_shared<Statement>();
+  stmt->kind = kind;
+  stmt->left = std::move(left);
+  stmt->right = std::move(right);
+  return stmt;
+}
+
+std::string Statement::ToString() const {
+  switch (kind) {
+    case Kind::kSelect:
+      return select.ToString();
+    case Kind::kUnion:
+      return StrCat(left->ToString(), " UNION ", right->ToString());
+    case Kind::kExcept:
+      return StrCat(left->ToString(), " EXCEPT ", right->ToString());
+    case Kind::kIntersect:
+      return StrCat(left->ToString(), " INTERSECT ", right->ToString());
+  }
+  return "?";
+}
+
+}  // namespace sql
+}  // namespace opcqa

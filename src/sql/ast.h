@@ -1,0 +1,131 @@
+// Abstract syntax trees for the SQL fragment.
+//
+// The fragment is what the Section 5 scheme manipulates: SELECT-FROM-WHERE
+// blocks with derived tables, set operations (UNION / EXCEPT / INTERSECT),
+// grouping and the five standard aggregates. Trees are immutable and shared
+// (the rewriter produces new trees that share unchanged subtrees).
+
+#ifndef OPCQA_SQL_AST_H_
+#define OPCQA_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace opcqa {
+namespace sql {
+
+struct Statement;
+using StatementPtr = std::shared_ptr<const Statement>;
+
+/// A scalar operand: qualified/unqualified column reference or a literal.
+struct Operand {
+  enum class Kind { kColumn, kLiteral };
+
+  Kind kind = Kind::kColumn;
+  std::string table;    // optional qualifier (kColumn)
+  std::string column;   // kColumn
+  std::string literal;  // kLiteral: the constant's text (already unquoted)
+
+  static Operand Column(std::string table, std::string column) {
+    Operand op;
+    op.kind = Kind::kColumn;
+    op.table = std::move(table);
+    op.column = std::move(column);
+    return op;
+  }
+  static Operand Literal(std::string text) {
+    Operand op;
+    op.kind = Kind::kLiteral;
+    op.literal = std::move(text);
+    return op;
+  }
+
+  bool is_column() const { return kind == Kind::kColumn; }
+  std::string ToString() const;
+};
+
+enum class CompareOp { kEq, kNeq, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+/// WHERE condition tree.
+struct Condition;
+using ConditionPtr = std::shared_ptr<const Condition>;
+
+struct Condition {
+  enum class Kind { kCompare, kAnd, kOr, kNot };
+
+  Kind kind = Kind::kCompare;
+  // kCompare:
+  CompareOp op = CompareOp::kEq;
+  Operand lhs, rhs;
+  // kAnd / kOr (n-ary, n ≥ 2) and kNot (exactly one child):
+  std::vector<ConditionPtr> children;
+
+  static ConditionPtr Compare(CompareOp op, Operand lhs, Operand rhs);
+  static ConditionPtr And(std::vector<ConditionPtr> children);
+  static ConditionPtr Or(std::vector<ConditionPtr> children);
+  static ConditionPtr Not(ConditionPtr child);
+
+  std::string ToString() const;
+};
+
+enum class AggregateFn { kNone, kCount, kCountStar, kSum, kMin, kMax, kAvg };
+
+const char* AggregateFnName(AggregateFn fn);
+
+/// One item of the SELECT list.
+struct SelectItem {
+  AggregateFn agg = AggregateFn::kNone;
+  Operand operand;    // ignored for kCountStar
+  std::string alias;  // output column name; derived when empty
+
+  std::string ToString() const;
+  /// The output column name: alias, else a canonical derived name.
+  std::string OutputName() const;
+};
+
+/// One item of the FROM list: a base table or a derived table, with alias.
+struct FromItem {
+  std::string table;     // base-table name; empty for derived tables
+  StatementPtr derived;  // sub-select; null for base tables
+  std::string alias;     // never empty after parsing (defaults to table)
+
+  bool is_derived() const { return derived != nullptr; }
+  std::string ToString() const;
+};
+
+/// A single SELECT block.
+struct SelectCore {
+  bool distinct = false;
+  bool select_star = false;       // SELECT *
+  std::vector<SelectItem> items;  // empty iff select_star
+  std::vector<FromItem> from;     // non-empty
+  ConditionPtr where;             // may be null
+  std::vector<Operand> group_by;  // column operands only
+
+  std::string ToString() const;
+};
+
+/// A statement: one SELECT block or a set operation over two statements.
+struct Statement {
+  enum class Kind { kSelect, kUnion, kExcept, kIntersect };
+
+  Kind kind = Kind::kSelect;
+  SelectCore select;         // kSelect
+  StatementPtr left, right;  // set operations
+
+  static StatementPtr MakeSelect(SelectCore core);
+  static StatementPtr MakeSetOp(Kind kind, StatementPtr left,
+                                StatementPtr right);
+
+  /// Renders canonical SQL (parseable by the parser; used in round-trip
+  /// tests and to show users what the rewriter produced).
+  std::string ToString() const;
+};
+
+}  // namespace sql
+}  // namespace opcqa
+
+#endif  // OPCQA_SQL_AST_H_

@@ -1,0 +1,51 @@
+#include "sql/catalog.h"
+
+#include "util/logging.h"
+
+namespace opcqa {
+namespace sql {
+
+void Catalog::Register(std::string name, engine::Relation relation) {
+  tables_.insert_or_assign(std::move(name), std::move(relation));
+}
+
+void Catalog::Unregister(const std::string& name) { tables_.erase(name); }
+
+const engine::Relation* Catalog::Find(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return tables_.count(name) != 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Catalog Catalog::FromDatabase(
+    const Database& db,
+    const std::map<std::string, std::vector<std::string>>& columns) {
+  Catalog catalog;
+  const Schema& schema = db.schema();
+  for (PredId pred = 0; pred < schema.size(); ++pred) {
+    const std::string& name = schema.RelationName(pred);
+    std::vector<std::string> table_columns;
+    auto it = columns.find(name);
+    if (it != columns.end()) {
+      OPCQA_CHECK_EQ(it->second.size(), schema.Arity(pred))
+          << "column list arity mismatch for " << name;
+      table_columns = it->second;
+    }
+    catalog.Register(
+        name, engine::Relation::FromDatabase(db, pred, table_columns));
+  }
+  return catalog;
+}
+
+}  // namespace sql
+}  // namespace opcqa

@@ -1,0 +1,48 @@
+// Catalog: named tables for SQL execution.
+//
+// A catalog maps table names to engine relations. `FromDatabase` loads every
+// relation symbol of a Database, with user-supplied or generated column
+// names — the bridge between the repair core (fact sets) and the SQL layer.
+
+#ifndef OPCQA_SQL_CATALOG_H_
+#define OPCQA_SQL_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/relation.h"
+#include "util/status.h"
+
+namespace opcqa {
+namespace sql {
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers (or replaces) a table under `name`.
+  void Register(std::string name, engine::Relation relation);
+
+  /// Removes a table; no-op when absent.
+  void Unregister(const std::string& name);
+
+  const engine::Relation* Find(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Loads all relations of `db` as tables named after their relation
+  /// symbols. `columns` optionally names the columns of specific relations
+  /// (by relation name); others get c0, c1, ....
+  static Catalog FromDatabase(
+      const Database& db,
+      const std::map<std::string, std::vector<std::string>>& columns = {});
+
+ private:
+  std::map<std::string, engine::Relation> tables_;
+};
+
+}  // namespace sql
+}  // namespace opcqa
+
+#endif  // OPCQA_SQL_CATALOG_H_

@@ -1,0 +1,651 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "engine/algebra.h"
+#include "sql/parser.h"
+#include "util/rational.h"
+#include "util/string_util.h"
+
+namespace opcqa {
+namespace sql {
+namespace {
+
+using engine::Relation;
+using engine::Row;
+
+/// Parses a constant's name as a decimal integer (optional leading '-').
+std::optional<int64_t> AsInteger(ConstId id) {
+  const std::string& name = ConstName(id);
+  if (name.empty()) return std::nullopt;
+  size_t start = name[0] == '-' ? 1 : 0;
+  if (start == name.size()) return std::nullopt;
+  int64_t value = 0;
+  for (size_t i = start; i < name.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    if (value > (INT64_MAX - (c - '0')) / 10) return std::nullopt;  // overflow
+    value = value * 10 + (c - '0');
+  }
+  return start == 1 ? -value : value;
+}
+
+/// A bound operand: either a constant or a column index of the working
+/// relation.
+struct BoundOperand {
+  bool is_constant = false;
+  ConstId constant = 0;
+  size_t column_index = 0;
+
+  ConstId ValueIn(const Row& row) const {
+    return is_constant ? constant : row[column_index];
+  }
+};
+
+/// One evaluated FROM item.
+struct BoundTable {
+  std::string alias;
+  Relation relation;  // columns are "alias.col"
+};
+
+class SelectEvaluator {
+ public:
+  SelectEvaluator(const SelectCore& core, const Catalog& catalog,
+                  const ExecOptions& options)
+      : core_(core), catalog_(catalog), options_(options) {}
+
+  Result<Relation> Run();
+
+ private:
+  // -- Binding helpers -------------------------------------------------
+
+  /// Resolves a column operand against the columns of `relation`.
+  /// Unqualified names match any "alias.name"; ambiguity is an error.
+  Result<size_t> ResolveColumn(const Operand& operand,
+                               const Relation& relation) const {
+    OPCQA_CHECK(operand.is_column());
+    if (!operand.table.empty()) {
+      std::string full = StrCat(operand.table, ".", operand.column);
+      size_t index = relation.ColumnIndex(full);
+      if (index == Relation::kNotFound) {
+        return Status::NotFound(StrCat("unknown column ", full));
+      }
+      return index;
+    }
+    size_t found = Relation::kNotFound;
+    for (size_t i = 0; i < relation.arity(); ++i) {
+      const std::string& name = relation.columns()[i];
+      size_t dot = name.rfind('.');
+      std::string_view bare =
+          dot == std::string::npos
+              ? std::string_view(name)
+              : std::string_view(name).substr(dot + 1);
+      if (bare == operand.column) {
+        if (found != Relation::kNotFound) {
+          return Status::InvalidArgument(
+              StrCat("ambiguous column ", operand.column));
+        }
+        found = i;
+      }
+    }
+    if (found == Relation::kNotFound) {
+      return Status::NotFound(StrCat("unknown column ", operand.column));
+    }
+    return found;
+  }
+
+  Result<BoundOperand> Bind(const Operand& operand,
+                            const Relation& relation) const {
+    BoundOperand bound;
+    if (!operand.is_column()) {
+      bound.is_constant = true;
+      bound.constant = Const(operand.literal);
+      return bound;
+    }
+    Result<size_t> index = ResolveColumn(operand, relation);
+    if (!index.ok()) return index.status();
+    bound.column_index = index.value();
+    return bound;
+  }
+
+  /// Evaluates a condition on one row of `relation`.
+  Result<bool> EvalCondition(const Condition& condition,
+                             const Relation& relation, const Row& row) const {
+    switch (condition.kind) {
+      case Condition::Kind::kCompare: {
+        Result<BoundOperand> lhs = Bind(condition.lhs, relation);
+        if (!lhs.ok()) return lhs.status();
+        Result<BoundOperand> rhs = Bind(condition.rhs, relation);
+        if (!rhs.ok()) return rhs.status();
+        return EvalCompare(condition.op, lhs.value().ValueIn(row),
+                           rhs.value().ValueIn(row));
+      }
+      case Condition::Kind::kAnd:
+        for (const ConditionPtr& child : condition.children) {
+          Result<bool> v = EvalCondition(*child, relation, row);
+          if (!v.ok()) return v;
+          if (!v.value()) return false;
+        }
+        return true;
+      case Condition::Kind::kOr:
+        for (const ConditionPtr& child : condition.children) {
+          Result<bool> v = EvalCondition(*child, relation, row);
+          if (!v.ok()) return v;
+          if (v.value()) return true;
+        }
+        return false;
+      case Condition::Kind::kNot: {
+        Result<bool> v = EvalCondition(*condition.children[0], relation, row);
+        if (!v.ok()) return v;
+        return !v.value();
+      }
+    }
+    return Status::Internal("unreachable condition kind");
+  }
+
+  static bool EvalCompare(CompareOp op, ConstId a, ConstId b) {
+    switch (op) {
+      case CompareOp::kEq: return a == b;
+      case CompareOp::kNeq: return a != b;
+      case CompareOp::kLt: return CompareConstants(a, b) < 0;
+      case CompareOp::kLe: return CompareConstants(a, b) <= 0;
+      case CompareOp::kGt: return CompareConstants(a, b) > 0;
+      case CompareOp::kGe: return CompareConstants(a, b) >= 0;
+    }
+    return false;
+  }
+
+  /// Splits `condition` into conjuncts when it is a pure conjunction of
+  /// comparisons; returns false when it contains OR / NOT anywhere.
+  static bool CollectConjuncts(const ConditionPtr& condition,
+                               std::vector<const Condition*>* out) {
+    if (condition == nullptr) return true;
+    switch (condition->kind) {
+      case Condition::Kind::kCompare:
+        out->push_back(condition.get());
+        return true;
+      case Condition::Kind::kAnd:
+        for (const ConditionPtr& child : condition->children) {
+          if (!CollectConjuncts(child, out)) return false;
+        }
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  // -- Phases -----------------------------------------------------------
+
+  Result<std::vector<BoundTable>> EvaluateFromItems() const {
+    std::vector<BoundTable> tables;
+    std::set<std::string> aliases;
+    for (const FromItem& item : core_.from) {
+      if (!aliases.insert(item.alias).second) {
+        return Status::InvalidArgument(
+            StrCat("duplicate table alias ", item.alias));
+      }
+      Relation relation;
+      if (item.is_derived()) {
+        Result<Relation> derived = Execute(*item.derived, catalog_, options_);
+        if (!derived.ok()) return derived.status();
+        relation = std::move(derived).value();
+      } else {
+        const Relation* stored = catalog_.Find(item.table);
+        if (stored == nullptr) {
+          return Status::NotFound(StrCat("unknown table ", item.table));
+        }
+        relation = *stored;
+      }
+      // Qualify all columns with the alias. Derived-table outputs may
+      // already carry a qualifier; strip it first.
+      std::vector<std::string> qualified;
+      qualified.reserve(relation.arity());
+      for (const std::string& column : relation.columns()) {
+        size_t dot = column.rfind('.');
+        std::string bare =
+            dot == std::string::npos ? column : column.substr(dot + 1);
+        qualified.push_back(StrCat(item.alias, ".", bare));
+      }
+      tables.push_back(
+          BoundTable{item.alias, engine::Rename(relation, qualified)});
+    }
+    return tables;
+  }
+
+  /// The conjunctive fast path: per-table filters, then hash equi-joins in
+  /// FROM order, then residual filters. `conjuncts` must all be kCompare.
+  Result<Relation> JoinConjunctive(
+      std::vector<BoundTable> tables,
+      const std::vector<const Condition*>& conjuncts) const {
+    // Classify conjuncts. A conjunct is table-local when all its column
+    // operands resolve within one table; it is a join edge when it is an
+    // equality between columns of two distinct tables.
+    std::vector<const Condition*> residual;
+    struct JoinEdge {
+      size_t left_table, right_table;
+      std::string left_column, right_column;
+    };
+    std::vector<JoinEdge> edges;
+
+    auto owner_of = [&](const Operand& operand) -> Result<size_t> {
+      size_t owner = SIZE_MAX;
+      for (size_t t = 0; t < tables.size(); ++t) {
+        Result<size_t> index = ResolveColumn(operand, tables[t].relation);
+        if (index.ok()) {
+          if (owner != SIZE_MAX) {
+            return Status::InvalidArgument(
+                StrCat("ambiguous column ", operand.ToString()));
+          }
+          owner = t;
+        } else if (index.status().code() == StatusCode::kInvalidArgument) {
+          return index.status();  // ambiguous within one table
+        }
+      }
+      if (owner == SIZE_MAX) {
+        return Status::NotFound(
+            StrCat("unknown column ", operand.ToString()));
+      }
+      return owner;
+    };
+
+    for (const Condition* conjunct : conjuncts) {
+      const Operand& lhs = conjunct->lhs;
+      const Operand& rhs = conjunct->rhs;
+      if (lhs.is_column() && rhs.is_column()) {
+        Result<size_t> lt = owner_of(lhs);
+        if (!lt.ok()) return lt.status();
+        Result<size_t> rt = owner_of(rhs);
+        if (!rt.ok()) return rt.status();
+        if (lt.value() != rt.value() && conjunct->op == CompareOp::kEq) {
+          Result<size_t> li =
+              ResolveColumn(lhs, tables[lt.value()].relation);
+          Result<size_t> ri =
+              ResolveColumn(rhs, tables[rt.value()].relation);
+          edges.push_back(JoinEdge{
+              lt.value(), rt.value(),
+              tables[lt.value()].relation.columns()[li.value()],
+              tables[rt.value()].relation.columns()[ri.value()]});
+          continue;
+        }
+        if (lt.value() == rt.value()) {
+          // Table-local comparison: filter that table now.
+          size_t t = lt.value();
+          const Relation& rel = tables[t].relation;
+          Result<BoundOperand> bl = Bind(lhs, rel);
+          if (!bl.ok()) return bl.status();
+          Result<BoundOperand> br = Bind(rhs, rel);
+          if (!br.ok()) return br.status();
+          CompareOp op = conjunct->op;
+          BoundOperand lb = bl.value(), rb = br.value();
+          tables[t].relation =
+              engine::Select(rel, [op, lb, rb](const Row& row) {
+                return EvalCompare(op, lb.ValueIn(row), rb.ValueIn(row));
+              });
+          continue;
+        }
+        residual.push_back(conjunct);  // cross-table non-equality
+        continue;
+      }
+      if (lhs.is_column() != rhs.is_column()) {
+        // column vs literal: local filter.
+        const Operand& column = lhs.is_column() ? lhs : rhs;
+        Result<size_t> t = owner_of(column);
+        if (!t.ok()) return t.status();
+        const Relation& rel = tables[t.value()].relation;
+        Result<BoundOperand> bl = Bind(lhs, rel);
+        if (!bl.ok()) return bl.status();
+        Result<BoundOperand> br = Bind(rhs, rel);
+        if (!br.ok()) return br.status();
+        CompareOp op = conjunct->op;
+        BoundOperand lb = bl.value(), rb = br.value();
+        tables[t.value()].relation =
+            engine::Select(rel, [op, lb, rb](const Row& row) {
+              return EvalCompare(op, lb.ValueIn(row), rb.ValueIn(row));
+            });
+        continue;
+      }
+      // literal vs literal: constant condition.
+      bool value = EvalCompare(conjunct->op, Const(lhs.literal),
+                               Const(rhs.literal));
+      if (!value) {
+        // Constant-false WHERE: empty result with the product schema.
+        std::vector<std::string> columns;
+        for (const BoundTable& table : tables) {
+          columns.insert(columns.end(), table.relation.columns().begin(),
+                         table.relation.columns().end());
+        }
+        return Relation("empty", columns);
+      }
+    }
+
+    // Join in FROM order, using every edge whose two sides are available.
+    Relation joined = tables[0].relation;
+    std::set<size_t> in_join = {0};
+    for (size_t t = 1; t < tables.size(); ++t) {
+      std::vector<std::pair<std::string, std::string>> pairs;
+      for (const JoinEdge& edge : edges) {
+        if (edge.right_table == t && in_join.count(edge.left_table)) {
+          pairs.emplace_back(edge.left_column, edge.right_column);
+        } else if (edge.left_table == t && in_join.count(edge.right_table)) {
+          pairs.emplace_back(edge.right_column, edge.left_column);
+        }
+      }
+      size_t bound = pairs.empty()
+                         ? joined.size() * tables[t].relation.size()
+                         : joined.size() + tables[t].relation.size();
+      if (bound > options_.max_intermediate_rows) {
+        return Status::ResourceExhausted(
+            StrCat("intermediate product of ", joined.size(), " x ",
+                   tables[t].relation.size(), " rows exceeds the budget"));
+      }
+      joined = engine::EquiJoin(joined, tables[t].relation, pairs);
+      in_join.insert(t);
+    }
+
+    // Residual cross-table comparisons.
+    for (const Condition* conjunct : residual) {
+      Result<BoundOperand> bl = Bind(conjunct->lhs, joined);
+      if (!bl.ok()) return bl.status();
+      Result<BoundOperand> br = Bind(conjunct->rhs, joined);
+      if (!br.ok()) return br.status();
+      CompareOp op = conjunct->op;
+      BoundOperand lb = bl.value(), rb = br.value();
+      joined = engine::Select(joined, [op, lb, rb](const Row& row) {
+        return EvalCompare(op, lb.ValueIn(row), rb.ValueIn(row));
+      });
+    }
+    return joined;
+  }
+
+  /// Fallback: full product, then generic condition filter.
+  Result<Relation> JoinGeneric(const std::vector<BoundTable>& tables) const {
+    Relation joined = tables[0].relation;
+    for (size_t t = 1; t < tables.size(); ++t) {
+      if (joined.size() * tables[t].relation.size() >
+          options_.max_intermediate_rows) {
+        return Status::ResourceExhausted(
+            StrCat("product of ", joined.size(), " x ",
+                   tables[t].relation.size(), " rows exceeds the budget"));
+      }
+      joined = engine::EquiJoin(joined, tables[t].relation, {});
+    }
+    if (core_.where == nullptr) return joined;
+    Relation filtered(joined.name(), joined.columns());
+    for (const Row& row : joined.rows()) {
+      Result<bool> keep = EvalCondition(*core_.where, joined, row);
+      if (!keep.ok()) return keep.status();
+      if (keep.value()) filtered.Add(row);
+    }
+    return filtered;
+  }
+
+  Result<Relation> ProjectPlain(const Relation& joined) const {
+    if (core_.select_star) {
+      Relation out = joined;
+      if (core_.from.size() == 1) {
+        // Single table: strip the alias qualifier for usability.
+        std::vector<std::string> bare;
+        bare.reserve(out.arity());
+        for (const std::string& column : out.columns()) {
+          size_t dot = column.rfind('.');
+          bare.push_back(dot == std::string::npos ? column
+                                                  : column.substr(dot + 1));
+        }
+        out = engine::Rename(out, bare);
+      }
+      out.Normalize();
+      return out;
+    }
+    std::vector<size_t> indices;
+    std::vector<std::string> names;
+    for (const SelectItem& item : core_.items) {
+      Result<size_t> index = ResolveColumn(item.operand, joined);
+      if (!index.ok()) return index.status();
+      indices.push_back(index.value());
+      names.push_back(item.OutputName());
+    }
+    Relation out("result", names);
+    for (const Row& row : joined.rows()) {
+      Row projected;
+      projected.reserve(indices.size());
+      for (size_t index : indices) projected.push_back(row[index]);
+      out.Add(std::move(projected));
+    }
+    out.Normalize();
+    return out;
+  }
+
+  Result<Relation> Aggregate(const Relation& joined) const {
+    // Resolve grouping columns.
+    std::vector<size_t> group_indices;
+    for (const Operand& column : core_.group_by) {
+      Result<size_t> index = ResolveColumn(column, joined);
+      if (!index.ok()) return index.status();
+      group_indices.push_back(index.value());
+    }
+    // Validate the select list: plain items must be grouping columns.
+    struct ItemPlan {
+      AggregateFn agg;
+      size_t index = 0;  // column index (not used by kCountStar)
+    };
+    std::vector<ItemPlan> plans;
+    std::vector<std::string> names;
+    for (const SelectItem& item : core_.items) {
+      ItemPlan plan{item.agg, 0};
+      if (item.agg != AggregateFn::kCountStar) {
+        Result<size_t> index = ResolveColumn(item.operand, joined);
+        if (!index.ok()) return index.status();
+        plan.index = index.value();
+        if (item.agg == AggregateFn::kNone &&
+            std::find(group_indices.begin(), group_indices.end(),
+                      plan.index) == group_indices.end()) {
+          return Status::InvalidArgument(
+              StrCat("column ", item.operand.ToString(),
+                     " must appear in GROUP BY or inside an aggregate"));
+        }
+      }
+      plans.push_back(plan);
+      names.push_back(item.OutputName());
+    }
+
+    // Group rows.
+    std::map<Row, std::vector<const Row*>> groups;
+    if (group_indices.empty()) {
+      groups[{}] = {};
+      for (const Row& row : joined.rows()) groups[{}].push_back(&row);
+    } else {
+      for (const Row& row : joined.rows()) {
+        Row key;
+        key.reserve(group_indices.size());
+        for (size_t index : group_indices) key.push_back(row[index]);
+        groups[std::move(key)].push_back(&row);
+      }
+    }
+
+    Relation out("result", names);
+    for (const auto& [key, rows] : groups) {
+      if (rows.empty()) {
+        // Only the global (no GROUP BY) group can be empty. COUNT/SUM of
+        // nothing are 0; MIN/MAX/AVG of nothing are undefined — without
+        // SQL NULLs the result is simply no row.
+        bool all_defined_on_empty = true;
+        for (const ItemPlan& plan : plans) {
+          if (plan.agg != AggregateFn::kCountStar &&
+              plan.agg != AggregateFn::kCount &&
+              plan.agg != AggregateFn::kSum) {
+            all_defined_on_empty = false;
+          }
+        }
+        if (!all_defined_on_empty) continue;
+        Row zero_row;
+        zero_row.reserve(plans.size());
+        for (size_t i = 0; i < plans.size(); ++i) {
+          zero_row.push_back(Const("0"));
+        }
+        out.Add(std::move(zero_row));
+        continue;
+      }
+      Row out_row;
+      out_row.reserve(plans.size());
+      for (const ItemPlan& plan : plans) {
+        switch (plan.agg) {
+          case AggregateFn::kNone:
+            out_row.push_back((*rows.front())[plan.index]);
+            break;
+          case AggregateFn::kCountStar:
+            out_row.push_back(Const(StrCat(rows.size())));
+            break;
+          case AggregateFn::kCount: {
+            std::set<ConstId> distinct;
+            for (const Row* row : rows) distinct.insert((*row)[plan.index]);
+            out_row.push_back(Const(StrCat(distinct.size())));
+            break;
+          }
+          case AggregateFn::kMin:
+          case AggregateFn::kMax: {
+            ConstId best = (*rows.front())[plan.index];
+            for (const Row* row : rows) {
+              ConstId v = (*row)[plan.index];
+              int cmp = CompareConstants(v, best);
+              if ((plan.agg == AggregateFn::kMin && cmp < 0) ||
+                  (plan.agg == AggregateFn::kMax && cmp > 0)) {
+                best = v;
+              }
+            }
+            out_row.push_back(best);
+            break;
+          }
+          case AggregateFn::kSum:
+          case AggregateFn::kAvg: {
+            BigInt sum(0);
+            for (const Row* row : rows) {
+              std::optional<int64_t> v = AsInteger((*row)[plan.index]);
+              if (!v.has_value()) {
+                return Status::InvalidArgument(
+                    StrCat("SUM/AVG over non-numeric value '",
+                           ConstName((*row)[plan.index]), "'"));
+              }
+              sum = sum + BigInt(*v);
+            }
+            if (plan.agg == AggregateFn::kSum) {
+              out_row.push_back(Const(sum.ToString()));
+            } else {
+              Rational avg(sum, BigInt(static_cast<int64_t>(rows.size())));
+              out_row.push_back(Const(avg.ToString()));
+            }
+            break;
+          }
+        }
+      }
+      out.Add(std::move(out_row));
+    }
+    out.Normalize();
+    return out;
+  }
+
+  const SelectCore& core_;
+  const Catalog& catalog_;
+  const ExecOptions& options_;
+};
+
+Result<Relation> SelectEvaluator::Run() {
+  if (core_.from.empty()) {
+    return Status::InvalidArgument("FROM list must not be empty");
+  }
+  Result<std::vector<BoundTable>> tables = EvaluateFromItems();
+  if (!tables.ok()) return tables.status();
+
+  bool has_aggregate = false;
+  for (const SelectItem& item : core_.items) {
+    if (item.agg != AggregateFn::kNone) has_aggregate = true;
+  }
+  if (core_.select_star && (has_aggregate || !core_.group_by.empty())) {
+    return Status::InvalidArgument("SELECT * cannot be combined with "
+                                   "aggregation or GROUP BY");
+  }
+
+  std::vector<const Condition*> conjuncts;
+  Relation joined;
+  if (CollectConjuncts(core_.where, &conjuncts)) {
+    Result<Relation> result =
+        JoinConjunctive(std::move(tables).value(), conjuncts);
+    if (!result.ok()) return result.status();
+    joined = std::move(result).value();
+  } else {
+    Result<Relation> result = JoinGeneric(tables.value());
+    if (!result.ok()) return result.status();
+    joined = std::move(result).value();
+  }
+
+  if (has_aggregate || !core_.group_by.empty()) {
+    return Aggregate(joined);
+  }
+  return ProjectPlain(joined);
+}
+
+}  // namespace
+
+int CompareConstants(ConstId a, ConstId b) {
+  if (a == b) return 0;
+  std::optional<int64_t> na = AsInteger(a);
+  std::optional<int64_t> nb = AsInteger(b);
+  if (na.has_value() && nb.has_value()) {
+    if (*na < *nb) return -1;
+    if (*na > *nb) return 1;
+    return 0;
+  }
+  const std::string& sa = ConstName(a);
+  const std::string& sb = ConstName(b);
+  if (sa < sb) return -1;
+  if (sa > sb) return 1;
+  return 0;
+}
+
+Result<Relation> Execute(const Statement& statement, const Catalog& catalog,
+                         const ExecOptions& options) {
+  switch (statement.kind) {
+    case Statement::Kind::kSelect: {
+      SelectEvaluator evaluator(statement.select, catalog, options);
+      return evaluator.Run();
+    }
+    case Statement::Kind::kUnion:
+    case Statement::Kind::kExcept:
+    case Statement::Kind::kIntersect: {
+      Result<Relation> left = Execute(*statement.left, catalog, options);
+      if (!left.ok()) return left;
+      Result<Relation> right = Execute(*statement.right, catalog, options);
+      if (!right.ok()) return right;
+      if (left.value().arity() != right.value().arity()) {
+        return Status::InvalidArgument(
+            StrCat("set operation over different arities: ",
+                   left.value().arity(), " vs ", right.value().arity()));
+      }
+      // Column names follow the left side (standard SQL behaviour).
+      Relation aligned =
+          engine::Rename(right.value(), left.value().columns());
+      switch (statement.kind) {
+        case Statement::Kind::kUnion:
+          return engine::Union(left.value(), aligned);
+        case Statement::Kind::kExcept:
+          return engine::Difference(left.value(), aligned);
+        default:
+          return engine::Intersect(left.value(), aligned);
+      }
+    }
+  }
+  return Status::Internal("unreachable statement kind");
+}
+
+Result<Relation> ExecuteSql(std::string_view text, const Catalog& catalog,
+                            const ExecOptions& options) {
+  Result<StatementPtr> statement = Parse(text);
+  if (!statement.ok()) return statement.status();
+  return Execute(*statement.value(), catalog, options);
+}
+
+}  // namespace sql
+}  // namespace opcqa

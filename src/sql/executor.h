@@ -1,0 +1,49 @@
+// SQL execution over the relational-algebra engine.
+//
+// Binding and evaluation in one pass: FROM items are materialized with
+// alias-qualified column names, WHERE is decomposed into conjuncts when
+// possible (single-table predicates are pushed below the joins and
+// equality predicates become hash equi-joins; non-conjunctive conditions
+// fall back to product-then-filter), and the SELECT list is evaluated as a
+// projection or a grouped aggregation.
+//
+// Semantics: set semantics throughout (the paper's relational model);
+// DISTINCT is therefore always implied. Values are interned constants;
+// ordering comparisons and SUM/AVG interpret a constant numerically when
+// its name is a decimal integer, otherwise ordering is lexicographic and
+// SUM/AVG report an error. AVG returns the exact rational, rendered
+// canonically (e.g. "7/2").
+
+#ifndef OPCQA_SQL_EXECUTOR_H_
+#define OPCQA_SQL_EXECUTOR_H_
+
+#include "sql/ast.h"
+#include "sql/catalog.h"
+
+namespace opcqa {
+namespace sql {
+
+struct ExecOptions {
+  /// Upper bound on the rows of any intermediate product (guards the
+  /// non-conjunctive fallback path). Exceeding it is ResourceExhausted.
+  size_t max_intermediate_rows = 10'000'000;
+};
+
+/// Executes a statement against a catalog.
+Result<engine::Relation> Execute(const Statement& statement,
+                                 const Catalog& catalog,
+                                 const ExecOptions& options = {});
+
+/// Parses and executes in one step.
+Result<engine::Relation> ExecuteSql(std::string_view text,
+                                    const Catalog& catalog,
+                                    const ExecOptions& options = {});
+
+/// Three-way comparison of two interned constants: numeric when both names
+/// are decimal integers, lexicographic otherwise. Exposed for tests.
+int CompareConstants(ConstId a, ConstId b);
+
+}  // namespace sql
+}  // namespace opcqa
+
+#endif  // OPCQA_SQL_EXECUTOR_H_

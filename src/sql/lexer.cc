@@ -1,0 +1,209 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace opcqa {
+namespace sql {
+namespace {
+
+std::string ToUpperAscii(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+}  // namespace
+
+TokenKind KeywordOrIdentifier(std::string_view word) {
+  static const std::unordered_map<std::string, TokenKind> kKeywords = {
+      {"SELECT", TokenKind::kSelect},     {"DISTINCT", TokenKind::kDistinct},
+      {"FROM", TokenKind::kFrom},         {"WHERE", TokenKind::kWhere},
+      {"GROUP", TokenKind::kGroup},       {"BY", TokenKind::kBy},
+      {"AS", TokenKind::kAs},             {"AND", TokenKind::kAnd},
+      {"OR", TokenKind::kOr},             {"NOT", TokenKind::kNot},
+      {"UNION", TokenKind::kUnion},       {"EXCEPT", TokenKind::kExcept},
+      {"INTERSECT", TokenKind::kIntersect}, {"ALL", TokenKind::kAll},
+      {"COUNT", TokenKind::kCount},       {"SUM", TokenKind::kSum},
+      {"MIN", TokenKind::kMin},           {"MAX", TokenKind::kMax},
+      {"AVG", TokenKind::kAvg},
+  };
+  auto it = kKeywords.find(ToUpperAscii(word));
+  return it == kKeywords.end() ? TokenKind::kIdentifier : it->second;
+}
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kString: return "string literal";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kSelect: return "SELECT";
+    case TokenKind::kDistinct: return "DISTINCT";
+    case TokenKind::kFrom: return "FROM";
+    case TokenKind::kWhere: return "WHERE";
+    case TokenKind::kGroup: return "GROUP";
+    case TokenKind::kBy: return "BY";
+    case TokenKind::kAs: return "AS";
+    case TokenKind::kAnd: return "AND";
+    case TokenKind::kOr: return "OR";
+    case TokenKind::kNot: return "NOT";
+    case TokenKind::kUnion: return "UNION";
+    case TokenKind::kExcept: return "EXCEPT";
+    case TokenKind::kIntersect: return "INTERSECT";
+    case TokenKind::kAll: return "ALL";
+    case TokenKind::kCount: return "COUNT";
+    case TokenKind::kSum: return "SUM";
+    case TokenKind::kMin: return "MIN";
+    case TokenKind::kMax: return "MAX";
+    case TokenKind::kAvg: return "AVG";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNeq: return "'<>'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t line = 1;
+  size_t column = 1;
+  size_t i = 0;
+
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i < text.size() && text[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  auto push = [&](TokenKind kind, std::string token_text, size_t tok_line,
+                  size_t tok_column) {
+    tokens.push_back(Token{kind, std::move(token_text), tok_line, tok_column});
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    size_t tok_line = line, tok_column = column;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Line comment: -- to end of line.
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      while (i < text.size() && text[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_')) {
+        advance(1);
+      }
+      std::string word(text.substr(start, i - start));
+      TokenKind kind = KeywordOrIdentifier(word);  // before the move below
+      push(kind, std::move(word), tok_line, tok_column);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        advance(1);
+      }
+      push(TokenKind::kNumber, std::string(text.substr(start, i - start)),
+           tok_line, tok_column);
+      continue;
+    }
+    if (c == '\'') {
+      advance(1);
+      std::string value;
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == '\'') {
+          if (i + 1 < text.size() && text[i + 1] == '\'') {
+            value.push_back('\'');  // '' escapes a quote
+            advance(2);
+            continue;
+          }
+          advance(1);
+          closed = true;
+          break;
+        }
+        value.push_back(text[i]);
+        advance(1);
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrCat("unterminated string literal at line ", tok_line,
+                   ", column ", tok_column));
+      }
+      push(TokenKind::kString, std::move(value), tok_line, tok_column);
+      continue;
+    }
+    switch (c) {
+      case ',': push(TokenKind::kComma, ",", tok_line, tok_column); advance(1); continue;
+      case '.': push(TokenKind::kDot, ".", tok_line, tok_column); advance(1); continue;
+      case '*': push(TokenKind::kStar, "*", tok_line, tok_column); advance(1); continue;
+      case '(': push(TokenKind::kLParen, "(", tok_line, tok_column); advance(1); continue;
+      case ')': push(TokenKind::kRParen, ")", tok_line, tok_column); advance(1); continue;
+      case ';': push(TokenKind::kSemicolon, ";", tok_line, tok_column); advance(1); continue;
+      case '=': push(TokenKind::kEq, "=", tok_line, tok_column); advance(1); continue;
+      case '!':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          push(TokenKind::kNeq, "!=", tok_line, tok_column);
+          advance(2);
+          continue;
+        }
+        return Status::InvalidArgument(
+            StrCat("stray '!' at line ", tok_line, ", column ", tok_column));
+      case '<':
+        if (i + 1 < text.size() && text[i + 1] == '>') {
+          push(TokenKind::kNeq, "<>", tok_line, tok_column);
+          advance(2);
+        } else if (i + 1 < text.size() && text[i + 1] == '=') {
+          push(TokenKind::kLe, "<=", tok_line, tok_column);
+          advance(2);
+        } else {
+          push(TokenKind::kLt, "<", tok_line, tok_column);
+          advance(1);
+        }
+        continue;
+      case '>':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          push(TokenKind::kGe, ">=", tok_line, tok_column);
+          advance(2);
+        } else {
+          push(TokenKind::kGt, ">", tok_line, tok_column);
+          advance(1);
+        }
+        continue;
+      default:
+        return Status::InvalidArgument(StrCat(
+            "unexpected character '", std::string(1, c), "' at line ",
+            tok_line, ", column ", tok_column));
+    }
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", line, column});
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace opcqa

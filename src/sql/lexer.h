@@ -1,0 +1,22 @@
+// SQL lexer: text → token stream.
+
+#ifndef OPCQA_SQL_LEXER_H_
+#define OPCQA_SQL_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace opcqa {
+namespace sql {
+
+/// Tokenizes `text`. The result always ends with a kEnd token. Errors
+/// (unterminated string, stray character) carry line/column context.
+Result<std::vector<Token>> Lex(std::string_view text);
+
+}  // namespace sql
+}  // namespace opcqa
+
+#endif  // OPCQA_SQL_LEXER_H_

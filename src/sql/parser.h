@@ -1,0 +1,45 @@
+// SQL parser: token stream → Statement AST.
+//
+// Grammar (case-insensitive keywords; '*' starred items optional):
+//
+//   statement   := set_term ((UNION | EXCEPT) set_term)*
+//   set_term    := select_stmt (INTERSECT select_stmt)*
+//   select_stmt := SELECT [DISTINCT] select_list FROM from_list
+//                  [WHERE condition] [GROUP BY column_list]
+//                | '(' statement ')'
+//   select_list := '*' | select_item (',' select_item)*
+//   select_item := (aggregate | operand) [[AS] name]
+//   aggregate   := (COUNT|SUM|MIN|MAX|AVG) '(' ('*' | column_ref) ')'
+//   from_list   := from_item (',' from_item)*
+//   from_item   := name [[AS] alias] | '(' statement ')' [AS] alias
+//   condition   := or_cond
+//   or_cond     := and_cond (OR and_cond)*
+//   and_cond    := not_cond (AND not_cond)*
+//   not_cond    := NOT not_cond | '(' condition ')' | comparison
+//   comparison  := operand ('='|'<>'|'!='|'<'|'<='|'>'|'>=') operand
+//   operand     := column_ref | string | number
+//   column_ref  := name ['.' name]
+//
+// An unparenthesized condition starting with '(' is disambiguated by
+// looking ahead: "(a.x = 1) AND …" parses as a parenthesized condition,
+// "(SELECT …)" as a sub-statement is only valid in FROM.
+
+#ifndef OPCQA_SQL_PARSER_H_
+#define OPCQA_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace opcqa {
+namespace sql {
+
+/// Parses one statement (an optional trailing ';' is allowed). Errors carry
+/// line/column positions.
+Result<StatementPtr> Parse(std::string_view text);
+
+}  // namespace sql
+}  // namespace opcqa
+
+#endif  // OPCQA_SQL_PARSER_H_

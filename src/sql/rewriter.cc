@@ -1,0 +1,68 @@
+#include "sql/rewriter.h"
+
+#include "util/logging.h"
+
+namespace opcqa {
+namespace sql {
+namespace {
+
+/// Builds SELECT * FROM <table>.
+StatementPtr SelectStarFrom(const std::string& table) {
+  SelectCore core;
+  core.select_star = true;
+  FromItem item;
+  item.table = table;
+  item.alias = table;
+  core.from.push_back(std::move(item));
+  return Statement::MakeSelect(std::move(core));
+}
+
+}  // namespace
+
+StatementPtr RewriteWithDeletions(
+    const StatementPtr& statement,
+    const std::map<std::string, std::string>& deletions) {
+  OPCQA_CHECK(statement != nullptr);
+  switch (statement->kind) {
+    case Statement::Kind::kSelect: {
+      SelectCore core = statement->select;  // copy; items/where are shared
+      bool changed = false;
+      for (FromItem& item : core.from) {
+        if (item.is_derived()) {
+          StatementPtr rewritten =
+              RewriteWithDeletions(item.derived, deletions);
+          if (rewritten != item.derived) {
+            item.derived = rewritten;
+            changed = true;
+          }
+          continue;
+        }
+        auto it = deletions.find(item.table);
+        if (it == deletions.end()) continue;
+        // R AS alias  →  (SELECT * FROM R EXCEPT SELECT * FROM R_del) AS alias
+        StatementPtr difference = Statement::MakeSetOp(
+            Statement::Kind::kExcept, SelectStarFrom(item.table),
+            SelectStarFrom(it->second));
+        item.derived = difference;
+        item.table.clear();
+        changed = true;
+      }
+      if (!changed) return statement;
+      return Statement::MakeSelect(std::move(core));
+    }
+    case Statement::Kind::kUnion:
+    case Statement::Kind::kExcept:
+    case Statement::Kind::kIntersect: {
+      StatementPtr left = RewriteWithDeletions(statement->left, deletions);
+      StatementPtr right = RewriteWithDeletions(statement->right, deletions);
+      if (left == statement->left && right == statement->right) {
+        return statement;
+      }
+      return Statement::MakeSetOp(statement->kind, left, right);
+    }
+  }
+  return statement;
+}
+
+}  // namespace sql
+}  // namespace opcqa

@@ -1,0 +1,35 @@
+// The Section 5 rewriting at the SQL level.
+//
+// "… run the original query Q in which each relation R is replaced with
+//  R − R_del …"
+//
+// RewriteWithDeletions replaces every FROM reference to a table R that has
+// a registered deletion table R_del with the derived table
+//
+//   (SELECT * FROM R EXCEPT SELECT * FROM R_del) AS <original alias>
+//
+// preserving aliases so the rest of the query is untouched. The transform
+// is purely syntactic; the rewritten statement can be printed, re-parsed
+// and executed like any other.
+
+#ifndef OPCQA_SQL_REWRITER_H_
+#define OPCQA_SQL_REWRITER_H_
+
+#include <map>
+#include <string>
+
+#include "sql/ast.h"
+
+namespace opcqa {
+namespace sql {
+
+/// `deletions` maps base-table name → deletion-table name. Tables not in
+/// the map are left alone. Derived tables are rewritten recursively.
+StatementPtr RewriteWithDeletions(
+    const StatementPtr& statement,
+    const std::map<std::string, std::string>& deletions);
+
+}  // namespace sql
+}  // namespace opcqa
+
+#endif  // OPCQA_SQL_REWRITER_H_

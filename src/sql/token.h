@@ -1,0 +1,52 @@
+// SQL token model shared by the lexer and the parser.
+//
+// The supported dialect is the fragment the Section 5 scheme needs:
+// SELECT [DISTINCT] ... FROM ... [WHERE ...] [GROUP BY ...], derived tables,
+// UNION / EXCEPT / INTERSECT, the aggregates COUNT/SUM/MIN/MAX/AVG, integer
+// and string literals. Identifiers are case-preserving; keywords are
+// recognized case-insensitively.
+
+#ifndef OPCQA_SQL_TOKEN_H_
+#define OPCQA_SQL_TOKEN_H_
+
+#include <string>
+#include <string_view>
+
+namespace opcqa {
+namespace sql {
+
+enum class TokenKind {
+  kIdentifier,   // relation / column / alias names
+  kString,       // 'text' (quotes stripped, '' unescaped)
+  kNumber,       // integer literal
+  // Keywords.
+  kSelect, kDistinct, kFrom, kWhere, kGroup, kBy, kAs, kAnd, kOr, kNot,
+  kUnion, kExcept, kIntersect, kAll,
+  kCount, kSum, kMin, kMax, kAvg,
+  // Punctuation / operators.
+  kComma, kDot, kStar, kLParen, kRParen,
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kSemicolon,
+  kEnd,
+};
+
+/// Printable token-kind name for diagnostics, e.g. "SELECT" or "','".
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Original text for identifiers/strings/numbers (unquoted for strings).
+  std::string text;
+  /// 1-based position in the input, for error messages.
+  size_t line = 1;
+  size_t column = 1;
+};
+
+/// Keyword lookup (case-insensitive); returns kIdentifier when `word` is
+/// not a keyword.
+TokenKind KeywordOrIdentifier(std::string_view word);
+
+}  // namespace sql
+}  // namespace opcqa
+
+#endif  // OPCQA_SQL_TOKEN_H_

@@ -1,0 +1,129 @@
+// Arbitrary-precision signed integers.
+//
+// Repair probabilities in the operational CQA framework are exact rationals
+// whose numerators/denominators are products of per-state branch counts and
+// weights; they overflow 64-bit integers after a few dozen chain levels.
+// BigInt provides the magnitude arithmetic Rational is built on.
+//
+// Representation: sign + little-endian vector of 32-bit limbs, normalized
+// (no leading zero limbs; zero has an empty limb vector and positive sign).
+
+#ifndef OPCQA_UTIL_BIGINT_H_
+#define OPCQA_UTIL_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace opcqa {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From native integers (implicit by design: arithmetic with literals).
+  BigInt(int64_t value);   // NOLINT
+  BigInt(uint64_t value);  // NOLINT
+  BigInt(int value) : BigInt(static_cast<int64_t>(value)) {}  // NOLINT
+
+  /// Parses an optionally signed decimal string, e.g. "-123456789...".
+  static Result<BigInt> FromString(std::string_view text);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  /// True when the value fits in int64_t.
+  bool FitsInt64() const;
+  /// Value as int64_t; CHECK-fails unless FitsInt64().
+  int64_t ToInt64() const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Truncated (toward zero) division; CHECK-fails on division by zero.
+  BigInt operator/(const BigInt& other) const;
+  /// Remainder with the sign of the dividend (C++ semantics).
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
+  BigInt& operator%=(const BigInt& other) { return *this = *this % other; }
+
+  /// Computes quotient and remainder in one pass (remainder sign follows
+  /// the dividend, matching operator/ and operator%).
+  static void DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
+                     BigInt* remainder);
+
+  /// Greatest common divisor (always non-negative; Gcd(0,0) == 0).
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  /// this^exponent for small native exponents.
+  BigInt Pow(uint32_t exponent) const;
+
+  /// Three-way comparison: negative / zero / positive.
+  int Compare(const BigInt& other) const;
+
+  bool operator==(const BigInt& other) const { return Compare(other) == 0; }
+  bool operator!=(const BigInt& other) const { return Compare(other) != 0; }
+  bool operator<(const BigInt& other) const { return Compare(other) < 0; }
+  bool operator<=(const BigInt& other) const { return Compare(other) <= 0; }
+  bool operator>(const BigInt& other) const { return Compare(other) > 0; }
+  bool operator>=(const BigInt& other) const { return Compare(other) >= 0; }
+
+  /// Decimal representation, e.g. "-123000".
+  std::string ToString() const;
+
+  /// Approximate conversion: value ≈ mantissa * 2^exponent with mantissa in
+  /// [0.5, 1) (or 0). Safe for values far beyond double range.
+  void ToMantissaExp(double* mantissa, int64_t* exponent) const;
+
+  /// Approximate double value (+/-inf on overflow).
+  double ToDouble() const;
+
+  /// Number of significant bits of the magnitude (0 for zero).
+  size_t BitLength() const;
+
+  /// Stable hash of the value.
+  size_t Hash() const;
+
+ private:
+  // Magnitude-only helpers; operands must be normalized.
+  static std::vector<uint32_t> AddMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<uint32_t> SubMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  static int CompareMag(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b);
+  static void DivModMag(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b,
+                        std::vector<uint32_t>* quotient,
+                        std::vector<uint32_t>* remainder);
+  static void Normalize(std::vector<uint32_t>* limbs);
+
+  void Canonicalize();
+
+  bool negative_ = false;
+  std::vector<uint32_t> limbs_;  // little-endian, base 2^32
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+}  // namespace opcqa
+
+template <>
+struct std::hash<opcqa::BigInt> {
+  size_t operator()(const opcqa::BigInt& value) const { return value.Hash(); }
+};
+
+#endif  // OPCQA_UTIL_BIGINT_H_

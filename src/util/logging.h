@@ -1,0 +1,80 @@
+// Minimal logging and invariant-checking facilities for OpCQA.
+//
+// Library code uses OPCQA_CHECK for internal invariants (programming errors
+// abort with a diagnostic) and the LOG(level) stream for diagnostics. User
+// errors (bad input) are reported through Status/Result, never CHECK.
+
+#ifndef OPCQA_UTIL_LOGGING_H_
+#define OPCQA_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace opcqa {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the global minimum level below which LOG() messages are dropped.
+LogLevel MinLogLevel();
+
+/// Sets the global minimum log level (default: kInfo).
+void SetMinLogLevel(LogLevel level);
+
+namespace internal {
+
+// Accumulates one log message and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Like LogMessage but aborts the process on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define OPCQA_LOG(level)                                               \
+  ::opcqa::internal::LogMessage(::opcqa::LogLevel::k##level, __FILE__, \
+                                __LINE__)                              \
+      .stream()
+
+// Aborts with a diagnostic when `condition` is false. Always enabled; the
+// exact algorithms in this library are cheap relative to the checks.
+// The inverted if/else makes the macro dangling-else safe.
+#define OPCQA_CHECK(condition)                                              \
+  if (condition) {                                                          \
+  } else /* NOLINT */                                                       \
+    ::opcqa::internal::FatalMessage(__FILE__, __LINE__, #condition).stream()
+
+#define OPCQA_CHECK_EQ(a, b) OPCQA_CHECK((a) == (b))
+#define OPCQA_CHECK_NE(a, b) OPCQA_CHECK((a) != (b))
+#define OPCQA_CHECK_LT(a, b) OPCQA_CHECK((a) < (b))
+#define OPCQA_CHECK_LE(a, b) OPCQA_CHECK((a) <= (b))
+#define OPCQA_CHECK_GT(a, b) OPCQA_CHECK((a) > (b))
+#define OPCQA_CHECK_GE(a, b) OPCQA_CHECK((a) >= (b))
+
+}  // namespace opcqa
+
+#endif  // OPCQA_UTIL_LOGGING_H_

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in OpCQA (the Sample algorithm, workload generators) flows
+// through Rng so that tests and benchmarks are reproducible from a seed.
+// The generator is xoshiro256** seeded via SplitMix64.
+
+#ifndef OPCQA_UTIL_RANDOM_H_
+#define OPCQA_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rational.h"
+
+namespace opcqa {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound); CHECK-fails when bound == 0. Unbiased
+  /// (rejection sampling).
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Index sampled proportionally to non-negative `weights`; CHECK-fails if
+  /// all weights are zero or the vector is empty.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Index sampled proportionally to exact rational weights. The choice is
+  /// made with 64 random bits against exact cumulative sums converted once
+  /// to double; bias is bounded by double rounding (~2^-52), negligible for
+  /// the additive-error regime this library targets.
+  size_t WeightedIndex(const std::vector<Rational>& weights);
+
+  /// Derives an independent child generator (for per-worker streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace opcqa
+
+#endif  // OPCQA_UTIL_RANDOM_H_

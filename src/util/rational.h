@@ -1,0 +1,95 @@
+// Exact rational numbers over BigInt.
+//
+// Every probability in the operational framework — edge weights of a
+// repairing Markov chain, hitting-distribution masses, repair probabilities,
+// CP(t) values — is a Rational. Doubles appear only at reporting boundaries
+// and inside the randomized sampler.
+//
+// Invariants: denominator > 0; numerator/denominator reduced; 0 is 0/1.
+
+#ifndef OPCQA_UTIL_RATIONAL_H_
+#define OPCQA_UTIL_RATIONAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bigint.h"
+#include "util/status.h"
+
+namespace opcqa {
+
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+
+  /// Whole number (implicit by design: arithmetic with literals).
+  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT
+  Rational(int value) : num_(value), den_(1) {}      // NOLINT
+  Rational(BigInt value) : num_(std::move(value)), den_(1) {}  // NOLINT
+
+  /// numerator/denominator, reduced; CHECK-fails if denominator is zero.
+  Rational(BigInt numerator, BigInt denominator);
+  Rational(int64_t numerator, int64_t denominator)
+      : Rational(BigInt(numerator), BigInt(denominator)) {}
+
+  /// Parses "a", "a/b" or simple decimals like "0.45".
+  static Result<Rational> FromString(std::string_view text);
+
+  const BigInt& numerator() const { return num_; }
+  const BigInt& denominator() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  bool is_negative() const { return num_.is_negative(); }
+  bool is_one() const { return num_ == den_; }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  /// CHECK-fails on division by zero.
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  int Compare(const Rational& other) const;
+  bool operator==(const Rational& o) const { return Compare(o) == 0; }
+  bool operator!=(const Rational& o) const { return Compare(o) != 0; }
+  bool operator<(const Rational& o) const { return Compare(o) < 0; }
+  bool operator<=(const Rational& o) const { return Compare(o) <= 0; }
+  bool operator>(const Rational& o) const { return Compare(o) > 0; }
+  bool operator>=(const Rational& o) const { return Compare(o) >= 0; }
+
+  /// "num/den" (or just "num" when den == 1).
+  std::string ToString() const;
+
+  /// Approximate double value; exact rationals can exceed double range in
+  /// numerator and denominator simultaneously, so the conversion works on
+  /// mantissa/exponent pairs.
+  double ToDouble() const;
+
+  size_t Hash() const;
+
+ private:
+  void Reduce();
+
+  BigInt num_;
+  BigInt den_;  // > 0
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+}  // namespace opcqa
+
+template <>
+struct std::hash<opcqa::Rational> {
+  size_t operator()(const opcqa::Rational& value) const {
+    return value.Hash();
+  }
+};
+
+#endif  // OPCQA_UTIL_RATIONAL_H_

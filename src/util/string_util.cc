@@ -1,0 +1,74 @@
+#include "util/string_util.h"
+
+#include <cctype>
+
+namespace opcqa {
+
+std::string_view TrimView(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string Trim(std::string_view text) { return std::string(TrimView(text)); }
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      pieces.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return pieces;
+}
+
+std::vector<std::string> SplitTopLevel(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || (text[i] == sep && depth == 0)) {
+      pieces.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+      continue;
+    }
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')') --depth;
+  }
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string result;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) result += sep;
+    result += pieces[i];
+  }
+  return result;
+}
+
+bool IsIdentifier(std::string_view text) {
+  if (text.empty()) return false;
+  char first = text[0];
+  if (!(std::isalpha(static_cast<unsigned char>(first)) || first == '_')) {
+    return false;
+  }
+  for (char c : text.substr(1)) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace opcqa

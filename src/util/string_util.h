@@ -1,0 +1,41 @@
+// Small string helpers shared across parsers and printers.
+
+#ifndef OPCQA_UTIL_STRING_UTIL_H_
+#define OPCQA_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opcqa {
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimView(std::string_view text);
+std::string Trim(std::string_view text);
+
+/// Splits on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on `sep` at depth 0 with respect to '(' / ')' nesting — used to
+/// split conjunctions "R(x,y), S(y,z)" without breaking inside atoms.
+std::vector<std::string> SplitTopLevel(std::string_view text, char sep);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Streams all arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// True when `text` is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool IsIdentifier(std::string_view text);
+
+}  // namespace opcqa
+
+#endif  // OPCQA_UTIL_STRING_UTIL_H_

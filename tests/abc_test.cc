@@ -1,0 +1,195 @@
+// Tests for the classical ABC repair baseline and certain answers.
+
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "gen/workloads.h"
+#include "logic/formula_parser.h"
+#include "relational/fact_parser.h"
+#include "repair/abc.h"
+
+namespace opcqa {
+namespace {
+
+TEST(ConflictHypergraphTest, EdgesAreViolationImages) {
+  gen::Workload w = gen::PaperPreferenceExample();
+  std::vector<std::vector<Fact>> edges =
+      ConflictHypergraph(w.db, w.constraints);
+  // Two symmetric conflicts: {(a,b),(b,a)} and {(a,c),(c,a)}.
+  EXPECT_EQ(edges.size(), 2u);
+  for (const auto& edge : edges) EXPECT_EQ(edge.size(), 2u);
+}
+
+TEST(AbcSubsetRepairsTest, ConsistentDatabaseIsItsOwnRepair) {
+  Schema schema;
+  schema.AddRelation("R", 2);
+  Database db = *ParseDatabase(schema, "R(a,b).");
+  ConstraintSet sigma = *ParseConstraints(schema, "R(x,y), R(x,z) -> y = z");
+  Result<std::vector<Database>> repairs = AbcSubsetRepairs(db, sigma);
+  ASSERT_TRUE(repairs.ok());
+  ASSERT_EQ(repairs->size(), 1u);
+  EXPECT_EQ((*repairs)[0], db);
+}
+
+TEST(AbcSubsetRepairsTest, KeyPairHasTwoClassicalRepairs) {
+  // Unlike the operational semantics (which also reaches ∅), the ABC
+  // semantics of {R(a,b), R(a,c)} has exactly the two max subsets.
+  gen::Workload w = gen::PaperKeyPairExample();
+  Result<std::vector<Database>> repairs = AbcRepairs(w.db, w.constraints);
+  ASSERT_TRUE(repairs.ok());
+  EXPECT_EQ(repairs->size(), 2u);
+  for (const Database& r : *repairs) {
+    EXPECT_EQ(r.size(), 1u);
+    EXPECT_TRUE(Satisfies(r, w.constraints));
+  }
+}
+
+TEST(AbcSubsetRepairsTest, PreferenceExampleHasFourRepairs) {
+  gen::Workload w = gen::PaperPreferenceExample();
+  Result<std::vector<Database>> repairs = AbcRepairs(w.db, w.constraints);
+  ASSERT_TRUE(repairs.ok());
+  // 2 independent conflicts × 2 choices each.
+  EXPECT_EQ(repairs->size(), 4u);
+  for (const Database& r : *repairs) {
+    EXPECT_EQ(r.size(), 4u);  // 6 facts − 2 deletions
+    EXPECT_TRUE(Satisfies(r, w.constraints));
+  }
+}
+
+TEST(AbcSubsetRepairsTest, OverlappingConflictsThreeValues) {
+  // R(a,b), R(a,c), R(a,d): repairs keep exactly one value.
+  Schema schema;
+  schema.AddRelation("R", 2);
+  Database db = *ParseDatabase(schema, "R(a,b). R(a,c). R(a,d).");
+  ConstraintSet sigma = *ParseConstraints(schema, "R(x,y), R(x,z) -> y = z");
+  Result<std::vector<Database>> repairs = AbcSubsetRepairs(db, sigma);
+  ASSERT_TRUE(repairs.ok());
+  EXPECT_EQ(repairs->size(), 3u);
+  for (const Database& r : *repairs) EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(AbcSubsetRepairsTest, SingleFactEdgeForcesDeletionEverywhere) {
+  // Pref(a,a) violates the DC alone: it is in no repair.
+  Schema schema;
+  schema.AddRelation("Pref", 2);
+  Database db = *ParseDatabase(schema, "Pref(a,a). Pref(a,b).");
+  ConstraintSet sigma =
+      *ParseConstraints(schema, "Pref(x,y), Pref(y,x) -> false");
+  Result<std::vector<Database>> repairs = AbcSubsetRepairs(db, sigma);
+  ASSERT_TRUE(repairs.ok());
+  ASSERT_EQ(repairs->size(), 1u);
+  EXPECT_FALSE((*repairs)[0].Contains(Fact::Make(schema, "Pref", {"a", "a"})));
+  EXPECT_TRUE((*repairs)[0].Contains(Fact::Make(schema, "Pref", {"a", "b"})));
+}
+
+TEST(AbcBruteForceTest, TinyInclusionHasDeleteAndInsertRepairs) {
+  gen::Workload w = gen::TinyInclusionExample();
+  Result<std::vector<Database>> repairs =
+      AbcRepairsBruteForce(w.db, w.constraints);
+  ASSERT_TRUE(repairs.ok()) << repairs.status().ToString();
+  ASSERT_EQ(repairs->size(), 2u);
+  // ∅ (delete U(a)) and {U(a), V(a)} (insert the witness).
+  EXPECT_TRUE((*repairs)[0].empty());
+  EXPECT_EQ((*repairs)[1].size(), 2u);
+}
+
+TEST(AbcBruteForceTest, RefusesHugeBases) {
+  gen::Workload w = gen::PaperExample1();  // base has 45 facts
+  Result<std::vector<Database>> repairs =
+      AbcRepairsBruteForce(w.db, w.constraints);
+  EXPECT_FALSE(repairs.ok());
+  EXPECT_EQ(repairs.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AbcViaChainTest, Example1RepairsMatchHandComputation) {
+  // D = {R(a,b), R(a,c), T(a,b)}, σ: R(x,y)→∃z S(x,y,z), key on R.
+  // ABC repairs: keep one R-fact and add one witness (3 witnesses each),
+  // or drop both R-facts: 3 + 3 + 1 = 7.
+  gen::Workload w = gen::PaperExample1();
+  Result<std::vector<Database>> repairs =
+      AbcRepairsViaChain(w.db, w.constraints);
+  ASSERT_TRUE(repairs.ok()) << repairs.status().ToString();
+  EXPECT_EQ(repairs->size(), 7u);
+  for (const Database& r : *repairs) {
+    EXPECT_TRUE(Satisfies(r, w.constraints)) << r.ToString();
+    EXPECT_TRUE(r.Contains(Fact::Make(*w.schema, "T", {"a", "b"})));
+  }
+}
+
+TEST(AbcViaChainTest, Example2RepairsMatchHandComputation) {
+  // Σ′ = {T(x,y)→R(x,y); key}. ABC repairs of {R(a,b),R(a,c),T(a,b)}:
+  // {R(a,b),T(a,b)} (∆={R(a,c)}) and {R(a,c)} (∆={R(a,b),T(a,b)}).
+  gen::Workload w = gen::PaperExample2();
+  Result<std::vector<Database>> repairs =
+      AbcRepairsViaChain(w.db, w.constraints);
+  ASSERT_TRUE(repairs.ok()) << repairs.status().ToString();
+  ASSERT_EQ(repairs->size(), 2u);
+  Database keep_b(w.schema.get());
+  keep_b.Insert(Fact::Make(*w.schema, "R", {"a", "b"}));
+  keep_b.Insert(Fact::Make(*w.schema, "T", {"a", "b"}));
+  Database keep_c(w.schema.get());
+  keep_c.Insert(Fact::Make(*w.schema, "R", {"a", "c"}));
+  EXPECT_TRUE(std::find(repairs->begin(), repairs->end(), keep_b) !=
+              repairs->end());
+  EXPECT_TRUE(std::find(repairs->begin(), repairs->end(), keep_c) !=
+              repairs->end());
+}
+
+TEST(AbcViaChainTest, AgreesWithHypergraphOnDenialOnly) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    gen::Workload w = gen::MakeKeyViolationWorkload(4, 2, 2, seed);
+    Result<std::vector<Database>> hyper =
+        AbcSubsetRepairs(w.db, w.constraints);
+    Result<std::vector<Database>> chain =
+        AbcRepairsViaChain(w.db, w.constraints);
+    ASSERT_TRUE(hyper.ok() && chain.ok());
+    EXPECT_EQ(*hyper, *chain) << "seed " << seed;
+  }
+}
+
+TEST(AbcViaChainTest, AgreesWithBruteForceOnTinyTgd) {
+  gen::Workload w = gen::TinyInclusionExample();
+  Result<std::vector<Database>> brute =
+      AbcRepairsBruteForce(w.db, w.constraints);
+  Result<std::vector<Database>> chain =
+      AbcRepairsViaChain(w.db, w.constraints);
+  ASSERT_TRUE(brute.ok() && chain.ok());
+  EXPECT_EQ(*brute, *chain);
+}
+
+TEST(CertainAnswersTest, IntersectionAcrossRepairs) {
+  gen::Workload w = gen::PaperKeyPairExample();
+  Result<std::vector<Database>> repairs = AbcRepairs(w.db, w.constraints);
+  ASSERT_TRUE(repairs.ok());
+  Result<Query> q_some = ParseQuery(*w.schema, "Q() := exists y R(a,y)");
+  Result<Query> q_b = ParseQuery(*w.schema, "Q(y) := R(a,y)");
+  ASSERT_TRUE(q_some.ok() && q_b.ok());
+  // ∃y R(a,y) holds in both repairs → certain.
+  EXPECT_EQ(CertainAnswers(*repairs, *q_some).size(), 1u);
+  // No specific value is in both repairs.
+  EXPECT_TRUE(CertainAnswers(*repairs, *q_b).empty());
+}
+
+TEST(CertainAnswersTest, EmptyRepairListGivesEmptyAnswers) {
+  gen::Workload w = gen::PaperKeyPairExample();
+  Result<Query> q = ParseQuery(*w.schema, "Q() := true");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(CertainAnswers({}, *q).empty());
+}
+
+TEST(AbcDispatchTest, RoutesByConstraintClass) {
+  // Denial-only → hypergraph path (works on big-ish instances).
+  gen::Workload keys = gen::MakeKeyViolationWorkload(10, 4, 2, 1);
+  EXPECT_TRUE(AbcRepairs(keys.db, keys.constraints).ok());
+  // Tiny TGD → brute force path.
+  gen::Workload tiny = gen::TinyInclusionExample();
+  EXPECT_TRUE(AbcRepairs(tiny.db, tiny.constraints).ok());
+  // Big TGD → via-chain path.
+  gen::Workload ex1 = gen::PaperExample1();
+  Result<std::vector<Database>> repairs = AbcRepairs(ex1.db, ex1.constraints);
+  ASSERT_TRUE(repairs.ok());
+  EXPECT_EQ(repairs->size(), 7u);
+}
+
+}  // namespace
+}  // namespace opcqa

@@ -1,0 +1,189 @@
+// Tests for consistent scalar aggregation over operational repairs
+// (Section 6, "More Expressive Languages").
+
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "logic/formula_parser.h"
+#include "relational/fact_parser.h"
+#include "repair/aggregation.h"
+#include "repair/counting.h"
+
+namespace opcqa {
+namespace {
+
+class AggregationTest : public ::testing::Test {
+ protected:
+  AggregationTest() {
+    schema_.AddRelation("R", 2);
+    // R(k, v): v is numeric; key on k. Group "a": values 10 / 20 conflict;
+    // group "b": value 5 is clean.
+    db_ = ParseDatabase(schema_, "R(a,10). R(a,20). R(b,5).").value();
+    constraints_ = ParseConstraints(schema_, "R(x,y), R(x,z) -> y = z").value();
+    query_ = ParseQuery(schema_, "Q(x,y) := R(x,y)").value();
+    enumeration_ = EnumerateRepairs(db_, constraints_, generator_);
+  }
+
+  Schema schema_;
+  Database db_;
+  ConstraintSet constraints_;
+  Query query_;
+  UniformChainGenerator generator_;
+  EnumerationResult enumeration_;
+};
+
+TEST(NumericValueOfTest, ParsesIntegers) {
+  EXPECT_EQ(NumericValueOf(Const("42")).value(), Rational(42));
+  EXPECT_EQ(NumericValueOf(Const("-7")).value(), Rational(-7));
+  EXPECT_EQ(NumericValueOf(Const("0")).value(), Rational(0));
+  // Arbitrarily large values round-trip exactly.
+  EXPECT_EQ(NumericValueOf(Const("123456789012345678901234567890")).value()
+                .ToString(),
+            "123456789012345678901234567890");
+  EXPECT_FALSE(NumericValueOf(Const("abc")).ok());
+  EXPECT_FALSE(NumericValueOf(Const("1.5")).ok());
+  EXPECT_FALSE(NumericValueOf(Const("-")).ok());
+}
+
+TEST(AggregateOfAnswersTest, EmptySetSemantics) {
+  std::set<Tuple> empty;
+  EXPECT_EQ(*AggregateOfAnswers(empty, AggregateKind::kCount, 0).value(),
+            Rational(0));
+  EXPECT_EQ(*AggregateOfAnswers(empty, AggregateKind::kSum, 0).value(),
+            Rational(0));
+  EXPECT_FALSE(
+      AggregateOfAnswers(empty, AggregateKind::kMin, 0).value().has_value());
+  EXPECT_FALSE(
+      AggregateOfAnswers(empty, AggregateKind::kMax, 0).value().has_value());
+  EXPECT_FALSE(
+      AggregateOfAnswers(empty, AggregateKind::kAvg, 0).value().has_value());
+}
+
+TEST(AggregateOfAnswersTest, ComputesAllKinds) {
+  std::set<Tuple> answers = {{Const("a"), Const("10")},
+                             {Const("b"), Const("4")}};
+  EXPECT_EQ(*AggregateOfAnswers(answers, AggregateKind::kCount, 1).value(),
+            Rational(2));
+  EXPECT_EQ(*AggregateOfAnswers(answers, AggregateKind::kSum, 1).value(),
+            Rational(14));
+  EXPECT_EQ(*AggregateOfAnswers(answers, AggregateKind::kMin, 1).value(),
+            Rational(4));
+  EXPECT_EQ(*AggregateOfAnswers(answers, AggregateKind::kMax, 1).value(),
+            Rational(10));
+  EXPECT_EQ(*AggregateOfAnswers(answers, AggregateKind::kAvg, 1).value(),
+            Rational(7));
+}
+
+TEST(AggregateOfAnswersTest, ColumnOutOfRangeIsAnError) {
+  std::set<Tuple> answers = {{Const("1")}};
+  EXPECT_FALSE(AggregateOfAnswers(answers, AggregateKind::kSum, 3).ok());
+}
+
+TEST_F(AggregationTest, SumDistributionOverKeyRepairs) {
+  // The uniform chain over {R(a,10), R(a,20)} reaches three repairs:
+  // keep 10, keep 20, keep neither — each contributing R(b,5)'s 5.
+  auto result = ComputeAggregateDistribution(enumeration_, query_,
+                                             AggregateKind::kSum, 1);
+  ASSERT_TRUE(result.ok());
+  const AggregateDistribution& dist = result.value();
+  EXPECT_EQ(dist.num_repairs, 3u);
+  EXPECT_TRUE(dist.undefined_mass.is_zero());
+  ASSERT_EQ(dist.distribution.size(), 3u);
+  EXPECT_EQ(*dist.glb, Rational(5));    // both conflicting facts deleted
+  EXPECT_EQ(*dist.lub, Rational(25));   // 20 + 5
+  // Probabilities: each single deletion 1/3, pair deletion 1/3.
+  EXPECT_EQ(dist.distribution.at(Rational(5)), Rational(1, 3));
+  EXPECT_EQ(dist.distribution.at(Rational(15)), Rational(1, 3));
+  EXPECT_EQ(dist.distribution.at(Rational(25)), Rational(1, 3));
+  // E[SUM] = (5 + 15 + 25)/3 = 15, exactly.
+  EXPECT_EQ(dist.expectation, Rational(15));
+  // Var = E[X²] − E[X]² = (25 + 225 + 625)/3 − 225 = 200/3.
+  EXPECT_EQ(dist.variance, Rational(200, 3));
+}
+
+TEST_F(AggregationTest, CountDistributionAndCertainty) {
+  auto result = ComputeAggregateDistribution(enumeration_, query_,
+                                             AggregateKind::kCount, 1);
+  ASSERT_TRUE(result.ok());
+  const AggregateDistribution& dist = result.value();
+  // COUNT is 2 (one survivor) with prob 2/3, 1 (none) with prob 1/3.
+  EXPECT_EQ(dist.distribution.at(Rational(2)), Rational(2, 3));
+  EXPECT_EQ(dist.distribution.at(Rational(1)), Rational(1, 3));
+  EXPECT_FALSE(dist.IsCertain());
+  EXPECT_EQ(dist.expectation, Rational(5, 3));
+}
+
+TEST_F(AggregationTest, MinMaxRangeSemantics) {
+  auto min_dist = ComputeAggregateDistribution(enumeration_, query_,
+                                               AggregateKind::kMin, 1);
+  auto max_dist = ComputeAggregateDistribution(enumeration_, query_,
+                                               AggregateKind::kMax, 1);
+  ASSERT_TRUE(min_dist.ok());
+  ASSERT_TRUE(max_dist.ok());
+  // MIN is always 5; the classical range semantics would report [5,5]:
+  // the aggregate is *certain* despite the inconsistency — the key insight
+  // of the scalar-aggregation paper.
+  EXPECT_TRUE(min_dist.value().IsCertain());
+  EXPECT_EQ(*min_dist.value().glb, Rational(5));
+  EXPECT_EQ(*min_dist.value().lub, Rational(5));
+  // MAX ranges over {5, 10, 20}.
+  EXPECT_EQ(*max_dist.value().glb, Rational(5));
+  EXPECT_EQ(*max_dist.value().lub, Rational(20));
+  EXPECT_FALSE(max_dist.value().IsCertain());
+}
+
+TEST_F(AggregationTest, AvgIsExactRational) {
+  auto result = ComputeAggregateDistribution(enumeration_, query_,
+                                             AggregateKind::kAvg, 1);
+  ASSERT_TRUE(result.ok());
+  // AVG values: (10+5)/2, (20+5)/2, 5 → 15/2, 25/2, 5.
+  EXPECT_EQ(result.value().distribution.at(Rational(15, 2)), Rational(1, 3));
+  EXPECT_EQ(result.value().distribution.at(Rational(25, 2)), Rational(1, 3));
+  EXPECT_EQ(result.value().distribution.at(Rational(5)), Rational(1, 3));
+}
+
+TEST_F(AggregationTest, UndefinedMassForMinOverEmptyableAnswers) {
+  // Query only over group "a": the both-deleted repair has no answers.
+  Query q = ParseQuery(schema_, "Q(y) := R(a,y)").value();
+  auto result = ComputeAggregateDistribution(enumeration_, q,
+                                             AggregateKind::kMin, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().undefined_mass, Rational(1, 3));
+  // Conditioned on defined: MIN is 10 or 20, each 1/2.
+  EXPECT_EQ(result.value().distribution.at(Rational(10)), Rational(1, 2));
+  EXPECT_EQ(result.value().distribution.at(Rational(20)), Rational(1, 2));
+}
+
+TEST_F(AggregationTest, NonNumericColumnIsAnError) {
+  // Column 0 holds the keys "a"/"b" — not numeric.
+  auto result = ComputeAggregateDistribution(enumeration_, query_,
+                                             AggregateKind::kSum, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AggregationTest, ExpectedCountMatchesSumOfTupleProbabilities) {
+  // Linearity bridge: E[COUNT] = Σ_t CP(t) (see counting.h).
+  auto dist = ComputeAggregateDistribution(enumeration_, query_,
+                                           AggregateKind::kCount, 1);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist.value().expectation,
+            ExpectedAnswerCount(enumeration_, query_));
+}
+
+TEST_F(AggregationTest, SampledExpectationConvergesToExact) {
+  auto exact = ComputeAggregateDistribution(enumeration_, query_,
+                                            AggregateKind::kSum, 1);
+  ASSERT_TRUE(exact.ok());
+  Sampler sampler(db_, constraints_, &generator_, /*seed=*/99);
+  auto estimate = EstimateExpectedAggregate(sampler, query_,
+                                            AggregateKind::kSum, 1,
+                                            /*walks=*/4000);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate.value().undefined_walks, 0u);
+  EXPECT_NEAR(estimate.value().expectation,
+              exact.value().expectation.ToDouble(), 0.5);
+}
+
+}  // namespace
+}  // namespace opcqa

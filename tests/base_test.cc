@@ -1,0 +1,143 @@
+// Tests for B(D,Σ) — the base of Definition 1.
+
+#include <gtest/gtest.h>
+
+#include "relational/base.h"
+#include "relational/fact_parser.h"
+
+namespace opcqa {
+namespace {
+
+class BaseTest : public ::testing::Test {
+ protected:
+  BaseTest() {
+    r_ = schema_.AddRelation("R", 2);
+    s_ = schema_.AddRelation("S", 1);
+  }
+  Schema schema_;
+  PredId r_, s_;
+};
+
+TEST_F(BaseTest, DomainIsActiveDomainPlusExtras) {
+  Database db(&schema_);
+  db.Insert(Fact::Make(schema_, "R", {"a", "b"}));
+  ConstId extra = Const("sigma_const");
+  BaseSpec base = BaseSpec::ForDatabase(db, {extra});
+  EXPECT_EQ(base.domain().size(), 3u);
+  EXPECT_TRUE(std::binary_search(base.domain().begin(), base.domain().end(),
+                                 extra));
+}
+
+TEST_F(BaseTest, DomainDeduplicates) {
+  Database db(&schema_);
+  db.Insert(Fact::Make(schema_, "R", {"a", "a"}));
+  BaseSpec base = BaseSpec::ForDatabase(db, {Const("a")});
+  EXPECT_EQ(base.domain().size(), 1u);
+}
+
+TEST_F(BaseTest, SizeIsSumOfPowers) {
+  Database db(&schema_);
+  db.Insert(Fact::Make(schema_, "R", {"a", "b"}));
+  db.Insert(Fact::Make(schema_, "S", {"c"}));
+  BaseSpec base = BaseSpec::ForDatabase(db, {});
+  // |dom| = 3; R/2 contributes 9, S/1 contributes 3.
+  EXPECT_EQ(base.Size(), BigInt(12));
+}
+
+TEST_F(BaseTest, ContainsChecksDomainMembership) {
+  Database db(&schema_);
+  db.Insert(Fact::Make(schema_, "R", {"a", "b"}));
+  BaseSpec base = BaseSpec::ForDatabase(db, {});
+  EXPECT_TRUE(base.Contains(Fact::Make(schema_, "R", {"b", "a"})));
+  EXPECT_TRUE(base.Contains(Fact::Make(schema_, "S", {"a"})));
+  EXPECT_FALSE(base.Contains(Fact::Make(schema_, "R", {"a", "zzz_foreign"})));
+}
+
+TEST_F(BaseTest, ContainsAllDatabase) {
+  Database db(&schema_);
+  db.Insert(Fact::Make(schema_, "R", {"a", "b"}));
+  BaseSpec base = BaseSpec::ForDatabase(db, {});
+  EXPECT_TRUE(base.ContainsAll(db));
+  Database other(&schema_);
+  other.Insert(Fact::Make(schema_, "R", {"a", "zzz_foreign2"}));
+  EXPECT_FALSE(base.ContainsAll(other));
+}
+
+TEST_F(BaseTest, EnumerateProducesExactlyBaseSize) {
+  Database db(&schema_);
+  db.Insert(Fact::Make(schema_, "R", {"a", "b"}));
+  BaseSpec base = BaseSpec::ForDatabase(db, {});
+  size_t count = 0;
+  bool complete = base.Enumerate(
+      [&](const Fact& fact) {
+        EXPECT_TRUE(base.Contains(fact));
+        ++count;
+        return true;
+      },
+      1000000);
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(BigInt(static_cast<uint64_t>(count)), base.Size());
+}
+
+TEST_F(BaseTest, EnumerateRespectsBudget) {
+  Database db(&schema_);
+  db.Insert(Fact::Make(schema_, "R", {"a", "b"}));
+  BaseSpec base = BaseSpec::ForDatabase(db, {});
+  size_t count = 0;
+  bool complete = base.Enumerate(
+      [&](const Fact&) {
+        ++count;
+        return true;
+      },
+      3);
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(count, 3u);
+}
+
+TEST_F(BaseTest, EnumerateEarlyStop) {
+  Database db(&schema_);
+  db.Insert(Fact::Make(schema_, "R", {"a", "b"}));
+  BaseSpec base = BaseSpec::ForDatabase(db, {});
+  size_t count = 0;
+  bool complete = base.Enumerate(
+      [&](const Fact&) {
+        ++count;
+        return count < 2;
+      },
+      1000000);
+  EXPECT_TRUE(complete);  // stopped by callback, not budget
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_F(BaseTest, EnumerateTuplesOdometerOrder) {
+  Database db(&schema_);
+  db.Insert(Fact::Make(schema_, "R", {"a", "b"}));
+  BaseSpec base = BaseSpec::ForDatabase(db, {});
+  std::vector<std::vector<ConstId>> tuples;
+  base.EnumerateTuples(
+      2,
+      [&](const std::vector<ConstId>& t) {
+        tuples.push_back(t);
+        return true;
+      },
+      1000);
+  EXPECT_EQ(tuples.size(), 4u);  // 2 constants, arity 2
+  EXPECT_TRUE(std::is_sorted(tuples.begin(), tuples.end()));
+}
+
+TEST_F(BaseTest, EmptyDomainEnumeratesNothing) {
+  Database db(&schema_);
+  BaseSpec base = BaseSpec::ForDatabase(db, {});
+  size_t count = 0;
+  bool complete = base.Enumerate(
+      [&](const Fact&) {
+        ++count;
+        return true;
+      },
+      1000);
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(count, 0u);
+}
+
+}  // namespace
+}  // namespace opcqa

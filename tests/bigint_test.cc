@@ -1,0 +1,214 @@
+#include "util/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace opcqa {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(zero.is_negative());
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ(zero.ToInt64(), 0);
+}
+
+TEST(BigIntTest, FromInt64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42},
+                    int64_t{-42}, int64_t{1} << 40, -(int64_t{1} << 40),
+                    std::numeric_limits<int64_t>::max(),
+                    std::numeric_limits<int64_t>::min()}) {
+    BigInt b(v);
+    EXPECT_TRUE(b.FitsInt64()) << v;
+    EXPECT_EQ(b.ToInt64(), v);
+  }
+}
+
+TEST(BigIntTest, FromUint64) {
+  BigInt b(std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(b.ToString(), "18446744073709551615");
+  EXPECT_FALSE(b.FitsInt64());
+}
+
+TEST(BigIntTest, FromStringParsesSignedDecimals) {
+  EXPECT_EQ(BigInt::FromString("0")->ToInt64(), 0);
+  EXPECT_EQ(BigInt::FromString("-12345")->ToInt64(), -12345);
+  EXPECT_EQ(BigInt::FromString("+7")->ToInt64(), 7);
+  EXPECT_EQ(BigInt::FromString("123456789012345678901234567890")->ToString(),
+            "123456789012345678901234567890");
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("12a3").ok());
+  EXPECT_FALSE(BigInt::FromString("1.5").ok());
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt(std::numeric_limits<uint64_t>::max());
+  BigInt one(int64_t{1});
+  EXPECT_EQ((a + one).ToString(), "18446744073709551616");
+}
+
+TEST(BigIntTest, SubtractionAndSigns) {
+  BigInt a(int64_t{100});
+  BigInt b(int64_t{250});
+  EXPECT_EQ((a - b).ToInt64(), -150);
+  EXPECT_EQ((b - a).ToInt64(), 150);
+  EXPECT_EQ((a - a).ToInt64(), 0);
+  EXPECT_FALSE((a - a).is_negative());
+}
+
+TEST(BigIntTest, MixedSignAddition) {
+  EXPECT_EQ((BigInt(-5) + BigInt(3)).ToInt64(), -2);
+  EXPECT_EQ((BigInt(5) + BigInt(-3)).ToInt64(), 2);
+  EXPECT_EQ((BigInt(-5) + BigInt(-3)).ToInt64(), -8);
+  EXPECT_EQ((BigInt(-5) + BigInt(5)).ToInt64(), 0);
+}
+
+TEST(BigIntTest, MultiplicationSchoolbook) {
+  BigInt a = *BigInt::FromString("123456789123456789");
+  BigInt b = *BigInt::FromString("987654321987654321");
+  EXPECT_EQ((a * b).ToString(), "121932631356500531347203169112635269");
+}
+
+TEST(BigIntTest, MultiplicationSigns) {
+  EXPECT_EQ((BigInt(-3) * BigInt(4)).ToInt64(), -12);
+  EXPECT_EQ((BigInt(-3) * BigInt(-4)).ToInt64(), 12);
+  EXPECT_EQ((BigInt(0) * BigInt(-4)).ToInt64(), 0);
+  EXPECT_FALSE((BigInt(0) * BigInt(-4)).is_negative());
+}
+
+TEST(BigIntTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).ToInt64(), 3);
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).ToInt64(), -3);
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).ToInt64(), -3);
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).ToInt64(), 3);
+}
+
+TEST(BigIntTest, RemainderFollowsDividendSign) {
+  EXPECT_EQ((BigInt(7) % BigInt(2)).ToInt64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).ToInt64(), -1);
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).ToInt64(), 1);
+}
+
+TEST(BigIntTest, LargeDivMod) {
+  BigInt a = *BigInt::FromString("121932631356500531347203169112635269");
+  BigInt b = *BigInt::FromString("123456789123456789");
+  BigInt q, r;
+  BigInt::DivMod(a, b, &q, &r);
+  EXPECT_EQ(q.ToString(), "987654321987654321");
+  EXPECT_TRUE(r.is_zero());
+  // Non-exact division: a+1.
+  BigInt::DivMod(a + BigInt(1), b, &q, &r);
+  EXPECT_EQ(q.ToString(), "987654321987654321");
+  EXPECT_EQ(r.ToInt64(), 1);
+}
+
+TEST(BigIntTest, DivModInvariantQuotientTimesDivisorPlusRemainder) {
+  // Property: a == q*b + r with |r| < |b|, across sign combinations.
+  for (int64_t av : {12345, -12345}) {
+    for (int64_t bv : {7, -7, 123, -123}) {
+      BigInt a(av), b(bv), q, r;
+      BigInt::DivMod(a, b, &q, &r);
+      EXPECT_EQ(q * b + r, a) << av << "/" << bv;
+      EXPECT_LT(r.Abs(), b.Abs());
+    }
+  }
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToInt64(), 5);
+  EXPECT_EQ(BigInt::Gcd(BigInt(5), BigInt(0)).ToInt64(), 5);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)).ToInt64(), 0);
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)).ToInt64(), 1);
+}
+
+TEST(BigIntTest, PowSmallExponents) {
+  EXPECT_EQ(BigInt(2).Pow(10).ToInt64(), 1024);
+  EXPECT_EQ(BigInt(10).Pow(0).ToInt64(), 1);
+  EXPECT_EQ(BigInt(3).Pow(40).ToString(), "12157665459056928801");
+  EXPECT_EQ(BigInt(-2).Pow(3).ToInt64(), -8);
+}
+
+TEST(BigIntTest, CompareTotalOrder) {
+  BigInt values[] = {BigInt(-100), BigInt(-1), BigInt(0), BigInt(1),
+                     *BigInt::FromString("99999999999999999999")};
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(values[i] < values[j], i < j);
+      EXPECT_EQ(values[i] == values[j], i == j);
+    }
+  }
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(0).BitLength(), 0u);
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  EXPECT_EQ(BigInt(2).Pow(100).BitLength(), 101u);
+}
+
+TEST(BigIntTest, ToDoubleApproximation) {
+  EXPECT_DOUBLE_EQ(BigInt(0).ToDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(BigInt(12345).ToDouble(), 12345.0);
+  EXPECT_DOUBLE_EQ(BigInt(-12345).ToDouble(), -12345.0);
+  double big = BigInt(2).Pow(100).ToDouble();
+  EXPECT_NEAR(big, std::ldexp(1.0, 100), std::ldexp(1.0, 60));
+}
+
+TEST(BigIntTest, HashEqualValuesAgree) {
+  BigInt a = *BigInt::FromString("123456789012345678901234567890");
+  BigInt b = *BigInt::FromString("123456789012345678901234567890");
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), (-a).Hash());
+}
+
+TEST(BigIntTest, ToStringRoundTripProperty) {
+  // Property: FromString(ToString(x)) == x for a spread of magnitudes.
+  BigInt x(int64_t{1});
+  for (int i = 0; i < 30; ++i) {
+    x = x * BigInt(123456789) + BigInt(987654321);
+    EXPECT_EQ(*BigInt::FromString(x.ToString()), x);
+    EXPECT_EQ(*BigInt::FromString((-x).ToString()), -x);
+  }
+}
+
+// Parameterized: arithmetic consistency against int64 for small operands.
+class BigIntSmallArithTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(BigIntSmallArithTest, MatchesNativeArithmetic) {
+  auto [a, b] = GetParam();
+  EXPECT_EQ((BigInt(a) + BigInt(b)).ToInt64(), a + b);
+  EXPECT_EQ((BigInt(a) - BigInt(b)).ToInt64(), a - b);
+  EXPECT_EQ((BigInt(a) * BigInt(b)).ToInt64(), a * b);
+  if (b != 0) {
+    EXPECT_EQ((BigInt(a) / BigInt(b)).ToInt64(), a / b);
+    EXPECT_EQ((BigInt(a) % BigInt(b)).ToInt64(), a % b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, BigIntSmallArithTest,
+    ::testing::Values(std::pair<int64_t, int64_t>{0, 0},
+                      std::pair<int64_t, int64_t>{1, -1},
+                      std::pair<int64_t, int64_t>{17, 5},
+                      std::pair<int64_t, int64_t>{-17, 5},
+                      std::pair<int64_t, int64_t>{17, -5},
+                      std::pair<int64_t, int64_t>{-17, -5},
+                      std::pair<int64_t, int64_t>{1000000007, 998244353},
+                      std::pair<int64_t, int64_t>{-1000000007, 3},
+                      std::pair<int64_t, int64_t>{123456, 789},
+                      std::pair<int64_t, int64_t>{1, 1000000000}));
+
+}  // namespace
+}  // namespace opcqa

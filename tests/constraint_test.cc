@@ -1,0 +1,195 @@
+// Tests for constraint classes, the constraint parser, and satisfaction.
+
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "constraints/satisfaction.h"
+#include "relational/fact_parser.h"
+
+namespace opcqa {
+namespace {
+
+class ConstraintTest : public ::testing::Test {
+ protected:
+  ConstraintTest() {
+    schema_.AddRelation("R", 2);
+    schema_.AddRelation("S", 3);
+    schema_.AddRelation("T", 2);
+    schema_.AddRelation("Pref", 2);
+  }
+  Schema schema_;
+};
+
+TEST_F(ConstraintTest, ParsesTgdWithExistential) {
+  Result<Constraint> c =
+      ParseConstraint(schema_, "R(x,y) -> exists z: S(x,y,z)");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_TRUE(c->is_tgd());
+  EXPECT_EQ(c->body().size(), 1u);
+  EXPECT_EQ(c->head().size(), 1u);
+  EXPECT_EQ(c->existential(), std::vector<VarId>{Var("z")});
+}
+
+TEST_F(ConstraintTest, ParsesTgdWithoutExistential) {
+  Result<Constraint> c = ParseConstraint(schema_, "T(x,y) -> R(x,y)");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_TRUE(c->is_tgd());
+  EXPECT_TRUE(c->existential().empty());
+}
+
+TEST_F(ConstraintTest, ParsesEgdKey) {
+  Result<Constraint> c = ParseConstraint(schema_, "R(x,y), R(x,z) -> y = z");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_TRUE(c->is_egd());
+  EXPECT_EQ(c->eq_lhs(), Var("y"));
+  EXPECT_EQ(c->eq_rhs(), Var("z"));
+  EXPECT_EQ(c->body().size(), 2u);
+}
+
+TEST_F(ConstraintTest, ParsesDenialConstraintBothForms) {
+  Result<Constraint> c1 =
+      ParseConstraint(schema_, "Pref(x,y), Pref(y,x) -> false");
+  ASSERT_TRUE(c1.ok()) << c1.status().ToString();
+  EXPECT_TRUE(c1->is_dc());
+  Result<Constraint> c2 = ParseConstraint(schema_, "!(Pref(x,y), Pref(y,x))");
+  ASSERT_TRUE(c2.ok()) << c2.status().ToString();
+  EXPECT_TRUE(c2->is_dc());
+  EXPECT_EQ(c1->body().size(), c2->body().size());
+}
+
+TEST_F(ConstraintTest, ParsesLabels) {
+  Result<Constraint> c =
+      ParseConstraint(schema_, "mykey: R(x,y), R(x,z) -> y = z");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->label(), "mykey");
+}
+
+TEST_F(ConstraintTest, VariableNamingConvention) {
+  EXPECT_TRUE(LooksLikeVariable("x"));
+  EXPECT_TRUE(LooksLikeVariable("y2"));
+  EXPECT_TRUE(LooksLikeVariable("z_1"));
+  EXPECT_TRUE(LooksLikeVariable("w"));
+  EXPECT_FALSE(LooksLikeVariable("a"));
+  EXPECT_FALSE(LooksLikeVariable("admin"));
+  EXPECT_FALSE(LooksLikeVariable("source1"));
+  EXPECT_FALSE(LooksLikeVariable("42"));
+  EXPECT_FALSE(LooksLikeVariable(""));
+}
+
+TEST_F(ConstraintTest, ConstantsInConstraints) {
+  Result<Constraint> c = ParseConstraint(schema_, "R(x, admin) -> false");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->Constants(), std::vector<ConstId>{Const("admin")});
+}
+
+TEST_F(ConstraintTest, ParsesMultiAtomTgdHead) {
+  Result<Constraint> c = ParseConstraint(
+      schema_, "R(x,y) -> exists z,w: S(x,y,z), S(x,y,w)");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->head().size(), 2u);
+  EXPECT_EQ(c->existential().size(), 2u);
+}
+
+TEST_F(ConstraintTest, ParsesConstraintSetWithCommentsAndLabels) {
+  Result<ConstraintSet> set = ParseConstraints(schema_,
+                                               "# two constraints\n"
+                                               "sigma: R(x,y) -> exists z: "
+                                               "S(x,y,z)\n"
+                                               "eta: R(x,y), R(x,z) -> y = z");
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set->size(), 2u);
+  EXPECT_TRUE((*set)[0].is_tgd());
+  EXPECT_TRUE((*set)[1].is_egd());
+  EXPECT_FALSE(IsDenialOnly(*set));
+}
+
+TEST_F(ConstraintTest, IsDenialOnlyDetection) {
+  Result<ConstraintSet> set = ParseConstraints(
+      schema_, "R(x,y), R(x,z) -> y = z ; Pref(x,y), Pref(y,x) -> false");
+  ASSERT_TRUE(set.ok());
+  EXPECT_TRUE(IsDenialOnly(*set));
+}
+
+TEST_F(ConstraintTest, RejectsMalformedConstraints) {
+  EXPECT_FALSE(ParseConstraint(schema_, "R(x,y)").ok());           // no arrow
+  EXPECT_FALSE(ParseConstraint(schema_, "-> R(x,y)").ok());        // no body
+  EXPECT_FALSE(ParseConstraint(schema_, "R(x,y) -> a = b").ok());  // consts
+  EXPECT_FALSE(ParseConstraint(schema_, "R(x,y) -> y = w").ok());  // w ∉ body
+  EXPECT_FALSE(
+      ParseConstraint(schema_, "R(x,y) -> exists y: S(x,y,y)").ok());
+  EXPECT_FALSE(ParseConstraint(schema_, "Bad(x) -> false").ok());
+  EXPECT_FALSE(ParseConstraint(schema_, "R(x,y) -> S(x,y,w)").ok());
+}
+
+TEST_F(ConstraintTest, ToStringIsReadable) {
+  Result<Constraint> c =
+      ParseConstraint(schema_, "k: R(x,y), R(x,z) -> y = z");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->ToString(schema_), "[k] R(x,y), R(x,z) -> y = z");
+}
+
+// ---- Satisfaction semantics ----
+
+TEST_F(ConstraintTest, DcSatisfaction) {
+  Constraint dc = *ParseConstraint(schema_, "Pref(x,y), Pref(y,x) -> false");
+  Database ok = *ParseDatabase(schema_, "Pref(a,b). Pref(b,c).");
+  Database bad = *ParseDatabase(schema_, "Pref(a,b). Pref(b,a).");
+  EXPECT_TRUE(Satisfies(ok, dc));
+  EXPECT_FALSE(Satisfies(bad, dc));
+}
+
+TEST_F(ConstraintTest, DcSelfLoopViolation) {
+  // Pref(a,a) matches both atoms with x=y=a.
+  Constraint dc = *ParseConstraint(schema_, "Pref(x,y), Pref(y,x) -> false");
+  Database loop = *ParseDatabase(schema_, "Pref(a,a).");
+  EXPECT_FALSE(Satisfies(loop, dc));
+}
+
+TEST_F(ConstraintTest, EgdSatisfaction) {
+  Constraint key = *ParseConstraint(schema_, "R(x,y), R(x,z) -> y = z");
+  Database ok = *ParseDatabase(schema_, "R(a,b). R(c,b).");
+  Database bad = *ParseDatabase(schema_, "R(a,b). R(a,c).");
+  EXPECT_TRUE(Satisfies(ok, key));
+  EXPECT_FALSE(Satisfies(bad, key));
+}
+
+TEST_F(ConstraintTest, TgdSatisfaction) {
+  Constraint tgd = *ParseConstraint(schema_, "R(x,y) -> exists z: S(x,y,z)");
+  Database ok = *ParseDatabase(schema_, "R(a,b). S(a,b,c).");
+  Database bad = *ParseDatabase(schema_, "R(a,b). S(a,a,a).");
+  EXPECT_TRUE(Satisfies(ok, tgd));
+  EXPECT_FALSE(Satisfies(bad, tgd));
+}
+
+TEST_F(ConstraintTest, TgdFullWitnessRequired) {
+  // Multi-atom head: both head atoms must be present with the same witness.
+  Constraint tgd = *ParseConstraint(
+      schema_, "R(x,y) -> exists z: S(x,y,z), T(x,z)");
+  Database partial = *ParseDatabase(schema_, "R(a,b). S(a,b,c). T(a,d).");
+  EXPECT_FALSE(Satisfies(partial, tgd));
+  Database full = *ParseDatabase(schema_, "R(a,b). S(a,b,c). T(a,c).");
+  EXPECT_TRUE(Satisfies(full, tgd));
+}
+
+TEST_F(ConstraintTest, SetSatisfaction) {
+  Result<ConstraintSet> set = ParseConstraints(
+      schema_, "R(x,y), R(x,z) -> y = z\nPref(x,y), Pref(y,x) -> false");
+  ASSERT_TRUE(set.ok());
+  Database ok = *ParseDatabase(schema_, "R(a,b). Pref(a,b).");
+  EXPECT_TRUE(Satisfies(ok, *set));
+  Database bad = *ParseDatabase(schema_, "R(a,b). R(a,c). Pref(a,b).");
+  EXPECT_FALSE(Satisfies(bad, *set));
+}
+
+TEST_F(ConstraintTest, EmptyDatabaseSatisfiesEverything) {
+  Result<ConstraintSet> set = ParseConstraints(
+      schema_,
+      "R(x,y) -> exists z: S(x,y,z)\nR(x,y), R(x,z) -> y = z\n"
+      "Pref(x,y), Pref(y,x) -> false");
+  ASSERT_TRUE(set.ok());
+  Database empty(&schema_);
+  EXPECT_TRUE(Satisfies(empty, *set));
+}
+
+}  // namespace
+}  // namespace opcqa

@@ -1,0 +1,119 @@
+// Tests for the repair-counting semantics and expected answer counts.
+
+#include <gtest/gtest.h>
+
+#include "gen/workloads.h"
+#include "logic/formula_parser.h"
+#include "repair/abc.h"
+#include "repair/counting.h"
+#include "repair/ocqa.h"
+#include "repair/preference_generator.h"
+
+namespace opcqa {
+namespace {
+
+TEST(CountingTest, UniformOverRepairsNotSequences) {
+  // Key pair under the uniform chain: 3 repairs, each counted once, so
+  // every surviving value has proportion 1/3 — here it coincides with the
+  // hitting distribution, but the semantics differ in general (below).
+  gen::Workload w = gen::PaperKeyPairExample();
+  UniformChainGenerator gen;
+  EnumerationResult enumeration = EnumerateRepairs(w.db, w.constraints, gen);
+  Result<Query> q = ParseQuery(*w.schema, "Q(y) := R(a,y)");
+  ASSERT_TRUE(q.ok());
+  CountingOcaResult counting = CountingOcaFromEnumeration(enumeration, *q);
+  EXPECT_EQ(counting.num_repairs, 3u);
+  EXPECT_EQ(counting.Proportion({Const("b")}), Rational(1, 3));
+  EXPECT_EQ(counting.Proportion({Const("c")}), Rational(1, 3));
+}
+
+TEST(CountingTest, DivergesFromHittingDistributionUnderSkewedChain) {
+  // The preference chain weights repairs 9/20, 38/135, 5/36, 7/54 — but
+  // the counting semantics sees four equally likely repairs, so the
+  // Example 7 answer gets proportion 1/4 instead of probability 9/20.
+  gen::Workload w = gen::PaperPreferenceExample();
+  PreferenceChainGenerator gen(w.schema->RelationOrDie("Pref"));
+  EnumerationResult enumeration = EnumerateRepairs(w.db, w.constraints, gen);
+  Result<Query> q =
+      ParseQuery(*w.schema, "Q(x) := forall y (Pref(x,y) | x = y)");
+  ASSERT_TRUE(q.ok());
+  CountingOcaResult counting = CountingOcaFromEnumeration(enumeration, *q);
+  EXPECT_EQ(counting.num_repairs, 4u);
+  EXPECT_EQ(counting.Proportion({Const("a")}), Rational(1, 4));
+  OcaResult hitting = OcaFromEnumeration(enumeration, *q);
+  EXPECT_EQ(hitting.Probability({Const("a")}), Rational(9, 20));
+  EXPECT_NE(counting.Proportion({Const("a")}),
+            hitting.Probability({Const("a")}));
+}
+
+TEST(CountingTest, OverExplicitAbcRepairList) {
+  gen::Workload w = gen::PaperPreferenceExample();
+  Result<std::vector<Database>> abc = AbcRepairs(w.db, w.constraints);
+  ASSERT_TRUE(abc.ok());
+  Result<Query> q = ParseQuery(*w.schema, "Q(x,y) := Pref(x,y)");
+  ASSERT_TRUE(q.ok());
+  CountingOcaResult counting = CountingOcaFromRepairs(*abc, *q);
+  EXPECT_EQ(counting.num_repairs, 4u);
+  // Uncontested facts in all 4; conflicting atoms in exactly 2 of 4.
+  EXPECT_EQ(counting.Proportion({Const("a"), Const("d")}), Rational(1));
+  EXPECT_EQ(counting.Proportion({Const("a"), Const("b")}), Rational(1, 2));
+  EXPECT_EQ(counting.Proportion({Const("b"), Const("a")}), Rational(1, 2));
+}
+
+TEST(CountingTest, EmptyRepairListYieldsNothing) {
+  gen::Workload w = gen::PaperKeyPairExample();
+  Result<Query> q = ParseQuery(*w.schema, "Q() := true");
+  ASSERT_TRUE(q.ok());
+  CountingOcaResult counting = CountingOcaFromRepairs({}, *q);
+  EXPECT_EQ(counting.num_repairs, 0u);
+  EXPECT_TRUE(counting.answers.empty());
+  EXPECT_TRUE(counting.Proportion({}).is_zero());
+}
+
+TEST(CountingTest, ProportionsLieInUnitInterval) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(4, 2, 3, /*seed=*/60);
+  UniformChainGenerator gen;
+  EnumerationResult enumeration = EnumerateRepairs(w.db, w.constraints, gen);
+  Result<Query> q = ParseQuery(*w.schema, "Q(x,y) := R(x,y)");
+  ASSERT_TRUE(q.ok());
+  CountingOcaResult counting = CountingOcaFromEnumeration(enumeration, *q);
+  for (const auto& [tuple, p] : counting.answers) {
+    EXPECT_GT(p, Rational(0));
+    EXPECT_LE(p, Rational(1));
+  }
+}
+
+TEST(ExpectedAnswerCountTest, EqualsSumOfTupleProbabilities) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(4, 2, 2, /*seed=*/61);
+  UniformChainGenerator gen;
+  EnumerationResult enumeration = EnumerateRepairs(w.db, w.constraints, gen);
+  Result<Query> q = ParseQuery(*w.schema, "Q(x,y) := R(x,y)");
+  ASSERT_TRUE(q.ok());
+  Rational expected = ExpectedAnswerCount(enumeration, *q);
+  OcaResult oca = OcaFromEnumeration(enumeration, *q);
+  Rational sum;
+  for (const auto& [tuple, p] : oca.answers) sum += p;
+  EXPECT_EQ(expected, sum);
+}
+
+TEST(ExpectedAnswerCountTest, PaperKeyPairValue) {
+  // Repairs: {R(a,b)}, {R(a,c)}, ∅ — answer counts 1, 1, 0 → E = 2/3.
+  gen::Workload w = gen::PaperKeyPairExample();
+  UniformChainGenerator gen;
+  EnumerationResult enumeration = EnumerateRepairs(w.db, w.constraints, gen);
+  Result<Query> q = ParseQuery(*w.schema, "Q(y) := R(a,y)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(ExpectedAnswerCount(enumeration, *q), Rational(2, 3));
+}
+
+TEST(ExpectedAnswerCountTest, ZeroWhenNoRepairs) {
+  EnumerationResult empty;
+  Schema schema;
+  schema.AddRelation("R", 1);
+  Result<Query> q = ParseQuery(schema, "Q(x) := R(x)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(ExpectedAnswerCount(empty, *q).is_zero());
+}
+
+}  // namespace
+}  // namespace opcqa

@@ -1,0 +1,287 @@
+// Tests for the relational-algebra engine.
+
+#include <gtest/gtest.h>
+
+#include "engine/algebra.h"
+#include "logic/formula_parser.h"
+#include "relational/fact_parser.h"
+
+namespace opcqa {
+namespace engine {
+namespace {
+
+Row MakeRow(std::initializer_list<const char*> names) {
+  Row row;
+  for (const char* n : names) row.push_back(Const(n));
+  return row;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : r_("R", {"a", "b"}) {
+    r_.Add(MakeRow({"x1", "y1"}));
+    r_.Add(MakeRow({"x1", "y2"}));
+    r_.Add(MakeRow({"x2", "y1"}));
+  }
+  Relation r_;
+};
+
+TEST_F(EngineTest, RelationBasics) {
+  EXPECT_EQ(r_.name(), "R");
+  EXPECT_EQ(r_.arity(), 2u);
+  EXPECT_EQ(r_.size(), 3u);
+  EXPECT_EQ(r_.ColumnIndex("a"), 0u);
+  EXPECT_EQ(r_.ColumnIndex("b"), 1u);
+  EXPECT_EQ(r_.ColumnIndex("zzz"), Relation::kNotFound);
+}
+
+TEST_F(EngineTest, NormalizeSortsAndDeduplicates) {
+  Relation rel("X", {"c"});
+  rel.Add(MakeRow({"v2"}));
+  rel.Add(MakeRow({"v1"}));
+  rel.Add(MakeRow({"v2"}));
+  rel.Normalize();
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(rel.rows().begin(), rel.rows().end()));
+}
+
+TEST_F(EngineTest, SelectByPredicateAndEquality) {
+  Relation sel = SelectEq(r_, "a", Const("x1"));
+  EXPECT_EQ(sel.size(), 2u);
+  Relation sel2 = Select(r_, [](const Row& row) {
+    return row[1] == Const("y1");
+  });
+  EXPECT_EQ(sel2.size(), 2u);
+}
+
+TEST_F(EngineTest, ProjectEliminatesDuplicates) {
+  Relation proj = Project(r_, {"a"});
+  EXPECT_EQ(proj.size(), 2u);  // x1, x2
+  EXPECT_EQ(proj.columns(), std::vector<std::string>{"a"});
+}
+
+TEST_F(EngineTest, ProjectReorders) {
+  Relation proj = Project(r_, {"b", "a"});
+  EXPECT_EQ(proj.arity(), 2u);
+  EXPECT_EQ(proj.rows()[0].size(), 2u);
+}
+
+TEST_F(EngineTest, RenameKeepsRows) {
+  Relation renamed = Rename(r_, {"u", "v"});
+  EXPECT_EQ(renamed.size(), 3u);
+  EXPECT_EQ(renamed.ColumnIndex("u"), 0u);
+}
+
+TEST_F(EngineTest, NaturalJoinOnSharedColumn) {
+  Relation s("S", {"b", "c"});
+  s.Add(MakeRow({"y1", "z1"}));
+  s.Add(MakeRow({"y1", "z2"}));
+  Relation joined = NaturalJoin(r_, s);
+  // R rows with b=y1: (x1,y1), (x2,y1); each joins 2 S rows → 4.
+  EXPECT_EQ(joined.size(), 4u);
+  EXPECT_EQ(joined.arity(), 3u);
+}
+
+TEST_F(EngineTest, NaturalJoinNoSharedColumnsIsCartesian) {
+  Relation s("S", {"c"});
+  s.Add(MakeRow({"z1"}));
+  s.Add(MakeRow({"z2"}));
+  EXPECT_EQ(NaturalJoin(r_, s).size(), 6u);
+}
+
+TEST_F(EngineTest, UnionAndDifference) {
+  Relation other("R", {"a", "b"});
+  other.Add(MakeRow({"x1", "y1"}));
+  other.Add(MakeRow({"x9", "y9"}));
+  Relation u = Union(r_, other);
+  EXPECT_EQ(u.size(), 4u);  // 3 + 2 − 1 duplicate
+  Relation d = Difference(r_, other);
+  EXPECT_EQ(d.size(), 2u);
+  for (const Row& row : d.rows()) {
+    EXPECT_NE(row, MakeRow({"x1", "y1"}));
+  }
+}
+
+TEST_F(EngineTest, DifferenceWithEmptyRightIsIdentity) {
+  Relation empty("R", {"a", "b"});
+  EXPECT_EQ(Difference(r_, empty).size(), r_.size());
+}
+
+TEST_F(EngineTest, CountDistinct) {
+  Relation dup("X", {"c"});
+  dup.Add(MakeRow({"v1"}));
+  dup.Add(MakeRow({"v1"}));
+  EXPECT_EQ(CountDistinct(dup), 1u);
+}
+
+TEST_F(EngineTest, FromDatabaseLoadsFacts) {
+  Schema schema;
+  PredId pred = schema.AddRelation("R", 2);
+  Database db = *ParseDatabase(schema, "R(a,b). R(a,c).");
+  Relation rel = Relation::FromDatabase(db, pred);
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.columns(), (std::vector<std::string>{"c0", "c1"}));
+}
+
+class ExecuteCqTest : public ::testing::Test {
+ protected:
+  ExecuteCqTest() {
+    r_pred_ = schema_.AddRelation("R", 2);
+    s_pred_ = schema_.AddRelation("S", 2);
+    db_ = *ParseDatabase(schema_,
+                         "R(a,b). R(b,c). R(a,a). S(b,p). S(c,q).");
+    r_rel_ = Relation::FromDatabase(db_, r_pred_);
+    s_rel_ = Relation::FromDatabase(db_, s_pred_);
+    relations_[r_pred_] = &r_rel_;
+    relations_[s_pred_] = &s_rel_;
+  }
+  Schema schema_;
+  PredId r_pred_, s_pred_;
+  Database db_;
+  Relation r_rel_, s_rel_;
+  std::map<PredId, const Relation*> relations_;
+};
+
+TEST_F(ExecuteCqTest, SingleAtomScan) {
+  Result<Query> q = ParseQuery(schema_, "Q(x,y) := R(x,y)");
+  ASSERT_TRUE(q.ok());
+  Relation result = ExecuteConjunctive(*q, relations_);
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST_F(ExecuteCqTest, ConstantSelection) {
+  Result<Query> q = ParseQuery(schema_, "Q(y) := R(a, y)");
+  ASSERT_TRUE(q.ok());
+  Relation result = ExecuteConjunctive(*q, relations_);
+  EXPECT_EQ(result.size(), 2u);  // b and a
+}
+
+TEST_F(ExecuteCqTest, RepeatedVariableSelection) {
+  Result<Query> q = ParseQuery(schema_, "Q(x) := R(x, x)");
+  ASSERT_TRUE(q.ok());
+  Relation result = ExecuteConjunctive(*q, relations_);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.rows()[0], MakeRow({"a"}));
+}
+
+TEST_F(ExecuteCqTest, JoinMatchesLogicEvaluation) {
+  Result<Query> q =
+      ParseQuery(schema_, "Q(x,z) := exists y (R(x,y), S(y,z))");
+  ASSERT_TRUE(q.ok());
+  Relation engine_result = ExecuteConjunctive(*q, relations_);
+  std::set<Tuple> engine_tuples(engine_result.rows().begin(),
+                                engine_result.rows().end());
+  EXPECT_EQ(engine_tuples, q->Evaluate(db_));
+}
+
+TEST_F(ExecuteCqTest, TriangleJoinMatchesLogicEvaluation) {
+  Result<Query> q = ParseQuery(
+      schema_, "Q(x) := exists y,z (R(x,y), R(y,z), S(z, q))");
+  ASSERT_TRUE(q.ok());
+  Relation engine_result = ExecuteConjunctive(*q, relations_);
+  std::set<Tuple> engine_tuples(engine_result.rows().begin(),
+                                engine_result.rows().end());
+  EXPECT_EQ(engine_tuples, q->Evaluate(db_));
+}
+
+TEST_F(ExecuteCqTest, EmptyResultWhenNoMatch) {
+  Result<Query> q = ParseQuery(schema_, "Q(y) := S(a, y)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(ExecuteConjunctive(*q, relations_).empty());
+}
+
+// ---------------------------------------------------------------------
+// EquiJoin / Intersect (added for the SQL front-end).
+// ---------------------------------------------------------------------
+
+class EquiJoinTest : public ::testing::Test {
+ protected:
+  EquiJoinTest() : left_("L", {"a", "b"}), right_("R", {"c", "d"}) {
+    left_.Add(MakeRow({"x1", "k1"}));
+    left_.Add(MakeRow({"x2", "k2"}));
+    left_.Add(MakeRow({"x3", "k1"}));
+    right_.Add(MakeRow({"k1", "y1"}));
+    right_.Add(MakeRow({"k1", "y2"}));
+    right_.Add(MakeRow({"k3", "y3"}));
+  }
+  Relation left_, right_;
+};
+
+TEST_F(EquiJoinTest, JoinsOnDifferentlyNamedColumns) {
+  Relation joined = EquiJoin(left_, right_, {{"b", "c"}});
+  // x1 and x3 match k1's two right rows; x2 matches nothing.
+  EXPECT_EQ(joined.size(), 4u);
+  EXPECT_EQ(joined.arity(), 4u);  // all columns of both sides
+  EXPECT_EQ(joined.columns(),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+  for (const Row& row : joined.rows()) {
+    EXPECT_EQ(row[1], row[2]);  // the join condition holds per row
+  }
+}
+
+TEST_F(EquiJoinTest, EmptyPairListIsCartesianProduct) {
+  Relation product = EquiJoin(left_, right_, {});
+  EXPECT_EQ(product.size(), left_.size() * right_.size());
+}
+
+TEST_F(EquiJoinTest, MultiColumnJoin) {
+  Relation l("L2", {"a", "b"});
+  l.Add(MakeRow({"p", "q"}));
+  l.Add(MakeRow({"p", "r"}));
+  Relation r("R2", {"c", "d"});
+  r.Add(MakeRow({"p", "q"}));
+  Relation joined = EquiJoin(l, r, {{"a", "c"}, {"b", "d"}});
+  EXPECT_EQ(joined.size(), 1u);
+  EXPECT_EQ(joined.rows()[0], MakeRow({"p", "q", "p", "q"}));
+}
+
+TEST_F(EquiJoinTest, AgreesWithNaturalJoinAfterRename) {
+  // EquiJoin(L, R, b=c) projected on L's columns equals the natural join
+  // of L with R renamed so the join columns share a name.
+  Relation joined = EquiJoin(left_, right_, {{"b", "c"}});
+  Relation projected = Project(joined, {"a", "b", "d"});
+  Relation renamed = Rename(right_, {"b", "d"});
+  Relation natural = NaturalJoin(left_, renamed);
+  Relation natural_sorted = Project(natural, {"a", "b", "d"});
+  std::set<Row> lhs(projected.rows().begin(), projected.rows().end());
+  std::set<Row> rhs(natural_sorted.rows().begin(),
+                    natural_sorted.rows().end());
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(IntersectTest, KeepsCommonRowsOnly) {
+  Relation a("A", {"x"});
+  a.Add(MakeRow({"1"}));
+  a.Add(MakeRow({"2"}));
+  a.Add(MakeRow({"3"}));
+  Relation b("B", {"x"});
+  b.Add(MakeRow({"2"}));
+  b.Add(MakeRow({"3"}));
+  b.Add(MakeRow({"4"}));
+  Relation common = Intersect(a, b);
+  EXPECT_EQ(common.size(), 2u);
+  std::set<Row> rows(common.rows().begin(), common.rows().end());
+  EXPECT_EQ(rows, (std::set<Row>{MakeRow({"2"}), MakeRow({"3"})}));
+}
+
+TEST(IntersectTest, IdentitiesHold) {
+  Relation a("A", {"x"});
+  a.Add(MakeRow({"1"}));
+  a.Add(MakeRow({"2"}));
+  // A ∩ A = A; A ∩ ∅ = ∅; A − (A − B) = A ∩ B.
+  EXPECT_EQ(Intersect(a, a).size(), a.size());
+  Relation empty("E", {"x"});
+  EXPECT_TRUE(Intersect(a, empty).empty());
+  Relation b("B", {"x"});
+  b.Add(MakeRow({"2"}));
+  Relation via_difference = Difference(a, Difference(a, b));
+  std::set<Row> lhs(via_difference.rows().begin(),
+                    via_difference.rows().end());
+  Relation direct = Intersect(a, b);
+  std::set<Row> rhs(direct.rows().begin(), direct.rows().end());
+  EXPECT_EQ(lhs, rhs);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace opcqa

@@ -1,0 +1,203 @@
+// Tests for first-order formula construction and active-domain evaluation.
+
+#include <gtest/gtest.h>
+
+#include "logic/fo_eval.h"
+#include "logic/query.h"
+#include "relational/fact_parser.h"
+
+namespace opcqa {
+namespace {
+
+class FoEvalTest : public ::testing::Test {
+ protected:
+  FoEvalTest() {
+    pref_ = schema_.AddRelation("Pref", 2);
+    s_ = schema_.AddRelation("S", 1);
+    db_ = *ParseDatabase(schema_, "Pref(a,b). Pref(a,c). Pref(b,c). S(a).");
+  }
+
+  FormulaPtr PrefAtom(Term t1, Term t2) {
+    return Formula::MakeAtom(Atom(pref_, {t1, t2}));
+  }
+
+  Schema schema_;
+  PredId pref_, s_;
+  Database db_;
+};
+
+TEST_F(FoEvalTest, TrueFalseConstants) {
+  EXPECT_TRUE(EvalFormula(*Formula::True(), db_, Assignment()));
+  EXPECT_FALSE(EvalFormula(*Formula::False(), db_, Assignment()));
+}
+
+TEST_F(FoEvalTest, GroundAtom) {
+  FormulaPtr f = PrefAtom(Term::MakeConst("a"), Term::MakeConst("b"));
+  EXPECT_TRUE(EvalFormula(*f, db_, Assignment()));
+  FormulaPtr g = PrefAtom(Term::MakeConst("b"), Term::MakeConst("a"));
+  EXPECT_FALSE(EvalFormula(*g, db_, Assignment()));
+}
+
+TEST_F(FoEvalTest, AtomUnderAssignment) {
+  FormulaPtr f = PrefAtom(Term::MakeVar("x"), Term::MakeConst("b"));
+  Assignment env;
+  env.Bind(Var("x"), Const("a"));
+  EXPECT_TRUE(EvalFormula(*f, db_, env));
+  env.Unbind(Var("x"));
+  env.Bind(Var("x"), Const("c"));
+  EXPECT_FALSE(EvalFormula(*f, db_, env));
+}
+
+TEST_F(FoEvalTest, EqualityAndNegation) {
+  FormulaPtr eq = Formula::Equals(Term::MakeConst("a"), Term::MakeConst("a"));
+  EXPECT_TRUE(EvalFormula(*eq, db_, Assignment()));
+  FormulaPtr neq =
+      Formula::Not(Formula::Equals(Term::MakeConst("a"), Term::MakeConst("b")));
+  EXPECT_TRUE(EvalFormula(*neq, db_, Assignment()));
+}
+
+TEST_F(FoEvalTest, ConjunctionDisjunction) {
+  FormulaPtr t = Formula::True();
+  FormulaPtr f = Formula::False();
+  EXPECT_FALSE(EvalFormula(*Formula::And({t, f}), db_, Assignment()));
+  EXPECT_TRUE(EvalFormula(*Formula::Or({t, f}), db_, Assignment()));
+  EXPECT_TRUE(EvalFormula(*Formula::And({t, t}), db_, Assignment()));
+  EXPECT_FALSE(EvalFormula(*Formula::Or({f, f}), db_, Assignment()));
+}
+
+TEST_F(FoEvalTest, ImpliesDesugarsToNotOr) {
+  FormulaPtr impl = Formula::Implies(Formula::True(), Formula::False());
+  EXPECT_FALSE(EvalFormula(*impl, db_, Assignment()));
+  FormulaPtr impl2 = Formula::Implies(Formula::False(), Formula::False());
+  EXPECT_TRUE(EvalFormula(*impl2, db_, Assignment()));
+}
+
+TEST_F(FoEvalTest, ExistentialQuantifier) {
+  // ∃x Pref(x, c) — true (a and b both work).
+  FormulaPtr f = Formula::Exists(
+      {Var("x")}, PrefAtom(Term::MakeVar("x"), Term::MakeConst("c")));
+  EXPECT_TRUE(EvalFormula(*f, db_, Assignment()));
+  // ∃x Pref(c, x) — false.
+  FormulaPtr g = Formula::Exists(
+      {Var("x")}, PrefAtom(Term::MakeConst("c"), Term::MakeVar("x")));
+  EXPECT_FALSE(EvalFormula(*g, db_, Assignment()));
+}
+
+TEST_F(FoEvalTest, UniversalQuantifier) {
+  // ∀y (Pref(a,y) ∨ a=y) — the Example 7 shape; here dom = {a,b,c} and
+  // Pref(a,b), Pref(a,c) hold, so it is true for x=a.
+  FormulaPtr body = Formula::Or(
+      {PrefAtom(Term::MakeConst("a"), Term::MakeVar("y")),
+       Formula::Equals(Term::MakeConst("a"), Term::MakeVar("y"))});
+  FormulaPtr f = Formula::Forall({Var("y")}, body);
+  EXPECT_TRUE(EvalFormula(*f, db_, Assignment()));
+  // Same for b: Pref(b,a) missing → false.
+  FormulaPtr body_b = Formula::Or(
+      {PrefAtom(Term::MakeConst("b"), Term::MakeVar("y")),
+       Formula::Equals(Term::MakeConst("b"), Term::MakeVar("y"))});
+  EXPECT_FALSE(EvalFormula(*Formula::Forall({Var("y")}, body_b), db_,
+                           Assignment()));
+}
+
+TEST_F(FoEvalTest, NestedQuantifiers) {
+  // ∀x (S(x) → ∃y Pref(x,y)): S = {a} and Pref(a,·) exists → true.
+  FormulaPtr inner = Formula::Exists(
+      {Var("y")}, PrefAtom(Term::MakeVar("x"), Term::MakeVar("y")));
+  FormulaPtr body = Formula::Implies(
+      Formula::MakeAtom(Atom(s_, {Term::MakeVar("x")})), inner);
+  EXPECT_TRUE(EvalFormula(*Formula::Forall({Var("x")}, body), db_,
+                          Assignment()));
+}
+
+TEST_F(FoEvalTest, QuantifierShadowingRestoresOuterBinding) {
+  // With x bound to a, evaluate ∃x Pref(b, x) and then use outer x again.
+  Assignment env;
+  env.Bind(Var("x"), Const("a"));
+  FormulaPtr f = Formula::Exists(
+      {Var("x")}, PrefAtom(Term::MakeConst("b"), Term::MakeVar("x")));
+  EXPECT_TRUE(EvalFormula(*f, db_, env));
+  // env must be unchanged for the caller.
+  EXPECT_EQ(*env.Get(Var("x")), Const("a"));
+}
+
+TEST_F(FoEvalTest, FreeVariablesComputed) {
+  FormulaPtr f = Formula::Exists(
+      {Var("y")}, Formula::And({PrefAtom(Term::MakeVar("x"),
+                                         Term::MakeVar("y")),
+                                PrefAtom(Term::MakeVar("y"),
+                                         Term::MakeVar("z"))}));
+  EXPECT_EQ(f->FreeVariables(), (std::vector<VarId>{Var("x"), Var("z")}));
+}
+
+TEST_F(FoEvalTest, EmptyDomainUniversalVacuouslyTrue) {
+  Database empty(&schema_);
+  FormulaPtr f = Formula::Forall(
+      {Var("x")}, PrefAtom(Term::MakeVar("x"), Term::MakeVar("x")));
+  EXPECT_TRUE(EvalFormula(*f, empty, Assignment()));
+  FormulaPtr g = Formula::Exists(
+      {Var("x")}, PrefAtom(Term::MakeVar("x"), Term::MakeVar("x")));
+  EXPECT_FALSE(EvalFormula(*g, empty, Assignment()));
+}
+
+// ---- Query evaluation ----
+
+TEST_F(FoEvalTest, QueryEvaluateConjunctiveFastPath) {
+  Conjunction body;
+  body.Add(Atom(pref_, {Term::MakeVar("x"), Term::MakeVar("y")}));
+  Query q("Q", {Var("x"), Var("y")}, Formula::FromConjunction(body));
+  EXPECT_TRUE(q.IsConjunctive());
+  EXPECT_EQ(q.Evaluate(db_).size(), 3u);
+}
+
+TEST_F(FoEvalTest, QueryEvaluateProjection) {
+  Conjunction body;
+  body.Add(Atom(pref_, {Term::MakeVar("x"), Term::MakeVar("y")}));
+  Query q("Q", {Var("x")},
+          Formula::Exists({Var("y")}, Formula::FromConjunction(body)));
+  EXPECT_TRUE(q.IsConjunctive());
+  std::set<Tuple> answers = q.Evaluate(db_);
+  EXPECT_EQ(answers.size(), 2u);  // a and b are sources
+}
+
+TEST_F(FoEvalTest, QueryGenericPathMatchesConjunctivePath) {
+  // Same query evaluated generically (via a redundant Or wrapper).
+  Conjunction body;
+  body.Add(Atom(pref_, {Term::MakeVar("x"), Term::MakeVar("y")}));
+  FormulaPtr cq = Formula::FromConjunction(body);
+  Query fast("Qf", {Var("x"), Var("y")}, cq);
+  Query slow("Qs", {Var("x"), Var("y")}, Formula::Or({cq, Formula::False()}));
+  EXPECT_TRUE(fast.IsConjunctive());
+  EXPECT_FALSE(slow.IsConjunctive());
+  EXPECT_EQ(fast.Evaluate(db_), slow.Evaluate(db_));
+}
+
+TEST_F(FoEvalTest, QueryContains) {
+  Conjunction body;
+  body.Add(Atom(pref_, {Term::MakeVar("x"), Term::MakeVar("y")}));
+  Query q("Q", {Var("x"), Var("y")}, Formula::FromConjunction(body));
+  EXPECT_TRUE(q.Contains(db_, {Const("a"), Const("b")}));
+  EXPECT_FALSE(q.Contains(db_, {Const("b"), Const("a")}));
+  // Constants outside dom(D) are never answers.
+  EXPECT_FALSE(q.Contains(db_, {Const("zzz_unknown"), Const("b")}));
+}
+
+TEST_F(FoEvalTest, BooleanQuery) {
+  Conjunction body;
+  body.Add(Atom(pref_, {Term::MakeConst("a"), Term::MakeConst("b")}));
+  Query q("Q", {}, Formula::FromConjunction(body));
+  std::set<Tuple> answers = q.Evaluate(db_);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_TRUE(answers.begin()->empty());
+  EXPECT_TRUE(q.Contains(db_, {}));
+}
+
+TEST_F(FoEvalTest, BooleanQueryFalse) {
+  Conjunction body;
+  body.Add(Atom(pref_, {Term::MakeConst("c"), Term::MakeConst("a")}));
+  Query q("Q", {}, Formula::FromConjunction(body));
+  EXPECT_TRUE(q.Evaluate(db_).empty());
+  EXPECT_FALSE(q.Contains(db_, {}));
+}
+
+}  // namespace
+}  // namespace opcqa

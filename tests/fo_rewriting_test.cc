@@ -1,0 +1,161 @@
+// Tests for the FO rewriting of the deletion-sampling scheme (Section 6,
+// "Query Rewriting").
+
+#include <gtest/gtest.h>
+
+#include "logic/formula_parser.h"
+#include "relational/fact_parser.h"
+#include "repair/fo_rewriting.h"
+
+namespace opcqa {
+namespace {
+
+class FoRewritingTest : public ::testing::Test {
+ protected:
+  FoRewritingTest() {
+    r_ = schema_.AddRelation("R", 2);
+    s_ = schema_.AddRelation("S", 2);
+    extension_ = ExtendSchemaWithDeletions(schema_);
+  }
+
+  Database Db(std::string_view text) {
+    return ParseDatabase(schema_, text).value();
+  }
+
+  /// Database over the *extended* schema with R_del/S_del facts.
+  Database Extended(const Database& db,
+                    const std::map<PredId, std::vector<Fact>>& deletions) {
+    return MaterializeDeletions(db, extension_, deletions);
+  }
+
+  Schema schema_;
+  PredId r_, s_;
+  DeletionSchema extension_;
+};
+
+TEST_F(FoRewritingTest, SchemaExtensionPreservesIdsAndAddsCompanions) {
+  EXPECT_EQ(extension_.schema->size(), 4u);
+  EXPECT_EQ(extension_.schema->RelationName(r_), "R");
+  PredId r_del = extension_.del_pred_of.at(r_);
+  EXPECT_EQ(extension_.schema->RelationName(r_del), "R__del");
+  EXPECT_EQ(extension_.schema->Arity(r_del), 2u);
+}
+
+TEST_F(FoRewritingTest, AtomRewritingAddsNegatedDeletionAtom) {
+  Query q = ParseQuery(schema_, "Q(x,y) := R(x,y)").value();
+  Query rewritten =
+      RewriteQueryWithDeletionPredicates(q, extension_.del_pred_of);
+  std::string rendered = rewritten.ToString(*extension_.schema);
+  EXPECT_NE(rendered.find("R__del"), std::string::npos);
+  EXPECT_NE(rendered.find("not ("), std::string::npos);
+}
+
+TEST_F(FoRewritingTest, UnmappedPredicatesAreShared) {
+  Query q = ParseQuery(schema_, "Q(x) := exists y: R(x,y)").value();
+  // Empty mapping: the rewriting is the identity (same formula object).
+  FormulaPtr same = RewriteWithDeletionPredicates(q.body(), {});
+  EXPECT_EQ(same, q.body());
+}
+
+TEST_F(FoRewritingTest, MaterializeDeletionsBuildsExtendedDatabase) {
+  Database db = Db("R(a,b). R(a,c). S(b,d).");
+  Database extended =
+      Extended(db, {{r_, {Fact::Make(schema_, "R", {"a", "c"})}}});
+  EXPECT_EQ(extended.size(), 4u);  // 3 original + 1 R__del
+  PredId r_del = extension_.del_pred_of.at(r_);
+  EXPECT_EQ(extended.FactsOf(r_del).size(), 1u);
+}
+
+TEST_F(FoRewritingTest, ConjunctiveQueryEquivalence) {
+  // Q'(D ∪ R_del) = Q(D − R_del) for conjunctive queries.
+  Database db = Db("R(a,b). R(a,c). S(b,d). S(c,e).");
+  Fact deleted = Fact::Make(schema_, "R", {"a", "c"});
+  Query q =
+      ParseQuery(schema_, "Q(x,z) := exists y (R(x,y), S(y,z))").value();
+  Query rewritten =
+      RewriteQueryWithDeletionPredicates(q, extension_.del_pred_of);
+
+  Database extended = Extended(db, {{r_, {deleted}}});
+  std::set<Tuple> via_rewrite = rewritten.Evaluate(extended);
+
+  Database repaired = db;
+  repaired.Erase(deleted);
+  std::set<Tuple> direct = q.Evaluate(repaired);
+
+  EXPECT_EQ(via_rewrite, direct);
+  EXPECT_EQ(via_rewrite,
+            (std::set<Tuple>{{Const("a"), Const("d")}}));
+}
+
+TEST_F(FoRewritingTest, EquivalenceAcrossManyDeletionChoices) {
+  Database db = Db("R(a,b). R(b,c). R(c,a). S(a,b). S(b,c).");
+  Query q = ParseQuery(schema_, "Q(x) := exists y: (R(x,y), S(x,y))").value();
+  Query rewritten =
+      RewriteQueryWithDeletionPredicates(q, extension_.del_pred_of);
+  std::vector<Fact> r_facts(db.FactsOf(r_).begin(), db.FactsOf(r_).end());
+  // Every subset of R-facts as the deletion choice.
+  for (size_t mask = 0; mask < (1u << r_facts.size()); ++mask) {
+    std::vector<Fact> deleted;
+    Database repaired = db;
+    for (size_t i = 0; i < r_facts.size(); ++i) {
+      if (mask & (1u << i)) {
+        deleted.push_back(r_facts[i]);
+        repaired.Erase(r_facts[i]);
+      }
+    }
+    Database extended = Extended(db, {{r_, deleted}});
+    EXPECT_EQ(rewritten.Evaluate(extended), q.Evaluate(repaired))
+        << "mask=" << mask;
+  }
+}
+
+TEST_F(FoRewritingTest, RewritingCommutesWithConnectives) {
+  // A query with ∨, ¬ and ∀ still rewrites structurally.
+  Query q = ParseQuery(
+      schema_,
+      "Q(x) := forall y (not R(x,y) or exists z: S(y,z))").value();
+  Query rewritten =
+      RewriteQueryWithDeletionPredicates(q, extension_.del_pred_of);
+  std::string rendered = rewritten.ToString(*extension_.schema);
+  EXPECT_NE(rendered.find("R__del"), std::string::npos);
+  EXPECT_NE(rendered.find("S__del"), std::string::npos);
+}
+
+TEST_F(FoRewritingTest, DomainDependentQueriesCanDiverge) {
+  // The caveat documented in fo_rewriting.h: with active-domain semantics
+  // a universal query can tell the two sides apart, because the deleted
+  // fact's constants stay in the domain of D ∪ R_del.
+  Database db = Db("R(a,a). R(b,c).");
+  Fact deleted = Fact::Make(schema_, "R", {"b", "c"});
+  Query q = ParseQuery(schema_, "Q() := forall x (exists y: R(x,y) or x = a)")
+                .value();
+  Query rewritten =
+      RewriteQueryWithDeletionPredicates(q, extension_.del_pred_of);
+
+  Database repaired = db;
+  repaired.Erase(deleted);
+  // Direct: domain of D − R_del is {a}; Q holds.
+  EXPECT_EQ(q.Evaluate(repaired), (std::set<Tuple>{{}}));
+  // Rewritten over D ∪ R_del: b and c are still in the domain, R(b,·) and
+  // R(c,·) fail after the rewrite, and b ≠ a — Q' does not hold.
+  Database extended = Extended(db, {{r_, {deleted}}});
+  EXPECT_TRUE(rewritten.Evaluate(extended).empty());
+}
+
+TEST_F(FoRewritingTest, RewrittenSizeIsDataIndependent) {
+  // "These queries themselves are dependent on the inconsistent database
+  //  but their size is not": the rewriting depends only on Q.
+  Query q = ParseQuery(schema_, "Q(x,y) := R(x,y), S(y,x)").value();
+  Query rewritten =
+      RewriteQueryWithDeletionPredicates(q, extension_.del_pred_of);
+  std::string once = rewritten.ToString(*extension_.schema);
+  // Rewriting again with the same mapping targets only original atoms, so
+  // the text grows in a data-independent way; here we simply pin that the
+  // transform is deterministic.
+  Query again =
+      RewriteQueryWithDeletionPredicates(q, extension_.del_pred_of);
+  EXPECT_EQ(again.ToString(*extension_.schema), once);
+}
+
+}  // namespace
+}  // namespace opcqa

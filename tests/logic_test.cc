@@ -1,0 +1,171 @@
+// Tests for terms, atoms, conjunctions and homomorphism search.
+
+#include <gtest/gtest.h>
+
+#include "logic/homomorphism.h"
+#include "relational/fact_parser.h"
+
+namespace opcqa {
+namespace {
+
+TEST(TermTest, VariablesAndConstants) {
+  Term x = Term::MakeVar("x");
+  Term a = Term::MakeConst("a");
+  EXPECT_TRUE(x.is_var());
+  EXPECT_TRUE(a.is_const());
+  EXPECT_EQ(x.ToString(), "x");
+  EXPECT_EQ(a.ToString(), "a");
+  EXPECT_EQ(Term::MakeVar("x"), x);
+  EXPECT_NE(Term::MakeVar("y"), x);
+}
+
+TEST(TermTest, VariableAndConstantNamespacesAreDisjoint) {
+  // A variable named "a" and a constant named "a" are different terms.
+  EXPECT_NE(Term::MakeVar("a"), Term::MakeConst("a"));
+}
+
+class LogicFixture : public ::testing::Test {
+ protected:
+  LogicFixture() {
+    r_ = schema_.AddRelation("R", 2);
+    s_ = schema_.AddRelation("S", 1);
+  }
+
+  Atom RAtom(Term t1, Term t2) { return Atom(r_, {t1, t2}); }
+
+  Schema schema_;
+  PredId r_, s_;
+};
+
+TEST_F(LogicFixture, AtomBasics) {
+  Atom atom = RAtom(Term::MakeVar("x"), Term::MakeConst("a"));
+  EXPECT_FALSE(atom.is_ground());
+  EXPECT_EQ(atom.ToString(schema_), "R(x,a)");
+  std::vector<VarId> vars;
+  atom.CollectVariables(&vars);
+  EXPECT_EQ(vars, std::vector<VarId>{Var("x")});
+  std::vector<ConstId> consts;
+  atom.CollectConstants(&consts);
+  EXPECT_EQ(consts, std::vector<ConstId>{Const("a")});
+}
+
+TEST_F(LogicFixture, GroundAtomToFact) {
+  Atom atom = RAtom(Term::MakeConst("a"), Term::MakeConst("b"));
+  EXPECT_TRUE(atom.is_ground());
+  EXPECT_EQ(atom.ToFact(), Fact::Make(schema_, "R", {"a", "b"}));
+}
+
+TEST_F(LogicFixture, ConjunctionVariablesInFirstOccurrenceOrder) {
+  Conjunction conj;
+  conj.Add(RAtom(Term::MakeVar("y"), Term::MakeVar("x")));
+  conj.Add(RAtom(Term::MakeVar("x"), Term::MakeVar("z")));
+  EXPECT_EQ(conj.Variables(),
+            (std::vector<VarId>{Var("y"), Var("x"), Var("z")}));
+}
+
+TEST_F(LogicFixture, AssignmentBindApplyUnbind) {
+  Assignment a;
+  EXPECT_FALSE(a.IsBound(Var("x")));
+  a.Bind(Var("x"), Const("a"));
+  EXPECT_TRUE(a.IsBound(Var("x")));
+  EXPECT_EQ(a.Apply(Term::MakeVar("x")), Const("a"));
+  EXPECT_EQ(a.Apply(Term::MakeConst("b")), Const("b"));
+  a.Unbind(Var("x"));
+  EXPECT_FALSE(a.IsBound(Var("x")));
+}
+
+TEST_F(LogicFixture, AssignmentApplyAllDeduplicates) {
+  Conjunction conj;
+  conj.Add(RAtom(Term::MakeVar("x"), Term::MakeVar("y")));
+  conj.Add(RAtom(Term::MakeVar("x"), Term::MakeVar("y")));
+  Assignment a;
+  a.Bind(Var("x"), Const("a"));
+  a.Bind(Var("y"), Const("b"));
+  EXPECT_EQ(a.ApplyAll(conj).size(), 1u);
+}
+
+TEST_F(LogicFixture, AssignmentExtendedBy) {
+  Assignment small, big;
+  small.Bind(Var("x"), Const("a"));
+  big.Bind(Var("x"), Const("a"));
+  big.Bind(Var("y"), Const("b"));
+  EXPECT_TRUE(small.ExtendedBy(big));
+  EXPECT_FALSE(big.ExtendedBy(small));
+  Assignment conflicting;
+  conflicting.Bind(Var("x"), Const("b"));
+  EXPECT_FALSE(small.ExtendedBy(conflicting));
+}
+
+TEST_F(LogicFixture, FindAllHomomorphismsSingleAtom) {
+  Database db = *ParseDatabase(schema_, "R(a,b). R(a,c). R(b,c).");
+  Conjunction conj;
+  conj.Add(RAtom(Term::MakeVar("x"), Term::MakeVar("y")));
+  EXPECT_EQ(AllHomomorphisms(conj, db, Assignment()).size(), 3u);
+}
+
+TEST_F(LogicFixture, HomomorphismJoinChain) {
+  Database db = *ParseDatabase(schema_, "R(a,b). R(b,c). R(c,d).");
+  Conjunction conj;
+  conj.Add(RAtom(Term::MakeVar("x"), Term::MakeVar("y")));
+  conj.Add(RAtom(Term::MakeVar("y"), Term::MakeVar("z")));
+  std::vector<Assignment> homs = AllHomomorphisms(conj, db, Assignment());
+  // Chains: a->b->c and b->c->d.
+  EXPECT_EQ(homs.size(), 2u);
+}
+
+TEST_F(LogicFixture, HomomorphismWithConstants) {
+  Database db = *ParseDatabase(schema_, "R(a,b). R(b,b).");
+  Conjunction conj;
+  conj.Add(RAtom(Term::MakeConst("a"), Term::MakeVar("y")));
+  std::vector<Assignment> homs = AllHomomorphisms(conj, db, Assignment());
+  ASSERT_EQ(homs.size(), 1u);
+  EXPECT_EQ(*homs[0].Get(Var("y")), Const("b"));
+}
+
+TEST_F(LogicFixture, HomomorphismRepeatedVariable) {
+  Database db = *ParseDatabase(schema_, "R(a,b). R(b,b). R(c,c).");
+  Conjunction conj;
+  conj.Add(RAtom(Term::MakeVar("x"), Term::MakeVar("x")));
+  EXPECT_EQ(AllHomomorphisms(conj, db, Assignment()).size(), 2u);
+}
+
+TEST_F(LogicFixture, HomomorphismRespectsPartialAssignment) {
+  Database db = *ParseDatabase(schema_, "R(a,b). R(b,c).");
+  Conjunction conj;
+  conj.Add(RAtom(Term::MakeVar("x"), Term::MakeVar("y")));
+  Assignment partial;
+  partial.Bind(Var("x"), Const("b"));
+  std::vector<Assignment> homs = AllHomomorphisms(conj, db, partial);
+  ASSERT_EQ(homs.size(), 1u);
+  EXPECT_EQ(*homs[0].Get(Var("y")), Const("c"));
+}
+
+TEST_F(LogicFixture, HasHomomorphismShortCircuits) {
+  Database db = *ParseDatabase(schema_, "R(a,b).");
+  Conjunction present, absent;
+  present.Add(RAtom(Term::MakeVar("x"), Term::MakeVar("y")));
+  absent.Add(RAtom(Term::MakeVar("x"), Term::MakeVar("x")));
+  EXPECT_TRUE(HasHomomorphism(present, db, Assignment()));
+  EXPECT_FALSE(HasHomomorphism(absent, db, Assignment()));
+}
+
+TEST_F(LogicFixture, CrossProductHomomorphismCount) {
+  Database db = *ParseDatabase(schema_, "S(a). S(b). S(c).");
+  Conjunction conj;
+  conj.Add(Atom(s_, {Term::MakeVar("x")}));
+  conj.Add(Atom(s_, {Term::MakeVar("y")}));
+  // x and y independent: 3 * 3 homomorphisms.
+  EXPECT_EQ(AllHomomorphisms(conj, db, Assignment()).size(), 9u);
+}
+
+TEST_F(LogicFixture, HomomorphismsMapIntoDatabaseOnly) {
+  Database db = *ParseDatabase(schema_, "R(a,b).");
+  Conjunction conj;
+  conj.Add(RAtom(Term::MakeVar("x"), Term::MakeVar("y")));
+  for (const Assignment& h : AllHomomorphisms(conj, db, Assignment())) {
+    EXPECT_TRUE(db.Contains(h.Apply(conj.atoms()[0])));
+  }
+}
+
+}  // namespace
+}  // namespace opcqa

@@ -1,0 +1,242 @@
+// Tests for the null-chase repair construction (Section 6, "Null Values").
+
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "constraints/satisfaction.h"
+#include "constraints/weak_acyclicity.h"
+#include "gen/workloads.h"
+#include "logic/formula_parser.h"
+#include "relational/fact_parser.h"
+#include "repair/null_chase.h"
+#include "repair/repair_enumerator.h"
+
+namespace opcqa {
+namespace {
+
+class NullChaseTest : public ::testing::Test {
+ protected:
+  NullChaseTest() {
+    schema_.AddRelation("R", 2);
+    schema_.AddRelation("S", 2);
+    schema_.AddRelation("T", 1);
+  }
+
+  Database Db(std::string_view text) {
+    Result<Database> db = ParseDatabase(schema_, text);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    return db.value();
+  }
+  ConstraintSet Sigma(std::string_view text) {
+    Result<ConstraintSet> constraints = ParseConstraints(schema_, text);
+    EXPECT_TRUE(constraints.ok()) << constraints.status().ToString();
+    return constraints.value();
+  }
+
+  Schema schema_;
+};
+
+TEST_F(NullChaseTest, NullConstantsAreRecognized) {
+  EXPECT_TRUE(IsNullConstant(Const("_:n0")));
+  EXPECT_TRUE(IsNullConstant(Const("_:n17")));
+  EXPECT_FALSE(IsNullConstant(Const("a")));
+  EXPECT_FALSE(IsNullConstant(Const("n0")));
+}
+
+TEST_F(NullChaseTest, ConsistentDatabaseIsAFixpoint) {
+  Database db = Db("R(a,b).");
+  ConstraintSet sigma = Sigma("R(x,y), R(y,x) -> false");
+  Rng rng(1);
+  auto result = ChaseRepair(db, sigma, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().db, db);
+  EXPECT_EQ(result.value().steps, 0u);
+  EXPECT_EQ(result.value().nulls_created, 0u);
+}
+
+TEST_F(NullChaseTest, TgdViolationChasedWithFreshNull) {
+  Database db = Db("R(a,b).");
+  ConstraintSet sigma = Sigma("R(x,y) -> exists z: S(y,z)");
+  Rng rng(1);
+  auto result = ChaseRepair(db, sigma, &rng);
+  ASSERT_TRUE(result.ok());
+  const Database& chased = result.value().db;
+  EXPECT_EQ(result.value().nulls_created, 1u);
+  EXPECT_TRUE(HasNulls(chased));
+  EXPECT_TRUE(Satisfies(chased, sigma));
+  // The original facts survive; one S-fact with a null was added.
+  EXPECT_TRUE(chased.Contains(Fact::Make(schema_, "R", {"a", "b"})));
+  EXPECT_EQ(chased.size(), 2u);
+}
+
+TEST_F(NullChaseTest, FullTgdNeedsNoNull) {
+  Database db = Db("R(a,b).");
+  ConstraintSet sigma = Sigma("R(x,y) -> S(x,y)");
+  Rng rng(1);
+  auto result = ChaseRepair(db, sigma, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().nulls_created, 0u);
+  EXPECT_TRUE(result.value().db.Contains(Fact::Make(schema_, "S", {"a", "b"})));
+}
+
+TEST_F(NullChaseTest, InventedNullSurvivesWhenKeyHasNoConflict) {
+  // The inclusion dependency invents a null for the missing S(a,·); the
+  // key on S[0] sees no conflict (keys a vs b), so the null survives.
+  Database db = Db("R(a,b). S(b,c).");
+  ConstraintSet sigma = Sigma(
+      "R(x,y) -> exists z: S(x,z)\n"
+      "S(x,y), S(x,z) -> y = z");
+  Rng rng(1);
+  auto result = ChaseRepair(db, sigma, &rng);
+  ASSERT_TRUE(result.ok());
+  const ChaseResult& chase = result.value();
+  EXPECT_TRUE(Satisfies(chase.db, sigma));
+  // S(a, _:n) was created and never unified (different key), so one null
+  // remains; no deletion happened.
+  EXPECT_EQ(chase.facts_deleted, 0u);
+  EXPECT_EQ(chase.nulls_created, 1u);
+}
+
+TEST_F(NullChaseTest, EgdNullToConstantPromotion) {
+  // The first TGD (fired first: lower constraint index, smaller h) invents
+  // S(a,_:n0); the second demands the ground fact S(a,c); the key EGD then
+  // promotes _:n0 to c, leaving a null-free chase result.
+  Database db = Db("R(a,b). T(a).");
+  ConstraintSet sigma = Sigma(
+      "R(x,y) -> exists z: S(x,z)\n"
+      "T(x) -> S(x,c)\n"
+      "S(x,y), S(x,z) -> y = z");
+  Rng rng(1);
+  auto result = ChaseRepair(db, sigma, &rng);
+  ASSERT_TRUE(result.ok());
+  const ChaseResult& chase = result.value();
+  EXPECT_TRUE(Satisfies(chase.db, sigma));
+  EXPECT_EQ(chase.nulls_unified, 1u);
+  EXPECT_FALSE(HasNulls(chase.db));
+  EXPECT_EQ(chase.facts_deleted, 0u);
+  EXPECT_EQ(chase.db.size(), 3u);  // R(a,b), T(a), S(a,c)
+}
+
+TEST_F(NullChaseTest, ConstantConflictResolvedByDeletion) {
+  Database db = Db("R(a,b). R(a,c).");
+  ConstraintSet sigma = Sigma("R(x,y), R(x,z) -> y = z");
+  Rng rng(5);
+  auto result = ChaseRepair(db, sigma, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(Satisfies(result.value().db, sigma));
+  EXPECT_GE(result.value().facts_deleted, 1u);
+  EXPECT_LE(result.value().db.size(), 1u);  // at most one of the two
+}
+
+TEST_F(NullChaseTest, DcViolationResolvedByDeletion) {
+  Database db = Db("R(a,b). R(b,a).");
+  ConstraintSet sigma = Sigma("R(x,y), R(y,x) -> false");
+  Rng rng(5);
+  auto result = ChaseRepair(db, sigma, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(Satisfies(result.value().db, sigma));
+}
+
+TEST_F(NullChaseTest, DeterministicModeNeedsNoRng) {
+  Database db = Db("R(a,b). R(a,c).");
+  ConstraintSet sigma = Sigma("R(x,y), R(x,z) -> y = z");
+  ChaseOptions options;
+  options.randomize_choices = false;
+  auto first = ChaseRepair(db, sigma, nullptr, options);
+  auto second = ChaseRepair(db, sigma, nullptr, options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().db, second.value().db);
+}
+
+TEST_F(NullChaseTest, RandomizedModeWithoutRngIsAnError) {
+  Database db = Db("R(a,b).");
+  auto result = ChaseRepair(db, Sigma("R(x,y), R(y,x) -> false"), nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(NullChaseTest, NonTerminatingChaseHitsBudget) {
+  // R(x,y) → ∃z R(y,z) is not weakly acyclic; the chase runs forever.
+  ConstraintSet sigma = Sigma("R(x,y) -> exists z: R(y,z)");
+  EXPECT_FALSE(IsWeaklyAcyclic(schema_, sigma));
+  Database db = Db("R(a,b).");
+  ChaseOptions options;
+  options.max_steps = 50;
+  Rng rng(1);
+  auto result = ChaseRepair(db, sigma, &rng, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(NullChaseTest, WeaklyAcyclicChaseTerminatesOnLargerInstance) {
+  gen::Workload w = gen::MakeInclusionWorkload(30, 0.5, /*seed=*/11);
+  ASSERT_TRUE(IsWeaklyAcyclic(*w.schema, w.constraints));
+  Rng rng(2);
+  auto result = ChaseRepair(w.db, w.constraints, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(Satisfies(result.value().db, w.constraints));
+  // Inclusion repairs insert, never delete.
+  EXPECT_EQ(result.value().facts_deleted, 0u);
+}
+
+TEST_F(NullChaseTest, NaiveAnswersDropNullTuples) {
+  Database db = Db("R(a,b).");
+  ConstraintSet sigma = Sigma("R(x,y) -> exists z: S(y,z)");
+  Rng rng(1);
+  auto chased = ChaseRepair(db, sigma, &rng);
+  ASSERT_TRUE(chased.ok());
+  Result<Query> all_s = ParseQuery(schema_, "Q(x,y) := S(x,y)");
+  ASSERT_TRUE(all_s.ok());
+  // S(b, _:n) exists but contains a null — not a certain answer.
+  EXPECT_TRUE(NaiveAnswers(chased.value().db, *all_s).empty());
+  // Its null-free projection is certain.
+  Result<Query> proj = ParseQuery(schema_, "Q(x) := exists y: S(x,y)");
+  ASSERT_TRUE(proj.ok());
+  std::set<Tuple> answers = NaiveAnswers(chased.value().db, *proj);
+  EXPECT_EQ(answers, (std::set<Tuple>{{Const("b")}}));
+}
+
+TEST_F(NullChaseTest, ExistingNullsAreNotReused) {
+  // Null constants are not valid parser input; build the fact directly.
+  Database db(&schema_);
+  db.Insert(Fact(schema_.RelationOrDie("R"), {Const("_:n3"), Const("b")}));
+  ConstraintSet sigma = Sigma("R(x,y) -> exists z: S(y,z)");
+  Rng rng(1);
+  auto result = ChaseRepair(db, sigma, &rng);
+  ASSERT_TRUE(result.ok());
+  // The fresh null must differ from the pre-existing _:n3.
+  bool saw_fresh = false;
+  for (ConstId c : result.value().db.ActiveDomain()) {
+    if (IsNullConstant(c) && ConstName(c) != "_:n3") saw_fresh = true;
+  }
+  EXPECT_TRUE(saw_fresh);
+}
+
+TEST_F(NullChaseTest, EstimateChaseOcaFrequencies) {
+  // Key conflict: R(a,b) vs R(a,c). Chase resolves by deleting a
+  // non-empty subset of the two facts (3 equally likely choices), so each
+  // fact survives with probability 1/3.
+  Database db = Db("R(a,b). R(a,c).");
+  ConstraintSet sigma = Sigma("R(x,y), R(x,z) -> y = z");
+  Result<Query> q = ParseQuery(schema_, "Q(x,y) := R(x,y)");
+  ASSERT_TRUE(q.ok());
+  ChaseOcaResult result =
+      EstimateChaseOca(db, sigma, *q, /*runs=*/3000, /*seed=*/17);
+  EXPECT_EQ(result.failed_runs, 0u);
+  EXPECT_NEAR(result.Frequency({Const("a"), Const("b")}), 1.0 / 3, 0.04);
+  EXPECT_NEAR(result.Frequency({Const("a"), Const("c")}), 1.0 / 3, 0.04);
+}
+
+TEST_F(NullChaseTest, ChaseSucceedsWhereGroundedInsertionsFail) {
+  // Section 3's failing instance: R(a) with R(x) → T(x), T(x) → ⊥ keeps
+  // failing for the grounded framework; the chase deletes its way out.
+  gen::Workload w = gen::PaperFailingExample();
+  Rng rng(4);
+  auto result = ChaseRepair(w.db, w.constraints, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(Satisfies(result.value().db, w.constraints));
+}
+
+}  // namespace
+}  // namespace opcqa

@@ -1,0 +1,86 @@
+// Tests for ±F operations (Definition 1).
+
+#include <gtest/gtest.h>
+
+#include "relational/fact_parser.h"
+#include "repair/operation.h"
+
+namespace opcqa {
+namespace {
+
+class OperationTest : public ::testing::Test {
+ protected:
+  OperationTest() { schema_.AddRelation("R", 2); }
+  Fact R(const char* a, const char* b) {
+    return Fact::Make(schema_, "R", {a, b});
+  }
+  Schema schema_;
+};
+
+TEST_F(OperationTest, AddInsertsFacts) {
+  Database db = *ParseDatabase(schema_, "R(a,b).");
+  Operation op = Operation::Add({R("a", "c"), R("b", "c")});
+  Database result = op.Apply(db);
+  EXPECT_EQ(result.size(), 3u);
+  EXPECT_TRUE(result.Contains(R("a", "c")));
+  EXPECT_TRUE(result.Contains(R("b", "c")));
+  // Original untouched (functional application).
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST_F(OperationTest, RemoveErasesFacts) {
+  Database db = *ParseDatabase(schema_, "R(a,b). R(a,c).");
+  Operation op = Operation::Remove({R("a", "b")});
+  Database result = op.Apply(db);
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_FALSE(result.Contains(R("a", "b")));
+}
+
+TEST_F(OperationTest, FactsSortedAndDeduplicated) {
+  Operation op = Operation::Add({R("b", "b"), R("a", "a"), R("b", "b")});
+  EXPECT_EQ(op.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(op.facts().begin(), op.facts().end()));
+}
+
+TEST_F(OperationTest, SetSemanticsIdempotentApplication) {
+  // Adding a present fact / removing an absent fact leaves sets unchanged.
+  Database db = *ParseDatabase(schema_, "R(a,b).");
+  EXPECT_EQ(Operation::Add({R("a", "b")}).Apply(db).size(), 1u);
+  EXPECT_EQ(Operation::Remove({R("x", "y")}).Apply(db).size(), 1u);
+}
+
+TEST_F(OperationTest, TouchesAndIntersects) {
+  Operation op = Operation::Remove({R("a", "b"), R("a", "c")});
+  EXPECT_TRUE(op.Touches(R("a", "b")));
+  EXPECT_FALSE(op.Touches(R("b", "a")));
+  EXPECT_TRUE(op.Intersects({R("b", "a"), R("a", "c")}));
+  EXPECT_FALSE(op.Intersects({R("b", "a")}));
+}
+
+TEST_F(OperationTest, OrderingDistinguishesKindAndFacts) {
+  Operation add = Operation::Add({R("a", "b")});
+  Operation remove = Operation::Remove({R("a", "b")});
+  Operation add2 = Operation::Add({R("a", "c")});
+  EXPECT_NE(add, remove);
+  EXPECT_NE(add, add2);
+  EXPECT_EQ(add, Operation::Add({R("a", "b")}));
+  // A strict weak order exists (required for std::set<Operation>).
+  EXPECT_TRUE((add < remove) != (remove < add));
+}
+
+TEST_F(OperationTest, ToStringShowsSignAndFacts) {
+  EXPECT_EQ(Operation::Add({R("a", "b")}).ToString(schema_), "+{R(a,b)}");
+  EXPECT_EQ(Operation::Remove({R("a", "b"), R("a", "c")}).ToString(schema_),
+            "-{R(a,b), R(a,c)}");
+}
+
+TEST_F(OperationTest, SequenceToString) {
+  OperationSequence seq;
+  EXPECT_EQ(SequenceToString(seq, schema_), "ε");
+  seq.push_back(Operation::Remove({R("a", "b")}));
+  seq.push_back(Operation::Add({R("a", "c")}));
+  EXPECT_EQ(SequenceToString(seq, schema_), "-{R(a,b)} ; +{R(a,c)}");
+}
+
+}  // namespace
+}  // namespace opcqa

@@ -1,0 +1,143 @@
+#include "util/rational.h"
+
+#include <gtest/gtest.h>
+
+namespace opcqa {
+namespace {
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ(zero.denominator(), BigInt(1));
+}
+
+TEST(RationalTest, ReducesOnConstruction) {
+  Rational r(6, 8);
+  EXPECT_EQ(r.numerator(), BigInt(3));
+  EXPECT_EQ(r.denominator(), BigInt(4));
+  EXPECT_EQ(r.ToString(), "3/4");
+}
+
+TEST(RationalTest, NormalizesSignToNumerator) {
+  Rational r(3, -4);
+  EXPECT_TRUE(r.is_negative());
+  EXPECT_EQ(r.ToString(), "-3/4");
+  Rational s(-3, -4);
+  EXPECT_FALSE(s.is_negative());
+  EXPECT_EQ(s.ToString(), "3/4");
+}
+
+TEST(RationalTest, ZeroNormalizesDenominator) {
+  Rational r(0, 17);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.denominator(), BigInt(1));
+}
+
+TEST(RationalTest, WholeNumbersPrintWithoutDenominator) {
+  EXPECT_EQ(Rational(5).ToString(), "5");
+  EXPECT_EQ(Rational(10, 2).ToString(), "5");
+}
+
+TEST(RationalTest, ArithmeticExact) {
+  Rational a(1, 3);
+  Rational b(1, 6);
+  EXPECT_EQ((a + b).ToString(), "1/2");
+  EXPECT_EQ((a - b).ToString(), "1/6");
+  EXPECT_EQ((a * b).ToString(), "1/18");
+  EXPECT_EQ((a / b).ToString(), "2");
+}
+
+TEST(RationalTest, PaperExample6Probability) {
+  // Probability of the repair D − {Pref(b,a), Pref(c,a)}:
+  // 3/9 · 3/4 + 3/9 · 3/5 = 9/20 = 0.45.
+  Rational p = Rational(3, 9) * Rational(3, 4) + Rational(3, 9) * Rational(3, 5);
+  EXPECT_EQ(p, Rational(9, 20));
+  EXPECT_DOUBLE_EQ(p.ToDouble(), 0.45);
+}
+
+TEST(RationalTest, ComparisonCrossMultiplies) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LE(Rational(0), Rational(1, 1000000));
+}
+
+TEST(RationalTest, FromStringFractions) {
+  EXPECT_EQ(*Rational::FromString("3/4"), Rational(3, 4));
+  EXPECT_EQ(*Rational::FromString("-3/4"), Rational(-3, 4));
+  EXPECT_EQ(*Rational::FromString("7"), Rational(7));
+  EXPECT_EQ(*Rational::FromString("0.45"), Rational(9, 20));
+  EXPECT_EQ(*Rational::FromString("-0.5"), Rational(-1, 2));
+  EXPECT_EQ(*Rational::FromString(".25"), Rational(1, 4));
+}
+
+TEST(RationalTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(Rational::FromString("").ok());
+  EXPECT_FALSE(Rational::FromString("1/0").ok());
+  EXPECT_FALSE(Rational::FromString("a/b").ok());
+  EXPECT_FALSE(Rational::FromString("1.").ok());
+}
+
+TEST(RationalTest, ToDoubleHandlesHugeNumeratorAndDenominator) {
+  // Both operands far outside double range; the ratio is exactly 2.
+  BigInt huge = BigInt(7).Pow(500);
+  Rational r(huge * BigInt(2), huge);
+  EXPECT_DOUBLE_EQ(r.ToDouble(), 2.0);
+}
+
+TEST(RationalTest, NegationAndCompoundOps) {
+  Rational r(5, 6);
+  EXPECT_EQ((-r).ToString(), "-5/6");
+  r += Rational(1, 6);
+  EXPECT_EQ(r, Rational(1));
+  r *= Rational(3, 7);
+  EXPECT_EQ(r, Rational(3, 7));
+  r /= Rational(3, 7);
+  EXPECT_EQ(r, Rational(1));
+  r -= Rational(1);
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(RationalTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Rational(2, 4).Hash(), Rational(1, 2).Hash());
+}
+
+// Property: a chain of n uniform-branch probabilities sums to 1 exactly.
+class RationalStochasticSumTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalStochasticSumTest, UniformSharesSumToOne) {
+  int n = GetParam();
+  Rational share(1, n);
+  Rational total;
+  for (int i = 0; i < n; ++i) total += share;
+  EXPECT_EQ(total, Rational(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Branching, RationalStochasticSumTest,
+                         ::testing::Values(1, 2, 3, 7, 9, 20, 97, 360));
+
+// Property: distributivity and associativity hold exactly.
+class RationalAlgebraTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RationalAlgebraTest, FieldAxiomsHold) {
+  auto [x, y, z] = GetParam();
+  Rational a(x, 7), b(y, 11), c(z, 13);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ((a * b) * c, a * (b * c));
+  EXPECT_EQ(a + b, b + a);
+  if (!c.is_zero()) {
+    EXPECT_EQ((a / c) * c, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Triples, RationalAlgebraTest,
+    ::testing::Combine(::testing::Values(-3, 0, 5),
+                       ::testing::Values(-2, 1, 9),
+                       ::testing::Values(-7, 0, 4)));
+
+}  // namespace
+}  // namespace opcqa

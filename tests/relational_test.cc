@@ -1,0 +1,199 @@
+// Tests for symbols, schemas, facts, databases and the fact parser.
+
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/fact_parser.h"
+#include "relational/schema.h"
+#include "relational/symbol_table.h"
+
+namespace opcqa {
+namespace {
+
+TEST(SymbolTableTest, InterningIsIdempotent) {
+  ConstId a1 = Const("some_constant_a");
+  ConstId a2 = Const("some_constant_a");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(ConstName(a1), "some_constant_a");
+}
+
+TEST(SymbolTableTest, DistinctNamesDistinctIds) {
+  EXPECT_NE(Const("sym_x"), Const("sym_y"));
+}
+
+TEST(SymbolTableTest, FindWithoutInterning) {
+  EXPECT_EQ(SymbolTable::Global().Find("never_interned_name_xyz"),
+            SymbolTable::kNotFound);
+  Const("now_interned_name_xyz");
+  EXPECT_NE(SymbolTable::Global().Find("now_interned_name_xyz"),
+            SymbolTable::kNotFound);
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema schema;
+  PredId r = schema.AddRelation("R", 2);
+  PredId s = schema.AddRelation("S", 3);
+  EXPECT_NE(r, s);
+  EXPECT_EQ(schema.FindRelation("R"), r);
+  EXPECT_EQ(schema.FindRelation("S"), s);
+  EXPECT_EQ(schema.FindRelation("T"), Schema::kNotFound);
+  EXPECT_EQ(schema.Arity(r), 2u);
+  EXPECT_EQ(schema.Arity(s), 3u);
+  EXPECT_EQ(schema.RelationName(r), "R");
+  EXPECT_EQ(schema.size(), 2u);
+  EXPECT_EQ(schema.ToString(), "{R/2, S/3}");
+}
+
+TEST(FactTest, MakeAndPrint) {
+  Schema schema;
+  schema.AddRelation("R", 2);
+  Fact f = Fact::Make(schema, "R", {"a", "b"});
+  EXPECT_EQ(f.ToString(schema), "R(a,b)");
+  EXPECT_EQ(f.arity(), 2u);
+}
+
+TEST(FactTest, OrderingAndEquality) {
+  Schema schema;
+  schema.AddRelation("R", 2);
+  Fact ab = Fact::Make(schema, "R", {"a", "b"});
+  Fact ab2 = Fact::Make(schema, "R", {"a", "b"});
+  Fact ac = Fact::Make(schema, "R", {"a", "c"});
+  EXPECT_EQ(ab, ab2);
+  EXPECT_NE(ab, ac);
+  EXPECT_EQ(ab.Hash(), ab2.Hash());
+  EXPECT_TRUE(ab < ac || ac < ab);
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() {
+    r_ = schema_.AddRelation("R", 2);
+    s_ = schema_.AddRelation("S", 1);
+  }
+  Schema schema_;
+  PredId r_, s_;
+};
+
+TEST_F(DatabaseTest, InsertEraseContains) {
+  Database db(&schema_);
+  Fact f = Fact::Make(schema_, "R", {"a", "b"});
+  EXPECT_TRUE(db.Insert(f));
+  EXPECT_FALSE(db.Insert(f));  // duplicate
+  EXPECT_TRUE(db.Contains(f));
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_TRUE(db.Erase(f));
+  EXPECT_FALSE(db.Erase(f));
+  EXPECT_TRUE(db.empty());
+}
+
+TEST_F(DatabaseTest, ActiveDomainSortedUnique) {
+  Database db(&schema_);
+  db.Insert(Fact::Make(schema_, "R", {"dom_b", "dom_a"}));
+  db.Insert(Fact::Make(schema_, "S", {"dom_a"}));
+  std::vector<ConstId> domain = db.ActiveDomain();
+  EXPECT_EQ(domain.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(domain.begin(), domain.end()));
+}
+
+TEST_F(DatabaseTest, SymmetricDifference) {
+  Database d1(&schema_), d2(&schema_);
+  Fact ab = Fact::Make(schema_, "R", {"a", "b"});
+  Fact ac = Fact::Make(schema_, "R", {"a", "c"});
+  Fact sa = Fact::Make(schema_, "S", {"a"});
+  d1.Insert(ab);
+  d1.Insert(ac);
+  d2.Insert(ab);
+  d2.Insert(sa);
+  std::vector<Fact> only1, only2;
+  d1.SymmetricDifference(d2, &only1, &only2);
+  EXPECT_EQ(only1, (std::vector<Fact>{ac}));
+  EXPECT_EQ(only2, (std::vector<Fact>{sa}));
+  EXPECT_EQ(d1.SymmetricDifferenceSize(d2), 2u);
+  EXPECT_EQ(d1.SymmetricDifferenceSize(d1), 0u);
+}
+
+TEST_F(DatabaseTest, EqualityAndOrdering) {
+  Database d1(&schema_), d2(&schema_);
+  d1.Insert(Fact::Make(schema_, "R", {"a", "b"}));
+  d2.Insert(Fact::Make(schema_, "R", {"a", "b"}));
+  EXPECT_EQ(d1, d2);
+  d2.Insert(Fact::Make(schema_, "S", {"a"}));
+  EXPECT_FALSE(d1 == d2);
+  EXPECT_TRUE(d1 < d2 || d2 < d1);
+}
+
+TEST_F(DatabaseTest, ToStringDeterministic) {
+  Database db(&schema_);
+  db.Insert(Fact::Make(schema_, "R", {"a", "c"}));
+  db.Insert(Fact::Make(schema_, "R", {"a", "b"}));
+  Database db2(&schema_);
+  db2.Insert(Fact::Make(schema_, "R", {"a", "b"}));
+  db2.Insert(Fact::Make(schema_, "R", {"a", "c"}));
+  EXPECT_EQ(db.ToString(), db2.ToString());
+}
+
+TEST_F(DatabaseTest, FactsOfGroupsByRelation) {
+  Database db(&schema_);
+  db.Insert(Fact::Make(schema_, "R", {"a", "b"}));
+  db.Insert(Fact::Make(schema_, "S", {"a"}));
+  EXPECT_EQ(db.FactsOf(r_).size(), 1u);
+  EXPECT_EQ(db.FactsOf(s_).size(), 1u);
+  EXPECT_EQ(db.AllFacts().size(), 2u);
+}
+
+TEST(FactParserTest, ParsesSimpleFact) {
+  Schema schema;
+  schema.AddRelation("R", 2);
+  Result<Fact> f = ParseFact(schema, " R( a , b ) ");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ(f->ToString(schema), "R(a,b)");
+}
+
+TEST(FactParserTest, ParsesNumericConstants) {
+  Schema schema;
+  schema.AddRelation("Age", 2);
+  Result<Fact> f = ParseFact(schema, "Age(bob, 42)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->ToString(schema), "Age(bob,42)");
+}
+
+TEST(FactParserTest, RejectsMalformedFacts) {
+  Schema schema;
+  schema.AddRelation("R", 2);
+  EXPECT_FALSE(ParseFact(schema, "R(a,b").ok());
+  EXPECT_FALSE(ParseFact(schema, "R a,b)").ok());
+  EXPECT_FALSE(ParseFact(schema, "Unknown(a,b)").ok());
+  EXPECT_FALSE(ParseFact(schema, "R(a)").ok());        // arity
+  EXPECT_FALSE(ParseFact(schema, "R(a,b,c)").ok());    // arity
+  EXPECT_FALSE(ParseFact(schema, "R(a, b c)").ok());   // bad token
+  EXPECT_FALSE(ParseFact(schema, "2R(a,b)").ok());     // bad name
+}
+
+TEST(FactParserTest, ParsesWholeDatabaseWithComments) {
+  Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  Result<Database> db = ParseDatabase(schema,
+                                      "# preamble comment\n"
+                                      "R(a,b). S(c).  # trailing comment\n"
+                                      "R(a,c).\n");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->size(), 3u);
+}
+
+TEST(FactParserTest, EmptyDatabaseParses) {
+  Schema schema;
+  schema.AddRelation("R", 2);
+  Result<Database> db = ParseDatabase(schema, "  \n # nothing \n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db->empty());
+}
+
+TEST(FactParserTest, PropagatesFactErrors) {
+  Schema schema;
+  schema.AddRelation("R", 2);
+  EXPECT_FALSE(ParseDatabase(schema, "R(a,b). Bad(c,d).").ok());
+}
+
+}  // namespace
+}  // namespace opcqa

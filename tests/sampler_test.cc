@@ -1,0 +1,142 @@
+// Tests for the Sample algorithm and the additive-error scheme (Section 5,
+// Theorem 9, Proposition 10). Statistical assertions use fixed seeds and
+// tolerances far looser than the corresponding concentration bounds.
+
+#include <gtest/gtest.h>
+
+#include "gen/workloads.h"
+#include "logic/formula_parser.h"
+#include "repair/ocqa.h"
+#include "repair/preference_generator.h"
+#include "repair/sampler.h"
+
+namespace opcqa {
+namespace {
+
+TEST(SamplerTest, NumSamplesMatchesPaperFigure) {
+  // "for ε = δ = 0.1, for example, it is 150".
+  EXPECT_EQ(Sampler::NumSamples(0.1, 0.1), 150u);
+  // Monotonicity: tighter ε/δ need more samples.
+  EXPECT_GT(Sampler::NumSamples(0.05, 0.1), Sampler::NumSamples(0.1, 0.1));
+  EXPECT_GT(Sampler::NumSamples(0.1, 0.01), Sampler::NumSamples(0.1, 0.1));
+}
+
+TEST(SamplerTest, WalksTerminateAndSucceedOnNonFailingChains) {
+  gen::Workload w = gen::PaperPreferenceExample();
+  PreferenceChainGenerator gen(w.schema->RelationOrDie("Pref"));
+  Sampler sampler(w.db, w.constraints, &gen, /*seed=*/42);
+  for (int i = 0; i < 50; ++i) {
+    WalkResult walk = sampler.RunWalk();
+    EXPECT_TRUE(walk.successful);
+    EXPECT_EQ(walk.steps, 2u);  // exactly two conflicts to resolve
+    EXPECT_TRUE(Satisfies(walk.final_db, w.constraints));
+  }
+}
+
+TEST(SamplerTest, WalksAreDeterministicGivenSeed) {
+  gen::Workload w = gen::PaperPreferenceExample();
+  PreferenceChainGenerator gen(w.schema->RelationOrDie("Pref"));
+  Sampler s1(w.db, w.constraints, &gen, 7);
+  Sampler s2(w.db, w.constraints, &gen, 7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(s1.RunWalk().final_db, s2.RunWalk().final_db);
+  }
+}
+
+TEST(SamplerTest, EstimateMatchesExactWithinEpsilon) {
+  // The Example 7 value CP(a) = 0.45, approximated at ε = δ = 0.1.
+  gen::Workload w = gen::PaperPreferenceExample();
+  PreferenceChainGenerator gen(w.schema->RelationOrDie("Pref"));
+  Result<Query> q =
+      ParseQuery(*w.schema, "Q(x) := forall y (Pref(x,y) | x = y)");
+  ASSERT_TRUE(q.ok());
+  Sampler sampler(w.db, w.constraints, &gen, /*seed=*/123);
+  double estimate = sampler.EstimateTuple(*q, {Const("a")}, 0.1, 0.1);
+  EXPECT_NEAR(estimate, 0.45, 0.1);
+}
+
+TEST(SamplerTest, EstimateOcaCoversAllLikelyTuples) {
+  gen::Workload w = gen::PaperKeyPairExample();
+  UniformChainGenerator gen;
+  Result<Query> q = ParseQuery(*w.schema, "Q(y) := R(a, y)");
+  ASSERT_TRUE(q.ok());
+  Sampler sampler(w.db, w.constraints, &gen, /*seed=*/9);
+  ApproxOcaResult result = sampler.EstimateOca(*q, 0.05, 0.05);
+  EXPECT_EQ(result.walks, Sampler::NumSamples(0.05, 0.05));
+  EXPECT_EQ(result.failing_walks, 0u);
+  // Exact CPs are 1/3 each; both estimates must be within ε = 0.05 (the
+  // assertion holds with probability ≥ 95%, and the seed is fixed).
+  EXPECT_NEAR(result.Estimate({Const("b")}), 1.0 / 3, 0.05);
+  EXPECT_NEAR(result.Estimate({Const("c")}), 1.0 / 3, 0.05);
+}
+
+TEST(SamplerTest, HoeffdingGuaranteeHoldsAcrossSeeds) {
+  // Repeat the (ε,δ) estimate over many seeds; the fraction of runs with
+  // error > ε must not wildly exceed δ. With ε=0.15, δ=0.2 and 40 seeds,
+  // expected failures ≤ 8; assert ≤ 16 (twice the budget).
+  gen::Workload w = gen::PaperKeyPairExample();
+  UniformChainGenerator gen;
+  Result<Query> q = ParseQuery(*w.schema, "Q(y) := R(a, y)");
+  ASSERT_TRUE(q.ok());
+  const double eps = 0.15, delta = 0.2, exact = 1.0 / 3;
+  int failures = 0;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Sampler sampler(w.db, w.constraints, &gen, seed);
+    double estimate = sampler.EstimateTuple(*q, {Const("b")}, eps, delta);
+    if (std::abs(estimate - exact) > eps) ++failures;
+  }
+  EXPECT_LE(failures, 16);
+}
+
+TEST(SamplerTest, FailingWalksAreReportedNotHidden) {
+  gen::Workload w = gen::PaperFailingExample();
+  UniformChainGenerator gen;  // not non-failing here: +T(a) dead-ends
+  Result<Query> q = ParseQuery(*w.schema, "Q() := true");
+  ASSERT_TRUE(q.ok());
+  Sampler sampler(w.db, w.constraints, &gen, /*seed=*/5);
+  ApproxOcaResult result = sampler.EstimateOcaWithWalks(*q, 200);
+  EXPECT_GT(result.failing_walks, 50u);   // expect ≈100
+  EXPECT_GT(result.successful_walks, 50u);
+  EXPECT_EQ(result.failing_walks + result.successful_walks, 200u);
+}
+
+TEST(SamplerTest, EstimatesEqualExactForDeterministicChain) {
+  // A generator with a single positive-probability path: the estimate is
+  // exact regardless of n.
+  gen::Workload w = gen::PaperKeyPairExample();
+  Fact ab = Fact::Make(*w.schema, "R", {"a", "b"});
+  LambdaChainGenerator gen(
+      "always-drop-ab",
+      [&](const RepairingState&, const std::vector<Operation>& ops) {
+        std::vector<Rational> probs(ops.size(), Rational(0));
+        for (size_t i = 0; i < ops.size(); ++i) {
+          if (ops[i] == Operation::Remove({ab})) probs[i] = Rational(1);
+        }
+        return probs;
+      },
+      /*deletions_only=*/true);
+  Result<Query> q = ParseQuery(*w.schema, "Q(y) := R(a, y)");
+  ASSERT_TRUE(q.ok());
+  Sampler sampler(w.db, w.constraints, &gen, /*seed=*/1);
+  ApproxOcaResult result = sampler.EstimateOcaWithWalks(*q, 20);
+  EXPECT_DOUBLE_EQ(result.Estimate({Const("c")}), 1.0);
+  EXPECT_DOUBLE_EQ(result.Estimate({Const("b")}), 0.0);
+}
+
+TEST(SamplerTest, WalkStepCountsPolynomialInViolations) {
+  // Prop. 10: Sample terminates after polynomially many steps. For a key
+  // workload with v violating groups, deletion walks need ≤ v·(group-1)
+  // single steps (pair deletions shorten it further).
+  gen::Workload w = gen::MakeKeyViolationWorkload(10, 5, 2, /*seed=*/3);
+  UniformChainGenerator gen;
+  Sampler sampler(w.db, w.constraints, &gen, /*seed=*/4);
+  for (int i = 0; i < 20; ++i) {
+    WalkResult walk = sampler.RunWalk();
+    EXPECT_TRUE(walk.successful);
+    EXPECT_LE(walk.steps, 5u);
+    EXPECT_GE(walk.steps, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace opcqa

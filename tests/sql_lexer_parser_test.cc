@@ -1,0 +1,263 @@
+// Tests for the SQL lexer and parser.
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace opcqa {
+namespace sql {
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+TEST(SqlLexer, TokenizesSelectStatement) {
+  auto tokens = Lex("SELECT a.x FROM r AS a WHERE a.y = 'v1'");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& token : tokens.value()) kinds.push_back(token.kind);
+  std::vector<TokenKind> expected = {
+      TokenKind::kSelect, TokenKind::kIdentifier, TokenKind::kDot,
+      TokenKind::kIdentifier, TokenKind::kFrom, TokenKind::kIdentifier,
+      TokenKind::kAs, TokenKind::kIdentifier, TokenKind::kWhere,
+      TokenKind::kIdentifier, TokenKind::kDot, TokenKind::kIdentifier,
+      TokenKind::kEq, TokenKind::kString, TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(SqlLexer, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("select Select SELECT sElEcT");
+  ASSERT_TRUE(tokens.ok());
+  for (size_t i = 0; i + 1 < tokens.value().size(); ++i) {
+    EXPECT_EQ(tokens.value()[i].kind, TokenKind::kSelect);
+  }
+}
+
+TEST(SqlLexer, IdentifiersPreserveCase) {
+  auto tokens = Lex("MyTable");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens.value()[0].text, "MyTable");
+}
+
+TEST(SqlLexer, StringEscapes) {
+  auto tokens = Lex("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens.value()[0].text, "it's");
+}
+
+TEST(SqlLexer, UnterminatedStringIsAnError) {
+  auto tokens = Lex("SELECT 'oops");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SqlLexer, ComparisonOperators) {
+  auto tokens = Lex("= <> != < <= > >=");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& token : tokens.value()) kinds.push_back(token.kind);
+  std::vector<TokenKind> expected = {
+      TokenKind::kEq, TokenKind::kNeq, TokenKind::kNeq, TokenKind::kLt,
+      TokenKind::kLe, TokenKind::kGt, TokenKind::kGe, TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(SqlLexer, LineCommentsAreSkipped) {
+  auto tokens = Lex("SELECT -- the select list\n x FROM r");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value().size(), 5u);  // SELECT x FROM r <end>
+}
+
+TEST(SqlLexer, TracksLineAndColumn) {
+  auto tokens = Lex("SELECT\n  x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[1].line, 2u);
+  EXPECT_EQ(tokens.value()[1].column, 3u);
+}
+
+TEST(SqlLexer, StrayCharacterIsAnError) {
+  auto tokens = Lex("SELECT #");
+  ASSERT_FALSE(tokens.ok());
+}
+
+TEST(SqlLexer, NumbersAreSingleTokens) {
+  auto tokens = Lex("123 45");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens.value()[0].text, "123");
+  EXPECT_EQ(tokens.value()[1].text, "45");
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+TEST(SqlParser, SimpleSelect) {
+  auto stmt = Parse("SELECT x, y FROM r");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt.value()->kind, Statement::Kind::kSelect);
+  const SelectCore& core = stmt.value()->select;
+  EXPECT_FALSE(core.select_star);
+  ASSERT_EQ(core.items.size(), 2u);
+  EXPECT_EQ(core.items[0].operand.column, "x");
+  EXPECT_EQ(core.items[1].operand.column, "y");
+  ASSERT_EQ(core.from.size(), 1u);
+  EXPECT_EQ(core.from[0].table, "r");
+  EXPECT_EQ(core.from[0].alias, "r");
+  EXPECT_EQ(core.where, nullptr);
+}
+
+TEST(SqlParser, SelectStar) {
+  auto stmt = Parse("SELECT * FROM r");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt.value()->select.select_star);
+}
+
+TEST(SqlParser, AliasesWithAndWithoutAs) {
+  auto stmt = Parse("SELECT a.x AS col1, b.y col2 FROM r AS a, s b");
+  ASSERT_TRUE(stmt.ok());
+  const SelectCore& core = stmt.value()->select;
+  EXPECT_EQ(core.items[0].alias, "col1");
+  EXPECT_EQ(core.items[1].alias, "col2");
+  EXPECT_EQ(core.from[0].alias, "a");
+  EXPECT_EQ(core.from[1].alias, "b");
+}
+
+TEST(SqlParser, WhereConditionPrecedence) {
+  // AND binds tighter than OR.
+  auto stmt = Parse("SELECT x FROM r WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(stmt.ok());
+  const ConditionPtr& where = stmt.value()->select.where;
+  ASSERT_NE(where, nullptr);
+  ASSERT_EQ(where->kind, Condition::Kind::kOr);
+  ASSERT_EQ(where->children.size(), 2u);
+  EXPECT_EQ(where->children[0]->kind, Condition::Kind::kCompare);
+  EXPECT_EQ(where->children[1]->kind, Condition::Kind::kAnd);
+}
+
+TEST(SqlParser, NotAndParentheses) {
+  auto stmt = Parse("SELECT x FROM r WHERE NOT (a = 1 OR b = 2)");
+  ASSERT_TRUE(stmt.ok());
+  const ConditionPtr& where = stmt.value()->select.where;
+  ASSERT_EQ(where->kind, Condition::Kind::kNot);
+  EXPECT_EQ(where->children[0]->kind, Condition::Kind::kOr);
+}
+
+TEST(SqlParser, DerivedTable) {
+  auto stmt = Parse("SELECT t.x FROM (SELECT x FROM r) AS t");
+  ASSERT_TRUE(stmt.ok());
+  const SelectCore& core = stmt.value()->select;
+  ASSERT_EQ(core.from.size(), 1u);
+  EXPECT_TRUE(core.from[0].is_derived());
+  EXPECT_EQ(core.from[0].alias, "t");
+}
+
+TEST(SqlParser, DerivedTableRequiresAlias) {
+  auto stmt = Parse("SELECT x FROM (SELECT x FROM r)");
+  ASSERT_FALSE(stmt.ok());
+}
+
+TEST(SqlParser, SetOperations) {
+  auto stmt = Parse("SELECT x FROM r UNION SELECT x FROM s");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt.value()->kind, Statement::Kind::kUnion);
+
+  stmt = Parse("SELECT x FROM r EXCEPT SELECT x FROM s");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt.value()->kind, Statement::Kind::kExcept);
+
+  stmt = Parse("SELECT x FROM r INTERSECT SELECT x FROM s");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt.value()->kind, Statement::Kind::kIntersect);
+}
+
+TEST(SqlParser, IntersectBindsTighterThanUnion) {
+  auto stmt = Parse(
+      "SELECT x FROM r UNION SELECT x FROM s INTERSECT SELECT x FROM t");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt.value()->kind, Statement::Kind::kUnion);
+  EXPECT_EQ(stmt.value()->right->kind, Statement::Kind::kIntersect);
+}
+
+TEST(SqlParser, SetOpsAreLeftAssociative) {
+  auto stmt = Parse(
+      "SELECT x FROM r EXCEPT SELECT x FROM s EXCEPT SELECT x FROM t");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt.value()->kind, Statement::Kind::kExcept);
+  EXPECT_EQ(stmt.value()->left->kind, Statement::Kind::kExcept);
+  EXPECT_EQ(stmt.value()->right->kind, Statement::Kind::kSelect);
+}
+
+TEST(SqlParser, Aggregates) {
+  auto stmt = Parse(
+      "SELECT k, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM r GROUP BY k");
+  ASSERT_TRUE(stmt.ok());
+  const SelectCore& core = stmt.value()->select;
+  ASSERT_EQ(core.items.size(), 6u);
+  EXPECT_EQ(core.items[0].agg, AggregateFn::kNone);
+  EXPECT_EQ(core.items[1].agg, AggregateFn::kCountStar);
+  EXPECT_EQ(core.items[2].agg, AggregateFn::kSum);
+  EXPECT_EQ(core.items[3].agg, AggregateFn::kMin);
+  EXPECT_EQ(core.items[4].agg, AggregateFn::kMax);
+  EXPECT_EQ(core.items[5].agg, AggregateFn::kAvg);
+  ASSERT_EQ(core.group_by.size(), 1u);
+  EXPECT_EQ(core.group_by[0].column, "k");
+}
+
+TEST(SqlParser, CountDistinctColumn) {
+  auto stmt = Parse("SELECT COUNT(v) FROM r");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt.value()->select.items[0].agg, AggregateFn::kCount);
+}
+
+TEST(SqlParser, UnionAllIsRejected) {
+  auto stmt = Parse("SELECT x FROM r UNION ALL SELECT x FROM s");
+  ASSERT_FALSE(stmt.ok());
+}
+
+TEST(SqlParser, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(Parse("SELECT x FROM r;").ok());
+}
+
+TEST(SqlParser, TrailingGarbageIsAnError) {
+  auto stmt = Parse("SELECT x FROM r garbage extra");
+  ASSERT_FALSE(stmt.ok());
+}
+
+TEST(SqlParser, MissingFromIsAnError) {
+  EXPECT_FALSE(Parse("SELECT x").ok());
+}
+
+TEST(SqlParser, ErrorsCarryPosition) {
+  auto stmt = Parse("SELECT x\nFROM");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_NE(stmt.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(SqlParser, RoundTripThroughToString) {
+  const char* queries[] = {
+      "SELECT x, y FROM r",
+      "SELECT DISTINCT a.x AS out FROM r AS a, s AS b WHERE a.x = b.y",
+      "SELECT * FROM r WHERE x = 'v' AND y <> 'w'",
+      "SELECT k, COUNT(*) AS n FROM r GROUP BY k",
+      "SELECT x FROM (SELECT x FROM r EXCEPT SELECT x FROM rdel) AS t",
+      "SELECT x FROM r UNION SELECT x FROM s INTERSECT SELECT x FROM t",
+      "SELECT x FROM r WHERE NOT (x = 1 OR x = 2)",
+  };
+  for (const char* query : queries) {
+    auto first = Parse(query);
+    ASSERT_TRUE(first.ok()) << query;
+    std::string rendered = first.value()->ToString();
+    auto second = Parse(rendered);
+    ASSERT_TRUE(second.ok()) << rendered;
+    EXPECT_EQ(second.value()->ToString(), rendered) << query;
+  }
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace opcqa

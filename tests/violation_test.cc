@@ -1,0 +1,136 @@
+// Tests for V(D,Σ) — Definition 2 — including the worked Example 1.
+
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "constraints/violation.h"
+#include "gen/workloads.h"
+#include "relational/fact_parser.h"
+
+namespace opcqa {
+namespace {
+
+class ViolationTest : public ::testing::Test {
+ protected:
+  ViolationTest() {
+    schema_.AddRelation("R", 2);
+    schema_.AddRelation("S", 3);
+    schema_.AddRelation("T", 2);
+  }
+  Schema schema_;
+};
+
+TEST_F(ViolationTest, NoViolationsOnConsistentDatabase) {
+  ConstraintSet sigma =
+      *ParseConstraints(schema_, "R(x,y), R(x,z) -> y = z");
+  Database db = *ParseDatabase(schema_, "R(a,b). R(c,d).");
+  EXPECT_TRUE(ComputeViolations(db, sigma).empty());
+}
+
+TEST_F(ViolationTest, EgdViolationsComeInSymmetricPairs) {
+  // h = {x→a,y→b,z→c} and h' = {x→a,y→c,z→b} are distinct violations of
+  // the same key (the paper's Example 1 lists both h2 and h3).
+  ConstraintSet sigma =
+      *ParseConstraints(schema_, "R(x,y), R(x,z) -> y = z");
+  Database db = *ParseDatabase(schema_, "R(a,b). R(a,c).");
+  ViolationSet violations = ComputeViolations(db, sigma);
+  EXPECT_EQ(violations.size(), 2u);
+}
+
+TEST_F(ViolationTest, Example1ViolationInventory) {
+  // Example 1: D = {R(a,b), R(a,c), T(a,b)}, Σ = {σ, η}. The example names
+  // (σ,h1) with h1 = {x→a, y→b}, and (η,h2), (η,h3). σ is violated for
+  // both R-facts, so |V| = 2 (σ) + 2 (η) = 4.
+  gen::Workload w = gen::PaperExample1();
+  ViolationSet violations = ComputeViolations(w.db, w.constraints);
+  EXPECT_EQ(violations.size(), 4u);
+  size_t tgd_violations = 0, egd_violations = 0;
+  for (const Violation& v : violations) {
+    if (w.constraints[v.constraint_index].is_tgd()) ++tgd_violations;
+    if (w.constraints[v.constraint_index].is_egd()) ++egd_violations;
+  }
+  EXPECT_EQ(tgd_violations, 2u);
+  EXPECT_EQ(egd_violations, 2u);
+}
+
+TEST_F(ViolationTest, TgdViolationDisappearsWithWitness) {
+  ConstraintSet sigma =
+      *ParseConstraints(schema_, "R(x,y) -> exists z: S(x,y,z)");
+  Database db = *ParseDatabase(schema_, "R(a,b).");
+  EXPECT_EQ(ComputeViolations(db, sigma).size(), 1u);
+  db.Insert(Fact::Make(schema_, "S", {"a", "b", "w"}));
+  EXPECT_TRUE(ComputeViolations(db, sigma).empty());
+}
+
+TEST_F(ViolationTest, IsViolationRechecksAgainstOtherDatabase) {
+  ConstraintSet sigma =
+      *ParseConstraints(schema_, "R(x,y), R(x,z) -> y = z");
+  Database db = *ParseDatabase(schema_, "R(a,b). R(a,c).");
+  ViolationSet violations = ComputeViolations(db, sigma);
+  ASSERT_FALSE(violations.empty());
+  const Violation& v = *violations.begin();
+  EXPECT_TRUE(IsViolation(db, sigma, v));
+  // After deleting R(a,c) the violation's body image is gone.
+  Database repaired = db;
+  repaired.Erase(Fact::Make(schema_, "R", {"a", "c"}));
+  EXPECT_FALSE(IsViolation(repaired, sigma, v));
+}
+
+TEST_F(ViolationTest, IsViolationDetectsNewWitness) {
+  ConstraintSet sigma =
+      *ParseConstraints(schema_, "R(x,y) -> exists z: S(x,y,z)");
+  Database db = *ParseDatabase(schema_, "R(a,b).");
+  ViolationSet violations = ComputeViolations(db, sigma);
+  ASSERT_EQ(violations.size(), 1u);
+  const Violation& v = *violations.begin();
+  Database with_witness = db;
+  with_witness.Insert(Fact::Make(schema_, "S", {"a", "b", "w"}));
+  EXPECT_FALSE(IsViolation(with_witness, sigma, v));
+}
+
+TEST_F(ViolationTest, BodyImageIsSortedSetOfFacts) {
+  ConstraintSet sigma =
+      *ParseConstraints(schema_, "R(x,y), R(y,x) -> false");
+  Database db = *ParseDatabase(schema_, "R(a,b). R(b,a).");
+  ViolationSet violations = ComputeViolations(db, sigma);
+  ASSERT_FALSE(violations.empty());
+  for (const Violation& v : violations) {
+    std::vector<Fact> image = BodyImage(sigma, v);
+    EXPECT_EQ(image.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(image.begin(), image.end()));
+  }
+}
+
+TEST_F(ViolationTest, SelfLoopBodyImageCollapsesToOneFact) {
+  ConstraintSet sigma =
+      *ParseConstraints(schema_, "R(x,y), R(y,x) -> false");
+  Database db = *ParseDatabase(schema_, "R(a,a).");
+  ViolationSet violations = ComputeViolations(db, sigma);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(BodyImage(sigma, *violations.begin()).size(), 1u);
+}
+
+TEST_F(ViolationTest, ViolationOrderingIsStable) {
+  ConstraintSet sigma =
+      *ParseConstraints(schema_, "R(x,y), R(x,z) -> y = z");
+  Database db = *ParseDatabase(schema_, "R(a,b). R(a,c). R(a,d).");
+  ViolationSet v1 = ComputeViolations(db, sigma);
+  ViolationSet v2 = ComputeViolations(db, sigma);
+  EXPECT_EQ(v1, v2);
+  // 3 conflicting values → ordered pairs (y,z), y≠z: 6 violations.
+  EXPECT_EQ(v1.size(), 6u);
+}
+
+TEST_F(ViolationTest, ToStringMentionsLabelAndImage) {
+  ConstraintSet sigma =
+      *ParseConstraints(schema_, "key: R(x,y), R(x,z) -> y = z");
+  Database db = *ParseDatabase(schema_, "R(a,b). R(a,c).");
+  ViolationSet violations = ComputeViolations(db, sigma);
+  ASSERT_FALSE(violations.empty());
+  std::string s = violations.begin()->ToString(schema_, sigma);
+  EXPECT_NE(s.find("key"), std::string::npos);
+  EXPECT_NE(s.find("R(a,b)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opcqa

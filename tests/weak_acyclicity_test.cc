@@ -1,0 +1,145 @@
+// Tests for the weak-acyclicity checker (chase termination criterion).
+
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_parser.h"
+#include "constraints/weak_acyclicity.h"
+
+namespace opcqa {
+namespace {
+
+class WeakAcyclicityTest : public ::testing::Test {
+ protected:
+  WeakAcyclicityTest() {
+    r_ = schema_.AddRelation("R", 2);
+    s_ = schema_.AddRelation("S", 2);
+    t_ = schema_.AddRelation("T", 1);
+  }
+
+  ConstraintSet Parse(std::string_view text) {
+    Result<ConstraintSet> constraints = ParseConstraints(schema_, text);
+    EXPECT_TRUE(constraints.ok()) << constraints.status().ToString();
+    return constraints.value();
+  }
+
+  Schema schema_;
+  PredId r_, s_, t_;
+};
+
+TEST_F(WeakAcyclicityTest, EmptySetIsWeaklyAcyclic) {
+  EXPECT_TRUE(IsWeaklyAcyclic(schema_, {}));
+}
+
+TEST_F(WeakAcyclicityTest, DenialOnlySetsHaveNoEdges) {
+  ConstraintSet constraints = Parse(
+      "R(x,y), R(x,z) -> y = z\n"
+      "R(x,y), R(y,x) -> false");
+  PositionGraph graph = BuildPositionGraph(schema_, constraints);
+  EXPECT_TRUE(graph.edges.empty());
+  EXPECT_TRUE(IsWeaklyAcyclic(schema_, constraints));
+}
+
+TEST_F(WeakAcyclicityTest, FullTgdHasOnlyRegularEdges) {
+  ConstraintSet constraints = Parse("R(x,y) -> S(x,y)");
+  PositionGraph graph = BuildPositionGraph(schema_, constraints);
+  ASSERT_EQ(graph.edges.size(), 2u);
+  for (const PositionEdge& edge : graph.edges) {
+    EXPECT_FALSE(edge.special);
+  }
+  EXPECT_TRUE(IsWeaklyAcyclic(schema_, constraints));
+}
+
+TEST_F(WeakAcyclicityTest, ExistentialHeadCreatesSpecialEdges) {
+  ConstraintSet constraints = Parse("R(x,y) -> exists z: S(x,z)");
+  PositionGraph graph = BuildPositionGraph(schema_, constraints);
+  // Regular: R[0] → S[0]. Special: R[0] → S[1] (x is propagated).
+  bool saw_regular = false, saw_special = false;
+  for (const PositionEdge& edge : graph.edges) {
+    if (edge.special) {
+      saw_special = true;
+      EXPECT_EQ(edge.to, (Position{s_, 1}));
+    } else {
+      saw_regular = true;
+      EXPECT_EQ(edge.from, (Position{r_, 0}));
+      EXPECT_EQ(edge.to, (Position{s_, 0}));
+    }
+  }
+  EXPECT_TRUE(saw_regular);
+  EXPECT_TRUE(saw_special);
+  EXPECT_TRUE(IsWeaklyAcyclic(schema_, constraints));
+}
+
+TEST_F(WeakAcyclicityTest, SelfFeedingExistentialIsNotWeaklyAcyclic) {
+  // The classic non-terminating chase: every R-tuple demands a fresh
+  // successor. Special edge R[1] → R[1] (via y propagated to R[0]... the
+  // cycle R[1] → R[0]? — precisely: y occurs in body position R[1], is
+  // propagated to head position R[0], and the existential z sits in head
+  // position R[1]; the special edge R[1] → R[1] closes a cycle.
+  ConstraintSet constraints = Parse("R(x,y) -> exists z: R(y,z)");
+  EXPECT_FALSE(IsWeaklyAcyclic(schema_, constraints));
+}
+
+TEST_F(WeakAcyclicityTest, TwoStepExistentialCycleIsDetected) {
+  ConstraintSet constraints = Parse(
+      "R(x,y) -> exists z: S(y,z)\n"
+      "S(x,y) -> exists w: R(y,w)");
+  EXPECT_FALSE(IsWeaklyAcyclic(schema_, constraints));
+}
+
+TEST_F(WeakAcyclicityTest, RegularCycleAloneIsFine) {
+  // R and S copy into each other — a cycle, but with no special edge.
+  ConstraintSet constraints = Parse(
+      "R(x,y) -> S(x,y)\n"
+      "S(x,y) -> R(x,y)");
+  EXPECT_TRUE(IsWeaklyAcyclic(schema_, constraints));
+}
+
+TEST_F(WeakAcyclicityTest, RegularCyclePlusDisjointExistentialIsFine) {
+  // The existential feeds T, which feeds nothing: no cycle through the
+  // special edge.
+  ConstraintSet constraints = Parse(
+      "R(x,y) -> S(x,y)\n"
+      "S(x,y) -> R(x,y)\n"
+      "R(x,y) -> exists z: T(z)");
+  EXPECT_TRUE(IsWeaklyAcyclic(schema_, constraints));
+}
+
+TEST_F(WeakAcyclicityTest, ExistentialIntoRegularCycleIsStillAcyclic) {
+  // T(x) → ∃z R(x,z): the special edge enters the R/S copy cycle but no
+  // cycle passes through the special edge itself (nothing feeds back
+  // into T).
+  ConstraintSet constraints = Parse(
+      "T(x) -> exists z: R(x,z)\n"
+      "R(x,y) -> S(x,y)\n"
+      "S(x,y) -> R(x,y)");
+  EXPECT_TRUE(IsWeaklyAcyclic(schema_, constraints));
+}
+
+TEST_F(WeakAcyclicityTest, FeedbackThroughSpecialEdgeIsRejected) {
+  // S's second position flows back into R's body, and R creates fresh
+  // values in that very position: cycle through a special edge.
+  ConstraintSet constraints = Parse(
+      "R(x,y) -> exists z: S(x,z)\n"
+      "S(x,y) -> R(y,x)");
+  EXPECT_FALSE(IsWeaklyAcyclic(schema_, constraints));
+}
+
+TEST_F(WeakAcyclicityTest, UnpropagatedVariablesCreateNoSpecialEdges) {
+  // x does not occur in the head: per the FKMP definition it contributes
+  // no edges at all.
+  ConstraintSet constraints = Parse("R(x,y) -> exists z: T(z)");
+  PositionGraph graph = BuildPositionGraph(schema_, constraints);
+  EXPECT_TRUE(graph.edges.empty());
+  EXPECT_TRUE(IsWeaklyAcyclic(schema_, constraints));
+}
+
+TEST_F(WeakAcyclicityTest, GraphToStringMentionsSpecialEdges) {
+  ConstraintSet constraints = Parse("R(x,y) -> exists z: S(x,z)");
+  PositionGraph graph = BuildPositionGraph(schema_, constraints);
+  std::string rendered = graph.ToString(schema_);
+  EXPECT_NE(rendered.find("-*->"), std::string::npos);
+  EXPECT_NE(rendered.find("R[0]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opcqa

@@ -1,0 +1,183 @@
+// Tests for workload generators and paper fixtures.
+
+#include <gtest/gtest.h>
+
+#include "constraints/satisfaction.h"
+#include "constraints/violation.h"
+#include "gen/workloads.h"
+#include "repair/ocqa.h"
+#include "util/string_util.h"
+
+namespace opcqa {
+namespace {
+
+TEST(PaperFixturesTest, PreferenceExampleMatchesSection3) {
+  gen::Workload w = gen::PaperPreferenceExample();
+  EXPECT_EQ(w.db.size(), 6u);
+  EXPECT_EQ(w.constraints.size(), 1u);
+  EXPECT_TRUE(w.constraints[0].is_dc());
+  EXPECT_FALSE(Satisfies(w.db, w.constraints));
+  // Two symmetric conflicts; each yields two body homomorphisms
+  // ((x,y) and (y,x)), so |V(D,Σ)| = 4.
+  EXPECT_EQ(ComputeViolations(w.db, w.constraints).size(), 4u);
+}
+
+TEST(PaperFixturesTest, Example1Shape) {
+  gen::Workload w = gen::PaperExample1();
+  EXPECT_EQ(w.db.size(), 3u);
+  EXPECT_EQ(w.constraints.size(), 2u);
+  EXPECT_TRUE(w.constraints[0].is_tgd());
+  EXPECT_TRUE(w.constraints[1].is_egd());
+  EXPECT_EQ(w.constraints[0].label(), "sigma");
+  EXPECT_EQ(w.constraints[1].label(), "eta");
+}
+
+TEST(PaperFixturesTest, FailingExampleShape) {
+  gen::Workload w = gen::PaperFailingExample();
+  EXPECT_EQ(w.db.size(), 1u);
+  EXPECT_FALSE(Satisfies(w.db, w.constraints));
+  EXPECT_FALSE(IsDenialOnly(w.constraints));
+}
+
+TEST(GeneratorTest, PreferenceWorkloadDeterministicPerSeed) {
+  gen::Workload w1 = gen::MakePreferenceWorkload(10, 20, 0.3, 42);
+  gen::Workload w2 = gen::MakePreferenceWorkload(10, 20, 0.3, 42);
+  EXPECT_EQ(w1.db.ToString(), w2.db.ToString());
+  gen::Workload w3 = gen::MakePreferenceWorkload(10, 20, 0.3, 43);
+  EXPECT_NE(w1.db.ToString(), w3.db.ToString());
+}
+
+TEST(GeneratorTest, PreferenceWorkloadConflictsScaleWithFraction) {
+  gen::Workload none = gen::MakePreferenceWorkload(12, 30, 0.0, 1);
+  gen::Workload lots = gen::MakePreferenceWorkload(12, 30, 0.9, 1);
+  EXPECT_TRUE(Satisfies(none.db, none.constraints));
+  EXPECT_FALSE(Satisfies(lots.db, lots.constraints));
+}
+
+TEST(GeneratorTest, KeyViolationWorkloadCounts) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(10, 3, 4, 5);
+  // 7 clean keys + 3 groups of 4.
+  EXPECT_EQ(w.db.size(), 7u + 12u);
+  ViolationSet violations = ComputeViolations(w.db, w.constraints);
+  // Per violating group: ordered pairs of distinct values = 4·3 = 12.
+  EXPECT_EQ(violations.size(), 3u * 12u);
+}
+
+TEST(GeneratorTest, KeyViolationWorkloadCleanWhenNoViolations) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(5, 0, 2, 6);
+  EXPECT_TRUE(Satisfies(w.db, w.constraints));
+}
+
+TEST(GeneratorTest, TrustWorkloadAssignsTrustToEveryFact) {
+  gen::TrustWorkload tw = gen::MakeTrustWorkload(6, 2, 2, 7);
+  for (const Fact& fact : tw.workload.db.AllFacts()) {
+    auto it = tw.trust.find(fact);
+    ASSERT_TRUE(it != tw.trust.end());
+    EXPECT_GT(it->second, Rational(0));
+    EXPECT_LE(it->second, Rational(1));
+  }
+}
+
+TEST(GeneratorTest, InclusionWorkloadMissingWitnesses) {
+  gen::Workload all_missing = gen::MakeInclusionWorkload(5, 1.0, 8);
+  EXPECT_FALSE(Satisfies(all_missing.db, all_missing.constraints));
+  EXPECT_EQ(ComputeViolations(all_missing.db, all_missing.constraints).size(),
+            5u);
+  gen::Workload none_missing = gen::MakeInclusionWorkload(5, 0.0, 8);
+  EXPECT_TRUE(Satisfies(none_missing.db, none_missing.constraints));
+}
+
+TEST(GeneratorTest, JoinWorkloadHasThreeRelationsAndKeys) {
+  gen::Workload w = gen::MakeJoinWorkload(20, 3, 9);
+  EXPECT_EQ(w.schema->size(), 3u);
+  EXPECT_EQ(w.constraints.size(), 3u);
+  EXPECT_TRUE(IsDenialOnly(w.constraints));
+  EXPECT_GE(w.db.size(), 60u);
+}
+
+TEST(GeneratorTest, WorkloadSchemaOwnership) {
+  // The workload keeps its schema alive (databases hold raw pointers).
+  gen::Workload w = gen::MakeKeyViolationWorkload(3, 1, 2, 10);
+  EXPECT_EQ(&w.db.schema(), w.schema.get());
+}
+
+// ---------------------------------------------------------------------
+// The Proposition 7 hardness gadget (3-SAT → key repairs).
+// ---------------------------------------------------------------------
+
+// Applies an assignment to a SAT workload: keeps Assign(v, value) per the
+// assignment, deletes the complement (one specific key repair).
+Database ApplyAssignment(const gen::SatWorkload& sat,
+                         const std::map<size_t, bool>& assignment) {
+  Database db = sat.workload.db;
+  PredId assign = sat.workload.schema->RelationOrDie("Assign");
+  for (const auto& [v, value] : assignment) {
+    db.Erase(Fact(assign, {Const(StrCat("var", v)),
+                           Const(value ? "0" : "1")}));
+  }
+  return db;
+}
+
+TEST(SatGadgetTest, PlantedInstanceStructure) {
+  gen::SatWorkload sat = gen::MakePlantedSatWorkload(5, 12, /*seed=*/3);
+  EXPECT_EQ(sat.num_vars, 5u);
+  EXPECT_EQ(sat.num_clauses, 12u);
+  EXPECT_EQ(sat.planted_assignment.size(), 5u);
+  // 2 Assign facts per var + 1 Clause + 3 Lit per clause.
+  EXPECT_EQ(sat.workload.db.size(), 5 * 2 + 12 * 4);
+  EXPECT_TRUE(IsDenialOnly(sat.workload.constraints));
+}
+
+TEST(SatGadgetTest, PlantedAssignmentSatisfiesTheQuery) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    gen::SatWorkload sat = gen::MakePlantedSatWorkload(6, 15, seed);
+    Query q = gen::SatQuery(sat.workload);
+    Database repaired = ApplyAssignment(sat, sat.planted_assignment);
+    EXPECT_EQ(q.Evaluate(repaired), (std::set<Tuple>{{}}))
+        << "seed " << seed;
+  }
+}
+
+TEST(SatGadgetTest, DirtyInstanceTriviallySatisfiesTheQuery) {
+  // Before repairing, both truth values are present, so every literal is
+  // "true" — the query only becomes discriminating on repairs.
+  gen::SatWorkload sat = gen::MakePlantedSatWorkload(4, 8, /*seed=*/5);
+  Query q = gen::SatQuery(sat.workload);
+  EXPECT_EQ(q.Evaluate(sat.workload.db), (std::set<Tuple>{{}}));
+}
+
+TEST(SatGadgetTest, UnsatInstanceHasNoSatisfyingRepair) {
+  gen::SatWorkload sat = gen::MakeUnsatWorkload(2);
+  EXPECT_EQ(sat.num_clauses, 4u);
+  Query q = gen::SatQuery(sat.workload);
+  // All four assignments falsify some clause.
+  for (size_t mask = 0; mask < 4; ++mask) {
+    std::map<size_t, bool> assignment = {{0, (mask & 1) != 0},
+                                         {1, (mask & 2) != 0}};
+    Database repaired = ApplyAssignment(sat, assignment);
+    EXPECT_TRUE(q.Evaluate(repaired).empty()) << "mask " << mask;
+  }
+}
+
+TEST(SatGadgetTest, CpPositiveIffSatisfiable) {
+  // Small enough to enumerate the full chain: CP(()) > 0 on a planted
+  // instance, CP(()) = 0 on the unsatisfiable one (Proposition 7's
+  // reduction in action).
+  gen::SatWorkload sat = gen::MakePlantedSatWorkload(3, 4, /*seed=*/11);
+  UniformChainGenerator gen;
+  Query q = gen::SatQuery(sat.workload);
+  Rational cp = ComputeTupleProbability(sat.workload.db,
+                                        sat.workload.constraints, gen, q,
+                                        Tuple{});
+  EXPECT_GT(cp, Rational(0));
+
+  gen::SatWorkload unsat = gen::MakeUnsatWorkload(2);
+  Query uq = gen::SatQuery(unsat.workload);
+  Rational ucp = ComputeTupleProbability(unsat.workload.db,
+                                         unsat.workload.constraints, gen,
+                                         uq, Tuple{});
+  EXPECT_EQ(ucp, Rational(0));
+}
+
+}  // namespace
+}  // namespace opcqa
