@@ -1,32 +1,118 @@
 // Shared helpers for the experiment harnesses: section headers and
 // paper-vs-measured rows with a uniform format, so EXPERIMENTS.md can be
 // cross-checked against raw bench output.
+//
+// Every Header/Row/Note call is also recorded and flushed at process exit
+// to BENCH_<experiment_id>.json in the working directory (one JSON object
+// per experiment section), so the perf trajectory accumulates in
+// machine-readable form. The google-benchmark harnesses additionally
+// support --benchmark_format=json natively.
 
 #ifndef OPCQA_BENCH_BENCH_COMMON_H_
 #define OPCQA_BENCH_BENCH_COMMON_H_
 
+#include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace opcqa {
 namespace bench {
+
+namespace internal {
+
+struct JsonRecorder {
+  std::string experiment_id;
+  std::string title;
+  // (what, paper, measured) rows and free-form notes, in emission order.
+  std::vector<std::array<std::string, 3>> rows;
+  std::vector<std::string> notes;
+
+  static std::string Escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  void Flush() {
+    if (experiment_id.empty()) return;
+    std::string path = "BENCH_" + experiment_id + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"experiment\": \"%s\",\n  \"title\": \"%s\",\n",
+                 Escape(experiment_id).c_str(), Escape(title).c_str());
+    std::fprintf(f, "  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"what\": \"%s\", \"paper\": \"%s\", "
+                   "\"measured\": \"%s\"}%s\n",
+                   Escape(rows[i][0]).c_str(), Escape(rows[i][1]).c_str(),
+                   Escape(rows[i][2]).c_str(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"notes\": [\n");
+    for (size_t i = 0; i < notes.size(); ++i) {
+      std::fprintf(f, "    \"%s\"%s\n", Escape(notes[i]).c_str(),
+                   i + 1 < notes.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+};
+
+inline JsonRecorder& Recorder() {
+  // Flushed by atexit so harnesses need no explicit teardown call.
+  static JsonRecorder* recorder = [] {
+    auto* r = new JsonRecorder();
+    std::atexit([] { Recorder().Flush(); });
+    return r;
+  }();
+  return *recorder;
+}
+
+}  // namespace internal
 
 inline void Header(const std::string& experiment_id,
                    const std::string& title) {
   std::printf("\n====================================================\n");
   std::printf("%s — %s\n", experiment_id.c_str(), title.c_str());
   std::printf("====================================================\n");
+  internal::JsonRecorder& recorder = internal::Recorder();
+  recorder.Flush();  // one JSON file per experiment section
+  recorder.rows.clear();
+  recorder.notes.clear();
+  recorder.experiment_id = experiment_id;
+  recorder.title = title;
 }
 
 inline void Row(const std::string& what, const std::string& paper,
                 const std::string& measured) {
   std::printf("%-46s | paper: %-18s | measured: %s\n", what.c_str(),
               paper.c_str(), measured.c_str());
+  internal::Recorder().rows.push_back({what, paper, measured});
 }
 
 inline void Note(const std::string& text) {
   std::printf("  %s\n", text.c_str());
+  internal::Recorder().notes.push_back(text);
 }
 
 class Timer {

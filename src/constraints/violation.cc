@@ -1,5 +1,7 @@
 #include "constraints/violation.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -48,6 +50,46 @@ std::vector<Fact> BodyImage(const ConstraintSet& constraints,
                             const Violation& violation) {
   const Constraint& c = constraints[violation.constraint_index];
   return violation.h.ApplyAll(c.body());
+}
+
+void BodyImageIds(const ConstraintSet& constraints, const Violation& violation,
+                  std::vector<FactId>* ids) {
+  const Constraint& c = constraints[violation.constraint_index];
+  FactStore& store = FactStore::Global();
+  ids->clear();
+  ConstId args[16];
+  for (const Atom& atom : c.body().atoms()) {
+    OPCQA_CHECK_LE(atom.arity(), sizeof(args) / sizeof(args[0]));
+    for (size_t i = 0; i < atom.arity(); ++i) {
+      args[i] = violation.h.Apply(atom.terms()[i]);
+    }
+    ids->push_back(store.Intern(atom.pred(), args, atom.arity()));
+  }
+  std::sort(ids->begin(), ids->end(),
+            [&store](FactId a, FactId b) { return store.Less(a, b); });
+  ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+}
+
+bool BodyImageIntersects(const ConstraintSet& constraints,
+                         const Violation& violation,
+                         const std::vector<FactId>& facts) {
+  const Constraint& c = constraints[violation.constraint_index];
+  const FactStore& store = FactStore::Global();
+  for (const Atom& atom : c.body().atoms()) {
+    for (FactId id : facts) {
+      FactView view = store.View(id);
+      if (view.pred != atom.pred() || view.arity != atom.arity()) continue;
+      bool equal = true;
+      for (size_t i = 0; i < view.arity; ++i) {
+        if (violation.h.Apply(atom.terms()[i]) != view.args[i]) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace opcqa

@@ -45,6 +45,21 @@ bool IsViolation(const Database& db, const ConstraintSet& constraints,
 std::vector<Fact> BodyImage(const ConstraintSet& constraints,
                             const Violation& violation);
 
+/// h(ϕ) as sorted, deduplicated interned ids (the id-level BodyImage;
+/// `ids` is clear()ed and reused to keep the enumeration hot path
+/// allocation-free).
+void BodyImageIds(const ConstraintSet& constraints, const Violation& violation,
+                  std::vector<FactId>* ids);
+
+/// True when h(ϕ) intersects `facts` — an id-level check that never
+/// materializes the image. Deleting facts from a database kills exactly the
+/// EGD/DC violations whose image they intersect (bodies are monotone and
+/// their conclusions ignore the database), which lets repairing states
+/// maintain V(D,Σ) incrementally under deletions.
+bool BodyImageIntersects(const ConstraintSet& constraints,
+                         const Violation& violation,
+                         const std::vector<FactId>& facts);
+
 }  // namespace opcqa
 
 #endif  // OPCQA_CONSTRAINTS_VIOLATION_H_

@@ -37,8 +37,11 @@ Relation Relation::FromDatabase(const Database& db, PredId pred,
   }
   OPCQA_CHECK_EQ(columns.size(), arity);
   Relation rel(schema.RelationName(pred), std::move(columns));
-  for (const Fact& fact : db.FactsOf(pred)) {
-    rel.Add(fact.args());
+  const FactStore& store = FactStore::Global();
+  for (FactId id : db.FactsOf(pred)) {
+    // Materialize the scan row straight from the interned argument span.
+    FactView fact = store.View(id);
+    rel.Add(Row(fact.args, fact.args + fact.arity));
   }
   return rel;
 }

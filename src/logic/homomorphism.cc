@@ -8,20 +8,33 @@
 namespace opcqa {
 
 std::optional<ConstId> Assignment::Get(VarId var) const {
-  auto it = map_.find(var);
-  if (it == map_.end()) return std::nullopt;
-  return it->second;
+  for (const auto& [v, value] : map_) {
+    if (v == var) return value;
+    if (v > var) break;
+  }
+  return std::nullopt;
 }
 
 void Assignment::Bind(VarId var, ConstId value) {
-  auto [it, inserted] = map_.emplace(var, value);
-  if (!inserted) {
+  auto it = map_.begin();
+  while (it != map_.end() && it->first < var) ++it;
+  if (it != map_.end() && it->first == var) {
     OPCQA_CHECK_EQ(it->second, value)
         << "rebinding " << VarName(var) << " to a different constant";
+    return;
   }
+  map_.insert(it, {var, value});
 }
 
-void Assignment::Unbind(VarId var) { map_.erase(var); }
+void Assignment::Unbind(VarId var) {
+  for (auto it = map_.begin(); it != map_.end(); ++it) {
+    if (it->first == var) {
+      map_.erase(it);
+      return;
+    }
+    if (it->first > var) return;
+  }
+}
 
 ConstId Assignment::Apply(const Term& term) const {
   if (term.is_const()) return term.constant();
@@ -116,9 +129,10 @@ class Searcher {
     }
     const Atom& atom = atoms_[best];
     used_[best] = true;
-    for (const Fact& fact : db_.FactsOf(atom.pred())) {
+    const FactStore& store = FactStore::Global();
+    for (FactId id : db_.FactsOf(atom.pred())) {
       std::vector<VarId> newly_bound;
-      if (Unify(atom, fact, &newly_bound)) {
+      if (Unify(atom, store.View(id), &newly_bound)) {
         Recurse(remaining - 1);
       }
       for (VarId v : newly_bound) assign_.Unbind(v);
@@ -127,11 +141,11 @@ class Searcher {
     used_[best] = false;
   }
 
-  bool Unify(const Atom& atom, const Fact& fact,
+  bool Unify(const Atom& atom, const FactView& fact,
              std::vector<VarId>* newly_bound) {
     for (size_t i = 0; i < atom.arity(); ++i) {
       const Term& t = atom.terms()[i];
-      ConstId value = fact.args()[i];
+      ConstId value = fact.args[i];
       if (t.is_const()) {
         if (t.constant() != value) return false;
         continue;

@@ -9,9 +9,9 @@
 #define OPCQA_LOGIC_HOMOMORPHISM_H_
 
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "logic/atom.h"
@@ -19,7 +19,10 @@
 
 namespace opcqa {
 
-/// A (partial) assignment of constants to variables.
+/// A (partial) assignment of constants to variables. Bindings are a flat
+/// vector sorted by variable — constraint bodies bind a handful of
+/// variables, where a linear scan beats a node-based map and keeps the
+/// lexicographic (var, value) ordering of the former std::map.
 class Assignment {
  public:
   Assignment() = default;
@@ -30,7 +33,7 @@ class Assignment {
   void Bind(VarId var, ConstId value);
   /// Removes a binding (backtracking).
   void Unbind(VarId var);
-  bool IsBound(VarId var) const { return map_.count(var) > 0; }
+  bool IsBound(VarId var) const { return Get(var).has_value(); }
   size_t size() const { return map_.size(); }
 
   /// Applies the assignment to a term; CHECK-fails on unbound variables.
@@ -49,10 +52,13 @@ class Assignment {
   /// "{x->a, y->b}".
   std::string ToString() const;
 
-  const std::map<VarId, ConstId>& map() const { return map_; }
+  /// The bindings, sorted by variable.
+  const std::vector<std::pair<VarId, ConstId>>& bindings() const {
+    return map_;
+  }
 
  private:
-  std::map<VarId, ConstId> map_;
+  std::vector<std::pair<VarId, ConstId>> map_;  // sorted by VarId
 };
 
 /// Enumerates every homomorphism from `conjunction` into `db` extending

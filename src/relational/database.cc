@@ -1,10 +1,27 @@
 #include "relational/database.h"
 
 #include <algorithm>
+#include <set>
 
 #include "util/logging.h"
 
 namespace opcqa {
+
+namespace {
+
+const std::vector<FactId> kEmptyBucket;
+
+// Position of `id` in a value-sorted bucket (insertion point if absent).
+std::vector<FactId>::const_iterator LowerBound(const std::vector<FactId>& bucket,
+                                               FactId id) {
+  const FactStore& store = FactStore::Global();
+  return std::lower_bound(bucket.begin(), bucket.end(), id,
+                          [&store](FactId a, FactId b) {
+                            return store.Less(a, b);
+                          });
+}
+
+}  // namespace
 
 Database::Database(const Schema* schema) : schema_(schema) {
   OPCQA_CHECK(schema != nullptr);
@@ -20,9 +37,18 @@ bool Database::Insert(const Fact& fact) {
   OPCQA_CHECK_LT(fact.pred(), facts_.size());
   OPCQA_CHECK_EQ(fact.arity(), schema().Arity(fact.pred()))
       << "arity mismatch inserting into " << schema().RelationName(fact.pred());
-  bool inserted = facts_[fact.pred()].insert(fact).second;
-  if (inserted) ++size_;
-  return inserted;
+  return InsertId(FactStore::Global().Intern(fact));
+}
+
+bool Database::InsertId(FactId id) {
+  PredId pred = FactStore::Global().pred(id);
+  OPCQA_CHECK_LT(pred, facts_.size());
+  std::vector<FactId>& bucket = facts_[pred];
+  auto it = LowerBound(bucket, id);
+  if (it != bucket.end() && *it == id) return false;
+  bucket.insert(it, id);
+  ++size_;
+  return true;
 }
 
 void Database::InsertAll(const std::vector<Fact>& facts) {
@@ -31,23 +57,44 @@ void Database::InsertAll(const std::vector<Fact>& facts) {
 
 bool Database::Erase(const Fact& fact) {
   OPCQA_CHECK_LT(fact.pred(), facts_.size());
-  bool erased = facts_[fact.pred()].erase(fact) > 0;
-  if (erased) --size_;
-  return erased;
+  FactId id = FactStore::Global().Find(fact);
+  if (id == FactStore::kNotFound) return false;
+  return EraseId(id);
+}
+
+bool Database::EraseId(FactId id) {
+  PredId pred = FactStore::Global().pred(id);
+  OPCQA_CHECK_LT(pred, facts_.size());
+  std::vector<FactId>& bucket = facts_[pred];
+  auto it = LowerBound(bucket, id);
+  if (it == bucket.end() || *it != id) return false;
+  bucket.erase(it);
+  --size_;
+  return true;
 }
 
 bool Database::Contains(const Fact& fact) const {
   if (fact.pred() >= facts_.size()) return false;
-  return facts_[fact.pred()].count(fact) > 0;
+  FactId id = FactStore::Global().Find(fact);
+  if (id == FactStore::kNotFound) return false;
+  return ContainsId(id);
 }
 
-const std::set<Fact>& Database::FactsOf(PredId pred) const {
+bool Database::ContainsId(FactId id) const {
+  PredId pred = FactStore::Global().pred(id);
+  if (pred >= facts_.size()) return false;
+  const std::vector<FactId>& bucket = facts_[pred];
+  auto it = LowerBound(bucket, id);
+  return it != bucket.end() && *it == id;
+}
+
+const std::vector<FactId>& Database::FactsOf(PredId pred) const {
   OPCQA_CHECK_LT(pred, facts_.size());
   return facts_[pred];
 }
 
-std::vector<Fact> Database::AllFacts() const {
-  std::vector<Fact> all;
+std::vector<FactId> Database::AllFactIds() const {
+  std::vector<FactId> all;
   all.reserve(size_);
   for (const auto& bucket : facts_) {
     all.insert(all.end(), bucket.begin(), bucket.end());
@@ -55,50 +102,115 @@ std::vector<Fact> Database::AllFacts() const {
   return all;
 }
 
+std::vector<Fact> Database::AllFacts() const {
+  const FactStore& store = FactStore::Global();
+  std::vector<Fact> all;
+  all.reserve(size_);
+  for (const auto& bucket : facts_) {
+    for (FactId id : bucket) all.push_back(store.ToFact(id));
+  }
+  return all;
+}
+
 std::vector<ConstId> Database::ActiveDomain() const {
+  const FactStore& store = FactStore::Global();
   std::set<ConstId> domain;
   for (const auto& bucket : facts_) {
-    for (const Fact& fact : bucket) {
-      domain.insert(fact.args().begin(), fact.args().end());
+    for (FactId id : bucket) {
+      FactView v = store.View(id);
+      domain.insert(v.args, v.args + v.arity);
     }
   }
   return std::vector<ConstId>(domain.begin(), domain.end());
 }
 
-void Database::SymmetricDifference(const Database& other,
-                                   std::vector<Fact>* only_here,
-                                   std::vector<Fact>* only_there) const {
+void Database::SymmetricDifferenceIds(const Database& other,
+                                      std::vector<FactId>* only_here,
+                                      std::vector<FactId>* only_there) const {
+  const FactStore& store = FactStore::Global();
   only_here->clear();
   only_there->clear();
   size_t buckets = std::max(facts_.size(), other.facts_.size());
-  static const std::set<Fact> kEmpty;
   for (size_t p = 0; p < buckets; ++p) {
-    const std::set<Fact>& mine = p < facts_.size() ? facts_[p] : kEmpty;
-    const std::set<Fact>& theirs =
-        p < other.facts_.size() ? other.facts_[p] : kEmpty;
-    std::set_difference(mine.begin(), mine.end(), theirs.begin(), theirs.end(),
-                        std::back_inserter(*only_here));
-    std::set_difference(theirs.begin(), theirs.end(), mine.begin(), mine.end(),
-                        std::back_inserter(*only_there));
+    const std::vector<FactId>& mine = p < facts_.size() ? facts_[p] : kEmptyBucket;
+    const std::vector<FactId>& theirs =
+        p < other.facts_.size() ? other.facts_[p] : kEmptyBucket;
+    // Merge walk; equal values share an id, so the equality test is id ==.
+    size_t i = 0, j = 0;
+    while (i < mine.size() && j < theirs.size()) {
+      if (mine[i] == theirs[j]) {
+        ++i;
+        ++j;
+        continue;
+      }
+      if (store.Less(mine[i], theirs[j])) {
+        only_here->push_back(mine[i++]);
+      } else {
+        only_there->push_back(theirs[j++]);
+      }
+    }
+    only_here->insert(only_here->end(), mine.begin() + i, mine.end());
+    only_there->insert(only_there->end(), theirs.begin() + j, theirs.end());
   }
 }
 
+void Database::SymmetricDifference(const Database& other,
+                                   std::vector<Fact>* only_here,
+                                   std::vector<Fact>* only_there) const {
+  const FactStore& store = FactStore::Global();
+  std::vector<FactId> here_ids, there_ids;
+  SymmetricDifferenceIds(other, &here_ids, &there_ids);
+  only_here->clear();
+  only_there->clear();
+  only_here->reserve(here_ids.size());
+  only_there->reserve(there_ids.size());
+  for (FactId id : here_ids) only_here->push_back(store.ToFact(id));
+  for (FactId id : there_ids) only_there->push_back(store.ToFact(id));
+}
+
 size_t Database::SymmetricDifferenceSize(const Database& other) const {
-  std::vector<Fact> here, there;
-  SymmetricDifference(other, &here, &there);
+  std::vector<FactId> here, there;
+  SymmetricDifferenceIds(other, &here, &there);
   return here.size() + there.size();
 }
 
 bool Database::operator==(const Database& other) const {
-  return facts_ == other.facts_;
+  // Interned + value-sorted ⇒ set equality is id-vector equality.
+  if (size_ != other.size_) return false;
+  size_t buckets = std::max(facts_.size(), other.facts_.size());
+  for (size_t p = 0; p < buckets; ++p) {
+    const std::vector<FactId>& mine = p < facts_.size() ? facts_[p] : kEmptyBucket;
+    const std::vector<FactId>& theirs =
+        p < other.facts_.size() ? other.facts_[p] : kEmptyBucket;
+    if (mine != theirs) return false;
+  }
+  return true;
+}
+
+bool Database::operator<(const Database& other) const {
+  // Same order as the former vector<set<Fact>> lexicographic comparison.
+  const FactStore& store = FactStore::Global();
+  size_t buckets = std::min(facts_.size(), other.facts_.size());
+  for (size_t p = 0; p < buckets; ++p) {
+    const std::vector<FactId>& mine = facts_[p];
+    const std::vector<FactId>& theirs = other.facts_[p];
+    size_t n = std::min(mine.size(), theirs.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (mine[i] == theirs[i]) continue;
+      return store.Less(mine[i], theirs[i]);
+    }
+    if (mine.size() != theirs.size()) return mine.size() < theirs.size();
+  }
+  return facts_.size() < other.facts_.size();
 }
 
 std::string Database::ToString() const {
+  const FactStore& store = FactStore::Global();
   std::string out;
   for (const auto& bucket : facts_) {
-    for (const Fact& fact : bucket) {
+    for (FactId id : bucket) {
       if (!out.empty()) out += " ";
-      out += fact.ToString(schema());
+      out += store.ToFact(id).ToString(schema());
       out += ".";
     }
   }
@@ -106,10 +218,11 @@ std::string Database::ToString() const {
 }
 
 size_t Database::Hash() const {
+  const FactStore& store = FactStore::Global();
   size_t h = 0;
   for (const auto& bucket : facts_) {
-    for (const Fact& fact : bucket) {
-      h ^= fact.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    for (FactId id : bucket) {
+      h ^= store.hash(id) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
     }
   }
   return h;

@@ -1,17 +1,20 @@
 // Database instances: finite sets of facts over a schema.
 //
-// Storage is an ordered set per relation symbol, which gives deterministic
-// iteration, O(log n) membership, and cheap value comparison — databases act
-// as map keys when aggregating operational repairs (Definition 6).
+// Storage is one FactId vector per relation symbol, kept sorted in fact
+// value order against the process-global FactStore. This gives the same
+// deterministic iteration as the former per-relation std::set<Fact> while
+// making copies (DFS branching, repair aggregation keys) plain uint32
+// vector copies, membership an id binary search, and equality/hash pure
+// id-level operations over hashes cached at intern time.
 
 #ifndef OPCQA_RELATIONAL_DATABASE_H_
 #define OPCQA_RELATIONAL_DATABASE_H_
 
-#include <set>
 #include <string>
 #include <vector>
 
 #include "relational/fact.h"
+#include "relational/fact_store.h"
 #include "relational/schema.h"
 
 namespace opcqa {
@@ -25,36 +28,48 @@ class Database {
 
   /// Inserts a fact; returns true if it was not already present.
   bool Insert(const Fact& fact);
+  /// Inserts an already-interned fact by id.
+  bool InsertId(FactId id);
   /// Inserts many facts.
   void InsertAll(const std::vector<Fact>& facts);
   /// Removes a fact; returns true if it was present.
   bool Erase(const Fact& fact);
+  bool EraseId(FactId id);
 
   bool Contains(const Fact& fact) const;
+  bool ContainsId(FactId id) const;
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  /// Facts of one relation, in sorted order.
-  const std::set<Fact>& FactsOf(PredId pred) const;
+  /// Fact ids of one relation, sorted in fact value order.
+  const std::vector<FactId>& FactsOf(PredId pred) const;
 
-  /// All facts, grouped by relation, in sorted order.
+  /// All fact ids, grouped by relation, in sorted order.
+  std::vector<FactId> AllFactIds() const;
+
+  /// All facts materialized, grouped by relation, in sorted order.
   std::vector<Fact> AllFacts() const;
 
   /// The active domain dom(D): constants occurring in the instance, sorted.
   std::vector<ConstId> ActiveDomain() const;
 
-  /// Symmetric difference ∆(D, D') as (only-in-this, only-in-other).
+  /// Symmetric difference ∆(D, D') as (only-in-this, only-in-other). The
+  /// ⊆-minimality checks of classical (ABC) repairs compare these deltas.
   void SymmetricDifference(const Database& other,
                            std::vector<Fact>* only_here,
                            std::vector<Fact>* only_there) const;
 
+  /// Id-level symmetric difference (a sorted-vector merge walk).
+  void SymmetricDifferenceIds(const Database& other,
+                              std::vector<FactId>* only_here,
+                              std::vector<FactId>* only_there) const;
+
   /// Total size |∆(D, D')|.
   size_t SymmetricDifferenceSize(const Database& other) const;
 
-  /// True when ∆(this, other) ⊆ ∆(this, reference) strictly (used for
-  /// checking ⊆-minimality of classical repairs w.r.t. a dirty instance).
+  /// Set equality of the stored facts (an id-vector comparison).
   bool operator==(const Database& other) const;
-  bool operator<(const Database& other) const { return facts_ < other.facts_; }
+  bool operator<(const Database& other) const;
 
   /// "R(a,b). R(a,c). S(d)." — deterministic, usable as a canonical key.
   std::string ToString() const;
@@ -63,7 +78,7 @@ class Database {
 
  private:
   const Schema* schema_;
-  std::vector<std::set<Fact>> facts_;  // indexed by PredId
+  std::vector<std::vector<FactId>> facts_;  // per PredId, value-sorted
   size_t size_ = 0;
 };
 

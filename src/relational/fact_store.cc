@@ -1,0 +1,97 @@
+#include "relational/fact_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace opcqa {
+
+namespace {
+
+size_t HashFact(PredId pred, const ConstId* args, size_t arity) {
+  // Must match Fact::Hash() — Database::Hash combines the cached values.
+  size_t h = pred * 0x9e3779b97f4a7c15ULL;
+  for (size_t i = 0; i < arity; ++i) {
+    h ^= args[i] + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+FactStore& FactStore::Global() {
+  static FactStore* store = new FactStore();
+  return *store;
+}
+
+FactId FactStore::Intern(PredId pred, const ConstId* args, size_t arity) {
+  size_t hash = HashFact(pred, args, arity);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [begin, end] = index_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    FactId id = it->second;
+    const Record& r = records_[id];
+    if (r.pred == pred && r.arity == arity &&
+        std::equal(args, args + arity,
+                   r.arity <= kInlineArgs ? r.small : pool_.data() + r.offset)) {
+      return id;
+    }
+  }
+  OPCQA_CHECK_LT(records_.size(), static_cast<size_t>(kNotFound))
+      << "fact store overflow";
+  Record record;
+  record.pred = pred;
+  record.arity = static_cast<uint32_t>(arity);
+  record.hash = hash;
+  if (arity <= kInlineArgs) {
+    std::copy(args, args + arity, record.small);
+  } else {
+    record.offset = static_cast<uint32_t>(pool_.size());
+    pool_.insert(pool_.end(), args, args + arity);
+  }
+  FactId id = static_cast<FactId>(records_.size());
+  records_.push_back(record);
+  index_.emplace(hash, id);
+  return id;
+}
+
+FactId FactStore::Find(PredId pred, const ConstId* args, size_t arity) const {
+  size_t hash = HashFact(pred, args, arity);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [begin, end] = index_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    FactId id = it->second;
+    const Record& r = records_[id];
+    if (r.pred == pred && r.arity == arity &&
+        std::equal(args, args + arity,
+                   r.arity <= kInlineArgs ? r.small : pool_.data() + r.offset)) {
+      return id;
+    }
+  }
+  return kNotFound;
+}
+
+Fact FactStore::ToFact(FactId id) const {
+  FactView v = View(id);
+  return Fact(v.pred, std::vector<ConstId>(v.args, v.args + v.arity));
+}
+
+int FactStore::Compare(FactId a, FactId b) const {
+  if (a == b) return 0;
+  FactView va = View(a);
+  FactView vb = View(b);
+  if (va.pred != vb.pred) return va.pred < vb.pred ? -1 : 1;
+  size_t n = std::min(va.arity, vb.arity);
+  for (size_t i = 0; i < n; ++i) {
+    if (va.args[i] != vb.args[i]) return va.args[i] < vb.args[i] ? -1 : 1;
+  }
+  if (va.arity != vb.arity) return va.arity < vb.arity ? -1 : 1;
+  return 0;
+}
+
+size_t FactStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+}  // namespace opcqa

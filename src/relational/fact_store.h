@@ -1,0 +1,125 @@
+// Interning of ground facts.
+//
+// Every ground fact R(c1,...,cn) that enters a Database is interned exactly
+// once in a process-global FactStore and afterwards handled through a dense
+// 32-bit FactId. Databases, operations and repairing states then work at the
+// id level: copies are uint32 vector copies, membership is id membership,
+// and hashes/comparisons reuse the values cached at intern time instead of
+// re-walking argument vectors.
+//
+// Argument storage is inline-small: facts of arity ≤ 2 (the common case for
+// the paper's key/preference workloads) keep their constants directly inside
+// the per-fact record; wider facts spill into a shared argument pool.
+//
+// Like SymbolTable, the store only grows. Interning takes a lock; the read
+// accessors are lock-free and rely on ids never being reallocated away —
+// concurrent readers are safe against each other but not against a writer
+// (all current callers are single-threaded; revisit for parallel
+// enumeration).
+
+#ifndef OPCQA_RELATIONAL_FACT_STORE_H_
+#define OPCQA_RELATIONAL_FACT_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/fact.h"
+
+namespace opcqa {
+
+/// Dense handle for an interned ground fact.
+using FactId = uint32_t;
+
+/// A non-owning view of an interned fact (pred + argument span). Valid as
+/// long as the process-global store lives.
+struct FactView {
+  PredId pred;
+  uint32_t arity;
+  const ConstId* args;
+};
+
+class FactStore {
+ public:
+  /// The process-global store.
+  static FactStore& Global();
+
+  static constexpr FactId kNotFound = UINT32_MAX;
+
+  /// Returns the id for `fact`, interning it on first use.
+  FactId Intern(const Fact& fact) {
+    return Intern(fact.pred(), fact.args().data(), fact.args().size());
+  }
+  FactId Intern(PredId pred, const ConstId* args, size_t arity);
+
+  /// Returns the id of an already-interned fact, or kNotFound. Facts that
+  /// were never interned cannot be members of any Database.
+  FactId Find(const Fact& fact) const {
+    return Find(fact.pred(), fact.args().data(), fact.args().size());
+  }
+  FactId Find(PredId pred, const ConstId* args, size_t arity) const;
+
+  PredId pred(FactId id) const { return records_[id].pred; }
+  uint32_t arity(FactId id) const { return records_[id].arity; }
+  const ConstId* args(FactId id) const {
+    const Record& r = records_[id];
+    return r.arity <= kInlineArgs ? r.small : pool_.data() + r.offset;
+  }
+  /// Equal to Fact::Hash() of the interned fact, cached at intern time.
+  size_t hash(FactId id) const { return records_[id].hash; }
+
+  FactView View(FactId id) const {
+    const Record& r = records_[id];
+    return FactView{r.pred, r.arity,
+                    r.arity <= kInlineArgs ? r.small : pool_.data() + r.offset};
+  }
+
+  /// Materializes the interned fact as a value-type Fact.
+  Fact ToFact(FactId id) const;
+
+  /// Value order (pred, then args lexicographically) — the order facts sort
+  /// in inside a std::set<Fact>. Equal values always share one id.
+  int Compare(FactId a, FactId b) const;
+  bool Less(FactId a, FactId b) const { return Compare(a, b) < 0; }
+
+  /// Number of interned facts.
+  size_t size() const;
+
+ private:
+  static constexpr uint32_t kInlineArgs = 2;
+
+  struct Record {
+    PredId pred;
+    uint32_t arity;
+    union {
+      ConstId small[kInlineArgs];  // arity ≤ kInlineArgs
+      uint32_t offset;             // else index into pool_
+    };
+    size_t hash;
+  };
+
+  FactStore() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<Record> records_;
+  std::vector<ConstId> pool_;
+  // hash → candidate ids (collisions resolved by argument comparison).
+  std::unordered_multimap<size_t, FactId> index_;
+};
+
+/// Convenience: intern in the global store.
+inline FactId InternFact(const Fact& fact) {
+  return FactStore::Global().Intern(fact);
+}
+
+/// Comparator ordering ids by interned fact value via the global store.
+struct FactIdValueLess {
+  bool operator()(FactId a, FactId b) const {
+    return FactStore::Global().Less(a, b);
+  }
+};
+
+}  // namespace opcqa
+
+#endif  // OPCQA_RELATIONAL_FACT_STORE_H_

@@ -12,16 +12,21 @@ std::vector<Rational> CheckedProbabilities(
   OPCQA_CHECK_EQ(probs.size(), extensions.size())
       << "generator '" << generator.name()
       << "' returned a distribution of the wrong size";
-  Rational total;
+  // Accumulate the sum unreduced: Σ p_i == 1 iff num == den, and skipping
+  // the per-step gcd reduction keeps this per-state stochasticity check off
+  // the enumeration/sampling hot path.
+  BigInt num(0);
+  BigInt den(1);
   for (const Rational& p : probs) {
     OPCQA_CHECK(!p.is_negative())
         << "generator '" << generator.name() << "' returned probability "
         << p;
-    total += p;
+    num = num * p.denominator() + p.numerator() * den;
+    den = den * p.denominator();
   }
-  OPCQA_CHECK(total == Rational(1))
+  OPCQA_CHECK(num == den)
       << "generator '" << generator.name()
-      << "' probabilities sum to " << total << " at state "
+      << "' probabilities sum to " << Rational(num, den) << " at state "
       << state.ToString();
   return probs;
 }

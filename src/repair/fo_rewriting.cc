@@ -82,7 +82,7 @@ Database MaterializeDeletions(
     const Database& db, const DeletionSchema& extension,
     const std::map<PredId, std::vector<Fact>>& deletions) {
   Database out(extension.schema.get());
-  for (const Fact& fact : db.AllFacts()) out.Insert(fact);
+  for (FactId id : db.AllFactIds()) out.InsertId(id);
   for (const auto& [pred, facts] : deletions) {
     auto it = extension.del_pred_of.find(pred);
     OPCQA_CHECK(it != extension.del_pred_of.end())

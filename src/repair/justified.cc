@@ -77,19 +77,49 @@ std::vector<std::vector<Fact>> MinimalCompletions(
   return minimal;
 }
 
-// Emits all non-empty subsets of `pool` (the body image of a violation) as
-// deletion operations. Pool sizes are bounded by constraint body sizes.
-void EmitDeletionSubsets(const std::vector<Fact>& pool,
-                         std::set<Operation>* out) {
-  OPCQA_CHECK_LE(pool.size(), 20u)
-      << "violation body image too large for subset enumeration";
-  size_t n = pool.size();
-  for (size_t mask = 1; mask < (size_t{1} << n); ++mask) {
-    std::vector<Fact> subset;
+// Lexicographic fact value order over id vectors: with each vector sorted,
+// this is the order the equivalent std::set<Operation> would produce.
+struct IdVectorValueLess {
+  bool operator()(const std::vector<FactId>& a,
+                  const std::vector<FactId>& b) const {
+    const FactStore& store = FactStore::Global();
+    size_t n = std::min(a.size(), b.size());
     for (size_t i = 0; i < n; ++i) {
-      if (mask & (size_t{1} << i)) subset.push_back(pool[i]);
+      if (a[i] == b[i]) continue;
+      return store.Less(a[i], b[i]);
     }
-    out->insert(Operation::Remove(std::move(subset)));
+    return a.size() < b.size();
+  }
+};
+
+using IdSubsetSet = std::set<std::vector<FactId>, IdVectorValueLess>;
+
+// Emits all non-empty subsets of a violation's body image as interned id
+// vectors (the deletion pools of Proposition 1). Pool sizes are bounded by
+// constraint body sizes. Id-level because the support of deletion chains
+// is rebuilt at every state of the enumerator and the Sample walk.
+void EmitDeletionSubsets(const ConstraintSet& constraints, const Violation& v,
+                         std::vector<FactId>* image, IdSubsetSet* out) {
+  BodyImageIds(constraints, v, image);
+  OPCQA_CHECK_LE(image->size(), 20u)
+      << "violation body image too large for subset enumeration";
+  size_t n = image->size();
+  std::vector<FactId> subset;
+  for (size_t mask = 1; mask < (size_t{1} << n); ++mask) {
+    subset.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (size_t{1} << i)) subset.push_back((*image)[i]);
+    }
+    out->insert(subset);
+  }
+}
+
+// Materializes the deduplicated subsets as removal operations, appended in
+// their (fact value lexicographic) order.
+void AppendDeletions(const IdSubsetSet& subsets, std::vector<Operation>* ops) {
+  ops->reserve(ops->size() + subsets.size());
+  for (const std::vector<FactId>& ids : subsets) {
+    ops->push_back(Operation::RemoveIds(ids));
   }
 }
 
@@ -99,20 +129,27 @@ std::vector<Operation> JustifiedDeletions(const Database& db,
                                           const ConstraintSet& constraints,
                                           const ViolationSet& violations) {
   (void)db;
-  std::set<Operation> ops;
+  IdSubsetSet subsets;
+  std::vector<FactId> image;
   for (const Violation& v : violations) {
-    EmitDeletionSubsets(BodyImage(constraints, v), &ops);
+    EmitDeletionSubsets(constraints, v, &image, &subsets);
   }
-  return std::vector<Operation>(ops.begin(), ops.end());
+  std::vector<Operation> ops;
+  AppendDeletions(subsets, &ops);
+  return ops;
 }
 
 std::vector<Operation> JustifiedOperations(const Database& db,
                                            const ConstraintSet& constraints,
                                            const ViolationSet& violations,
                                            const BaseSpec& base) {
-  std::set<Operation> ops;
+  // Additions sort before removals (Operation::Kind order), so collecting
+  // them separately and concatenating reproduces one sorted set.
+  std::set<Operation> add_ops;
+  IdSubsetSet del_subsets;
+  std::vector<FactId> image;
   for (const Violation& v : violations) {
-    EmitDeletionSubsets(BodyImage(constraints, v), &ops);
+    EmitDeletionSubsets(constraints, v, &image, &del_subsets);
     const Constraint& c = constraints[v.constraint_index];
     if (!c.is_tgd()) continue;  // EGDs/DCs admit no justified additions
     std::set<std::vector<Fact>> completions =
@@ -120,10 +157,12 @@ std::vector<Operation> JustifiedOperations(const Database& db,
     for (std::vector<Fact>& f : MinimalCompletions(completions)) {
       OPCQA_CHECK(!f.empty())
           << "empty completion for a violation — V(D,Σ) is stale";
-      ops.insert(Operation::Add(std::move(f)));
+      add_ops.insert(Operation::Add(std::move(f)));
     }
   }
-  return std::vector<Operation>(ops.begin(), ops.end());
+  std::vector<Operation> ops(add_ops.begin(), add_ops.end());
+  AppendDeletions(del_subsets, &ops);
+  return ops;
 }
 
 bool IsJustified(const Database& db, const ConstraintSet& constraints,

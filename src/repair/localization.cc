@@ -129,9 +129,8 @@ Database LocalizedRepairs::SampleRepair(Rng* rng) const {
       weights.push_back(info.probability);
     }
     size_t pick = rng->WeightedIndex(weights);
-    for (const Fact& fact :
-         component.distribution.repairs[pick].repair.AllFacts()) {
-      repair.Insert(fact);
+    for (FactId id : component.distribution.repairs[pick].repair.AllFactIds()) {
+      repair.InsertId(id);
     }
   }
   return repair;

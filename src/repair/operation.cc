@@ -12,14 +12,37 @@ Operation::Operation(Kind kind, std::vector<Fact> facts)
   OPCQA_CHECK(!facts_.empty()) << "operations carry a non-empty set of facts";
   std::sort(facts_.begin(), facts_.end());
   facts_.erase(std::unique(facts_.begin(), facts_.end()), facts_.end());
+  fact_ids_.reserve(facts_.size());
+  for (const Fact& fact : facts_) fact_ids_.push_back(InternFact(fact));
+}
+
+Operation Operation::RemoveIds(const std::vector<FactId>& ids) {
+  OPCQA_CHECK(!ids.empty()) << "operations carry a non-empty set of facts";
+  const FactStore& store = FactStore::Global();
+  Operation op;
+  op.kind_ = Kind::kRemove;
+  op.fact_ids_ = ids;
+  op.facts_.reserve(ids.size());
+  for (FactId id : ids) op.facts_.push_back(store.ToFact(id));
+  return op;
 }
 
 void Operation::ApplyTo(Database* db) const {
-  for (const Fact& fact : facts_) {
+  for (FactId id : fact_ids_) {
     if (kind_ == Kind::kAdd) {
-      db->Insert(fact);
+      db->InsertId(id);
     } else {
-      db->Erase(fact);
+      db->EraseId(id);
+    }
+  }
+}
+
+void Operation::RevertOn(Database* db) const {
+  for (FactId id : fact_ids_) {
+    if (kind_ == Kind::kAdd) {
+      db->EraseId(id);
+    } else {
+      db->InsertId(id);
     }
   }
 }

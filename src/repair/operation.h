@@ -27,15 +27,23 @@ class Operation {
   static Operation Remove(std::vector<Fact> facts) {
     return Operation(Kind::kRemove, std::move(facts));
   }
+  /// Removal of already-interned facts; `ids` must be non-empty, sorted in
+  /// fact value order and deduplicated (the hot-path constructor of
+  /// JustifiedDeletions — skips re-interning).
+  static Operation RemoveIds(const std::vector<FactId>& ids);
 
   Kind kind() const { return kind_; }
   bool is_add() const { return kind_ == Kind::kAdd; }
   bool is_remove() const { return kind_ == Kind::kRemove; }
   const std::vector<Fact>& facts() const { return facts_; }
+  /// Interned ids of facts(), in the same (value-sorted) order.
+  const std::vector<FactId>& fact_ids() const { return fact_ids_; }
   size_t size() const { return facts_.size(); }
 
   /// In-place application: D := D ∪ F or D := D − F.
   void ApplyTo(Database* db) const;
+  /// In-place inverse application: undoes ApplyTo on the same database.
+  void RevertOn(Database* db) const;
   /// Functional application.
   Database Apply(const Database& db) const;
 
@@ -44,14 +52,23 @@ class Operation {
   /// True when F and `facts` intersect.
   bool Intersects(const std::vector<Fact>& facts) const;
 
-  auto operator<=>(const Operation&) const = default;
+  // fact_ids_ is derived from facts_, so ordering over (kind_, facts_) is
+  // total; spelling it out keeps the derived member out of the comparison.
+  bool operator==(const Operation& other) const {
+    return kind_ == other.kind_ && facts_ == other.facts_;
+  }
+  auto operator<=>(const Operation& other) const {
+    if (auto cmp = kind_ <=> other.kind_; cmp != 0) return cmp;
+    return facts_ <=> other.facts_;
+  }
 
   /// "+{S(a,b,c)}" / "-{R(a,b), R(a,c)}".
   std::string ToString(const Schema& schema) const;
 
  private:
   Kind kind_ = Kind::kAdd;
-  std::vector<Fact> facts_;  // sorted, unique
+  std::vector<Fact> facts_;      // sorted, unique
+  std::vector<FactId> fact_ids_; // interned facts_, same order
 };
 
 /// A sequence of operations (a candidate repairing sequence).

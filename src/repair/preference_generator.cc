@@ -18,11 +18,12 @@ std::vector<Rational> PreferenceChainGenerator::Probabilities(
     }
   }
   // w(Pref(a,b), D) = |{Pref(a,·) ∈ D}|.
+  const FactStore& store = FactStore::Global();
   auto weight = [&](const Fact& fact) -> int64_t {
     OPCQA_CHECK_EQ(fact.pred(), pref_);
     int64_t count = 0;
-    for (const Fact& other : db.FactsOf(pref_)) {
-      if (other.args()[0] == fact.args()[0]) ++count;
+    for (FactId other : db.FactsOf(pref_)) {
+      if (store.args(other)[0] == fact.args()[0]) ++count;
     }
     return count;
   };

@@ -34,7 +34,9 @@ class Enumerator {
   }
 
  private:
-  void Visit(const RepairingState& state, const Rational& mass) {
+  // Delta-based DFS: one state is threaded through the whole tree with
+  // apply → recurse → revert instead of copying it per branch.
+  void Visit(RepairingState& state, const Rational& mass) {
     if (result_.truncated) return;
     ++result_.states_visited;
     if (result_.states_visited > options_.max_states) {
@@ -49,6 +51,7 @@ class Enumerator {
       if (state.IsConsistent()) {
         ++result_.successful_sequences;
         result_.success_mass += mass;
+        // map operator[] freezes the key by copying on first insert.
         auto& slot = aggregated_[state.current()];
         slot.first += mass;
         slot.second += 1;
@@ -62,9 +65,9 @@ class Enumerator {
         CheckedProbabilities(generator_, state, extensions);
     for (size_t i = 0; i < extensions.size(); ++i) {
       if (options_.prune_zero_probability && probs[i].is_zero()) continue;
-      RepairingState child = state;
-      child.ApplyTrusted(extensions[i]);
-      Visit(child, mass * probs[i]);
+      state.ApplyTrusted(extensions[i]);
+      Visit(state, mass * probs[i]);
+      state.Revert();
       if (result_.truncated) return;
     }
   }
@@ -95,7 +98,7 @@ EnumerationResult EnumerateRepairs(const Database& db,
 
 namespace {
 
-void RenderNode(const RepairingState& state, const ChainGenerator& generator,
+void RenderNode(RepairingState& state, const ChainGenerator& generator,
                 const std::string& edge_label, size_t depth, size_t max_depth,
                 std::string* out) {
   const Schema& schema = state.context().initial.schema();
@@ -117,11 +120,11 @@ void RenderNode(const RepairingState& state, const ChainGenerator& generator,
       CheckedProbabilities(generator, state, extensions);
   for (size_t i = 0; i < extensions.size(); ++i) {
     if (probs[i].is_zero()) continue;
-    RepairingState child = state;
-    child.ApplyTrusted(extensions[i]);
+    state.ApplyTrusted(extensions[i]);
     std::string label = StrCat(extensions[i].ToString(schema), "  (p=",
                                probs[i].ToString(), ")");
-    RenderNode(child, generator, label, depth + 1, max_depth, out);
+    RenderNode(state, generator, label, depth + 1, max_depth, out);
+    state.Revert();
   }
 }
 

@@ -10,29 +10,33 @@ namespace opcqa {
 std::shared_ptr<const RepairContext> RepairContext::Make(
     Database db, ConstraintSet constraints) {
   BaseSpec base = BaseSpec::ForDatabase(db, ConstantsOf(constraints));
+  ViolationSet initial_violations = ComputeViolations(db, constraints);
   bool denial_only = IsDenialOnly(constraints);
-  auto context = std::make_shared<RepairContext>(RepairContext{
-      std::move(db), std::move(constraints), std::move(base), denial_only});
+  auto context = std::make_shared<RepairContext>(
+      RepairContext{std::move(db), std::move(constraints), std::move(base),
+                    std::move(initial_violations), denial_only});
   return context;
 }
 
 RepairingState::RepairingState(std::shared_ptr<const RepairContext> context)
     : context_(std::move(context)),
       db_(context_->initial),
-      violations_(ComputeViolations(db_, context_->constraints)) {}
+      violations_(context_->initial_violations) {}
 
 bool RepairingState::CheckNoCancellation(const Operation& op) const {
   // "+F then −G with F ∩ G ≠ ∅" is forbidden in either order.
-  const std::set<Fact>& conflicting = op.is_add() ? removed_ : added_;
-  for (const Fact& fact : op.facts()) {
-    if (conflicting.count(fact) > 0) return false;
+  const std::set<FactId>& conflicting = op.is_add() ? removed_ : added_;
+  for (FactId id : op.fact_ids()) {
+    if (conflicting.count(id) > 0) return false;
   }
   return true;
 }
 
-bool RepairingState::CheckReq2(const Database& next_db,
+bool RepairingState::CheckReq2(const Operation& op,
                                ViolationSet* next_violations) const {
-  *next_violations = ComputeViolations(next_db, context_->constraints);
+  op.ApplyTo(&db_);
+  *next_violations = ComputeViolations(db_, context_->constraints);
+  op.RevertOn(&db_);
   // No violation eliminated earlier (including by the candidate op itself,
   // which cannot re-introduce what it just removed) may be present again.
   for (const Violation& v : *next_violations) {
@@ -45,8 +49,8 @@ bool RepairingState::CheckGlobalJustification(const Operation& op) const {
   if (!op.is_remove()) return true;  // H only grows through deletions
   for (const AdditionRecord& record : additions_) {
     Database reduced = record.pre_db;
-    for (const Fact& fact : record.removed_after) reduced.Erase(fact);
-    for (const Fact& fact : op.facts()) reduced.Erase(fact);
+    for (FactId id : record.removed_after) reduced.EraseId(id);
+    for (FactId id : op.fact_ids()) reduced.EraseId(id);
     if (!IsJustified(reduced, context_->constraints, context_->base,
                      record.op)) {
       return false;
@@ -63,18 +67,17 @@ bool RepairingState::CanApply(const Operation& op) const {
   // Additions of present facts / removals of absent facts would make the
   // operation a partial no-op; justified operations never do this, and
   // tightness below rejects them, but reject cheaply first.
-  for (const Fact& fact : op.facts()) {
-    if (op.is_add() && db_.Contains(fact)) return false;
-    if (op.is_remove() && !db_.Contains(fact)) return false;
+  for (FactId id : op.fact_ids()) {
+    if (op.is_add() && db_.ContainsId(id)) return false;
+    if (op.is_remove() && !db_.ContainsId(id)) return false;
   }
   if (!CheckNoCancellation(op)) return false;
   // Local justification (implies req1).
   if (!IsJustified(db_, context_->constraints, context_->base, op)) {
     return false;
   }
-  Database next_db = op.Apply(db_);
   ViolationSet next_violations;
-  if (!CheckReq2(next_db, &next_violations)) return false;
+  if (!CheckReq2(op, &next_violations)) return false;
   if (!CheckGlobalJustification(op)) return false;
   return true;
 }
@@ -86,28 +89,91 @@ void RepairingState::Apply(const Operation& op) {
 }
 
 void RepairingState::ApplyTrusted(const Operation& op) {
-  Database next_db = op.Apply(db_);
-  ViolationSet next_violations =
-      ComputeViolations(next_db, context_->constraints);
-  // Track eliminated violations (req2 bookkeeping).
-  for (const Violation& v : violations_) {
-    if (next_violations.count(v) == 0) eliminated_.insert(v);
-  }
   // Track fact provenance (no-cancellation) and addition records (global
-  // justification).
+  // justification). pre_db is captured before the in-place application.
   if (op.is_add()) {
-    AdditionRecord record{op, db_, {}};
-    additions_.push_back(std::move(record));
-    for (const Fact& fact : op.facts()) added_.insert(fact);
+    additions_.push_back(AdditionRecord{op, db_, {}});
+    for (FactId id : op.fact_ids()) added_.insert(id);
   } else {
     for (AdditionRecord& record : additions_) {
-      for (const Fact& fact : op.facts()) record.removed_after.insert(fact);
+      for (FactId id : op.fact_ids()) record.removed_after.insert(id);
     }
-    for (const Fact& fact : op.facts()) removed_.insert(fact);
+    for (FactId id : op.fact_ids()) removed_.insert(id);
   }
-  db_ = std::move(next_db);
+  // Delta bookkeeping requires an effective operation (every added fact
+  // absent, every removed fact present) — a partial no-op would make the
+  // later Revert corrupt the shared state. ValidExtensions only produces
+  // effective operations; this guards against other callers.
+  for (FactId id : op.fact_ids()) {
+    bool effective = op.is_add() ? db_.InsertId(id) : db_.EraseId(id);
+    OPCQA_CHECK(effective)
+        << "ApplyTrusted requires an effective operation: "
+        << op.ToString(context_->initial.schema());
+  }
+  ViolationSet next_violations;
+  if (context_->denial_only && op.is_remove()) {
+    // Deletions under EGDs/DCs are violation-monotone: body matches of
+    // D − F are exactly those of D avoiding F, and the conclusions ignore
+    // the database. V(D − F) is therefore the surviving subset of V(D) —
+    // no homomorphism search needed on this hot path.
+    for (const Violation& v : violations_) {
+      if (!BodyImageIntersects(context_->constraints, v, op.fact_ids())) {
+        next_violations.insert(next_violations.end(), v);
+      }
+    }
+  } else {
+    next_violations = ComputeViolations(db_, context_->constraints);
+  }
+  // Track the violation delta (req2 bookkeeping + undo).
+  UndoRecord undo;
+  for (const Violation& v : violations_) {
+    if (next_violations.count(v) == 0) {
+      undo.disappeared.push_back(v);
+      if (eliminated_.insert(v).second) undo.newly_eliminated.push_back(v);
+    }
+  }
+  for (const Violation& v : next_violations) {
+    if (violations_.count(v) == 0) undo.appeared.push_back(v);
+  }
   violations_ = std::move(next_violations);
   sequence_.push_back(op);
+  undo_.push_back(std::move(undo));
+}
+
+void RepairingState::Revert() {
+  OPCQA_CHECK(!undo_.empty()) << "no step to revert (at ε or a fork point)";
+  const Operation op = std::move(sequence_.back());
+  sequence_.pop_back();
+  UndoRecord undo = std::move(undo_.back());
+  undo_.pop_back();
+  // Violations: undo the delta.
+  for (const Violation& v : undo.appeared) violations_.erase(v);
+  for (const Violation& v : undo.disappeared) violations_.insert(v);
+  for (const Violation& v : undo.newly_eliminated) eliminated_.erase(v);
+  // Database and provenance. Every fact of an operation is fresh to its
+  // direction (a fact is added / removed at most once per sequence), so
+  // erasing the op's facts restores added_/removed_/removed_after exactly.
+  op.RevertOn(&db_);
+  if (op.is_add()) {
+    for (FactId id : op.fact_ids()) added_.erase(id);
+    additions_.pop_back();
+  } else {
+    for (FactId id : op.fact_ids()) removed_.erase(id);
+    for (AdditionRecord& record : additions_) {
+      for (FactId id : op.fact_ids()) record.removed_after.erase(id);
+    }
+  }
+}
+
+void RepairingState::Restore(size_t mark) {
+  OPCQA_CHECK_LE(mark, sequence_.size());
+  while (sequence_.size() > mark) Revert();
+}
+
+RepairingState RepairingState::Fork() const {
+  RepairingState fork = *this;
+  fork.undo_.clear();
+  return fork;
 }
 
 std::vector<Operation> RepairingState::ValidExtensions() const {
@@ -126,9 +192,8 @@ std::vector<Operation> RepairingState::ValidExtensions() const {
     // Candidates are locally justified by construction; check the cheaper
     // conditions first, then req2 / global justification.
     if (!CheckNoCancellation(op)) continue;
-    Database next_db = op.Apply(db_);
     ViolationSet next_violations;
-    if (!CheckReq2(next_db, &next_violations)) continue;
+    if (!CheckReq2(op, &next_violations)) continue;
     if (!CheckGlobalJustification(op)) continue;
     valid.push_back(op);
   }

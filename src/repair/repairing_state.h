@@ -10,7 +10,13 @@
 //   Global Justification   — earlier additions stay justified when later
 //                            deletions are taken into account.
 //
-// States are copyable; the exact enumerator copies them along DFS branches.
+// The state is delta-based: ApplyTrusted mutates in place and records an
+// undo entry, and Revert() pops it, so DFS branching (enumerator, chain
+// renderer) and Markov walks (Sample, ABC-via-chain) run apply → recurse →
+// revert without ever copying a state. Frozen Database instances — repair
+// aggregation keys, RepairInfo::repair — come from Snapshot(). States stay
+// copyable for frontier searches (top-k) via Fork(), which drops the undo
+// history: a forked state cannot Revert() past its fork point.
 
 #ifndef OPCQA_REPAIR_REPAIRING_STATE_H_
 #define OPCQA_REPAIR_REPAIRING_STATE_H_
@@ -32,6 +38,7 @@ struct RepairContext {
   Database initial;          // D
   ConstraintSet constraints; // Σ
   BaseSpec base;             // B(D,Σ)
+  ViolationSet initial_violations;  // V(D,Σ), shared by every root state
   // With EGDs/DCs only, justified operations are deletions, deletions are
   // violation-monotone (req2 holds for free) and there are no additions to
   // re-justify — ValidExtensions takes a fast path.
@@ -50,6 +57,9 @@ class RepairingState {
   const RepairContext& context() const { return *context_; }
   /// D^s_i — the database after applying the whole sequence.
   const Database& current() const { return db_; }
+  /// A frozen copy of D^s_i (use as map key / result value; `current()` is
+  /// invalidated by the next Apply/Revert).
+  Database Snapshot() const { return db_; }
   /// The sequence s itself.
   const OperationSequence& sequence() const { return sequence_; }
   size_t depth() const { return sequence_.size(); }
@@ -73,6 +83,20 @@ class RepairingState {
   /// Sample algorithm).
   void ApplyTrusted(const Operation& op);
 
+  /// Undoes the most recent Apply/ApplyTrusted, restoring current(),
+  /// violations() and all bookkeeping exactly. CHECK-fails with no undo
+  /// history (at ε, or past a Fork() point).
+  void Revert();
+
+  /// A mark for Restore(): the current depth.
+  size_t Mark() const { return sequence_.size(); }
+  /// Reverts back to an earlier Mark().
+  void Restore(size_t mark);
+
+  /// A copy that shares the context but drops the undo history (cheapest
+  /// possible copy for frontier searches; cannot Revert past this point).
+  RepairingState Fork() const;
+
   /// Complete = no valid extension (absorbing state of the chain).
   bool IsComplete() const { return ValidExtensions().empty(); }
   /// A complete sequence is successful iff the result satisfies Σ.
@@ -86,22 +110,34 @@ class RepairingState {
   // One record per earlier addition, for Global Justification re-checks.
   struct AdditionRecord {
     Operation op;
-    Database pre_db;              // D^s_{i-1}
-    std::set<Fact> removed_after; // H: facts deleted at steps k > i
+    Database pre_db;                // D^s_{i-1} (an id-vector copy)
+    std::set<FactId> removed_after; // H: facts deleted at steps k > i
+  };
+
+  // Everything one Revert() needs besides the operation itself.
+  struct UndoRecord {
+    std::vector<Violation> appeared;         // in V(D_i) − V(D_{i-1})
+    std::vector<Violation> disappeared;      // in V(D_{i-1}) − V(D_i)
+    std::vector<Violation> newly_eliminated; // freshly inserted in eliminated_
   };
 
   bool CheckNoCancellation(const Operation& op) const;
-  bool CheckReq2(const Database& next_db, ViolationSet* next_violations) const;
+  // Probes s · op: applies op to db_ in place, computes V, reverts, and
+  // checks no eliminated violation reappeared. db_ is unchanged on return.
+  bool CheckReq2(const Operation& op, ViolationSet* next_violations) const;
   bool CheckGlobalJustification(const Operation& op) const;
 
   std::shared_ptr<const RepairContext> context_;
-  Database db_;
+  // mutable: CheckReq2 probes candidate operations by apply + revert
+  // instead of copying the database per candidate.
+  mutable Database db_;
   OperationSequence sequence_;
   ViolationSet violations_;   // V(current)
   ViolationSet eliminated_;   // ∪_i V(D_{i-1}) − V(D_i)
-  std::set<Fact> added_;
-  std::set<Fact> removed_;
+  std::set<FactId> added_;
+  std::set<FactId> removed_;
   std::vector<AdditionRecord> additions_;
+  std::vector<UndoRecord> undo_;
 };
 
 }  // namespace opcqa

@@ -39,7 +39,7 @@ WalkResult Sampler::RunWalk() {
     ++result.steps;
   }
   result.successful = state.IsConsistent();
-  result.final_db = state.current();
+  result.final_db = state.Snapshot();
   return result;
 }
 

@@ -89,6 +89,7 @@ TopKResult TopKRepairs(const Database& db, const ConstraintSet& constraints,
       // Absorbing state.
       if (entry.state->IsConsistent()) {
         result.explored_success_mass += entry.probability;
+        // map operator[] freezes the key by copying on first insert.
         repair_mass[entry.state->current()] += entry.probability;
         ++repair_sequences[entry.state->current()];
       } else {
@@ -100,7 +101,9 @@ TopKResult TopKRepairs(const Database& db, const ConstraintSet& constraints,
         CheckedProbabilities(generator, *entry.state, extensions);
     for (size_t i = 0; i < extensions.size(); ++i) {
       if (probabilities[i].is_zero()) continue;  // unreachable edge
-      auto child = std::make_shared<RepairingState>(*entry.state);
+      // Best-first order forces persistent per-entry states; Fork() drops
+      // the parent's undo history, so the copy is as small as possible.
+      auto child = std::make_shared<RepairingState>(entry.state->Fork());
       child->ApplyTrusted(extensions[i]);
       Rational child_probability = entry.probability * probabilities[i];
       result.frontier_mass += child_probability;

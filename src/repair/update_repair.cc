@@ -93,36 +93,38 @@ UpdateRepairResult SampleUpdateRepair(
   UpdateRepairResult result;
   result.db = Database(&db.schema());
   // Copy the relations without key constraints untouched.
+  const FactStore& store = FactStore::Global();
   std::set<PredId> keyed;
   for (const KeySpec2& key : keys) keyed.insert(key.pred);
-  for (const Fact& fact : db.AllFacts()) {
-    if (keyed.count(fact.pred()) == 0) result.db.Insert(fact);
+  for (FactId id : db.AllFactIds()) {
+    if (keyed.count(store.pred(id)) == 0) result.db.InsertId(id);
   }
   for (const KeySpec2& key : keys) {
     // Group the facts of this relation by key value.
-    std::map<std::vector<ConstId>, std::vector<const Fact*>> groups;
-    for (const Fact& fact : db.FactsOf(key.pred)) {
+    std::map<std::vector<ConstId>, std::vector<FactId>> groups;
+    for (FactId id : db.FactsOf(key.pred)) {
+      const ConstId* args = store.args(id);
       std::vector<ConstId> key_value;
       key_value.reserve(key.key_positions.size());
       for (size_t position : key.key_positions) {
-        key_value.push_back(fact.args()[position]);
+        key_value.push_back(args[position]);
       }
-      groups[std::move(key_value)].push_back(&fact);
+      groups[std::move(key_value)].push_back(id);
     }
     for (const auto& [key_value, members] : groups) {
       if (members.size() == 1) {
-        result.db.Insert(*members.front());
+        result.db.InsertId(members.front());
         continue;
       }
       // Conflict: collapse to one member's value part, trust-weighted.
       std::vector<double> weights;
       weights.reserve(members.size());
-      for (const Fact* member : members) {
-        auto it = trust.find(*member);
+      for (FactId member : members) {
+        auto it = trust.find(store.ToFact(member));
         weights.push_back(it == trust.end() ? 1.0 : it->second);
       }
       size_t winner = rng->WeightedIndex(weights);
-      result.db.Insert(*members[winner]);
+      result.db.InsertId(members[winner]);
       result.updates += members.size() - 1;
       ++result.groups_resolved;
     }

@@ -1,0 +1,168 @@
+// Tests for the process-global FactStore and the id-level Database
+// operations built on it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "relational/database.h"
+#include "relational/fact_store.h"
+#include "relational/schema.h"
+#include "relational/symbol_table.h"
+#include "util/random.h"
+
+namespace opcqa {
+namespace {
+
+TEST(FactStoreTest, InterningIsIdempotent) {
+  Fact fact(3, {Const("fs_a"), Const("fs_b")});
+  FactId first = FactStore::Global().Intern(fact);
+  FactId second = FactStore::Global().Intern(fact);
+  EXPECT_EQ(first, second);
+}
+
+TEST(FactStoreTest, DistinctFactsDistinctIds) {
+  Fact f1(3, {Const("fs_a"), Const("fs_b")});
+  Fact f2(3, {Const("fs_b"), Const("fs_a")});
+  Fact f3(4, {Const("fs_a"), Const("fs_b")});
+  EXPECT_NE(InternFact(f1), InternFact(f2));
+  EXPECT_NE(InternFact(f1), InternFact(f3));
+}
+
+TEST(FactStoreTest, RoundTripIsExact) {
+  // Inline (arity ≤ 2) and pooled (arity > 2) storage both round-trip.
+  for (size_t arity : {1u, 2u, 3u, 5u}) {
+    std::vector<ConstId> args;
+    for (size_t i = 0; i < arity; ++i) {
+      args.push_back(Const("fs_rt_" + std::to_string(i)));
+    }
+    Fact fact(7, args);
+    FactId id = InternFact(fact);
+    EXPECT_EQ(FactStore::Global().ToFact(id), fact) << "arity " << arity;
+    EXPECT_EQ(FactStore::Global().pred(id), fact.pred());
+    EXPECT_EQ(FactStore::Global().arity(id), arity);
+    EXPECT_EQ(FactStore::Global().hash(id), fact.Hash());
+    FactView view = FactStore::Global().View(id);
+    EXPECT_TRUE(std::equal(args.begin(), args.end(), view.args));
+  }
+}
+
+TEST(FactStoreTest, FindDoesNotIntern) {
+  Fact absent(9, {Const("fs_never_stored")});
+  size_t before = FactStore::Global().size();
+  EXPECT_EQ(FactStore::Global().Find(absent), FactStore::kNotFound);
+  EXPECT_EQ(FactStore::Global().size(), before);
+  FactId id = InternFact(absent);
+  EXPECT_EQ(FactStore::Global().Find(absent), id);
+}
+
+TEST(FactStoreTest, CompareMatchesFactValueOrder) {
+  std::vector<Fact> facts = {
+      Fact(2, {Const("fs_c1")}),
+      Fact(2, {Const("fs_c2")}),
+      Fact(3, {Const("fs_c1"), Const("fs_c1")}),
+      Fact(3, {Const("fs_c1"), Const("fs_c2"), Const("fs_c3")}),
+  };
+  for (const Fact& a : facts) {
+    for (const Fact& b : facts) {
+      int expected = a < b ? -1 : (b < a ? 1 : 0);
+      EXPECT_EQ(FactStore::Global().Compare(InternFact(a), InternFact(b)),
+                expected)
+          << "comparing ids must match comparing fact values";
+    }
+  }
+}
+
+class IdDatabaseTest : public ::testing::Test {
+ protected:
+  IdDatabaseTest() {
+    r_ = schema_.AddRelation("R", 2);
+    s_ = schema_.AddRelation("S", 3);
+  }
+
+  Fact R(const char* a, const char* b) {
+    return Fact::Make(schema_, "R", {a, b});
+  }
+
+  Schema schema_;
+  PredId r_ = 0;
+  PredId s_ = 0;
+};
+
+TEST_F(IdDatabaseTest, InsertIdAndEraseIdMirrorFactOperations) {
+  Database db(&schema_);
+  FactId id = InternFact(R("ida", "idb"));
+  EXPECT_TRUE(db.InsertId(id));
+  EXPECT_FALSE(db.InsertId(id));
+  EXPECT_TRUE(db.ContainsId(id));
+  EXPECT_TRUE(db.Contains(R("ida", "idb")));
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_TRUE(db.EraseId(id));
+  EXPECT_FALSE(db.EraseId(id));
+  EXPECT_TRUE(db.empty());
+}
+
+TEST_F(IdDatabaseTest, FactsOfIsSortedByFactValue) {
+  Database db(&schema_);
+  db.Insert(R("z", "z"));
+  db.Insert(R("a", "b"));
+  db.Insert(R("m", "q"));
+  const std::vector<FactId>& bucket = db.FactsOf(r_);
+  ASSERT_EQ(bucket.size(), 3u);
+  const FactStore& store = FactStore::Global();
+  for (size_t i = 1; i < bucket.size(); ++i) {
+    EXPECT_TRUE(store.Less(bucket[i - 1], bucket[i]));
+  }
+}
+
+// Randomized cross-check: the id-level symmetric difference against a
+// brute-force std::set reference.
+TEST_F(IdDatabaseTest, SymmetricDifferenceMatchesBruteForce) {
+  Rng rng(20260730);
+  for (int round = 0; round < 50; ++round) {
+    Database d1(&schema_);
+    Database d2(&schema_);
+    std::set<Fact> s1, s2;
+    for (int i = 0; i < 30; ++i) {
+      Fact fact = R(("sd_" + std::to_string(rng.UniformInt(10))).c_str(),
+                    ("sd_" + std::to_string(rng.UniformInt(10))).c_str());
+      if (rng.UniformInt(2) == 0) {
+        d1.Insert(fact);
+        s1.insert(fact);
+      } else {
+        d2.Insert(fact);
+        s2.insert(fact);
+      }
+    }
+    std::vector<Fact> only1, only2, ref1, ref2;
+    d1.SymmetricDifference(d2, &only1, &only2);
+    std::set_difference(s1.begin(), s1.end(), s2.begin(), s2.end(),
+                        std::back_inserter(ref1));
+    std::set_difference(s2.begin(), s2.end(), s1.begin(), s1.end(),
+                        std::back_inserter(ref2));
+    EXPECT_EQ(only1, ref1);
+    EXPECT_EQ(only2, ref2);
+    EXPECT_EQ(d1.SymmetricDifferenceSize(d2), ref1.size() + ref2.size());
+  }
+}
+
+TEST_F(IdDatabaseTest, EqualityHashAndOrderAreValueBased) {
+  Database d1(&schema_);
+  Database d2(&schema_);
+  // Same facts inserted in different orders.
+  d1.Insert(R("eq_a", "eq_b"));
+  d1.Insert(R("eq_c", "eq_d"));
+  d2.Insert(R("eq_c", "eq_d"));
+  d2.Insert(R("eq_a", "eq_b"));
+  EXPECT_TRUE(d1 == d2);
+  EXPECT_EQ(d1.Hash(), d2.Hash());
+  EXPECT_FALSE(d1 < d2);
+  EXPECT_FALSE(d2 < d1);
+  d2.Insert(R("eq_e", "eq_f"));
+  EXPECT_FALSE(d1 == d2);
+  EXPECT_TRUE(d1 < d2 || d2 < d1);
+}
+
+}  // namespace
+}  // namespace opcqa

@@ -92,7 +92,10 @@ TEST_F(FoRewritingTest, EquivalenceAcrossManyDeletionChoices) {
   Query q = ParseQuery(schema_, "Q(x) := exists y: (R(x,y), S(x,y))").value();
   Query rewritten =
       RewriteQueryWithDeletionPredicates(q, extension_.del_pred_of);
-  std::vector<Fact> r_facts(db.FactsOf(r_).begin(), db.FactsOf(r_).end());
+  std::vector<Fact> r_facts;
+  for (FactId id : db.FactsOf(r_)) {
+    r_facts.push_back(FactStore::Global().ToFact(id));
+  }
   // Every subset of R-facts as the deletion choice.
   for (size_t mask = 0; mask < (1u << r_facts.size()); ++mask) {
     std::vector<Fact> deleted;

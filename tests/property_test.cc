@@ -125,6 +125,36 @@ TEST_P(ChainPropertyTest, SequencesAreShortAndLegal) {
   }
 }
 
+// Delta-state property: at every state of a random walk, applying any
+// valid extension and reverting restores current(), violations() and the
+// hash exactly.
+TEST_P(ChainPropertyTest, ApplyRevertRoundTripsEveryReachedState) {
+  auto context = RepairContext::Make(w_.db, w_.constraints);
+  Rng rng(GetParam().seed ^ 0xC0FFEE);
+  for (int walk = 0; walk < 5; ++walk) {
+    RepairingState state(context);
+    while (true) {
+      std::vector<Operation> extensions = state.ValidExtensions();
+      if (extensions.empty()) break;
+      Database db_before = state.Snapshot();
+      ViolationSet violations_before = state.violations();
+      size_t hash_before = state.current().Hash();
+      size_t depth_before = state.depth();
+      for (const Operation& op : extensions) {
+        state.ApplyTrusted(op);
+        state.Revert();
+        ASSERT_TRUE(state.current() == db_before);
+        ASSERT_EQ(state.current().Hash(), hash_before);
+        ASSERT_EQ(state.violations(), violations_before);
+        ASSERT_EQ(state.depth(), depth_before);
+      }
+      ASSERT_EQ(state.ValidExtensions(), extensions)
+          << "probing extensions must not disturb the state";
+      state.ApplyTrusted(extensions[rng.UniformInt(extensions.size())]);
+    }
+  }
+}
+
 TEST_P(ChainPropertyTest, HittingDistributionSumsToOne) {
   EnumerationResult result =
       EnumerateRepairs(w_.db, w_.constraints, uniform_);

@@ -173,6 +173,93 @@ TEST(RepairingStateTest, SequenceLengthIsPolynomiallyBounded) {
   EXPECT_TRUE(state.IsComplete());
 }
 
+TEST(RepairingStateTest, RevertRestoresStateExactly) {
+  gen::Workload w = gen::PaperExample1();
+  auto context = RepairContext::Make(w.db, w.constraints);
+  RepairingState state(context);
+  Database db_before = state.Snapshot();
+  ViolationSet violations_before = state.violations();
+  size_t hash_before = state.current().Hash();
+  std::vector<Operation> exts_before = state.ValidExtensions();
+  for (const Operation& op : exts_before) {
+    state.ApplyTrusted(op);
+    state.Revert();
+    EXPECT_TRUE(state.current() == db_before);
+    EXPECT_EQ(state.current().Hash(), hash_before);
+    EXPECT_EQ(state.violations(), violations_before);
+    EXPECT_EQ(state.depth(), 0u);
+    // The extension set (and hence the chain) is fully restored too.
+    EXPECT_EQ(state.ValidExtensions(), exts_before);
+  }
+}
+
+TEST(RepairingStateTest, RevertUnwindsMultiStepSequences) {
+  // Walk to an absorbing state, recording snapshots, then unwind and check
+  // every intermediate state is restored bit-for-bit.
+  gen::Workload w = gen::PaperExample1();
+  auto context = RepairContext::Make(w.db, w.constraints);
+  RepairingState state(context);
+  std::vector<Database> snapshots;
+  std::vector<ViolationSet> violation_history;
+  while (true) {
+    std::vector<Operation> exts = state.ValidExtensions();
+    if (exts.empty()) break;
+    snapshots.push_back(state.Snapshot());
+    violation_history.push_back(state.violations());
+    state.ApplyTrusted(exts.front());
+    ASSERT_LT(state.depth(), 100u);
+  }
+  while (state.depth() > 0) {
+    state.Revert();
+    EXPECT_TRUE(state.current() == snapshots[state.depth()]);
+    EXPECT_EQ(state.violations(), violation_history[state.depth()]);
+  }
+  EXPECT_TRUE(state.current() == context->initial);
+}
+
+TEST(RepairingStateTest, RestoreRewindsToMark) {
+  gen::Workload w = gen::PaperExample1();
+  auto context = RepairContext::Make(w.db, w.constraints);
+  RepairingState state(context);
+  std::vector<Operation> exts = state.ValidExtensions();
+  ASSERT_FALSE(exts.empty());
+  state.ApplyTrusted(exts.front());
+  size_t mark = state.Mark();
+  Database at_mark = state.Snapshot();
+  while (!state.IsComplete()) {
+    state.ApplyTrusted(state.ValidExtensions().front());
+  }
+  state.Restore(mark);
+  EXPECT_EQ(state.depth(), mark);
+  EXPECT_TRUE(state.current() == at_mark);
+}
+
+TEST(RepairingStateTest, SnapshotIsFrozen) {
+  gen::Workload w = gen::PaperKeyPairExample();
+  auto context = RepairContext::Make(w.db, w.constraints);
+  RepairingState state(context);
+  Database snapshot = state.Snapshot();
+  state.ApplyTrusted(state.ValidExtensions().front());
+  EXPECT_FALSE(snapshot == state.current())
+      << "mutating the state must not affect an earlier snapshot";
+  EXPECT_TRUE(snapshot == context->initial);
+}
+
+TEST(RepairingStateTest, ForkContinuesIndependently) {
+  gen::Workload w = gen::PaperKeyPairExample();
+  auto context = RepairContext::Make(w.db, w.constraints);
+  RepairingState state(context);
+  std::vector<Operation> exts = state.ValidExtensions();
+  ASSERT_EQ(exts.size(), 3u);
+  RepairingState fork = state.Fork();
+  fork.ApplyTrusted(exts[0]);
+  state.ApplyTrusted(exts[1]);
+  EXPECT_FALSE(fork.current() == state.current());
+  // The fork can revert its own step, but not past the fork point.
+  fork.Revert();
+  EXPECT_TRUE(fork.current() == context->initial);
+}
+
 TEST(RepairingStateTest, ApplyTrustedMatchesApply) {
   gen::Workload w = gen::PaperKeyPairExample();
   auto context = RepairContext::Make(w.db, w.constraints);
