@@ -16,16 +16,34 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace opcqa {
 namespace bench {
+
+/// Thread knob for the parallel harness sections: OPCQA_BENCH_THREADS when
+/// set to a positive integer, else std::thread::hardware_concurrency().
+/// Recorded (with the hardware concurrency) in every emitted BENCH_*.json
+/// so per-thread-count timings stay interpretable across machines.
+inline size_t Threads() {
+  if (const char* env = std::getenv("OPCQA_BENCH_THREADS")) {
+    long value = std::strtol(env, nullptr, 10);
+    if (value > 0) return static_cast<size_t>(value);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
 
 namespace internal {
 
 struct JsonRecorder {
   std::string experiment_id;
   std::string title;
+  // The Threads() env/hardware knob at Header() time. Sweep sections that
+  // drive explicit thread counts record those per row; this field is the
+  // harness default, not a claim about every row.
+  size_t threads = 1;
   // (what, paper, measured) rows and free-form notes, in emission order.
   std::vector<std::array<std::string, 3>> rows;
   std::vector<std::string> notes;
@@ -59,6 +77,10 @@ struct JsonRecorder {
     if (f == nullptr) return;
     std::fprintf(f, "{\n  \"experiment\": \"%s\",\n  \"title\": \"%s\",\n",
                  Escape(experiment_id).c_str(), Escape(title).c_str());
+    unsigned hw = std::thread::hardware_concurrency();
+    std::fprintf(f,
+                 "  \"threads_knob\": %zu,\n  \"hardware_concurrency\": %u,\n",
+                 threads, hw == 0 ? 1u : hw);
     std::fprintf(f, "  \"rows\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
       std::fprintf(f,
@@ -101,6 +123,7 @@ inline void Header(const std::string& experiment_id,
   recorder.notes.clear();
   recorder.experiment_id = experiment_id;
   recorder.title = title;
+  recorder.threads = Threads();
 }
 
 inline void Row(const std::string& what, const std::string& paper,

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "gen/workloads.h"
 #include "logic/formula_parser.h"
 #include "repair/ocqa.h"
@@ -64,6 +65,72 @@ BENCHMARK(BM_ExactOcqaSameInstances)
     ->DenseRange(1, 5, 2)
     ->Unit(benchmark::kMillisecond);
 
+// Parallel estimation: walks sharded across threads on per-walk RNG
+// streams, estimates bit-identical to serial (state.range(0) = threads).
+void BM_ParallelApproxOcqa(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  gen::Workload w = gen::MakeKeyViolationWorkload(11, 9, 2, /*seed=*/402);
+  UniformChainGenerator generator;
+  Result<Query> q = ParseQuery(*w.schema, "Q(x,y) := R(x,y)");
+  SamplerOptions options;
+  options.threads = threads;
+  Sampler sampler(w.db, w.constraints, &generator, /*seed=*/403, options);
+  for (auto _ : state) {
+    ApproxOcaResult result = sampler.EstimateOcaWithWalks(*q, 500);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ParallelApproxOcqa)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Thread sweep recorded via bench_common (→ BENCH_e7_parallel_scaling.json).
+// Opt-in via OPCQA_BENCH_SWEEP=1, like the e5 sweep.
+void RecordParallelSweep() {
+  bench::Header("e7_parallel_scaling",
+                "Approximate OCQA wall-clock vs worker threads "
+                "(9 key conflicts, 2000 walks)");
+  gen::Workload w = gen::MakeKeyViolationWorkload(11, 9, 2, /*seed=*/402);
+  UniformChainGenerator generator;
+  Result<Query> q = ParseQuery(*w.schema, "Q(x,y) := R(x,y)");
+  double serial_ms = 0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    SamplerOptions options;
+    options.threads = threads;
+    Sampler sampler(w.db, w.constraints, &generator, /*seed=*/403, options);
+    double best_ms = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      bench::Timer timer;
+      ApproxOcaResult result = sampler.EstimateOcaWithWalks(*q, 2000);
+      double ms = timer.ElapsedMs();
+      if (ms < best_ms) best_ms = ms;
+      benchmark::DoNotOptimize(result);
+    }
+    if (threads == 1) serial_ms = best_ms;
+    char measured[64];
+    std::snprintf(measured, sizeof(measured), "%.2f ms (%.2fx vs serial)",
+                  best_ms, serial_ms / best_ms);
+    bench::Row("EstimateOcaWithWalks(2000) threads=" + std::to_string(threads),
+               "n/a (ours)", measured);
+  }
+  bench::Note("best of 3 runs; estimates are bit-identical across thread "
+              "counts (per-walk RNG streams), so this sweep measures pure "
+              "scheduling overhead/speedup");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* sweep = std::getenv("OPCQA_BENCH_SWEEP");
+  if (sweep != nullptr && *sweep != '\0' && *sweep != '0') {
+    RecordParallelSweep();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,6 +9,8 @@
 //             --query='Q(x) := R(x,y)'
 //             [--generator=uniform|deletions|minchange]
 //             [--mode=exact|approx] [--eps=0.1] [--delta=0.1] [--seed=42]
+//             [--threads=N]  (0 = all cores; answers are identical for
+//             every thread count)
 //             [--show-repairs] [--show-chain]
 //
 // Usage (SQL mode — the Section 5 scheme; keys as table:pos[,pos...],
@@ -49,6 +51,7 @@ struct Options {
   std::string mode = "exact";
   double eps = 0.1, delta = 0.1;
   uint64_t seed = 42;
+  size_t threads = 1;  // 0 = all cores; results identical either way
   bool show_repairs = false;
   bool show_chain = false;
 };
@@ -173,6 +176,11 @@ int main(int argc, char** argv) {
       opt.seed = std::strtoull(value.c_str(), nullptr, 10);
       continue;
     }
+    if (ParseFlag(arg, "threads", &value)) {
+      opt.threads = static_cast<size_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+      continue;
+    }
     if (arg == "--show-repairs") {
       opt.show_repairs = true;
       continue;
@@ -193,8 +201,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: opcqa_cli --schema=F --db=F --constraints=F "
                  "--query='Q(x) := ...' [--generator=uniform|deletions|"
-                 "minchange] [--mode=exact|approx] [--eps --delta --seed] "
-                 "[--show-repairs] [--show-chain]\n"
+                 "minchange] [--mode=exact|approx] [--eps --delta --seed "
+                 "--threads] [--show-repairs] [--show-chain]\n"
                  "   or: opcqa_cli --schema=F --db=F --mode=sql "
                  "--sql='SELECT ...' --keys='R:0;S:0,1' "
                  "[--eps --delta --seed]\n");
@@ -272,7 +280,10 @@ int main(int argc, char** argv) {
   }
 
   if (opt.mode == "exact") {
-    OcaResult oca = ComputeOca(*db, *constraints, *generator, *query);
+    EnumerationOptions enum_options;
+    enum_options.threads = opt.threads;
+    OcaResult oca =
+        ComputeOca(*db, *constraints, *generator, *query, enum_options);
     if (oca.enumeration.truncated) {
       return Fail(Status::ResourceExhausted(
           "chain too large for exact answering; use --mode=approx"));
@@ -295,7 +306,9 @@ int main(int argc, char** argv) {
       }
     }
   } else if (opt.mode == "approx") {
-    Sampler sampler(*db, *constraints, generator, opt.seed);
+    SamplerOptions sampler_options;
+    sampler_options.threads = opt.threads;
+    Sampler sampler(*db, *constraints, generator, opt.seed, sampler_options);
     ApproxOcaResult approx =
         sampler.EstimateOca(*query, opt.eps, opt.delta);
     std::printf("approximate answers (n = %zu walks, additive error ≤ %.3f "

@@ -11,6 +11,8 @@ namespace opcqa {
 namespace {
 
 // Variable name interning (separate universe from constants).
+// Thread-safety: mutex-serialized and append-only, like SymbolTable — see
+// the concurrency contract in relational/fact_store.h.
 class VarTable {
  public:
   static VarTable& Global() {

@@ -17,6 +17,12 @@ size_t HashFact(PredId pred, const ConstId* args, size_t arity) {
   return h;
 }
 
+// Shard selection uses high hash bits so it stays decorrelated from the
+// unordered_multimap's low-bit bucketing within the shard.
+uint32_t ShardOf(size_t hash) {
+  return static_cast<uint32_t>(hash >> 57) & (FactStore::kNumShards - 1);
+}
+
 }  // namespace
 
 FactStore& FactStore::Global() {
@@ -24,47 +30,72 @@ FactStore& FactStore::Global() {
   return *store;
 }
 
+FactStore::~FactStore() {
+  for (Shard& shard : shards_) {
+    for (auto& block : shard.blocks) {
+      delete[] block.load(std::memory_order_relaxed);
+    }
+  }
+}
+
 FactId FactStore::Intern(PredId pred, const ConstId* args, size_t arity) {
   size_t hash = HashFact(pred, args, arity);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [begin, end] = index_.equal_range(hash);
+  uint32_t shard_index = ShardOf(hash);
+  Shard& shard = shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [begin, end] = shard.index.equal_range(hash);
   for (auto it = begin; it != end; ++it) {
     FactId id = it->second;
-    const Record& r = records_[id];
+    const Record& r = record(id);
     if (r.pred == pred && r.arity == arity &&
         std::equal(args, args + arity,
-                   r.arity <= kInlineArgs ? r.small : pool_.data() + r.offset)) {
+                   r.arity <= kInlineArgs ? r.small : r.wide)) {
       return id;
     }
   }
-  OPCQA_CHECK_LT(records_.size(), static_cast<size_t>(kNotFound))
-      << "fact store overflow";
-  Record record;
-  record.pred = pred;
-  record.arity = static_cast<uint32_t>(arity);
-  record.hash = hash;
-  if (arity <= kInlineArgs) {
-    std::copy(args, args + arity, record.small);
-  } else {
-    record.offset = static_cast<uint32_t>(pool_.size());
-    pool_.insert(pool_.end(), args, args + arity);
+  uint32_t index = shard.count.load(std::memory_order_relaxed);
+  OPCQA_CHECK_LE(index, kMaxPerShard) << "fact store shard overflow";
+  FactId id = (index << kShardBits) | shard_index;
+  uint32_t s, block, offset;
+  Locate(id, &s, &block, &offset);
+  Record* records = shard.blocks[block].load(std::memory_order_relaxed);
+  if (records == nullptr) {
+    records = new Record[kBaseBlockSize << block];
+    // Release-publish the block: a reader that acquires this pointer (from
+    // any thread) sees fully-constructed storage.
+    shard.blocks[block].store(records, std::memory_order_release);
   }
-  FactId id = static_cast<FactId>(records_.size());
-  records_.push_back(record);
-  index_.emplace(hash, id);
+  Record& r = records[offset];
+  r.pred = pred;
+  r.arity = static_cast<uint32_t>(arity);
+  r.hash = hash;
+  if (arity <= kInlineArgs) {
+    std::copy(args, args + arity, r.small);
+  } else {
+    auto wide = std::make_unique<ConstId[]>(arity);
+    std::copy(args, args + arity, wide.get());
+    r.wide = wide.get();
+    shard.wide_args.push_back(std::move(wide));
+  }
+  // The record itself becomes visible to other threads only through the id
+  // handoff (which synchronizes) or through this shard's index (guarded by
+  // the mutex we hold); the count is for size() readers.
+  shard.count.store(index + 1, std::memory_order_release);
+  shard.index.emplace(hash, id);
   return id;
 }
 
 FactId FactStore::Find(PredId pred, const ConstId* args, size_t arity) const {
   size_t hash = HashFact(pred, args, arity);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [begin, end] = index_.equal_range(hash);
+  const Shard& shard = shards_[ShardOf(hash)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [begin, end] = shard.index.equal_range(hash);
   for (auto it = begin; it != end; ++it) {
     FactId id = it->second;
-    const Record& r = records_[id];
+    const Record& r = record(id);
     if (r.pred == pred && r.arity == arity &&
         std::equal(args, args + arity,
-                   r.arity <= kInlineArgs ? r.small : pool_.data() + r.offset)) {
+                   r.arity <= kInlineArgs ? r.small : r.wide)) {
       return id;
     }
   }
@@ -90,8 +121,11 @@ int FactStore::Compare(FactId a, FactId b) const {
 }
 
 size_t FactStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return records_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_acquire);
+  }
+  return total;
 }
 
 }  // namespace opcqa

@@ -1,26 +1,55 @@
 // Interning of ground facts.
 //
 // Every ground fact R(c1,...,cn) that enters a Database is interned exactly
-// once in a process-global FactStore and afterwards handled through a dense
-// 32-bit FactId. Databases, operations and repairing states then work at the
-// id level: copies are uint32 vector copies, membership is id membership,
-// and hashes/comparisons reuse the values cached at intern time instead of
-// re-walking argument vectors.
+// once in a process-global FactStore and afterwards handled through a
+// 32-bit FactId. Databases, operations and repairing states then work at
+// the id level: copies are uint32 vector copies, membership is id
+// membership, and hashes/comparisons reuse the values cached at intern time
+// instead of re-walking argument vectors.
 //
 // Argument storage is inline-small: facts of arity ≤ 2 (the common case for
 // the paper's key/preference workloads) keep their constants directly inside
-// the per-fact record; wider facts spill into a shared argument pool.
+// the per-fact record; wider facts spill into per-shard arena allocations.
 //
-// Like SymbolTable, the store only grows. Interning takes a lock; the read
-// accessors are lock-free and rely on ids never being reallocated away —
-// concurrent readers are safe against each other but not against a writer
-// (all current callers are single-threaded; revisit for parallel
-// enumeration).
+// ## Concurrency contract (all process-global interners)
+//
+// This is the authoritative statement for FactStore, SymbolTable
+// (relational/symbol_table.h) and the variable interner VarTable
+// (logic/term.cc). All three are append-only: an interned entity is never
+// reallocated, moved or removed, and its id is stable for the process
+// lifetime.
+//
+//  * FactStore — sharded for parallel repair exploration. A FactId is
+//    shard-tagged: the low kShardBits select one of kNumShards shards and
+//    the high bits are a dense per-shard index. Intern()/Find() hash the
+//    fact, lock only that shard's mutex, and probe the shard's hash index;
+//    concurrent interning of distinct facts proceeds in parallel, and
+//    interning the same fact from any number of threads returns one id.
+//    The read accessors (pred/arity/args/hash/View/ToFact/Compare/Less)
+//    NEVER lock: records live in append-only per-shard blocks whose
+//    pointers are published with release stores and read with acquire
+//    loads, so any thread holding a FactId — necessarily handed over after
+//    the Intern() that created it — reads fully-initialized data. size()
+//    is lock-free and monotone (a lower bound while writers are active).
+//
+//  * SymbolTable / VarTable — fully mutex-serialized (Intern, Find, NameOf
+//    all lock). They sit on setup and rendering paths only, never on the
+//    exploration hot path, so a single mutex each is sufficient. Safe to
+//    call from any thread.
+//
+//  * Determinism — no observable ordering in the system depends on raw id
+//    values: Database, Operation and the enumerator order facts by *value*
+//    (pred, then args; see Compare()). Interleaving-dependent id
+//    assignment under concurrent interning therefore never changes repair
+//    distributions, which stay bit-identical to single-threaded runs.
 
 #ifndef OPCQA_RELATIONAL_FACT_STORE_H_
 #define OPCQA_RELATIONAL_FACT_STORE_H_
 
+#include <atomic>
+#include <bit>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -29,7 +58,8 @@
 
 namespace opcqa {
 
-/// Dense handle for an interned ground fact.
+/// Handle for an interned ground fact: low kShardBits = shard, high bits =
+/// dense index within the shard.
 using FactId = uint32_t;
 
 /// A non-owning view of an interned fact (pred + argument span). Valid as
@@ -47,32 +77,38 @@ class FactStore {
 
   static constexpr FactId kNotFound = UINT32_MAX;
 
-  /// Returns the id for `fact`, interning it on first use.
+  static constexpr uint32_t kShardBits = 4;
+  static constexpr uint32_t kNumShards = 1u << kShardBits;
+
+  /// Returns the id for `fact`, interning it on first use. Thread-safe;
+  /// locks one shard.
   FactId Intern(const Fact& fact) {
     return Intern(fact.pred(), fact.args().data(), fact.args().size());
   }
   FactId Intern(PredId pred, const ConstId* args, size_t arity);
 
   /// Returns the id of an already-interned fact, or kNotFound. Facts that
-  /// were never interned cannot be members of any Database.
+  /// were never interned cannot be members of any Database. Thread-safe;
+  /// locks one shard.
   FactId Find(const Fact& fact) const {
     return Find(fact.pred(), fact.args().data(), fact.args().size());
   }
   FactId Find(PredId pred, const ConstId* args, size_t arity) const;
 
-  PredId pred(FactId id) const { return records_[id].pred; }
-  uint32_t arity(FactId id) const { return records_[id].arity; }
+  // Lock-free read accessors (see the concurrency contract above).
+  PredId pred(FactId id) const { return record(id).pred; }
+  uint32_t arity(FactId id) const { return record(id).arity; }
   const ConstId* args(FactId id) const {
-    const Record& r = records_[id];
-    return r.arity <= kInlineArgs ? r.small : pool_.data() + r.offset;
+    const Record& r = record(id);
+    return r.arity <= kInlineArgs ? r.small : r.wide;
   }
   /// Equal to Fact::Hash() of the interned fact, cached at intern time.
-  size_t hash(FactId id) const { return records_[id].hash; }
+  size_t hash(FactId id) const { return record(id).hash; }
 
   FactView View(FactId id) const {
-    const Record& r = records_[id];
+    const Record& r = record(id);
     return FactView{r.pred, r.arity,
-                    r.arity <= kInlineArgs ? r.small : pool_.data() + r.offset};
+                    r.arity <= kInlineArgs ? r.small : r.wide};
   }
 
   /// Materializes the interned fact as a value-type Fact.
@@ -83,29 +119,64 @@ class FactStore {
   int Compare(FactId a, FactId b) const;
   bool Less(FactId a, FactId b) const { return Compare(a, b) < 0; }
 
-  /// Number of interned facts.
+  /// Number of interned facts (sum over shards; a monotone lower bound
+  /// while concurrent writers are active).
   size_t size() const;
 
  private:
   static constexpr uint32_t kInlineArgs = 2;
+  static constexpr uint32_t kIndexBits = 32 - kShardBits;
+  // Reserve the all-ones pattern so no valid id equals kNotFound.
+  static constexpr uint32_t kMaxPerShard = (1u << kIndexBits) - 2;
+
+  // Per-shard records live in append-only blocks of geometrically growing
+  // capacity: block b holds kBaseBlockSize << b records, so 22 blocks cover
+  // the whole 2^28 per-shard id space while small runs allocate one 24 KiB
+  // block. Block pointers are published with release stores; records are
+  // never moved, which is what makes the read accessors lock-free.
+  static constexpr uint32_t kBaseBlockBits = 10;
+  static constexpr uint32_t kBaseBlockSize = 1u << kBaseBlockBits;
+  static constexpr uint32_t kBlockCount = 22;
 
   struct Record {
     PredId pred;
     uint32_t arity;
     union {
       ConstId small[kInlineArgs];  // arity ≤ kInlineArgs
-      uint32_t offset;             // else index into pool_
+      const ConstId* wide;         // else a shard-arena allocation
     };
     size_t hash;
   };
 
-  FactStore() = default;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::atomic<Record*> blocks[kBlockCount] = {};
+    std::atomic<uint32_t> count{0};
+    // hash → candidate ids (collisions resolved by argument comparison).
+    // Guarded by mutex, as is wide_args.
+    std::unordered_multimap<size_t, FactId> index;
+    std::vector<std::unique_ptr<ConstId[]>> wide_args;
+  };
 
-  mutable std::mutex mutex_;
-  std::vector<Record> records_;
-  std::vector<ConstId> pool_;
-  // hash → candidate ids (collisions resolved by argument comparison).
-  std::unordered_multimap<size_t, FactId> index_;
+  FactStore() = default;
+  ~FactStore();
+
+  static void Locate(FactId id, uint32_t* shard, uint32_t* block,
+                     uint32_t* offset) {
+    *shard = id & (kNumShards - 1);
+    uint32_t index = id >> kShardBits;
+    uint32_t u = (index >> kBaseBlockBits) + 1;
+    *block = static_cast<uint32_t>(std::bit_width(u)) - 1;
+    *offset = index - (((1u << *block) - 1) << kBaseBlockBits);
+  }
+
+  const Record& record(FactId id) const {
+    uint32_t shard, block, offset;
+    Locate(id, &shard, &block, &offset);
+    return shards_[shard].blocks[block].load(std::memory_order_acquire)[offset];
+  }
+
+  Shard shards_[kNumShards];
 };
 
 /// Convenience: intern in the global store.

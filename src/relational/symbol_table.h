@@ -4,6 +4,10 @@
 // strings; all tuples, facts and homomorphisms work with dense ConstId
 // handles. The table is process-global: constants such as "a" denote the
 // same element in every database, schema and constraint.
+//
+// Thread-safety: every member locks one mutex; the table is append-only and
+// ids are stable for the process lifetime. See the concurrency contract in
+// relational/fact_store.h, which covers all process-global interners.
 
 #ifndef OPCQA_RELATIONAL_SYMBOL_TABLE_H_
 #define OPCQA_RELATIONAL_SYMBOL_TABLE_H_

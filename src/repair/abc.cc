@@ -170,6 +170,7 @@ Result<std::vector<Database>> AbcRepairsViaChain(
   UniformChainGenerator uniform;
   EnumerationOptions enum_options;
   enum_options.max_states = options.max_candidates;
+  enum_options.threads = options.threads;
   EnumerationResult result =
       EnumerateRepairs(db, constraints, uniform, enum_options);
   if (result.truncated) {

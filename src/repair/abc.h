@@ -32,6 +32,9 @@ struct AbcOptions {
   /// Brute-force engine refuses bases with more facts than this (2^n
   /// subsets are enumerated).
   size_t max_base_facts = 22;
+  /// Worker threads for the via-chain engine's uniform-chain walks
+  /// (forwarded to EnumerationOptions::threads); 0 = DefaultThreads().
+  size_t threads = 1;
 };
 
 /// The conflict hypergraph of D w.r.t. denial-only Σ: one edge per

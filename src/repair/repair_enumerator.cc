@@ -1,63 +1,84 @@
 #include "repair/repair_enumerator.h"
 
 #include <algorithm>
+#include <atomic>
+#include <numeric>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace opcqa {
 
 namespace {
 
-class Enumerator {
+// Aggregation map: frozen repair database → (mass, #sequences).
+using AggregateMap = std::map<Database, std::pair<Rational, size_t>>;
+
+// Partial result of walking one subtree (or the whole tree, serially).
+// Counters mirror EnumerationResult; `hit_cap` reports that the walker's
+// local state budget ran out mid-subtree.
+struct SubtreeResult {
+  AggregateMap aggregated;
+  Rational success_mass;
+  Rational failing_mass;
+  size_t states_visited = 0;
+  size_t absorbing_states = 0;
+  size_t successful_sequences = 0;
+  size_t failing_sequences = 0;
+  size_t max_depth = 0;
+  bool hit_cap = false;
+};
+
+// Delta-based DFS over one subtree: one state is threaded through the whole
+// subtree with apply → recurse → revert instead of copying it per branch.
+// `budget` bounds states_visited exactly like the serial enumerator's
+// global max_states check (the state that exceeds the budget is counted but
+// not expanded), so re-walking a branch with the serially-remaining budget
+// reproduces serial truncation byte-for-byte. `shared_budget`, when given,
+// additionally caps the *aggregate* states claimed by all concurrent
+// walkers: once the whole enumeration is certainly truncating, speculative
+// branches stop early instead of each burning a full budget. A shared-cap
+// bail sets hit_cap, which only routes the branch to the deterministic
+// serial re-walk — it never changes the merged result.
+class SubtreeWalker {
  public:
-  Enumerator(const ConstraintSet& constraints, const ChainGenerator& generator,
-             const EnumerationOptions& options)
-      : constraints_(constraints), generator_(generator), options_(options) {}
+  SubtreeWalker(const ChainGenerator& generator,
+                const EnumerationOptions& options, size_t budget,
+                std::atomic<size_t>* shared_budget = nullptr)
+      : generator_(generator),
+        options_(options),
+        budget_(budget),
+        shared_budget_(shared_budget) {}
 
-  EnumerationResult Run(const Database& db) {
-    auto context = RepairContext::Make(db, constraints_);
-    RepairingState root(context);
-    Visit(root, Rational(1));
-    // Assemble the result.
-    EnumerationResult result = std::move(result_);
-    for (auto& [repair, info] : aggregated_) {
-      result.repairs.push_back(RepairInfo{repair, info.first, info.second});
-    }
-    std::sort(result.repairs.begin(), result.repairs.end(),
-              [](const RepairInfo& a, const RepairInfo& b) {
-                int cmp = a.probability.Compare(b.probability);
-                if (cmp != 0) return cmp > 0;
-                return a.repair < b.repair;
-              });
-    return result;
-  }
-
- private:
-  // Delta-based DFS: one state is threaded through the whole tree with
-  // apply → recurse → revert instead of copying it per branch.
   void Visit(RepairingState& state, const Rational& mass) {
-    if (result_.truncated) return;
-    ++result_.states_visited;
-    if (result_.states_visited > options_.max_states) {
-      result_.truncated = true;
+    if (out_.hit_cap) return;
+    ++out_.states_visited;
+    if (out_.states_visited > budget_) {
+      out_.hit_cap = true;
       return;
     }
-    result_.max_depth = std::max(result_.max_depth, state.depth());
+    if (shared_budget_ != nullptr &&
+        shared_budget_->fetch_add(1, std::memory_order_relaxed) >=
+            options_.max_states) {
+      out_.hit_cap = true;
+      return;
+    }
+    out_.max_depth = std::max(out_.max_depth, state.depth());
     std::vector<Operation> extensions = state.ValidExtensions();
     if (extensions.empty()) {
       // Absorbing state (complete sequence).
-      ++result_.absorbing_states;
+      ++out_.absorbing_states;
       if (state.IsConsistent()) {
-        ++result_.successful_sequences;
-        result_.success_mass += mass;
+        ++out_.successful_sequences;
+        out_.success_mass += mass;
         // map operator[] freezes the key by copying on first insert.
-        auto& slot = aggregated_[state.current()];
+        auto& slot = out_.aggregated[state.current()];
         slot.first += mass;
         slot.second += 1;
       } else {
-        ++result_.failing_sequences;
-        result_.failing_mass += mass;
+        ++out_.failing_sequences;
+        out_.failing_mass += mass;
       }
       return;
     }
@@ -68,20 +89,179 @@ class Enumerator {
       state.ApplyTrusted(extensions[i]);
       Visit(state, mass * probs[i]);
       state.Revert();
-      if (result_.truncated) return;
+      if (out_.hit_cap) return;
     }
   }
 
-  const ConstraintSet& constraints_;
+  SubtreeResult Take() { return std::move(out_); }
+
+ private:
   const ChainGenerator& generator_;
   const EnumerationOptions& options_;
-  EnumerationResult result_;
-  std::map<Database, std::pair<Rational, size_t>> aggregated_;
+  size_t budget_;
+  std::atomic<size_t>* shared_budget_;
+  SubtreeResult out_;
 };
+
+// Accumulates a subtree's counters and aggregation map into the merged
+// whole-tree result. Rational sums are exact, so accumulation in root-branch
+// index order yields the same values as the serial DFS order.
+void Accumulate(SubtreeResult&& partial, EnumerationResult* result,
+                AggregateMap* aggregated) {
+  result->states_visited += partial.states_visited;
+  result->absorbing_states += partial.absorbing_states;
+  result->successful_sequences += partial.successful_sequences;
+  result->failing_sequences += partial.failing_sequences;
+  result->success_mass += partial.success_mass;
+  result->failing_mass += partial.failing_mass;
+  result->max_depth = std::max(result->max_depth, partial.max_depth);
+  for (auto& [repair, info] : partial.aggregated) {
+    auto& slot = (*aggregated)[repair];
+    slot.first += info.first;
+    slot.second += info.second;
+  }
+}
+
+// Sorts the aggregated repairs into the result (most probable first, ties
+// by database order) and builds the binary-search index for ProbabilityOf.
+void Assemble(AggregateMap&& aggregated, EnumerationResult* result) {
+  result->repairs.reserve(aggregated.size());
+  for (auto& [repair, info] : aggregated) {
+    result->repairs.push_back(RepairInfo{repair, info.first, info.second});
+  }
+  std::sort(result->repairs.begin(), result->repairs.end(),
+            [](const RepairInfo& a, const RepairInfo& b) {
+              int cmp = a.probability.Compare(b.probability);
+              if (cmp != 0) return cmp > 0;
+              return a.repair < b.repair;
+            });
+  result->repairs_by_database.resize(result->repairs.size());
+  std::iota(result->repairs_by_database.begin(),
+            result->repairs_by_database.end(), 0u);
+  std::sort(result->repairs_by_database.begin(),
+            result->repairs_by_database.end(),
+            [&](uint32_t a, uint32_t b) {
+              return result->repairs[a].repair < result->repairs[b].repair;
+            });
+}
+
+// One branch of the root: extension index (for probabilities) and the
+// operation to apply on a fork of the root state.
+struct RootBranch {
+  size_t extension_index;
+  Rational mass;  // edge probability out of ε
+};
+
+EnumerationResult EnumerateSerial(RepairingState& root,
+                                  const ChainGenerator& generator,
+                                  const EnumerationOptions& options) {
+  SubtreeWalker walker(generator, options, options.max_states);
+  walker.Visit(root, Rational(1));
+  SubtreeResult partial = walker.Take();
+  EnumerationResult result;
+  result.truncated = partial.hit_cap;
+  AggregateMap aggregated;
+  Accumulate(std::move(partial), &result, &aggregated);
+  Assemble(std::move(aggregated), &result);
+  return result;
+}
+
+EnumerationResult EnumerateParallel(RepairingState& root,
+                                    const ChainGenerator& generator,
+                                    const EnumerationOptions& options,
+                                    size_t threads) {
+  // Replicate the serial root frame: count ε, then branch.
+  EnumerationResult result;
+  result.states_visited = 1;
+  if (result.states_visited > options.max_states) {
+    result.truncated = true;
+    Assemble(AggregateMap(), &result);
+    return result;
+  }
+  std::vector<Operation> extensions = root.ValidExtensions();
+  if (extensions.empty()) {
+    // Absorbing root: ε is already complete.
+    result.absorbing_states = 1;
+    AggregateMap aggregated;
+    if (root.IsConsistent()) {
+      result.successful_sequences = 1;
+      result.success_mass = Rational(1);
+      aggregated[root.current()] = {Rational(1), 1};
+    } else {
+      result.failing_sequences = 1;
+      result.failing_mass = Rational(1);
+    }
+    Assemble(std::move(aggregated), &result);
+    return result;
+  }
+  std::vector<Rational> probs =
+      CheckedProbabilities(generator, root, extensions);
+  std::vector<RootBranch> branches;
+  branches.reserve(extensions.size());
+  for (size_t i = 0; i < extensions.size(); ++i) {
+    if (options.prune_zero_probability && probs[i].is_zero()) continue;
+    branches.push_back(RootBranch{i, probs[i]});
+  }
+  // Speculative pass: every branch walks its subtree on its own forked
+  // state. Work is claimed dynamically, results land at branch index. Two
+  // caps bound the speculation: per-branch max_states (the largest budget
+  // any branch could be entitled to) and the shared aggregate budget, which
+  // keeps a truncating enumeration near ~max_states total states instead of
+  // letting every branch burn a full budget.
+  std::atomic<size_t> shared_budget{result.states_visited};  // root counted
+  std::vector<SubtreeResult> partials =
+      ParallelMap<SubtreeResult>(branches.size(), threads, [&](size_t k) {
+        RepairingState state = root.Fork();
+        state.ApplyTrusted(extensions[branches[k].extension_index]);
+        SubtreeWalker walker(generator, options, options.max_states,
+                             &shared_budget);
+        walker.Visit(state, branches[k].mass);
+        return walker.Take();
+      });
+  // Deterministic budget replay in branch order: a branch whose full count
+  // fits the serially-remaining budget is merged as-is; a branch that was
+  // capped (by its own or the shared budget) or does not fit is re-walked
+  // serially with exactly the remaining budget, reproducing serial
+  // truncation byte-for-byte. Once a re-walk truncates, the serial
+  // enumerator would have stopped — later branches were never reached.
+  AggregateMap aggregated;
+  for (size_t k = 0; k < branches.size(); ++k) {
+    size_t budget_left = options.max_states - result.states_visited;
+    if (!partials[k].hit_cap && partials[k].states_visited <= budget_left) {
+      Accumulate(std::move(partials[k]), &result, &aggregated);
+      continue;
+    }
+    RepairingState state = root.Fork();
+    state.ApplyTrusted(extensions[branches[k].extension_index]);
+    SubtreeWalker walker(generator, options, budget_left);
+    walker.Visit(state, branches[k].mass);
+    SubtreeResult rewalked = walker.Take();
+    bool truncated_here = rewalked.hit_cap;
+    Accumulate(std::move(rewalked), &result, &aggregated);
+    if (truncated_here) {
+      result.truncated = true;
+      break;
+    }
+  }
+  Assemble(std::move(aggregated), &result);
+  return result;
+}
 
 }  // namespace
 
 Rational EnumerationResult::ProbabilityOf(const Database& repair) const {
+  if (repairs_by_database.size() == repairs.size()) {
+    auto it = std::lower_bound(
+        repairs_by_database.begin(), repairs_by_database.end(), repair,
+        [&](uint32_t index, const Database& target) {
+          return repairs[index].repair < target;
+        });
+    if (it != repairs_by_database.end() && repairs[*it].repair == repair) {
+      return repairs[*it].probability;
+    }
+    return Rational(0);
+  }
+  // Hand-assembled result without the index.
   for (const RepairInfo& info : repairs) {
     if (info.repair == repair) return info.probability;
   }
@@ -92,8 +272,13 @@ EnumerationResult EnumerateRepairs(const Database& db,
                                    const ConstraintSet& constraints,
                                    const ChainGenerator& generator,
                                    const EnumerationOptions& options) {
-  Enumerator enumerator(constraints, generator, options);
-  return enumerator.Run(db);
+  auto context = RepairContext::Make(db, constraints);
+  RepairingState root(context);
+  size_t threads = options.threads == 0 ? DefaultThreads() : options.threads;
+  if (threads > 1) {
+    return EnumerateParallel(root, generator, options, threads);
+  }
+  return EnumerateSerial(root, generator, options);
 }
 
 namespace {

@@ -10,6 +10,17 @@
 //
 // This is the FP#P-hard exact computation (Theorem 5); a node budget guards
 // against runaway instances and reports truncation honestly.
+//
+// With options.threads > 1 the root's extension set is partitioned across
+// workers: each worker forks its own delta-based RepairingState, applies
+// one root extension and runs the same DFS on that subtree; per-branch
+// results are merged in root-extension (index) order. Exact rational
+// arithmetic makes the merged masses equal to the serial sums, and the
+// max_states budget is replayed deterministically against per-branch state
+// counts (re-walking at most the one branch the budget ends inside), so the
+// result — including the truncation path — is byte-identical to a serial
+// run for every thread count. Generators must be safe for concurrent
+// Probabilities() calls (all built-ins are; they are logically const).
 
 #ifndef OPCQA_REPAIR_REPAIR_ENUMERATOR_H_
 #define OPCQA_REPAIR_REPAIR_ENUMERATOR_H_
@@ -27,6 +38,9 @@ struct EnumerationOptions {
   size_t max_states = 1u << 22;
   /// Skip zero-probability edges (they are unreachable in the chain).
   bool prune_zero_probability = true;
+  /// Worker threads sharing the enumeration (root-branch sharding);
+  /// 0 means DefaultThreads(). Results are identical for every value.
+  size_t threads = 1;
 };
 
 /// One operational repair with its probability.
@@ -53,7 +67,13 @@ struct EnumerationResult {
   /// True when max_states was hit; masses are then lower bounds.
   bool truncated = false;
 
-  /// Probability of a specific repair (0 when absent).
+  /// Indices into `repairs` in database (value) order, built by
+  /// EnumerateRepairs so ProbabilityOf can binary-search. Hand-assembled
+  /// results may leave it empty; ProbabilityOf then falls back to a scan.
+  std::vector<uint32_t> repairs_by_database;
+
+  /// Probability of a specific repair (0 when absent). O(log n) via
+  /// repairs_by_database.
   Rational ProbabilityOf(const Database& repair) const;
 };
 

@@ -10,6 +10,13 @@
 // Hoeffding's inequality turns n = ⌈ln(2/δ) / (2ε²)⌉ walks into an additive
 // (ε,δ)-approximation: Pr(|estimate − CP(t̄)| ≤ ε) ≥ 1 − δ. (ε = δ = 0.1
 // gives the paper's n = 150.)
+//
+// The estimation loops are embarrassingly parallel: walk i draws from its
+// own RNG stream Rng::Stream(seed, i), a pure function of (seed, i), and
+// per-walk tallies are integers merged in index order — so estimates are
+// bit-identical for every options.threads value (including 1) and every
+// scheduling. Walks run on states forked from one immutable RepairContext;
+// the generator must be safe for concurrent Probabilities() calls.
 
 #ifndef OPCQA_REPAIR_SAMPLER_H_
 #define OPCQA_REPAIR_SAMPLER_H_
@@ -46,16 +53,32 @@ struct ApproxOcaResult {
   double Estimate(const Tuple& tuple) const;
 };
 
+struct SamplerOptions {
+  /// Worker threads for the estimation loops; 0 means DefaultThreads().
+  /// Estimates are bit-identical for every value (per-walk RNG streams).
+  size_t threads = 1;
+};
+
 class Sampler {
  public:
   Sampler(const Database& db, const ConstraintSet& constraints,
-          const ChainGenerator* generator, uint64_t seed);
+          const ChainGenerator* generator, uint64_t seed,
+          SamplerOptions options = {});
 
   /// n(ε,δ) = ⌈ln(2/δ) / (2ε²)⌉ (Hoeffding).
   static size_t NumSamples(double epsilon, double delta);
 
-  /// One execution of algorithm Sample.
+  /// One execution of algorithm Sample, drawing from the sampler's own
+  /// (stateful) stream.
   WalkResult RunWalk();
+
+  /// One execution of algorithm Sample on the independent stream
+  /// (seed, walk_index) — the thread-count-invariant unit of the
+  /// estimation loops. A pure function of (seed, walk_index); safe to call
+  /// concurrently. The estimation methods advance a per-sampler stream
+  /// cursor so successive calls consume disjoint index ranges (independent
+  /// estimates), each range split across threads deterministically.
+  WalkResult RunWalkAt(uint64_t walk_index) const;
 
   /// Estimates CP(t̄) for a single tuple with additive error ε at
   /// confidence 1−δ. Failing walks (impossible for non-failing generators)
@@ -71,9 +94,17 @@ class Sampler {
   ApproxOcaResult EstimateOcaWithWalks(const Query& query, size_t walks);
 
  private:
+  WalkResult WalkWithRng(Rng* rng) const;
+
   std::shared_ptr<const RepairContext> context_;
   const ChainGenerator* generator_;
+  uint64_t seed_;
+  SamplerOptions options_;
   Rng rng_;
+  // First unused walk index; estimation calls claim [cursor, cursor+n) so
+  // repeated calls are independent yet reproducible from (seed, call
+  // sequence) alone.
+  uint64_t walk_cursor_ = 0;
 };
 
 }  // namespace opcqa

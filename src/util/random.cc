@@ -87,4 +87,14 @@ size_t Rng::WeightedIndex(const std::vector<Rational>& weights) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+Rng Rng::Stream(uint64_t seed, uint64_t stream) {
+  // Mix the seed, fold the stream index in, and mix again; the Rng
+  // constructor runs SplitMix64 once more to spread the result over the
+  // 256-bit xoshiro state.
+  uint64_t z = seed;
+  uint64_t mixed_seed = SplitMix64(&z);
+  z = mixed_seed ^ stream;
+  return Rng(SplitMix64(&z));
+}
+
 }  // namespace opcqa

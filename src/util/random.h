@@ -42,7 +42,15 @@ class Rng {
   size_t WeightedIndex(const std::vector<Rational>& weights);
 
   /// Derives an independent child generator (for per-worker streams).
+  /// Stateful: advances this generator, so the child depends on how many
+  /// values were drawn before the fork.
   Rng Fork();
+
+  /// The generator for stream `stream` of `seed` — a pure function of the
+  /// pair, so walk i of a seeded run draws the same values no matter which
+  /// thread (or how many threads) execute the run. Distinct stream indices
+  /// yield statistically independent sequences (SplitMix64 decorrelation).
+  static Rng Stream(uint64_t seed, uint64_t stream);
 
  private:
   uint64_t state_[4];
