@@ -49,6 +49,32 @@ void BM_ExactOcqaQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactOcqaQuery)->DenseRange(1, 5, 1)->Unit(benchmark::kMillisecond);
 
+// Transposition-table memoization: the same workload family with shared
+// suffixes collapsed to distinct states (state.range(0) = conflicts, as in
+// BM_ExactEnumeration; results are byte-identical to the unmemoized runs).
+void BM_MemoizedEnumeration(benchmark::State& state) {
+  size_t violating_keys = static_cast<size_t>(state.range(0));
+  gen::Workload w = gen::MakeKeyViolationWorkload(
+      violating_keys + 2, violating_keys, 2, /*seed=*/100);
+  UniformChainGenerator generator;
+  EnumerationOptions options;
+  options.memoize = true;
+  size_t virtual_states = 0;
+  size_t real_states = 0;
+  for (auto _ : state) {
+    EnumerationResult result =
+        EnumerateRepairs(w.db, w.constraints, generator, options);
+    virtual_states = result.states_visited;
+    real_states = static_cast<size_t>(result.memo_stats.misses);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["chain_states"] = static_cast<double>(virtual_states);
+  state.counters["walked_states"] = static_cast<double>(real_states);
+}
+BENCHMARK(BM_MemoizedEnumeration)
+    ->DenseRange(1, 6, 1)
+    ->Unit(benchmark::kMillisecond);
+
 // Group size sweep: wider conflicts explode the branching factor.
 void BM_ExactEnumerationGroupSize(benchmark::State& state) {
   size_t group = static_cast<size_t>(state.range(0));
@@ -120,12 +146,60 @@ void RecordParallelSweep() {
               "count (see hardware_concurrency in this file)");
 }
 
+// Memoization sweep recorded via bench_common (→ BENCH_e5_memo_scaling.json):
+// wall-clock with the transposition table off vs on across the conflict
+// range, plus the distinct-state collapse that explains the gap. Opt-in via
+// OPCQA_BENCH_SWEEP=1 like the parallel sweep.
+void RecordMemoSweep() {
+  bench::Header("e5_memo_scaling",
+                "Exact enumeration wall-clock, transposition-table "
+                "memoization off vs on (key-conflict family, group 2)");
+  UniformChainGenerator generator;
+  for (size_t n : {4, 5, 6}) {
+    gen::Workload w =
+        gen::MakeKeyViolationWorkload(n + 2, n, 2, /*seed=*/100);
+    double times[2] = {0, 0};
+    size_t virtual_states = 0;
+    size_t walked_states = 0;
+    for (int memo = 0; memo < 2; ++memo) {
+      EnumerationOptions options;
+      options.memoize = memo != 0;
+      double best_ms = 1e300;
+      for (int rep = 0; rep < 3; ++rep) {
+        bench::Timer timer;
+        EnumerationResult result =
+            EnumerateRepairs(w.db, w.constraints, generator, options);
+        double ms = timer.ElapsedMs();
+        if (ms < best_ms) best_ms = ms;
+        if (memo != 0) {
+          virtual_states = result.states_visited;
+          walked_states = static_cast<size_t>(result.memo_stats.misses);
+        }
+        benchmark::DoNotOptimize(result);
+      }
+      times[memo] = best_ms;
+    }
+    char measured[128];
+    std::snprintf(measured, sizeof(measured),
+                  "off %.2f ms / on %.2f ms (%.2fx; %zu states -> %zu "
+                  "walked)",
+                  times[0], times[1], times[0] / times[1], virtual_states,
+                  walked_states);
+    bench::Row("EnumerateRepairs n=" + std::to_string(n), "n/a (ours)",
+               measured);
+  }
+  bench::Note("best of 3 runs; memo-on results are byte-identical to "
+              "memo-off (asserted in tests/memo_test.cc) — the table only "
+              "collapses shared suffixes onto their first computation");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* sweep = std::getenv("OPCQA_BENCH_SWEEP");
   if (sweep != nullptr && *sweep != '\0' && *sweep != '0') {
     RecordParallelSweep();
+    RecordMemoSweep();
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fresh google-benchmark JSON vs committed baseline.
+
+Usage:
+  check_regression.py --fresh bench_e5.json \
+      --baseline bench/results/BENCH_e5_exact_scaling.json \
+      --series pr3_plain_ms [--threshold 1.25] [--min-ms 1.0]
+
+The committed baselines (bench/results/BENCH_*.json) record per-benchmark
+wall-clock milliseconds measured on the PR author's machine; CI runners are
+different hardware, so absolute ratios would gate on machine speed, not on
+code. Instead the gate normalizes: it computes fresh/baseline ratios for
+every benchmark, takes their median as the machine-speed factor, and fails
+only when some benchmark is more than --threshold (default 1.25 = the >25%
+budget) slower than that factor predicts — i.e. when a benchmark regressed
+*relative to the suite*, which is exactly what a code regression looks like
+and what uniform machine slowdown does not. Benchmarks with baseline times
+under --min-ms are reported but never gate (sub-millisecond timings are
+noise-dominated on shared runners).
+
+Exit status: 0 = pass, 1 = regression, 2 = usage/format error.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_fresh(path):
+    """google-benchmark --benchmark_format=json → {name: real_time_ms}.
+
+    The OPCQA_BENCH_SWEEP sections print human-readable tables to stdout
+    before google-benchmark emits its JSON document, so parsing starts at
+    the first line that opens the JSON object.
+    """
+    with open(path) as f:
+        text = f.read()
+    lines = text.splitlines(keepends=True)
+    for i, line in enumerate(lines):
+        if line.lstrip().startswith("{"):
+            doc = json.loads("".join(lines[i:]))
+            break
+    else:
+        raise ValueError(f"{path} contains no JSON document")
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        # Strip google-benchmark decorations ("/real_time", etc.) so names
+        # match the baseline rows.
+        for suffix in ("/real_time", "/process_time"):
+            if name.endswith(suffix):
+                name = name[: -len(suffix)]
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}.get(unit)
+        if scale is None:
+            raise ValueError(f"unknown time_unit {unit!r} for {name}")
+        times[name] = bench["real_time"] * scale
+    return times
+
+
+def load_baseline(path, series):
+    """Committed BENCH_*.json → {benchmark: <series> ms}."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for row in doc.get("rows", []):
+        name = row.get("benchmark")
+        if name is None or series not in row:
+            continue
+        times[name] = float(row[series])
+    if not times:
+        raise ValueError(f"baseline {path} has no rows with series {series!r}")
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--series", required=True,
+                        help="baseline row key holding milliseconds, "
+                             "e.g. pr3_plain_ms")
+    parser.add_argument("--threshold", type=float, default=1.25)
+    parser.add_argument("--min-ms", type=float, default=1.0,
+                        help="baseline floor below which rows never gate")
+    args = parser.parse_args()
+
+    try:
+        fresh = load_fresh(args.fresh)
+        baseline = load_baseline(args.baseline, args.series)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    shared = sorted(set(fresh) & set(baseline))
+    if not shared:
+        print("error: fresh run and baseline share no benchmark names",
+              file=sys.stderr)
+        return 2
+
+    ratios = {name: fresh[name] / baseline[name] for name in shared
+              if baseline[name] > 0}
+    if not ratios:
+        print("error: every shared benchmark has a zero baseline time",
+              file=sys.stderr)
+        return 2
+    gateable = [name for name in ratios if baseline[name] >= args.min_ms]
+    # The machine-speed factor is the median over ALL shared rows (the
+    # median is robust to the noisy sub-min-ms ones), not just the gated
+    # subset: with few gateable rows a regressing benchmark would
+    # otherwise drag its own normalizer and half-absorb itself.
+    machine_factor = statistics.median(ratios.values())
+
+    print(f"{len(shared)} shared benchmarks; "
+          f"machine-speed factor (median ratio): {machine_factor:.3f}")
+    print(f"{'benchmark':46s} {'base ms':>10s} {'fresh ms':>10s} "
+          f"{'rel':>6s}  gate")
+    failures = []
+    for name in shared:
+        if name not in ratios:  # zero baseline: report, never gate
+            print(f"{name:46s} {baseline[name]:10.3f} {fresh[name]:10.3f} "
+                  f"{'n/a':>6s}  (zero baseline)")
+            continue
+        rel = ratios[name] / machine_factor
+        gates = name in gateable
+        verdict = "ok"
+        if gates and rel > args.threshold:
+            verdict = "REGRESSION"
+            failures.append(name)
+        elif not gates:
+            verdict = "(too fast to gate)"
+        print(f"{name:46s} {baseline[name]:10.3f} {fresh[name]:10.3f} "
+              f"{rel:6.2f}  {verdict}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{(args.threshold - 1) * 100:.0f}% relative to the suite: "
+              + ", ".join(failures), file=sys.stderr)
+        return 1
+    print("\nPASS: no benchmark regressed beyond the "
+          f"{(args.threshold - 1) * 100:.0f}% budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

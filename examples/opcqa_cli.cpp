@@ -11,6 +11,9 @@
 //             [--mode=exact|approx] [--eps=0.1] [--delta=0.1] [--seed=42]
 //             [--threads=N]  (0 = all cores; answers are identical for
 //             every thread count)
+//             [--memo]  (exact mode: transposition-table memoization of
+//             shared repair-space suffixes; answers are identical with it
+//             on or off — it only changes how fast they arrive)
 //             [--show-repairs] [--show-chain]
 //
 // Usage (SQL mode — the Section 5 scheme; keys as table:pos[,pos...],
@@ -52,6 +55,7 @@ struct Options {
   double eps = 0.1, delta = 0.1;
   uint64_t seed = 42;
   size_t threads = 1;  // 0 = all cores; results identical either way
+  bool memo = false;   // exact mode: memoize shared repair-space suffixes
   bool show_repairs = false;
   bool show_chain = false;
 };
@@ -181,6 +185,10 @@ int main(int argc, char** argv) {
           std::strtoull(value.c_str(), nullptr, 10));
       continue;
     }
+    if (arg == "--memo") {
+      opt.memo = true;
+      continue;
+    }
     if (arg == "--show-repairs") {
       opt.show_repairs = true;
       continue;
@@ -202,7 +210,7 @@ int main(int argc, char** argv) {
                  "usage: opcqa_cli --schema=F --db=F --constraints=F "
                  "--query='Q(x) := ...' [--generator=uniform|deletions|"
                  "minchange] [--mode=exact|approx] [--eps --delta --seed "
-                 "--threads] [--show-repairs] [--show-chain]\n"
+                 "--threads --memo] [--show-repairs] [--show-chain]\n"
                  "   or: opcqa_cli --schema=F --db=F --mode=sql "
                  "--sql='SELECT ...' --keys='R:0;S:0,1' "
                  "[--eps --delta --seed]\n");
@@ -282,11 +290,20 @@ int main(int argc, char** argv) {
   if (opt.mode == "exact") {
     EnumerationOptions enum_options;
     enum_options.threads = opt.threads;
+    enum_options.memoize = opt.memo;
     OcaResult oca =
         ComputeOca(*db, *constraints, *generator, *query, enum_options);
     if (oca.enumeration.truncated) {
       return Fail(Status::ResourceExhausted(
           "chain too large for exact answering; use --mode=approx"));
+    }
+    if (opt.memo) {
+      const MemoStats& memo = oca.enumeration.memo_stats;
+      std::printf("memoization: %zu states visited, %llu replayed hits, "
+                  "%zu table entries, %llu hash collisions\n",
+                  oca.enumeration.states_visited,
+                  static_cast<unsigned long long>(memo.hits), memo.entries,
+                  static_cast<unsigned long long>(memo.collisions));
     }
     std::printf("exact operational consistent answers "
                 "(success mass %s, failing mass %s):\n",

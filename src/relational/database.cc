@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace opcqa {
@@ -48,6 +49,7 @@ bool Database::InsertId(FactId id) {
   if (it != bucket.end() && *it == id) return false;
   bucket.insert(it, id);
   ++size_;
+  hash_ += HashMix64(FactStore::Global().hash(id));
   return true;
 }
 
@@ -70,6 +72,7 @@ bool Database::EraseId(FactId id) {
   if (it == bucket.end() || *it != id) return false;
   bucket.erase(it);
   --size_;
+  hash_ -= HashMix64(FactStore::Global().hash(id));
   return true;
 }
 
@@ -215,17 +218,6 @@ std::string Database::ToString() const {
     }
   }
   return out;
-}
-
-size_t Database::Hash() const {
-  const FactStore& store = FactStore::Global();
-  size_t h = 0;
-  for (const auto& bucket : facts_) {
-    for (FactId id : bucket) {
-      h ^= store.hash(id) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-  }
-  return h;
 }
 
 }  // namespace opcqa

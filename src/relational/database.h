@@ -74,12 +74,18 @@ class Database {
   /// "R(a,b). R(a,c). S(d)." — deterministic, usable as a canonical key.
   std::string ToString() const;
 
-  size_t Hash() const;
+  /// Set fingerprint: the commutative sum of mixed per-fact hashes cached
+  /// at intern time, maintained incrementally by InsertId/EraseId — O(1)
+  /// to read, O(1) to update per fact. Equal fact sets always hash equal;
+  /// distinct sets collide only as ordinary 64-bit hash collisions (the
+  /// repair-space transposition table verifies against the real id sets).
+  size_t Hash() const { return hash_; }
 
  private:
   const Schema* schema_;
   std::vector<std::vector<FactId>> facts_;  // per PredId, value-sorted
   size_t size_ = 0;
+  size_t hash_ = 0;
 };
 
 struct DatabaseHash {

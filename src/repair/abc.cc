@@ -171,6 +171,7 @@ Result<std::vector<Database>> AbcRepairsViaChain(
   EnumerationOptions enum_options;
   enum_options.max_states = options.max_candidates;
   enum_options.threads = options.threads;
+  enum_options.memoize = options.memoize;
   EnumerationResult result =
       EnumerateRepairs(db, constraints, uniform, enum_options);
   if (result.truncated) {

@@ -35,6 +35,9 @@ struct AbcOptions {
   /// Worker threads for the via-chain engine's uniform-chain walks
   /// (forwarded to EnumerationOptions::threads); 0 = DefaultThreads().
   size_t threads = 1;
+  /// Shared-suffix memoization for the via-chain engine (forwarded to
+  /// EnumerationOptions::memoize; results are identical either way).
+  bool memoize = false;
 };
 
 /// The conflict hypergraph of D w.r.t. denial-only Σ: one edge per

@@ -45,6 +45,15 @@ class ChainGenerator {
   /// True when the generator never assigns positive probability to an
   /// addition (Proposition 8 then guarantees it is non-failing).
   virtual bool supports_only_deletions() const { return false; }
+
+  /// True when Probabilities() is a function of the *state* only — the
+  /// current database and its violations — and never of the path that
+  /// reached it (sequence, depth, interleaving). Two repairing sequences
+  /// hitting the same intermediate database then root identical subtrees,
+  /// which is what makes transposition-table memoization of the repair
+  /// space (repair/memo.h) sound. Defaults to false (conservative): a
+  /// generator must opt in explicitly.
+  virtual bool history_independent() const { return false; }
 };
 
 /// Validates and returns the distribution for a state: non-negative values
@@ -61,6 +70,7 @@ class UniformChainGenerator : public ChainGenerator {
       const RepairingState& state,
       const std::vector<Operation>& extensions) const override;
   std::string name() const override { return "uniform"; }
+  bool history_independent() const override { return true; }
 };
 
 /// Uniform over deletion extensions only; addition extensions get 0.
@@ -73,6 +83,7 @@ class DeletionOnlyUniformGenerator : public ChainGenerator {
       const std::vector<Operation>& extensions) const override;
   std::string name() const override { return "uniform-deletions"; }
   bool supports_only_deletions() const override { return true; }
+  bool history_independent() const override { return true; }
 };
 
 /// Wraps an arbitrary probability function.
@@ -81,9 +92,12 @@ class LambdaChainGenerator : public ChainGenerator {
   using Fn = std::function<std::vector<Rational>(
       const RepairingState&, const std::vector<Operation>&)>;
 
-  LambdaChainGenerator(std::string name, Fn fn, bool deletions_only = false)
+  /// Set `memoryless` when `fn` reads only the state's current database /
+  /// violations (see ChainGenerator::history_independent).
+  LambdaChainGenerator(std::string name, Fn fn, bool deletions_only = false,
+                       bool memoryless = false)
       : name_(std::move(name)), fn_(std::move(fn)),
-        deletions_only_(deletions_only) {}
+        deletions_only_(deletions_only), memoryless_(memoryless) {}
 
   std::vector<Rational> Probabilities(
       const RepairingState& state,
@@ -92,11 +106,13 @@ class LambdaChainGenerator : public ChainGenerator {
   }
   std::string name() const override { return name_; }
   bool supports_only_deletions() const override { return deletions_only_; }
+  bool history_independent() const override { return memoryless_; }
 
  private:
   std::string name_;
   Fn fn_;
   bool deletions_only_;
+  bool memoryless_;
 };
 
 }  // namespace opcqa

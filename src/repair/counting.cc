@@ -7,6 +7,16 @@ Rational CountingOcaResult::Proportion(const Tuple& tuple) const {
   return it == answers.end() ? Rational(0) : it->second;
 }
 
+CountingOcaResult CountingOca(const Database& db,
+                              const ConstraintSet& constraints,
+                              const ChainGenerator& generator,
+                              const Query& query,
+                              const CountingOptions& options) {
+  EnumerationResult enumeration =
+      EnumerateRepairs(db, constraints, generator, options.enumeration);
+  return CountingOcaFromEnumeration(enumeration, query);
+}
+
 CountingOcaResult CountingOcaFromEnumeration(
     const EnumerationResult& enumeration, const Query& query) {
   std::vector<Database> repairs;

@@ -1,0 +1,85 @@
+#include "repair/memo.h"
+
+#include "util/hash.h"
+
+namespace opcqa {
+
+size_t StateKey::Combined() const {
+  return HashCombine(db_hash, eliminated_hash);
+}
+
+StateKey KeyOf(const RepairingState& state) {
+  return StateKey{state.db_hash(), state.eliminated_hash()};
+}
+
+bool MemoizationApplicable(const RepairContext& context,
+                           const ChainGenerator& generator,
+                           bool prune_zero_probability) {
+  if (!generator.history_independent()) return false;
+  if (context.denial_only) return true;  // every justified op is a deletion
+  return generator.supports_only_deletions() && prune_zero_probability;
+}
+
+TranspositionTable::TranspositionTable(size_t max_entries)
+    : max_entries_(max_entries) {}
+
+std::shared_ptr<const MemoOutcome> TranspositionTable::Lookup(
+    const StateKey& key, const Database& db, const ViolationSet& eliminated) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto [begin, end] = stripe.map.equal_range(key.Combined());
+  bool collided = false;
+  for (auto it = begin; it != end; ++it) {
+    const Entry& entry = it->second;
+    if (entry.key == key && entry.db == db &&
+        entry.eliminated == eliminated) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return entry.outcome;
+    }
+    collided = true;
+  }
+  if (collided) collisions_.fetch_add(1, std::memory_order_relaxed);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void TranspositionTable::Insert(const StateKey& key, const Database& db,
+                                ViolationSet eliminated,
+                                std::shared_ptr<const MemoOutcome> outcome) {
+  if (entries_.load(std::memory_order_relaxed) >= max_entries_) {
+    rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto [begin, end] = stripe.map.equal_range(key.Combined());
+  for (auto it = begin; it != end; ++it) {
+    const Entry& entry = it->second;
+    if (entry.key == key && entry.db == db &&
+        entry.eliminated == eliminated) {
+      return;  // first writer wins; outcomes are equal by soundness
+    }
+  }
+  stripe.map.emplace(key.Combined(),
+                     Entry{key, db, std::move(eliminated),
+                           std::move(outcome)});
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t TranspositionTable::size() const {
+  return entries_.load(std::memory_order_relaxed);
+}
+
+MemoStats TranspositionTable::stats() const {
+  MemoStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.collisions = collisions_.load(std::memory_order_relaxed);
+  stats.inserts = inserts_.load(std::memory_order_relaxed);
+  stats.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  stats.entries = entries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace opcqa

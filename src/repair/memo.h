@@ -1,0 +1,178 @@
+// Transposition-table memoization of the repair space.
+//
+// Many distinct repairing sequences pass through the *same* intermediate
+// database: resolving n independent key conflicts yields n! interleavings
+// over only 𝒪(cⁿ) distinct states, and the exact enumerator, counter and
+// top-k search all recompute every shared suffix from scratch. The
+// uniform-operational-CQA line (Calautti et al., arXiv:2204.10592,
+// 2312.08038) obtains its tractable counting results precisely by
+// collapsing equivalent states; this table is the engine-level analogue.
+//
+// ## Soundness (when two states share their future)
+//
+// The subtree below a repairing state is a function of the pair
+//
+//     (current database  D^s_i,  eliminated-violation set)
+//
+// whenever the chain is deletion-only and the generator is history
+// independent (MemoizationApplicable):
+//   * no additions ⇒ the addition records and the added-fact set are
+//     empty, so Local/Global Justification and No Cancellation depend on
+//     nothing path-specific (the removed-fact set is D − D^s_i);
+//   * req2 depends only on the eliminated set;
+//   * a history-independent generator assigns edge probabilities from the
+//     state alone (ChainGenerator::history_independent).
+// Under denial-only Σ the eliminated set is itself V(D,Σ) − V(D^s_i,Σ),
+// but it stays part of the key so the TGD-with-deletion-only-generator
+// case is covered too.
+//
+// ## Keys, collisions, determinism
+//
+// States are keyed on the (database hash, eliminated-set hash) pair both
+// maintained incrementally under ApplyTrusted/Revert — keying is O(1),
+// never O(|D|). Hash equality is only a candidate match: every lookup
+// verifies the stored real id-sets before a hit, so hash collisions
+// degrade performance, never correctness. Entries store the *completed*
+// subtree outcome with masses relative to the subtree root; replaying an
+// entry multiplies by the entering path mass, and exact Rational
+// arithmetic makes the replayed totals — masses, counters, truncation —
+// byte-identical to the unmemoized walk. The table is shared across the
+// PR-2 worker threads through striped locks; because an entry's value is
+// a function of its key, the publication race is benign and results stay
+// deterministic for every thread count.
+
+#ifndef OPCQA_REPAIR_MEMO_H_
+#define OPCQA_REPAIR_MEMO_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "repair/chain_generator.h"
+#include "repair/repairing_state.h"
+#include "util/rational.h"
+
+namespace opcqa {
+
+/// O(1) fingerprint of a repairing state (see file comment). Equal states
+/// always produce equal keys; unequal states are told apart by the
+/// table's id-set verification.
+struct StateKey {
+  size_t db_hash = 0;
+  size_t eliminated_hash = 0;
+
+  bool operator==(const StateKey&) const = default;
+  size_t Combined() const;
+};
+
+StateKey KeyOf(const RepairingState& state);
+
+/// True when memoizing subtrees keyed on StateKey is sound for this
+/// combination (see the file comment): the generator must be history
+/// independent, and the chain must be deletion-only — guaranteed by a
+/// denial-only Σ, or by a deletions-only generator together with
+/// zero-probability pruning (which keeps addition edges out of the tree).
+bool MemoizationApplicable(const RepairContext& context,
+                           const ChainGenerator& generator,
+                           bool prune_zero_probability);
+
+/// The complete subtree outcome below a state, conditioned on entering the
+/// state with path mass 1 (multiply by the actual entering mass to
+/// replay). Only completed subtrees are stored — a walk that hit a state
+/// budget inside the subtree records nothing ("completed-subtree marker"
+/// by construction).
+struct MemoOutcome {
+  struct RepairShare {
+    Database repair;
+    Rational mass;          // Σ leaf masses relative to the subtree root
+    size_t num_sequences;   // successful leaves mapping to this repair
+  };
+  /// Distinct successful leaf databases, in database (value) order.
+  std::vector<RepairShare> repairs;
+  Rational success_mass;    // Σ over repairs (relative)
+  Rational failing_mass;    // Σ over failing leaves (relative)
+  size_t states = 0;        // subtree states, including the root
+  size_t absorbing_states = 0;
+  size_t successful_sequences = 0;
+  size_t failing_sequences = 0;
+  size_t depth_below = 0;   // deepest leaf depth − subtree-root depth
+};
+
+/// Aggregate table counters (monotone; read with stats()).
+struct MemoStats {
+  uint64_t hits = 0;        // verified lookups
+  uint64_t misses = 0;      // no entry under the key
+  uint64_t collisions = 0;  // hash match whose id-sets differed
+  uint64_t inserts = 0;
+  uint64_t rejected_full = 0;  // inserts dropped by the entry cap
+  size_t entries = 0;
+};
+
+/// Striped-lock transposition table: StateKey → verified MemoOutcome.
+/// Thread-safe for concurrent Lookup/Insert (one stripe locked per call);
+/// outcomes are immutable once published.
+class TranspositionTable {
+ public:
+  static constexpr size_t kDefaultMaxEntries = 1u << 20;
+
+  explicit TranspositionTable(size_t max_entries = kDefaultMaxEntries);
+
+  /// The outcome recorded for this exact state, or nullptr. `db` and
+  /// `eliminated` are the verification payloads: a candidate entry whose
+  /// stored id-sets differ is a counted hash collision, never a hit.
+  std::shared_ptr<const MemoOutcome> Lookup(const StateKey& key,
+                                            const Database& db,
+                                            const ViolationSet& eliminated);
+  std::shared_ptr<const MemoOutcome> Lookup(const RepairingState& state) {
+    return Lookup(KeyOf(state), state.current(), state.eliminated());
+  }
+
+  /// Records the completed-subtree outcome below (key, db, eliminated).
+  /// Re-inserting an already-present state keeps the first entry (the
+  /// outcomes are equal by soundness); inserts beyond `max_entries` are
+  /// dropped (existing entries keep serving hits).
+  void Insert(const StateKey& key, const Database& db,
+              ViolationSet eliminated,
+              std::shared_ptr<const MemoOutcome> outcome);
+  void Insert(const RepairingState& state,
+              std::shared_ptr<const MemoOutcome> outcome) {
+    Insert(KeyOf(state), state.current(), state.eliminated(),
+           std::move(outcome));
+  }
+
+  size_t size() const;
+  MemoStats stats() const;
+
+ private:
+  struct Entry {
+    StateKey key;
+    Database db;              // verification payloads
+    ViolationSet eliminated;
+    std::shared_ptr<const MemoOutcome> outcome;
+  };
+  struct Stripe {
+    mutable std::mutex mutex;
+    // Combined() → entries; same-bucket entries disambiguated by payload.
+    std::unordered_multimap<size_t, Entry> map;
+  };
+  static constexpr size_t kNumStripes = 16;
+
+  Stripe& StripeFor(const StateKey& key) {
+    return stripes_[key.Combined() % kNumStripes];
+  }
+
+  size_t max_entries_;
+  std::atomic<size_t> entries_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> collisions_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> rejected_full_{0};
+  Stripe stripes_[kNumStripes];
+};
+
+}  // namespace opcqa
+
+#endif  // OPCQA_REPAIR_MEMO_H_

@@ -33,6 +33,8 @@ class PreferenceChainGenerator : public ChainGenerator {
 
   std::string name() const override { return "preference"; }
   bool supports_only_deletions() const override { return true; }
+  // Weights read only w(·, s(D)) — the current database.
+  bool history_independent() const override { return true; }
 
  private:
   PredId pref_;

@@ -35,7 +35,8 @@ PriorityChainGenerator PriorityChainGenerator::MinimalChange() {
       "minimal-change",
       [](const RepairingState&, const Operation& op) {
         return -static_cast<int64_t>(op.size());
-      });
+      },
+      /*deletions_only=*/false, /*memoryless=*/true);
 }
 
 PriorityChainGenerator PriorityChainGenerator::DeleteLowestScoreFirst(
@@ -54,7 +55,8 @@ PriorityChainGenerator PriorityChainGenerator::DeleteLowestScoreFirst(
         // Deleting low-score facts is preferred → rank is the negated
         // highest score touched.
         return -worst;
-      });
+      },
+      /*deletions_only=*/false, /*memoryless=*/true);
 }
 
 }  // namespace opcqa

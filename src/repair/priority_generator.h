@@ -21,10 +21,13 @@ class PriorityChainGenerator : public ChainGenerator {
   using RankFn =
       std::function<int64_t(const RepairingState&, const Operation&)>;
 
+  /// Set `memoryless` when `rank` reads only the state's current database
+  /// and the operation (see ChainGenerator::history_independent).
   PriorityChainGenerator(std::string name, RankFn rank,
-                         bool deletions_only = false)
+                         bool deletions_only = false,
+                         bool memoryless = false)
       : name_(std::move(name)), rank_(std::move(rank)),
-        deletions_only_(deletions_only) {}
+        deletions_only_(deletions_only), memoryless_(memoryless) {}
 
   std::vector<Rational> Probabilities(
       const RepairingState& state,
@@ -32,6 +35,7 @@ class PriorityChainGenerator : public ChainGenerator {
 
   std::string name() const override { return name_; }
   bool supports_only_deletions() const override { return deletions_only_; }
+  bool history_independent() const override { return memoryless_; }
 
   /// Rank = −|F| : prefer operations that change as few facts as possible
   /// (single-fact deletions beat pair deletions — the classical
@@ -48,6 +52,7 @@ class PriorityChainGenerator : public ChainGenerator {
   std::string name_;
   RankFn rank_;
   bool deletions_only_;
+  bool memoryless_;
 };
 
 }  // namespace opcqa

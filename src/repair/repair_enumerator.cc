@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <numeric>
 
 #include "util/logging.h"
@@ -41,66 +42,222 @@ struct SubtreeResult {
 // branches stop early instead of each burning a full budget. A shared-cap
 // bail sets hit_cap, which only routes the branch to the deterministic
 // serial re-walk — it never changes the merged result.
+//
+// With a TranspositionTable the walker memoizes: a state whose completed
+// subtree outcome is already recorded is *replayed* — all counters advance
+// by the virtual subtree (states_visited included, so budget/truncation
+// semantics are unchanged) and the stored relative masses are scaled by the
+// entering path mass, which exact Rational arithmetic makes byte-identical
+// to walking the subtree. A replay is taken only when the whole virtual
+// subtree fits the remaining budget; otherwise the real walk runs and
+// truncates exactly like the unmemoized one. Completed subtrees are
+// recorded on the way out via counter snapshots plus a leaf-contribution
+// log (compressed to per-repair shares as frames close, so it stays
+// bounded by distinct repairs × depth, not by leaf count).
 class SubtreeWalker {
  public:
   SubtreeWalker(const ChainGenerator& generator,
                 const EnumerationOptions& options, size_t budget,
+                TranspositionTable* memo,
                 std::atomic<size_t>* shared_budget = nullptr)
       : generator_(generator),
         options_(options),
         budget_(budget),
+        memo_(memo),
         shared_budget_(shared_budget) {}
 
-  void Visit(RepairingState& state, const Rational& mass) {
-    if (out_.hit_cap) return;
+  /// Returns the depth of the subtree below `state` (0 when absorbing);
+  /// the value is meaningless after a cap bail.
+  size_t Visit(RepairingState& state, const Rational& mass) {
+    if (out_.hit_cap) return 0;
+    StateKey key;
+    if (memo_ != nullptr) {
+      key = KeyOf(state);
+      std::shared_ptr<const MemoOutcome> cached =
+          memo_->Lookup(key, state.current(), state.eliminated());
+      if (cached != nullptr && Replay(*cached, state.depth(), mass)) {
+        return cached->depth_below;
+      }
+    }
+    Frame frame;
+    if (memo_ != nullptr) frame = OpenFrame();
     ++out_.states_visited;
     if (out_.states_visited > budget_) {
       out_.hit_cap = true;
-      return;
+      return 0;
     }
     if (shared_budget_ != nullptr &&
         shared_budget_->fetch_add(1, std::memory_order_relaxed) >=
             options_.max_states) {
       out_.hit_cap = true;
-      return;
+      return 0;
     }
     out_.max_depth = std::max(out_.max_depth, state.depth());
     std::vector<Operation> extensions = state.ValidExtensions();
+    size_t depth_below = 0;
     if (extensions.empty()) {
       // Absorbing state (complete sequence).
       ++out_.absorbing_states;
       if (state.IsConsistent()) {
         ++out_.successful_sequences;
         out_.success_mass += mass;
-        // map operator[] freezes the key by copying on first insert.
-        auto& slot = out_.aggregated[state.current()];
-        slot.first += mass;
-        slot.second += 1;
+        // try_emplace freezes the key by copying on first insert.
+        auto [it, inserted] = out_.aggregated.try_emplace(state.current());
+        it->second.first += mass;
+        it->second.second += 1;
+        if (memo_ != nullptr) log_.push_back(LeafShare{&it->first, mass, 1});
       } else {
         ++out_.failing_sequences;
         out_.failing_mass += mass;
       }
-      return;
+    } else {
+      std::vector<Rational> probs =
+          CheckedProbabilities(generator_, state, extensions);
+      for (size_t i = 0; i < extensions.size(); ++i) {
+        if (options_.prune_zero_probability && probs[i].is_zero()) continue;
+        state.ApplyTrusted(extensions[i]);
+        size_t below = Visit(state, mass * probs[i]);
+        state.Revert();
+        if (out_.hit_cap) return 0;
+        depth_below = std::max(depth_below, below + 1);
+      }
     }
-    std::vector<Rational> probs =
-        CheckedProbabilities(generator_, state, extensions);
-    for (size_t i = 0; i < extensions.size(); ++i) {
-      if (options_.prune_zero_probability && probs[i].is_zero()) continue;
-      state.ApplyTrusted(extensions[i]);
-      Visit(state, mass * probs[i]);
-      state.Revert();
-      if (out_.hit_cap) return;
-    }
+    if (memo_ != nullptr) CloseFrame(key, state, mass, frame, depth_below);
+    return depth_below;
   }
 
   SubtreeResult Take() { return std::move(out_); }
 
  private:
+  // One logged leaf contribution: the frozen repair (a stable pointer into
+  // out_.aggregated — std::map nodes never move) with the absolute mass
+  // and sequence count it received.
+  struct LeafShare {
+    const Database* repair;
+    Rational mass;
+    size_t sequences;
+  };
+
+  // Counter snapshot taken on entering a state; the subtree outcome is the
+  // exact delta accumulated until the matching CloseFrame.
+  struct Frame {
+    size_t log_pos = 0;
+    size_t states_visited = 0;
+    size_t absorbing_states = 0;
+    size_t successful_sequences = 0;
+    size_t failing_sequences = 0;
+    Rational success_mass;
+    Rational failing_mass;
+  };
+
+  Frame OpenFrame() const {
+    Frame frame;
+    frame.log_pos = log_.size();
+    frame.states_visited = out_.states_visited;
+    frame.absorbing_states = out_.absorbing_states;
+    frame.successful_sequences = out_.successful_sequences;
+    frame.failing_sequences = out_.failing_sequences;
+    frame.success_mass = out_.success_mass;
+    frame.failing_mass = out_.failing_mass;
+    return frame;
+  }
+
+  // Replays a recorded subtree when it fits the remaining budget. All
+  // counters advance exactly as the real walk would, so budgets, shared
+  // speculation accounting and truncation stay byte-identical.
+  bool Replay(const MemoOutcome& outcome, size_t depth,
+              const Rational& mass) {
+    if (out_.states_visited + outcome.states > budget_) return false;
+    out_.states_visited += outcome.states;
+    if (shared_budget_ != nullptr) {
+      shared_budget_->fetch_add(outcome.states, std::memory_order_relaxed);
+    }
+    out_.absorbing_states += outcome.absorbing_states;
+    out_.successful_sequences += outcome.successful_sequences;
+    out_.failing_sequences += outcome.failing_sequences;
+    out_.success_mass += outcome.success_mass * mass;
+    out_.failing_mass += outcome.failing_mass * mass;
+    out_.max_depth = std::max(out_.max_depth, depth + outcome.depth_below);
+    for (const MemoOutcome::RepairShare& share : outcome.repairs) {
+      auto [it, inserted] = out_.aggregated.try_emplace(share.repair);
+      Rational contribution = share.mass * mass;
+      it->second.first += contribution;
+      it->second.second += share.num_sequences;
+      // Enclosing frames see the replayed subtree as leaf contributions.
+      log_.push_back(
+          LeafShare{&it->first, std::move(contribution), share.num_sequences});
+    }
+    return true;
+  }
+
+  // Completed subtree: derive the outcome (relative to the entering mass)
+  // from the counter deltas and the frame's log segment, record it, and
+  // compress the segment to one entry per distinct repair.
+  void CloseFrame(const StateKey& key, const RepairingState& state,
+                  const Rational& mass, const Frame& frame,
+                  size_t depth_below) {
+    // Group the segment by repair. Equal repairs share one map node, so
+    // grouping needs only pointer identity — cheap — and the full
+    // Database value comparisons are saved for the (much smaller)
+    // compressed list, whose deterministic value order the stored entry
+    // and the log replacement both use.
+    std::vector<LeafShare> grouped(log_.begin() + frame.log_pos, log_.end());
+    std::sort(grouped.begin(), grouped.end(),
+              [](const LeafShare& a, const LeafShare& b) {
+                return a.repair < b.repair;
+              });
+    std::vector<LeafShare> compressed;
+    for (LeafShare& share : grouped) {
+      if (!compressed.empty() && compressed.back().repair == share.repair) {
+        compressed.back().mass += share.mass;
+        compressed.back().sequences += share.sequences;
+      } else {
+        compressed.push_back(std::move(share));
+      }
+    }
+    std::sort(compressed.begin(), compressed.end(),
+              [](const LeafShare& a, const LeafShare& b) {
+                return *a.repair < *b.repair;
+              });
+    log_.resize(frame.log_pos);
+    log_.insert(log_.end(), compressed.begin(), compressed.end());
+    // Zero-mass subtrees (reachable only with pruning disabled) cannot be
+    // normalized; they are simply not recorded. Absorbing leaves are not
+    // worth an entry either: replaying one saves a single near-trivial
+    // Visit (a consistent leaf's ValidExtensions is O(1)) while the entry
+    // costs two id-set copies — and under the entry cap, leaf entries
+    // filling bottom-up would crowd out the deep shared suffixes that
+    // carry all the speedup. Leaves are replayed as part of their
+    // memoized ancestors instead.
+    size_t subtree_states = out_.states_visited - frame.states_visited;
+    if (mass.is_zero() || subtree_states < 2) return;
+    auto outcome = std::make_shared<MemoOutcome>();
+    outcome->states = subtree_states;
+    outcome->absorbing_states =
+        out_.absorbing_states - frame.absorbing_states;
+    outcome->successful_sequences =
+        out_.successful_sequences - frame.successful_sequences;
+    outcome->failing_sequences =
+        out_.failing_sequences - frame.failing_sequences;
+    outcome->success_mass = (out_.success_mass - frame.success_mass) / mass;
+    outcome->failing_mass = (out_.failing_mass - frame.failing_mass) / mass;
+    outcome->depth_below = depth_below;
+    outcome->repairs.reserve(compressed.size());
+    for (const LeafShare& share : compressed) {
+      outcome->repairs.push_back(MemoOutcome::RepairShare{
+          *share.repair, share.mass / mass, share.sequences});
+    }
+    memo_->Insert(key, state.current(), state.eliminated(),
+                  std::move(outcome));
+  }
+
   const ChainGenerator& generator_;
   const EnumerationOptions& options_;
   size_t budget_;
+  TranspositionTable* memo_;
   std::atomic<size_t>* shared_budget_;
   SubtreeResult out_;
+  std::vector<LeafShare> log_;  // only populated when memo_ != nullptr
 };
 
 // Accumulates a subtree's counters and aggregation map into the merged
@@ -154,8 +311,9 @@ struct RootBranch {
 
 EnumerationResult EnumerateSerial(RepairingState& root,
                                   const ChainGenerator& generator,
-                                  const EnumerationOptions& options) {
-  SubtreeWalker walker(generator, options, options.max_states);
+                                  const EnumerationOptions& options,
+                                  TranspositionTable* memo) {
+  SubtreeWalker walker(generator, options, options.max_states, memo);
   walker.Visit(root, Rational(1));
   SubtreeResult partial = walker.Take();
   EnumerationResult result;
@@ -169,7 +327,8 @@ EnumerationResult EnumerateSerial(RepairingState& root,
 EnumerationResult EnumerateParallel(RepairingState& root,
                                     const ChainGenerator& generator,
                                     const EnumerationOptions& options,
-                                    size_t threads) {
+                                    size_t threads,
+                                    TranspositionTable* memo) {
   // Replicate the serial root frame: count ε, then branch.
   EnumerationResult result;
   result.states_visited = 1;
@@ -213,7 +372,10 @@ EnumerationResult EnumerateParallel(RepairingState& root,
       ParallelMap<SubtreeResult>(branches.size(), threads, [&](size_t k) {
         RepairingState state = root.Fork();
         state.ApplyTrusted(extensions[branches[k].extension_index]);
-        SubtreeWalker walker(generator, options, options.max_states,
+        // All workers share one striped-lock transposition table; entry
+        // values are functions of their keys, so cross-worker hits are
+        // deterministic in effect regardless of which worker published.
+        SubtreeWalker walker(generator, options, options.max_states, memo,
                              &shared_budget);
         walker.Visit(state, branches[k].mass);
         return walker.Take();
@@ -233,7 +395,7 @@ EnumerationResult EnumerateParallel(RepairingState& root,
     }
     RepairingState state = root.Fork();
     state.ApplyTrusted(extensions[branches[k].extension_index]);
-    SubtreeWalker walker(generator, options, budget_left);
+    SubtreeWalker walker(generator, options, budget_left, memo);
     walker.Visit(state, branches[k].mass);
     SubtreeResult rewalked = walker.Take();
     bool truncated_here = rewalked.hit_cap;
@@ -274,11 +436,19 @@ EnumerationResult EnumerateRepairs(const Database& db,
                                    const EnumerationOptions& options) {
   auto context = RepairContext::Make(db, constraints);
   RepairingState root(context);
-  size_t threads = options.threads == 0 ? DefaultThreads() : options.threads;
-  if (threads > 1) {
-    return EnumerateParallel(root, generator, options, threads);
+  std::unique_ptr<TranspositionTable> memo;
+  if (options.memoize &&
+      MemoizationApplicable(*context, generator,
+                            options.prune_zero_probability)) {
+    memo = std::make_unique<TranspositionTable>(options.memo_max_entries);
   }
-  return EnumerateSerial(root, generator, options);
+  size_t threads = options.threads == 0 ? DefaultThreads() : options.threads;
+  EnumerationResult result =
+      threads > 1
+          ? EnumerateParallel(root, generator, options, threads, memo.get())
+          : EnumerateSerial(root, generator, options, memo.get());
+  if (memo != nullptr) result.memo_stats = memo->stats();
+  return result;
 }
 
 namespace {

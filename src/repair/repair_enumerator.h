@@ -30,17 +30,30 @@
 #include <vector>
 
 #include "repair/chain_generator.h"
+#include "repair/memo.h"
 
 namespace opcqa {
 
 struct EnumerationOptions {
-  /// Maximum number of chain states to visit before giving up.
+  /// Maximum number of chain states to visit before giving up. Memoized
+  /// replays count the full virtual subtree, so the budget (and the
+  /// truncation it produces) is independent of memoization.
   size_t max_states = 1u << 22;
   /// Skip zero-probability edges (they are unreachable in the chain).
   bool prune_zero_probability = true;
   /// Worker threads sharing the enumeration (root-branch sharding);
   /// 0 means DefaultThreads(). Results are identical for every value.
   size_t threads = 1;
+  /// Collapse shared suffixes with a transposition table (repair/memo.h):
+  /// sequences reaching the same (database, eliminated-set) state compute
+  /// their subtree once and replay it afterwards. Applied only when sound
+  /// (MemoizationApplicable; silently ignored otherwise) and byte-identical
+  /// to the unmemoized enumeration either way — including truncation and
+  /// every counter — for every thread count.
+  bool memoize = false;
+  /// Entry cap for the transposition table; once full, existing entries
+  /// keep serving hits but no new subtrees are recorded.
+  size_t memo_max_entries = TranspositionTable::kDefaultMaxEntries;
 };
 
 /// One operational repair with its probability.
@@ -66,6 +79,10 @@ struct EnumerationResult {
   size_t max_depth = 0;
   /// True when max_states was hit; masses are then lower bounds.
   bool truncated = false;
+  /// Transposition-table counters (all zero when memoization was off or
+  /// not applicable). Purely observational — hit patterns vary with
+  /// thread scheduling while results never do.
+  MemoStats memo_stats;
 
   /// Indices into `repairs` in database (value) order, built by
   /// EnumerateRepairs so ProbabilityOf can binary-search. Hand-assembled

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -129,7 +130,10 @@ void RepairingState::ApplyTrusted(const Operation& op) {
   for (const Violation& v : violations_) {
     if (next_violations.count(v) == 0) {
       undo.disappeared.push_back(v);
-      if (eliminated_.insert(v).second) undo.newly_eliminated.push_back(v);
+      if (eliminated_.insert(v).second) {
+        undo.newly_eliminated.push_back(v);
+        eliminated_hash_ += HashMix64(v.Hash());
+      }
     }
   }
   for (const Violation& v : next_violations) {
@@ -149,7 +153,10 @@ void RepairingState::Revert() {
   // Violations: undo the delta.
   for (const Violation& v : undo.appeared) violations_.erase(v);
   for (const Violation& v : undo.disappeared) violations_.insert(v);
-  for (const Violation& v : undo.newly_eliminated) eliminated_.erase(v);
+  for (const Violation& v : undo.newly_eliminated) {
+    eliminated_.erase(v);
+    eliminated_hash_ -= HashMix64(v.Hash());
+  }
   // Database and provenance. Every fact of an operation is fresh to its
   // direction (a fact is added / removed at most once per sequence), so
   // erasing the op's facts restores added_/removed_/removed_after exactly.

@@ -67,6 +67,19 @@ class RepairingState {
   const ViolationSet& violations() const { return violations_; }
   bool IsConsistent() const { return violations_.empty(); }
 
+  /// ∪_i V(D_{i-1}) − V(D_i): every violation eliminated so far (req2
+  /// forbids their reappearance). Exposed for transposition-table
+  /// collision verification (repair/memo.h).
+  const ViolationSet& eliminated() const { return eliminated_; }
+
+  // O(1) state-fingerprint accessors for repair-space memoization. Both
+  // are maintained incrementally — the database hash by InsertId/EraseId
+  // (O(delta) per operation), the eliminated-set hash by
+  // ApplyTrusted/Revert on the newly-eliminated delta — so keying a state
+  // never re-walks the database or the eliminated set.
+  size_t db_hash() const { return db_.Hash(); }
+  size_t eliminated_hash() const { return eliminated_hash_; }
+
   /// Every operation op such that s · op is a repairing sequence. Sorted
   /// deterministically. Empty iff the sequence is complete.
   std::vector<Operation> ValidExtensions() const;
@@ -134,6 +147,7 @@ class RepairingState {
   OperationSequence sequence_;
   ViolationSet violations_;   // V(current)
   ViolationSet eliminated_;   // ∪_i V(D_{i-1}) − V(D_i)
+  size_t eliminated_hash_ = 0;  // sum of mixed Violation hashes of eliminated_
   std::set<FactId> added_;
   std::set<FactId> removed_;
   std::vector<AdditionRecord> additions_;

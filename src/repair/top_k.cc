@@ -4,18 +4,42 @@
 #include <map>
 #include <memory>
 #include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "repair/memo.h"
 
 namespace opcqa {
 namespace {
 
-/// A frontier entry: a state with the probability of its unique path.
-struct FrontierEntry {
+/// A frontier entry. With transposition merging one entry can stand for
+/// several paths reaching the same state: `probability` is their summed
+/// path mass and `sequences` their count (the chain is a tree per path, so
+/// the subtree below contributes `probability`-weighted mass and
+/// `sequences`-many sequences per leaf — exactly what the merged paths
+/// would have contributed separately, by distributivity of the exact
+/// Rational arithmetic).
+struct Pending {
   Rational probability;
+  size_t sequences = 1;
   std::shared_ptr<RepairingState> state;
+  /// Bumped on every merge; heap nodes carrying an older version are
+  /// stale and skipped on pop (lazy deletion — std::priority_queue cannot
+  /// increase a key in place).
+  uint64_t version = 0;
+  bool expanded = false;
 };
 
-struct EntryLess {
-  bool operator()(const FrontierEntry& a, const FrontierEntry& b) const {
+/// What the heap orders: the entry's mass at push time plus the version
+/// that validates it.
+struct HeapNode {
+  Rational probability;
+  size_t pool_index;
+  uint64_t version;
+};
+
+struct NodeLess {
+  bool operator()(const HeapNode& a, const HeapNode& b) const {
     return a.probability < b.probability;  // max-heap on probability
   }
 };
@@ -44,11 +68,52 @@ TopKResult TopKRepairs(const Database& db, const ConstraintSet& constraints,
   OPCQA_CHECK_GT(k, 0u);
   TopKResult result;
   auto context = RepairContext::Make(db, constraints);
+  // Best-first expansion always skips zero-probability edges, so the
+  // deletions-only-generator leg of the soundness gate applies.
+  const bool merge =
+      options.memoize &&
+      MemoizationApplicable(*context, generator,
+                            /*prune_zero_probability=*/true);
 
-  std::priority_queue<FrontierEntry, std::vector<FrontierEntry>, EntryLess>
-      frontier;
-  frontier.push(FrontierEntry{
-      Rational(1), std::make_shared<RepairingState>(context)});
+  std::vector<Pending> pool;
+  // Transposition index over unexpanded pool entries: combined state-key
+  // hash → pool index, verified against the real id sets before merging.
+  std::unordered_multimap<size_t, size_t> index;
+  std::priority_queue<HeapNode, std::vector<HeapNode>, NodeLess> frontier;
+
+  auto push_state = [&](std::shared_ptr<RepairingState> state,
+                        Rational probability, size_t sequences) {
+    if (merge) {
+      StateKey key = KeyOf(*state);
+      auto [begin, end] = index.equal_range(key.Combined());
+      for (auto it = begin; it != end;) {
+        Pending& candidate = pool[it->second];
+        if (candidate.expanded) {
+          // Lazily drop dead entries so a state reached k times after
+          // expansion costs O(k) probes total, not O(k²).
+          it = index.erase(it);
+          continue;
+        }
+        if (KeyOf(*candidate.state) == key &&
+            candidate.state->current() == state->current() &&
+            candidate.state->eliminated() == state->eliminated()) {
+          candidate.probability += probability;
+          candidate.sequences += sequences;
+          ++candidate.version;
+          frontier.push(HeapNode{candidate.probability, it->second,
+                                 candidate.version});
+          return;
+        }
+        ++it;
+      }
+      index.emplace(key.Combined(), pool.size());
+    }
+    frontier.push(HeapNode{probability, pool.size(), 0});
+    pool.push_back(Pending{std::move(probability), sequences,
+                           std::move(state), 0, false});
+  };
+
+  push_state(std::make_shared<RepairingState>(context), Rational(1), 1);
   result.frontier_mass = Rational(1);
 
   std::map<Database, Rational> repair_mass;
@@ -68,6 +133,13 @@ TopKResult TopKRepairs(const Database& db, const ConstraintSet& constraints,
   constexpr size_t kCertificationStride = 16;
 
   while (!frontier.empty()) {
+    // Drop stale heap nodes (superseded by a merge) without touching any
+    // counter — their mass lives on in the merged entry's current node.
+    if (frontier.top().version != pool[frontier.top().pool_index].version ||
+        pool[frontier.top().pool_index].expanded) {
+      frontier.pop();
+      continue;
+    }
     if (result.states_expanded >= options.max_states) break;
     if (!options.frontier_epsilon.is_zero() &&
         result.frontier_mass <= options.frontier_epsilon) {
@@ -79,36 +151,40 @@ TopKResult TopKRepairs(const Database& db, const ConstraintSet& constraints,
       break;
     }
 
-    FrontierEntry entry = frontier.top();
+    Pending& top = pool[frontier.top().pool_index];
     frontier.pop();
+    top.expanded = true;
+    // Detach what the expansion needs — push_state may reallocate `pool`.
+    const Rational probability = std::move(top.probability);
+    const size_t sequences = top.sequences;
+    const std::shared_ptr<RepairingState> state = std::move(top.state);
     ++result.states_expanded;
-    result.frontier_mass -= entry.probability;
+    result.frontier_mass -= probability;
 
-    std::vector<Operation> extensions = entry.state->ValidExtensions();
+    std::vector<Operation> extensions = state->ValidExtensions();
     if (extensions.empty()) {
       // Absorbing state.
-      if (entry.state->IsConsistent()) {
-        result.explored_success_mass += entry.probability;
+      if (state->IsConsistent()) {
+        result.explored_success_mass += probability;
         // map operator[] freezes the key by copying on first insert.
-        repair_mass[entry.state->current()] += entry.probability;
-        ++repair_sequences[entry.state->current()];
+        repair_mass[state->current()] += probability;
+        repair_sequences[state->current()] += sequences;
       } else {
-        result.explored_failing_mass += entry.probability;
+        result.explored_failing_mass += probability;
       }
       continue;
     }
     std::vector<Rational> probabilities =
-        CheckedProbabilities(generator, *entry.state, extensions);
+        CheckedProbabilities(generator, *state, extensions);
     for (size_t i = 0; i < extensions.size(); ++i) {
       if (probabilities[i].is_zero()) continue;  // unreachable edge
       // Best-first order forces persistent per-entry states; Fork() drops
       // the parent's undo history, so the copy is as small as possible.
-      auto child = std::make_shared<RepairingState>(entry.state->Fork());
+      auto child = std::make_shared<RepairingState>(state->Fork());
       child->ApplyTrusted(extensions[i]);
-      Rational child_probability = entry.probability * probabilities[i];
+      Rational child_probability = probability * probabilities[i];
       result.frontier_mass += child_probability;
-      frontier.push(FrontierEntry{std::move(child_probability),
-                                  std::move(child)});
+      push_state(std::move(child), std::move(child_probability), sequences);
     }
   }
 

@@ -40,6 +40,8 @@ class TrustChainGenerator : public ChainGenerator {
 
   std::string name() const override { return "trust"; }
   bool supports_only_deletions() const override { return true; }
+  // Weights read the violating pairs of s(D) and the fixed trust map.
+  bool history_independent() const override { return true; }
 
   /// tr(α).
   Rational TrustOf(const Fact& fact) const;

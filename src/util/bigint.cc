@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <ostream>
 
 #include "util/logging.h"
@@ -9,8 +10,71 @@
 namespace opcqa {
 
 namespace {
+
 constexpr uint64_t kBase = uint64_t{1} << 32;
+
+// Small-value fast-path helpers: a magnitude of at most 2 limbs is a
+// uint64. (Normalized vectors make the size test exact.)
+inline bool FitsU64(const std::vector<uint32_t>& limbs) {
+  return limbs.size() <= 2;
 }
+
+inline uint64_t MagU64(const std::vector<uint32_t>& limbs) {
+  uint64_t value = limbs.empty() ? 0 : limbs[0];
+  if (limbs.size() > 1) value |= static_cast<uint64_t>(limbs[1]) << 32;
+  return value;
+}
+
+// Writes a uint64 magnitude into an existing limb vector, reusing its
+// capacity (no allocation once the vector has ever held ≥ 2 limbs).
+inline void SetMagU64(std::vector<uint32_t>* limbs, uint64_t value) {
+  limbs->clear();
+  if (value != 0) limbs->push_back(static_cast<uint32_t>(value));
+  if (value >> 32) limbs->push_back(static_cast<uint32_t>(value >> 32));
+}
+
+#if defined(__SIZEOF_INT128__)
+inline void SetMagU128(std::vector<uint32_t>* limbs, unsigned __int128 value) {
+  limbs->clear();
+  while (value != 0) {
+    limbs->push_back(static_cast<uint32_t>(value));
+    value >>= 32;
+  }
+}
+#endif
+
+// Signed ≤64-bit addition: the shared core of the operator+ / operator-
+// fast paths (subtraction passes !b_negative). Writes the canonical
+// magnitude/sign directly — no Canonicalize() needed afterwards.
+inline void AddSignedU64(uint64_t a, bool a_negative, uint64_t b,
+                         bool b_negative, std::vector<uint32_t>* limbs,
+                         bool* negative) {
+  if (a_negative == b_negative) {
+    uint64_t sum = a + b;
+    bool carry = sum < a;
+    // The magnitude is zero only when there was no carry AND the low 64
+    // bits are zero — a carry means the true value is 2^64 + sum.
+    *negative = (carry || sum != 0) && a_negative;
+    if (carry) {
+      // Carry into bit 64: the full 65-bit magnitude, low limbs explicit.
+      *limbs = {static_cast<uint32_t>(sum), static_cast<uint32_t>(sum >> 32),
+                1u};
+    } else {
+      SetMagU64(limbs, sum);
+    }
+  } else if (a == b) {
+    limbs->clear();
+    *negative = false;
+  } else if (a > b) {
+    SetMagU64(limbs, a - b);
+    *negative = a_negative;
+  } else {
+    SetMagU64(limbs, b - a);
+    *negative = b_negative;
+  }
+}
+
+}  // namespace
 
 BigInt::BigInt(int64_t value) {
   negative_ = value < 0;
@@ -86,6 +150,36 @@ void BigInt::Normalize(std::vector<uint32_t>* limbs) {
 void BigInt::Canonicalize() {
   Normalize(&limbs_);
   if (limbs_.empty()) negative_ = false;
+}
+
+void BigInt::AddMagInPlace(std::vector<uint32_t>* a,
+                           const std::vector<uint32_t>& b) {
+  if (b.size() > a->size()) a->resize(b.size(), 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < a->size(); ++i) {
+    uint64_t sum = carry + (*a)[i] + (i < b.size() ? b[i] : 0u);
+    (*a)[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry) a->push_back(static_cast<uint32_t>(carry));
+}
+
+void BigInt::SubMagInPlace(std::vector<uint32_t>* a,
+                           const std::vector<uint32_t>& b) {
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a->size(); ++i) {
+    int64_t diff = static_cast<int64_t>((*a)[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    (*a)[i] = static_cast<uint32_t>(diff);
+  }
+  OPCQA_CHECK_EQ(borrow, 0) << "SubMagInPlace requires |a| >= |b|";
+  Normalize(a);
 }
 
 std::vector<uint32_t> BigInt::AddMag(const std::vector<uint32_t>& a,
@@ -171,6 +265,14 @@ void BigInt::DivModMag(const std::vector<uint32_t>& a,
     *remainder = a;
     return;
   }
+  // Fast path: both magnitudes fit uint64 — one native division.
+  if (FitsU64(a) && FitsU64(b)) {
+    uint64_t dividend = MagU64(a);
+    uint64_t divisor = MagU64(b);
+    SetMagU64(quotient, dividend / divisor);
+    SetMagU64(remainder, dividend % divisor);
+    return;
+  }
   // Fast path: single-limb divisor.
   if (b.size() == 1) {
     uint64_t divisor = b[0];
@@ -218,6 +320,11 @@ void BigInt::DivModMag(const std::vector<uint32_t>& a,
 
 BigInt BigInt::operator+(const BigInt& other) const {
   BigInt result;
+  if (FitsU64(limbs_) && FitsU64(other.limbs_)) {
+    AddSignedU64(MagU64(limbs_), negative_, MagU64(other.limbs_),
+                 other.negative_, &result.limbs_, &result.negative_);
+    return result;
+  }
   if (negative_ == other.negative_) {
     result.limbs_ = AddMag(limbs_, other.limbs_);
     result.negative_ = negative_;
@@ -236,14 +343,103 @@ BigInt BigInt::operator+(const BigInt& other) const {
   return result;
 }
 
-BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+BigInt BigInt::operator-(const BigInt& other) const {
+  if (FitsU64(limbs_) && FitsU64(other.limbs_)) {
+    // Subtraction is addition with other's sign flipped, skipping the
+    // limb-vector copy that materializing `-other` would make.
+    BigInt result;
+    AddSignedU64(MagU64(limbs_), negative_, MagU64(other.limbs_),
+                 !other.negative_, &result.limbs_, &result.negative_);
+    return result;
+  }
+  return *this + (-other);
+}
 
 BigInt BigInt::operator*(const BigInt& other) const {
   BigInt result;
+#if defined(__SIZEOF_INT128__)
+  if (FitsU64(limbs_) && FitsU64(other.limbs_)) {
+    // ≤64-bit × ≤64-bit: one native 128-bit multiply, no MulMag temporary.
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(MagU64(limbs_)) * MagU64(other.limbs_);
+    SetMagU128(&result.limbs_, product);
+    result.negative_ = negative_ != other.negative_;
+    result.Canonicalize();
+    return result;
+  }
+#endif
   result.limbs_ = MulMag(limbs_, other.limbs_);
   result.negative_ = negative_ != other.negative_;
   result.Canonicalize();
   return result;
+}
+
+BigInt& BigInt::operator+=(const BigInt& other) {
+  if (negative_ == other.negative_) {
+    AddMagInPlace(&limbs_, other.limbs_);
+  } else {
+    int cmp = CompareMag(limbs_, other.limbs_);
+    if (cmp == 0) {
+      limbs_.clear();
+    } else if (cmp > 0) {
+      SubMagInPlace(&limbs_, other.limbs_);
+    } else {
+      // |other| dominates: compute |other| − |this| and take other's sign.
+      limbs_ = SubMag(other.limbs_, limbs_);
+      negative_ = other.negative_;
+    }
+  }
+  Canonicalize();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& other) {
+  if (&other == this) {  // self-subtraction: negating `other` below would
+    limbs_.clear();      // read the already-flipped sign
+    negative_ = false;
+    return *this;
+  }
+  negative_ = !negative_;
+  *this += other;
+  if (!limbs_.empty()) negative_ = !negative_;
+  return *this;
+}
+
+BigInt& BigInt::operator*=(const BigInt& other) {
+#if defined(__SIZEOF_INT128__)
+  if (FitsU64(limbs_) && FitsU64(other.limbs_)) {
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(MagU64(limbs_)) * MagU64(other.limbs_);
+    negative_ = negative_ != other.negative_;
+    SetMagU128(&limbs_, product);
+    Canonicalize();
+    return *this;
+  }
+#endif
+  // Schoolbook multiplication needs a separate output buffer anyway.
+  return *this = *this * other;
+}
+
+BigInt& BigInt::operator/=(const BigInt& other) {
+  OPCQA_CHECK(!other.is_zero()) << "division by zero";
+  if (FitsU64(limbs_) && FitsU64(other.limbs_)) {
+    uint64_t q = MagU64(limbs_) / MagU64(other.limbs_);
+    negative_ = q != 0 && (negative_ != other.negative_);
+    SetMagU64(&limbs_, q);
+    return *this;
+  }
+  return *this = *this / other;
+}
+
+BigInt& BigInt::operator%=(const BigInt& other) {
+  OPCQA_CHECK(!other.is_zero()) << "division by zero";
+  if (FitsU64(limbs_) && FitsU64(other.limbs_)) {
+    uint64_t r = MagU64(limbs_) % MagU64(other.limbs_);
+    negative_ = r != 0 && negative_;  // remainder keeps the dividend's sign
+    SetMagU64(&limbs_, r);
+    return *this;
+  }
+  return *this = *this % other;
 }
 
 void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
@@ -275,6 +471,13 @@ BigInt BigInt::Gcd(BigInt a, BigInt b) {
   a.negative_ = false;
   b.negative_ = false;
   while (!b.is_zero()) {
+    // Euclid contracts operands quickly; once both magnitudes fit uint64
+    // (immediately, for Rational::Reduce on small values) finish natively
+    // without any per-step remainder allocation.
+    if (FitsU64(a.limbs_) && FitsU64(b.limbs_)) {
+      SetMagU64(&a.limbs_, std::gcd(MagU64(a.limbs_), MagU64(b.limbs_)));
+      return a;
+    }
     BigInt r = a % b;
     a = std::move(b);
     b = std::move(r);

@@ -7,6 +7,14 @@
 //
 // Representation: sign + little-endian vector of 32-bit limbs, normalized
 // (no leading zero limbs; zero has an empty limb vector and positive sign).
+//
+// Small-value fast paths: operands whose magnitude fits 64 bits (≤ 2
+// limbs) — the overwhelmingly common case for chain-edge probabilities and
+// the gcd/divmod calls of Rational::Reduce — multiply/divide through
+// native 64/128-bit arithmetic and Euclid on uint64, skipping the
+// vector-allocating MulMag/DivModMag machinery. Compound assignments
+// mutate the left operand's limb vector in place (reusing its capacity)
+// instead of rebuilding *this from a freshly allocated temporary.
 
 #ifndef OPCQA_UTIL_BIGINT_H_
 #define OPCQA_UTIL_BIGINT_H_
@@ -51,11 +59,13 @@ class BigInt {
   /// Remainder with the sign of the dividend (C++ semantics).
   BigInt operator%(const BigInt& other) const;
 
-  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
-  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
-  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
-  BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
-  BigInt& operator%=(const BigInt& other) { return *this = *this % other; }
+  // In-place: accumulation loops (mass sums, MulMag-free small products)
+  // reuse the left operand's limb capacity instead of reallocating.
+  BigInt& operator+=(const BigInt& other);
+  BigInt& operator-=(const BigInt& other);
+  BigInt& operator*=(const BigInt& other);
+  BigInt& operator/=(const BigInt& other);
+  BigInt& operator%=(const BigInt& other);
 
   /// Computes quotient and remainder in one pass (remainder sign follows
   /// the dividend, matching operator/ and operator%).
@@ -96,6 +106,12 @@ class BigInt {
 
  private:
   // Magnitude-only helpers; operands must be normalized.
+  // In-place |a| += |b| / |a| -= |b| (the latter requires |a| >= |b|).
+  // Alias-safe for a == b.
+  static void AddMagInPlace(std::vector<uint32_t>* a,
+                            const std::vector<uint32_t>& b);
+  static void SubMagInPlace(std::vector<uint32_t>* a,
+                            const std::vector<uint32_t>& b);
   static std::vector<uint32_t> AddMag(const std::vector<uint32_t>& a,
                                       const std::vector<uint32_t>& b);
   // Requires |a| >= |b|.

@@ -182,6 +182,140 @@ TEST(BigIntTest, ToStringRoundTripProperty) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Small-value fast paths: ≤64-bit operands route through native/128-bit
+// arithmetic; these cases pin the fast path to the general (big) path at
+// the boundaries where the routing decision flips.
+// ---------------------------------------------------------------------
+
+TEST(BigIntFastPathTest, TwoLimbTimesTwoLimbMatchesSchoolbook) {
+  // Largest two-limb magnitudes: the product needs four limbs.
+  BigInt max64(std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ((max64 * max64).ToString(),
+            "340282366920938463426481119284349108225");
+  EXPECT_EQ(((-max64) * max64).ToString(),
+            "-340282366920938463426481119284349108225");
+  // One limb × two limbs across the carry boundary.
+  BigInt limb(uint64_t{0xffffffffu});
+  BigInt over(uint64_t{1} << 32);
+  EXPECT_EQ((limb * over).ToString(), "18446744069414584320");
+  // Fast path × zero.
+  EXPECT_TRUE((max64 * BigInt(0)).is_zero());
+  // (a*b)/b == a and (a*b)%b == 0 right at the uint64 edge.
+  EXPECT_EQ((max64 * limb) / limb, max64);
+  EXPECT_TRUE(((max64 * limb) % limb).is_zero());
+}
+
+TEST(BigIntFastPathTest, U64DivModAgreesWithWideDivision) {
+  BigInt max64(std::numeric_limits<uint64_t>::max());
+  BigInt divisor(uint64_t{0x100000001u});  // straddles the limb boundary
+  BigInt q, r;
+  BigInt::DivMod(max64, divisor, &q, &r);
+  EXPECT_EQ(q * divisor + r, max64);
+  EXPECT_LT(r, divisor);
+  // The same dividend pushed past two limbs exercises the wide path; the
+  // two paths must agree on a shared sub-instance.
+  BigInt wide = max64 * BigInt(7) + BigInt(3);
+  BigInt wq, wr;
+  BigInt::DivMod(wide, max64, &wq, &wr);
+  EXPECT_EQ(wq, BigInt(7));
+  EXPECT_EQ(wr, BigInt(3));
+}
+
+TEST(BigIntFastPathTest, GcdNativeAndWideAgree) {
+  // Both operands ≤64-bit → fully native Euclid.
+  BigInt a(static_cast<uint64_t>(uint64_t{2} * 3 * 5 * 7 * 11 * 1000000007u));
+  BigInt b(static_cast<uint64_t>(uint64_t{3} * 7 * 13 * 998244353u));
+  EXPECT_EQ(BigInt::Gcd(a, b), BigInt(21));
+  EXPECT_EQ(BigInt::Gcd(-a, b), BigInt::Gcd(a, -b));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), b), b);
+  // Wide operands contract into the native finish: gcd(2^100·3, 2^90·5)
+  // = 2^90.
+  BigInt wide_a = BigInt(2).Pow(100) * BigInt(3);
+  BigInt wide_b = BigInt(2).Pow(90) * BigInt(5);
+  EXPECT_EQ(BigInt::Gcd(wide_a, wide_b), BigInt(2).Pow(90));
+}
+
+TEST(BigIntFastPathTest, CompoundAssignmentMutatesInPlace) {
+  // Accumulation loop: += over mixed signs, crossing zero and the limb
+  // boundary, stays equal to the rebuilt value.
+  BigInt acc(0);
+  BigInt check(0);
+  int64_t deltas[] = {std::numeric_limits<int64_t>::max(), -1, 1,
+                      -std::numeric_limits<int64_t>::max(), 42, -100};
+  for (int64_t d : deltas) {
+    acc += BigInt(d);
+    check = check + BigInt(d);
+    EXPECT_EQ(acc, check) << d;
+  }
+  acc -= BigInt(-58);
+  EXPECT_EQ(acc, BigInt(0));
+  // Multiplicative accumulation through the 64→128-bit boundary.
+  BigInt prod(std::numeric_limits<uint64_t>::max());
+  prod *= prod;  // self-aliasing
+  EXPECT_EQ(prod, BigInt(std::numeric_limits<uint64_t>::max()) *
+                      BigInt(std::numeric_limits<uint64_t>::max()));
+  prod *= BigInt(-3);
+  EXPECT_EQ(prod.ToString(),
+            "-1020847100762815390279443357853047324675");
+  prod /= BigInt(-3);
+  prod %= prod + BigInt(1);
+  EXPECT_EQ(prod, BigInt(std::numeric_limits<uint64_t>::max()) *
+                      BigInt(std::numeric_limits<uint64_t>::max()));
+}
+
+TEST(BigIntFastPathTest, SignSurvivesCarryIntoBit64) {
+  // Same-sign magnitudes summing to exactly 2^64 wrap the native uint64
+  // to 0; the sign must come from the carry-aware magnitude, not the
+  // wrapped low bits.
+  BigInt min64(std::numeric_limits<int64_t>::min());
+  EXPECT_EQ((min64 + min64).ToString(), "-18446744073709551616");
+  EXPECT_EQ((min64 - (-min64)).ToString(), "-18446744073709551616");
+  BigInt half(uint64_t{1} << 63);
+  EXPECT_EQ((half + half).ToString(), "18446744073709551616");
+  EXPECT_EQ(((-half) - half).ToString(), "-18446744073709551616");
+}
+
+TEST(BigIntFastPathTest, CompoundSelfAliasing) {
+  BigInt x(12345);
+  x += x;
+  EXPECT_EQ(x, BigInt(24690));
+  x -= x;
+  EXPECT_TRUE(x.is_zero());
+  BigInt y(-7);
+  y *= y;
+  EXPECT_EQ(y, BigInt(49));
+  y /= y;
+  EXPECT_EQ(y, BigInt(1));
+  y %= y;
+  EXPECT_TRUE(y.is_zero());
+  // Wide self-aliasing too (schoolbook path).
+  BigInt w = BigInt(2).Pow(100);
+  w += w;
+  EXPECT_EQ(w, BigInt(2).Pow(101));
+  w *= w;
+  EXPECT_EQ(w, BigInt(2).Pow(202));
+}
+
+TEST(BigIntFastPathTest, InPlaceDivisionSigns) {
+  BigInt a(-17);
+  a /= BigInt(5);
+  EXPECT_EQ(a, BigInt(-3));  // truncation toward zero
+  BigInt b(-17);
+  b %= BigInt(5);
+  EXPECT_EQ(b, BigInt(-2));  // remainder keeps the dividend's sign
+  BigInt c(17);
+  c /= BigInt(-5);
+  EXPECT_EQ(c, BigInt(-3));
+  BigInt d(15);
+  d /= BigInt(-5);
+  EXPECT_EQ(d, BigInt(-3));
+  BigInt e(4);
+  e /= BigInt(-5);
+  EXPECT_TRUE(e.is_zero());
+  EXPECT_FALSE(e.is_negative());  // no negative zero
+}
+
 // Parameterized: arithmetic consistency against int64 for small operands.
 class BigIntSmallArithTest
     : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};

@@ -1,0 +1,421 @@
+// Tests for transposition-table memoization of the repair space:
+// incremental state hashing, the soundness gate, collision verification
+// against the real id-sets, and the bit-identity contract — memoized
+// enumeration/counting/OCQA/top-k results equal the unmemoized ones for
+// every thread count, including under truncation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/workloads.h"
+#include "logic/formula_parser.h"
+#include "repair/counting.h"
+#include "repair/memo.h"
+#include "repair/ocqa.h"
+#include "repair/preference_generator.h"
+#include "repair/priority_generator.h"
+#include "repair/top_k.h"
+#include "repair/trust_generator.h"
+#include "util/hash.h"
+
+namespace opcqa {
+namespace {
+
+// ---------------------------------------------------------------------
+// Incremental state hashing
+// ---------------------------------------------------------------------
+
+size_t RecomputedDbHash(const Database& db) {
+  const FactStore& store = FactStore::Global();
+  size_t h = 0;
+  for (FactId id : db.AllFactIds()) h += HashMix64(store.hash(id));
+  return h;
+}
+
+size_t RecomputedEliminatedHash(const ViolationSet& eliminated) {
+  size_t h = 0;
+  for (const Violation& v : eliminated) h += HashMix64(v.Hash());
+  return h;
+}
+
+TEST(IncrementalHashTest, DatabaseHashIsOrderIndependentAndIncremental) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(4, 2, 2, /*seed=*/7);
+  // Fresh database built in reverse insertion order hashes identically.
+  std::vector<Fact> facts = w.db.AllFacts();
+  Database reversed(&w.db.schema());
+  for (auto it = facts.rbegin(); it != facts.rend(); ++it) {
+    reversed.Insert(*it);
+  }
+  EXPECT_EQ(reversed, w.db);
+  EXPECT_EQ(reversed.Hash(), w.db.Hash());
+  EXPECT_EQ(w.db.Hash(), RecomputedDbHash(w.db));
+  // Insert + erase round-trips restore the hash exactly.
+  Database copy = w.db;
+  size_t before = copy.Hash();
+  ASSERT_TRUE(copy.Erase(facts.front()));
+  EXPECT_NE(copy.Hash(), before);
+  ASSERT_TRUE(copy.Insert(facts.front()));
+  EXPECT_EQ(copy.Hash(), before);
+  // Disjoint databases (almost surely) hash differently.
+  Database empty(&w.db.schema());
+  EXPECT_NE(w.db.Hash(), empty.Hash());
+}
+
+TEST(IncrementalHashTest, StateFingerprintTracksApplyAndRevert) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(4, 3, 2, /*seed=*/3);
+  auto context = RepairContext::Make(w.db, w.constraints);
+  RepairingState state(context);
+  // Walk two levels deep, checking the incrementally-maintained hashes
+  // against from-scratch recomputations at every state.
+  auto check = [&]() {
+    EXPECT_EQ(state.db_hash(), RecomputedDbHash(state.current()));
+    EXPECT_EQ(state.eliminated_hash(),
+              RecomputedEliminatedHash(state.eliminated()));
+  };
+  check();
+  size_t root_db_hash = state.db_hash();
+  size_t root_elim_hash = state.eliminated_hash();
+  std::vector<Operation> extensions = state.ValidExtensions();
+  ASSERT_FALSE(extensions.empty());
+  for (const Operation& op : extensions) {
+    state.ApplyTrusted(op);
+    check();
+    for (const Operation& next : state.ValidExtensions()) {
+      state.ApplyTrusted(next);
+      check();
+      state.Revert();
+    }
+    state.Revert();
+    EXPECT_EQ(state.db_hash(), root_db_hash);
+    EXPECT_EQ(state.eliminated_hash(), root_elim_hash);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Soundness gate
+// ---------------------------------------------------------------------
+
+TEST(MemoizationApplicableTest, GatesOnDeletionOnlyChainsAndMemorylessness) {
+  UniformChainGenerator uniform;
+  DeletionOnlyUniformGenerator deletions;
+  LambdaChainGenerator opaque(
+      "opaque", [](const RepairingState& state,
+                   const std::vector<Operation>& extensions) {
+        std::vector<Rational> probs(extensions.size());
+        probs[state.depth() % extensions.size()] = Rational(1);
+        return probs;
+      });
+
+  gen::Workload keys = gen::MakeKeyViolationWorkload(3, 2, 2, /*seed=*/1);
+  auto denial = RepairContext::Make(keys.db, keys.constraints);
+  ASSERT_TRUE(denial->denial_only);
+  EXPECT_TRUE(MemoizationApplicable(*denial, uniform, true));
+  EXPECT_TRUE(MemoizationApplicable(*denial, uniform, false));
+  // History-dependent generators never memoize.
+  EXPECT_FALSE(MemoizationApplicable(*denial, opaque, true));
+
+  gen::Workload tgd = gen::PaperExample1();
+  auto general = RepairContext::Make(tgd.db, tgd.constraints);
+  ASSERT_FALSE(general->denial_only);
+  // Additions can enter the chain → the path matters.
+  EXPECT_FALSE(MemoizationApplicable(*general, uniform, true));
+  // A deletions-only generator with pruning keeps additions out.
+  EXPECT_TRUE(MemoizationApplicable(*general, deletions, true));
+  EXPECT_FALSE(MemoizationApplicable(*general, deletions, false));
+}
+
+// ---------------------------------------------------------------------
+// Collision verification
+// ---------------------------------------------------------------------
+
+TEST(TranspositionTableTest, RejectsForcedHashCollisions) {
+  gen::Workload w = gen::PaperKeyPairExample();
+  Database db1(&w.db.schema());
+  db1.Insert(Fact::Make(*w.schema, "R", {"a", "b"}));
+  Database db2(&w.db.schema());
+  db2.Insert(Fact::Make(*w.schema, "R", {"a", "c"}));
+  ASSERT_FALSE(db1 == db2);
+
+  // Lie about the key: both states claim the same fingerprint, as a real
+  // 64-bit collision would.
+  StateKey forged{/*db_hash=*/42, /*eliminated_hash=*/7};
+  auto outcome1 = std::make_shared<MemoOutcome>();
+  outcome1->states = 1;
+  TranspositionTable table;
+  table.Insert(forged, db1, {}, outcome1);
+
+  // Same key, different real id-set → rejected, counted as a collision.
+  EXPECT_EQ(table.Lookup(forged, db2, {}), nullptr);
+  EXPECT_EQ(table.stats().collisions, 1u);
+  // The genuine state still hits.
+  EXPECT_EQ(table.Lookup(forged, db1, {}), outcome1);
+  EXPECT_EQ(table.stats().hits, 1u);
+
+  // Both states can live under the colliding key side by side.
+  auto outcome2 = std::make_shared<MemoOutcome>();
+  outcome2->states = 2;
+  table.Insert(forged, db2, {}, outcome2);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.Lookup(forged, db1, {}), outcome1);
+  EXPECT_EQ(table.Lookup(forged, db2, {}), outcome2);
+
+  // Differing eliminated sets are told apart the same way.
+  Violation v{0, {}};
+  table.Insert(StateKey{1, 2}, db1, {v}, outcome1);
+  EXPECT_EQ(table.Lookup(StateKey{1, 2}, db1, {}), nullptr);
+  EXPECT_EQ(table.Lookup(StateKey{1, 2}, db1, {v}), outcome1);
+}
+
+TEST(TranspositionTableTest, EntryCapDropsInsertsButKeepsServingHits) {
+  gen::Workload w = gen::PaperKeyPairExample();
+  Database db1(&w.db.schema());
+  db1.Insert(Fact::Make(*w.schema, "R", {"a", "b"}));
+  Database db2(&w.db.schema());
+  db2.Insert(Fact::Make(*w.schema, "R", {"a", "c"}));
+  TranspositionTable table(/*max_entries=*/1);
+  auto outcome = std::make_shared<MemoOutcome>();
+  table.Insert(StateKey{1, 0}, db1, {}, outcome);
+  table.Insert(StateKey{2, 0}, db2, {}, outcome);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.stats().rejected_full, 1u);
+  EXPECT_EQ(table.Lookup(StateKey{1, 0}, db1, {}), outcome);
+  EXPECT_EQ(table.Lookup(StateKey{2, 0}, db2, {}), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Enumerator bit-identity, memo-on vs memo-off
+// ---------------------------------------------------------------------
+
+void ExpectIdenticalResults(const EnumerationResult& a,
+                            const EnumerationResult& b,
+                            const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.success_mass, b.success_mass);
+  EXPECT_EQ(a.failing_mass, b.failing_mass);
+  EXPECT_EQ(a.states_visited, b.states_visited);
+  EXPECT_EQ(a.absorbing_states, b.absorbing_states);
+  EXPECT_EQ(a.successful_sequences, b.successful_sequences);
+  EXPECT_EQ(a.failing_sequences, b.failing_sequences);
+  EXPECT_EQ(a.max_depth, b.max_depth);
+  EXPECT_EQ(a.truncated, b.truncated);
+  ASSERT_EQ(a.repairs.size(), b.repairs.size());
+  for (size_t i = 0; i < a.repairs.size(); ++i) {
+    EXPECT_EQ(a.repairs[i].repair, b.repairs[i].repair) << "repair " << i;
+    EXPECT_EQ(a.repairs[i].probability, b.repairs[i].probability)
+        << "repair " << i;
+    EXPECT_EQ(a.repairs[i].num_sequences, b.repairs[i].num_sequences)
+        << "repair " << i;
+  }
+}
+
+TEST(MemoizedEnumerationTest, ByteIdenticalAcrossGeneratorsAndThreads) {
+  gen::Workload keys = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/11);
+  gen::TrustWorkload trusted =
+      gen::MakeTrustWorkload(4, 3, 2, /*seed=*/23);
+  UniformChainGenerator uniform;
+  PreferenceChainGenerator preference(0);
+  TrustChainGenerator trust(trusted.trust);
+  PriorityChainGenerator minchange = PriorityChainGenerator::MinimalChange();
+  struct Case {
+    std::string name;
+    const gen::Workload* workload;
+    const ChainGenerator* generator;
+  };
+  // Large enough that shared suffixes root multi-state subtrees — leaf
+  // outcomes are deliberately not recorded (see CloseFrame).
+  gen::Workload preference_example =
+      gen::MakePreferenceWorkload(6, 12, 0.5, /*seed=*/13);
+  std::vector<Case> cases = {
+      {"keys/uniform", &keys, &uniform},
+      {"keys/minchange", &keys, &minchange},
+      {"preference", &preference_example, &preference},
+      {"trust", &trusted.workload, &trust},
+  };
+  for (const Case& c : cases) {
+    EnumerationOptions plain;
+    plain.threads = 1;
+    EnumerationResult base = EnumerateRepairs(
+        c.workload->db, c.workload->constraints, *c.generator, plain);
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      EnumerationOptions memo = plain;
+      memo.memoize = true;
+      memo.threads = threads;
+      EnumerationResult result = EnumerateRepairs(
+          c.workload->db, c.workload->constraints, *c.generator, memo);
+      ExpectIdenticalResults(base, result,
+                             c.name + " threads=" + std::to_string(threads));
+      // The workloads above all share suffixes — the table must have
+      // actually collapsed states, not just been carried along.
+      EXPECT_GT(result.memo_stats.entries, 0u) << c.name;
+      EXPECT_GT(result.memo_stats.hits, 0u) << c.name;
+    }
+  }
+}
+
+TEST(MemoizedEnumerationTest, TruncationIsByteIdentical) {
+  UniformChainGenerator generator;
+  gen::Workload w = gen::MakeKeyViolationWorkload(6, 6, 3, /*seed=*/3);
+  for (size_t max_states : {size_t{50}, size_t{500}, size_t{5000}}) {
+    EnumerationOptions plain;
+    plain.threads = 1;
+    plain.max_states = max_states;
+    EnumerationResult base =
+        EnumerateRepairs(w.db, w.constraints, generator, plain);
+    ASSERT_TRUE(base.truncated);
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      EnumerationOptions memo = plain;
+      memo.memoize = true;
+      memo.threads = threads;
+      EnumerationResult result =
+          EnumerateRepairs(w.db, w.constraints, generator, memo);
+      ExpectIdenticalResults(base, result,
+                             "max_states=" + std::to_string(max_states) +
+                                 " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(MemoizedEnumerationTest, CollapsesSharedSuffixesToDistinctStates) {
+  // n independent conflicts: ~n!·cⁿ sequences but only 𝒪(cⁿ) distinct
+  // states. The memoized walk must do real work proportional to the
+  // latter: every distinct state is walked once, every revisit replays.
+  UniformChainGenerator generator;
+  gen::Workload w = gen::MakeKeyViolationWorkload(7, 5, 2, /*seed=*/100);
+  EnumerationOptions options;
+  options.memoize = true;
+  EnumerationResult result =
+      EnumerateRepairs(w.db, w.constraints, generator, options);
+  ASSERT_FALSE(result.truncated);
+  const MemoStats& stats = result.memo_stats;
+  EXPECT_GT(stats.hits, stats.entries);
+  // Real walk ≈ misses (distinct states), far below the virtual count.
+  EXPECT_LT(stats.misses, result.states_visited / 10);
+}
+
+TEST(MemoizedEnumerationTest, InapplicableCombinationsFallBackSilently) {
+  // TGDs + a generator that can add facts: the knob must be ignored, the
+  // results identical, the table unused.
+  UniformChainGenerator uniform;
+  gen::Workload w = gen::PaperExample1();
+  EnumerationOptions plain;
+  EnumerationResult base =
+      EnumerateRepairs(w.db, w.constraints, uniform, plain);
+  EnumerationOptions memo = plain;
+  memo.memoize = true;
+  EnumerationResult result =
+      EnumerateRepairs(w.db, w.constraints, uniform, memo);
+  ExpectIdenticalResults(base, result, "tgd fallback");
+  EXPECT_EQ(result.memo_stats.hits + result.memo_stats.misses, 0u);
+
+  // Same instance under a deletions-only generator is memoizable.
+  DeletionOnlyUniformGenerator deletions;
+  EnumerationResult del_base =
+      EnumerateRepairs(w.db, w.constraints, deletions, plain);
+  EnumerationResult del_memo =
+      EnumerateRepairs(w.db, w.constraints, deletions, memo);
+  ExpectIdenticalResults(del_base, del_memo, "tgd deletions-only");
+}
+
+TEST(MemoizedEnumerationTest, EntryCapOnlyCostsSpeed) {
+  UniformChainGenerator generator;
+  gen::Workload w = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/11);
+  EnumerationOptions plain;
+  EnumerationResult base =
+      EnumerateRepairs(w.db, w.constraints, generator, plain);
+  EnumerationOptions memo = plain;
+  memo.memoize = true;
+  memo.memo_max_entries = 4;
+  EnumerationResult result =
+      EnumerateRepairs(w.db, w.constraints, generator, memo);
+  ExpectIdenticalResults(base, result, "capped table");
+  EXPECT_GT(result.memo_stats.rejected_full, 0u);
+  EXPECT_LE(result.memo_stats.entries, 4u);
+}
+
+// ---------------------------------------------------------------------
+// Counting / OCQA / top-k on the memoized walk
+// ---------------------------------------------------------------------
+
+TEST(MemoizedCountingTest, CountingOcaMatchesUnmemoized) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/19);
+  UniformChainGenerator generator;
+  Result<Query> q = ParseQuery(*w.schema, "Q(x,y) := R(x,y)");
+  ASSERT_TRUE(q.ok());
+  CountingOptions plain;
+  CountingOcaResult base =
+      CountingOca(w.db, w.constraints, generator, *q, plain);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    CountingOptions memo;
+    memo.enumeration.memoize = true;
+    memo.enumeration.threads = threads;
+    CountingOcaResult result =
+        CountingOca(w.db, w.constraints, generator, *q, memo);
+    EXPECT_EQ(result.num_repairs, base.num_repairs) << threads;
+    EXPECT_EQ(result.answers, base.answers) << threads;
+  }
+}
+
+TEST(MemoizedOcqaTest, ConditionalProbabilitiesMatchUnmemoized) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/29);
+  UniformChainGenerator generator;
+  Result<Query> q = ParseQuery(*w.schema, "Q(x,y) := R(x,y)");
+  ASSERT_TRUE(q.ok());
+  OcaResult base = ComputeOca(w.db, w.constraints, generator, *q);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    EnumerationOptions options;
+    options.memoize = true;
+    options.threads = threads;
+    OcaResult result =
+        ComputeOca(w.db, w.constraints, generator, *q, options);
+    EXPECT_EQ(result.answers, base.answers) << threads;
+    EXPECT_EQ(result.success_mass, base.success_mass) << threads;
+    EXPECT_EQ(result.failing_mass, base.failing_mass) << threads;
+  }
+}
+
+TEST(MemoizedTopKTest, ExhaustiveSearchMatchesUnmerged) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/31);
+  UniformChainGenerator generator;
+  TopKOptions plain;
+  TopKResult base = TopKRepairs(w.db, w.constraints, generator, 3, plain);
+  ASSERT_TRUE(base.exact);
+  TopKOptions memo;
+  memo.memoize = true;
+  TopKResult result = TopKRepairs(w.db, w.constraints, generator, 3, memo);
+  ASSERT_TRUE(result.exact);
+  EXPECT_TRUE(result.certified);
+  EXPECT_EQ(result.explored_success_mass, base.explored_success_mass);
+  EXPECT_EQ(result.explored_failing_mass, base.explored_failing_mass);
+  EXPECT_TRUE(result.frontier_mass.is_zero());
+  ASSERT_EQ(result.repairs.size(), base.repairs.size());
+  for (size_t i = 0; i < base.repairs.size(); ++i) {
+    EXPECT_EQ(result.repairs[i].repair, base.repairs[i].repair) << i;
+    EXPECT_EQ(result.repairs[i].probability, base.repairs[i].probability)
+        << i;
+    EXPECT_EQ(result.repairs[i].num_sequences,
+              base.repairs[i].num_sequences)
+        << i;
+  }
+  // Shared suffixes expand once: the merged search must be strictly
+  // smaller than the per-path one.
+  EXPECT_LT(result.states_expanded, base.states_expanded);
+}
+
+TEST(MemoizedTopKTest, CertifiedMapAgreesUnderBudget) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(6, 5, 2, /*seed=*/37);
+  UniformChainGenerator generator;
+  TopKOptions plain;
+  TopKResult base = TopKRepairs(w.db, w.constraints, generator, 1, plain);
+  TopKOptions memo;
+  memo.memoize = true;
+  TopKResult result = TopKRepairs(w.db, w.constraints, generator, 1, memo);
+  ASSERT_TRUE(base.certified);
+  ASSERT_TRUE(result.certified);
+  EXPECT_EQ(result.Map().repair, base.Map().repair);
+}
+
+}  // namespace
+}  // namespace opcqa

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 namespace opcqa {
 namespace {
 
@@ -138,6 +141,106 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(-3, 0, 5),
                        ::testing::Values(-2, 1, 9),
                        ::testing::Values(-7, 0, 4)));
+
+// Reduction rides the BigInt ≤64-bit gcd/divmod fast paths for the values
+// chain probabilities actually produce; these cases pin canonical forms at
+// and just past the native boundary.
+TEST(RationalFastPathTest, ReductionAtNativeBoundaries) {
+  int64_t max = std::numeric_limits<int64_t>::max();  // 2^63−1, odd
+  EXPECT_EQ(Rational(max, max), Rational(1));
+  EXPECT_EQ(Rational(-max, max), Rational(-1));
+  // gcd(2^62, 2^63−2) = 2 under the native Euclid.
+  Rational halved(int64_t{1} << 62, max - 1);
+  EXPECT_EQ(halved.numerator(), BigInt(int64_t{1} << 61));
+  EXPECT_EQ(halved.denominator(), BigInt((max - 1) / 2));
+  // Accumulating 1/n keeps exact canonical sums across the boundary where
+  // numerator/denominator outgrow 64 bits.
+  Rational sum;
+  Rational expected_half;
+  for (int64_t n = 1; n <= 40; ++n) {
+    sum += Rational(1, n * n + 1);
+    if (n == 20) expected_half = sum;
+  }
+  EXPECT_EQ(sum - expected_half,
+            [&] {
+              Rational tail;
+              for (int64_t n = 21; n <= 40; ++n) {
+                tail += Rational(1, n * n + 1);
+              }
+              return tail;
+            }());
+  // Products of two just-under-64-bit factors reduce exactly (the
+  // numerator crosses into multi-limb range).
+  Rational wide = Rational(BigInt(max), BigInt(3)) *
+                  Rational(BigInt(6), BigInt(max));
+  EXPECT_EQ(wide, Rational(2));
+}
+
+TEST(RationalFastPathTest, GcdAwareOperatorsStayCanonical) {
+  // The Knuth-style +,-,*,/ skip the full-product Reduce(); the results
+  // must nevertheless be the exact canonical forms the reducing
+  // constructor produces — Hash() and ToString() depend on it.
+  std::vector<Rational> values;
+  for (int64_t n : {-9, -4, -1, 0, 1, 2, 3, 7, 12}) {
+    for (int64_t d : {1, 2, 3, 6, 35, 97}) {
+      values.push_back(Rational(n, d));
+    }
+  }
+  // A couple of multi-limb values too.
+  values.push_back(Rational(BigInt(2).Pow(80) + BigInt(1), BigInt(3).Pow(50)));
+  values.push_back(Rational(-(BigInt(5).Pow(40)), BigInt(2).Pow(70)));
+  auto expect_canonical = [](const Rational& fast, const Rational& slow,
+                             const char* op) {
+    EXPECT_EQ(fast.numerator(), slow.numerator()) << op;
+    EXPECT_EQ(fast.denominator(), slow.denominator()) << op;
+    EXPECT_EQ(fast.ToString(), slow.ToString()) << op;
+    EXPECT_EQ(fast.Hash(), slow.Hash()) << op;
+  };
+  for (const Rational& a : values) {
+    for (const Rational& b : values) {
+      expect_canonical(a + b,
+                       Rational(a.numerator() * b.denominator() +
+                                    b.numerator() * a.denominator(),
+                                a.denominator() * b.denominator()),
+                       "+");
+      expect_canonical(a - b,
+                       Rational(a.numerator() * b.denominator() -
+                                    b.numerator() * a.denominator(),
+                                a.denominator() * b.denominator()),
+                       "-");
+      expect_canonical(a * b,
+                       Rational(a.numerator() * b.numerator(),
+                                a.denominator() * b.denominator()),
+                       "*");
+      if (!b.is_zero()) {
+        expect_canonical(a / b,
+                         Rational(a.numerator() * b.denominator(),
+                                  a.denominator() * b.numerator()),
+                         "/");
+      }
+    }
+  }
+}
+
+TEST(RationalFastPathTest, CompoundAssignmentMatchesRebuild) {
+  Rational acc(1, 3);
+  Rational check = acc;
+  const Rational steps[] = {Rational(2, 5), Rational(-7, 11), Rational(4),
+                            Rational(-1, 997), Rational(0)};
+  for (const Rational& step : steps) {
+    acc += step;
+    check = check + step;
+    EXPECT_EQ(acc, check);
+    acc -= Rational(1, 7);
+    check = check - Rational(1, 7);
+    EXPECT_EQ(acc, check);
+    acc *= Rational(3, 2);
+    check = check * Rational(3, 2);
+    EXPECT_EQ(acc, check);
+  }
+  acc /= Rational(9, 4);
+  EXPECT_EQ(acc, check / Rational(9, 4));
+}
 
 }  // namespace
 }  // namespace opcqa
