@@ -9,10 +9,35 @@
 #include "gen/workloads.h"
 #include "logic/formula_parser.h"
 #include "repair/ocqa.h"
+#include "repair/repair_cache.h"
 
 namespace {
 
 using namespace opcqa;
+
+// The PR-4 multi-query workload: N distinct queries over ONE fixed
+// inconsistent database — the uniform-operational-CQA serving shape. The
+// repair space is the same for every query; only the cross-query cache
+// exploits that.
+std::vector<Query> PersistQueries(const Schema& schema) {
+  const char* texts[] = {
+      "Q(x,y) := R(x,y)",
+      "Q(x) := exists y: R(x,y)",
+      "Q(y) := exists x: R(x,y)",
+      "Q(y) := R(k0, y)",
+      "Q(y) := R(k1, y)",
+      "Q(x,u) := exists y: (R(x,y), R(u,y))",
+      "Q(x) := exists y: (R(x,y), R(k0, y))",
+      "Q(x) := R(x, x)",
+  };
+  std::vector<Query> queries;
+  for (const char* text : texts) {
+    Result<Query> query = ParseQuery(schema, text);
+    OPCQA_CHECK(query.ok()) << text;
+    queries.push_back(std::move(query.value()));
+  }
+  return queries;
+}
 
 void BM_ExactEnumeration(benchmark::State& state) {
   size_t violating_keys = static_cast<size_t>(state.range(0));
@@ -73,6 +98,41 @@ void BM_MemoizedEnumeration(benchmark::State& state) {
 }
 BENCHMARK(BM_MemoizedEnumeration)
     ->DenseRange(1, 6, 1)
+    ->Unit(benchmark::kMillisecond);
+
+// Cross-query repair-space persistence (PR 4): 8 distinct queries against
+// one database, with the RepairSpaceCache off (state.range(0) = 0: every
+// query rebuilds its per-call table) vs on (1: the first query records
+// the chain, the rest replay it from the shared root entry). Answers are
+// byte-identical either way.
+void BM_PersistentCacheQueries(benchmark::State& state) {
+  bool persist = state.range(0) != 0;
+  gen::Workload w = gen::MakeKeyViolationWorkload(7, 5, 2, /*seed=*/100);
+  std::vector<Query> queries = PersistQueries(*w.schema);
+  UniformChainGenerator generator;
+  double hit_rate = 0;
+  for (auto _ : state) {
+    RepairSpaceCache cache;
+    EnumerationOptions options;
+    options.memoize = true;
+    if (persist) options.cache = &cache;
+    uint64_t hits = 0;
+    uint64_t probes = 0;
+    for (const Query& query : queries) {
+      OcaResult oca =
+          ComputeOca(w.db, w.constraints, generator, query, options);
+      hits += oca.enumeration.memo_stats.hits;
+      probes += oca.enumeration.memo_stats.hits +
+                oca.enumeration.memo_stats.misses;
+      benchmark::DoNotOptimize(oca);
+    }
+    hit_rate = probes == 0 ? 0.0 : static_cast<double>(hits) / probes;
+  }
+  state.counters["queries"] = 8;
+  state.counters["hit_rate"] = hit_rate;
+}
+BENCHMARK(BM_PersistentCacheQueries)
+    ->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 // Group size sweep: wider conflicts explode the branching factor.
@@ -193,6 +253,102 @@ void RecordMemoSweep() {
               "collapses shared suffixes onto their first computation");
 }
 
+// Cross-query persistence sweep (PR 4), appended to the e5_memo_scaling
+// section (no new Header): the 8-query/one-database workload with the
+// RepairSpaceCache off vs on, with per-query hit rates and the cache's
+// delta-compression counters.
+void RecordPersistSweep() {
+  gen::Workload w = gen::MakeKeyViolationWorkload(7, 5, 2, /*seed=*/100);
+  std::vector<Query> queries = PersistQueries(*w.schema);
+  UniformChainGenerator generator;
+  double times[2] = {0, 0};
+  std::string hit_rates;
+  MemoStats cache_stats;
+  for (int persist = 0; persist < 2; ++persist) {
+    double best_ms = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      RepairSpaceCache cache;
+      EnumerationOptions options;
+      options.memoize = true;
+      if (persist != 0) options.cache = &cache;
+      std::string rates;
+      bench::Timer timer;
+      for (const Query& query : queries) {
+        OcaResult oca =
+            ComputeOca(w.db, w.constraints, generator, query, options);
+        const MemoStats& memo = oca.enumeration.memo_stats;
+        uint64_t probes = memo.hits + memo.misses;
+        char rate[16];
+        std::snprintf(rate, sizeof(rate), "%s%.0f%%", rates.empty() ? "" : " ",
+                      probes == 0 ? 0.0 : 100.0 * memo.hits / probes);
+        rates += rate;
+        benchmark::DoNotOptimize(oca);
+      }
+      double ms = timer.ElapsedMs();
+      if (ms < best_ms) {
+        best_ms = ms;
+        if (persist != 0) {
+          hit_rates = std::move(rates);
+          cache_stats = cache.TotalStats();
+        }
+      }
+    }
+    times[persist] = best_ms;
+  }
+  char measured[160];
+  std::snprintf(measured, sizeof(measured),
+                "per-call %.2f ms / persistent %.2f ms (%.2fx aggregate)",
+                times[0], times[1], times[0] / times[1]);
+  bench::Row("8 queries, 1 database (n=5)", "n/a (ours)", measured);
+  bench::Row("per-query hit rate (persistent)", "n/a (ours)", hit_rates);
+  char counters[200];
+  std::snprintf(counters, sizeof(counters),
+                "%zu entries, %zu bytes; delta payloads %zu B vs %zu B "
+                "full copies (%.1fx), %llu evictions",
+                cache_stats.entries, cache_stats.bytes,
+                cache_stats.payload_bytes, cache_stats.full_payload_bytes,
+                cache_stats.payload_bytes == 0
+                    ? 0.0
+                    : static_cast<double>(cache_stats.full_payload_bytes) /
+                          static_cast<double>(cache_stats.payload_bytes),
+                static_cast<unsigned long long>(cache_stats.evictions));
+  bench::Row("persistent cache counters", "n/a (ours)", counters);
+  // Delta compression headline on a depth-bounded chain: a large, mostly
+  // clean database (40 keys, 4 violating) where removed-id deltas are
+  // depth-sized but the PR-3 Database copies were |D|-sized.
+  {
+    gen::Workload big = gen::MakeKeyViolationWorkload(40, 4, 2, /*seed=*/100);
+    RepairSpaceCache cache;
+    EnumerationOptions options;
+    options.memoize = true;
+    options.cache = &cache;
+    EnumerationResult result =
+        EnumerateRepairs(big.db, big.constraints, generator, options);
+    benchmark::DoNotOptimize(result);
+    MemoStats stats = cache.TotalStats();
+    char compression[200];
+    std::snprintf(
+        compression, sizeof(compression),
+        "|D|=%zu, %zu entries: delta payloads %zu B vs %zu B full copies "
+        "(%.1fx; per entry %zu B -> %zu B)",
+        big.db.size(), stats.entries, stats.payload_bytes,
+        stats.full_payload_bytes,
+        stats.payload_bytes == 0
+            ? 0.0
+            : static_cast<double>(stats.full_payload_bytes) /
+                  static_cast<double>(stats.payload_bytes),
+        stats.entries == 0 ? 0 : stats.full_payload_bytes / stats.entries,
+        stats.entries == 0 ? 0 : stats.payload_bytes / stats.entries);
+    bench::Row("delta compression (depth-bounded, 40 keys / 4 conflicts)",
+               "n/a (ours)", compression);
+  }
+  bench::Note("persistent: one RepairSpaceCache across the 8 queries — "
+              "query 1 records the chain, queries 2..8 replay it from the "
+              "root entry (100% hit rate, 1 probe each); answers "
+              "byte-identical to per-call tables "
+              "(tests/repair_cache_test.cc)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,6 +356,7 @@ int main(int argc, char** argv) {
   if (sweep != nullptr && *sweep != '\0' && *sweep != '0') {
     RecordParallelSweep();
     RecordMemoSweep();
+    RecordPersistSweep();  // appends to the e5_memo_scaling section
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

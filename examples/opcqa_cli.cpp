@@ -6,7 +6,8 @@
 //
 // Usage (FO query modes):
 //   opcqa_cli --schema=s.txt --db=d.txt --constraints=c.txt
-//             --query='Q(x) := R(x,y)'
+//             --query='Q(x) := R(x,y)'  (repeatable: each --query is
+//             answered in turn over the same database)
 //             [--generator=uniform|deletions|minchange]
 //             [--mode=exact|approx] [--eps=0.1] [--delta=0.1] [--seed=42]
 //             [--threads=N]  (0 = all cores; answers are identical for
@@ -14,6 +15,12 @@
 //             [--memo]  (exact mode: transposition-table memoization of
 //             shared repair-space suffixes; answers are identical with it
 //             on or off — it only changes how fast they arrive)
+//             [--memo-persist]  (exact mode: keep the repair space cached
+//             across the --query list — repair/repair_cache.h — so every
+//             query after the first replays the first one's chain walk;
+//             implies --memo)
+//             [--memo-bytes=N]  (byte budget for the memo table / each
+//             cache root; 0 = entries-only budget)
 //             [--show-repairs] [--show-chain]
 //
 // Usage (SQL mode — the Section 5 scheme; keys as table:pos[,pos...],
@@ -39,6 +46,7 @@
 #include "relational/fact_parser.h"
 #include "repair/ocqa.h"
 #include "repair/priority_generator.h"
+#include "repair/repair_cache.h"
 #include "repair/sampler.h"
 #include "sql/approx_runner.h"
 #include "util/string_util.h"
@@ -48,7 +56,8 @@ namespace {
 using namespace opcqa;
 
 struct Options {
-  std::string schema_path, db_path, constraints_path, query_text;
+  std::string schema_path, db_path, constraints_path;
+  std::vector<std::string> query_texts;  // answered in order
   std::string sql_text, keys_spec;
   std::string generator = "uniform";
   std::string mode = "exact";
@@ -56,6 +65,8 @@ struct Options {
   uint64_t seed = 42;
   size_t threads = 1;  // 0 = all cores; results identical either way
   bool memo = false;   // exact mode: memoize shared repair-space suffixes
+  bool memo_persist = false;  // share the repair space across --query list
+  size_t memo_bytes = 0;      // byte budget (0 = entries-only budget)
   bool show_repairs = false;
   bool show_chain = false;
 };
@@ -163,7 +174,10 @@ int main(int argc, char** argv) {
     if (ParseFlag(arg, "schema", &opt.schema_path)) continue;
     if (ParseFlag(arg, "db", &opt.db_path)) continue;
     if (ParseFlag(arg, "constraints", &opt.constraints_path)) continue;
-    if (ParseFlag(arg, "query", &opt.query_text)) continue;
+    if (ParseFlag(arg, "query", &value)) {
+      opt.query_texts.push_back(value);
+      continue;
+    }
     if (ParseFlag(arg, "sql", &opt.sql_text)) continue;
     if (ParseFlag(arg, "keys", &opt.keys_spec)) continue;
     if (ParseFlag(arg, "generator", &opt.generator)) continue;
@@ -189,6 +203,16 @@ int main(int argc, char** argv) {
       opt.memo = true;
       continue;
     }
+    if (arg == "--memo-persist") {
+      opt.memo_persist = true;
+      opt.memo = true;
+      continue;
+    }
+    if (ParseFlag(arg, "memo-bytes", &value)) {
+      opt.memo_bytes = static_cast<size_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+      continue;
+    }
     if (arg == "--show-repairs") {
       opt.show_repairs = true;
       continue;
@@ -202,15 +226,17 @@ int main(int argc, char** argv) {
   }
   bool sql_mode = opt.mode == "sql";
   bool fo_inputs_ok = !opt.constraints_path.empty() &&
-                      !opt.query_text.empty();
+                      !opt.query_texts.empty();
   bool sql_inputs_ok = !opt.sql_text.empty() && !opt.keys_spec.empty();
   if (opt.schema_path.empty() || opt.db_path.empty() ||
       (sql_mode ? !sql_inputs_ok : !fo_inputs_ok)) {
     std::fprintf(stderr,
                  "usage: opcqa_cli --schema=F --db=F --constraints=F "
-                 "--query='Q(x) := ...' [--generator=uniform|deletions|"
-                 "minchange] [--mode=exact|approx] [--eps --delta --seed "
-                 "--threads --memo] [--show-repairs] [--show-chain]\n"
+                 "--query='Q(x) := ...' [--query=... more] "
+                 "[--generator=uniform|deletions|minchange] "
+                 "[--mode=exact|approx] [--eps --delta --seed --threads "
+                 "--memo --memo-persist --memo-bytes=N] [--show-repairs] "
+                 "[--show-chain]\n"
                  "   or: opcqa_cli --schema=F --db=F --mode=sql "
                  "--sql='SELECT ...' --keys='R:0;S:0,1' "
                  "[--eps --delta --seed]\n");
@@ -258,14 +284,21 @@ int main(int argc, char** argv) {
       ParseConstraints(*schema, *constraints_text);
   if (!constraints.ok()) return Fail(constraints.status());
 
-  Result<Query> query = ParseQuery(*schema, opt.query_text);
-  if (!query.ok()) return Fail(query.status());
+  std::vector<Query> queries;
+  for (const std::string& query_text : opt.query_texts) {
+    Result<Query> query = ParseQuery(*schema, query_text);
+    if (!query.ok()) return Fail(query.status());
+    queries.push_back(std::move(query.value()));
+  }
 
   std::printf("schema:      %s\n", schema->ToString().c_str());
   std::printf("database:    %zu facts, consistent: %s\n", db->size(),
               Satisfies(*db, *constraints) ? "yes" : "no");
   std::printf("constraints: %zu\n", constraints->size());
-  std::printf("query:       %s\n\n", query->ToString(*schema).c_str());
+  for (const Query& query : queries) {
+    std::printf("query:       %s\n", query.ToString(*schema).c_str());
+  }
+  std::printf("\n");
 
   UniformChainGenerator uniform;
   DeletionOnlyUniformGenerator deletions;
@@ -288,58 +321,99 @@ int main(int argc, char** argv) {
   }
 
   if (opt.mode == "exact") {
+    // --memo-persist: one cache shared by the whole --query list, so the
+    // first query pays for the chain walk and the rest replay it.
+    RepairSpaceCache cache(RepairCacheOptions{
+        TranspositionTable::kDefaultMaxEntries, opt.memo_bytes, 8});
     EnumerationOptions enum_options;
     enum_options.threads = opt.threads;
     enum_options.memoize = opt.memo;
-    OcaResult oca =
-        ComputeOca(*db, *constraints, *generator, *query, enum_options);
-    if (oca.enumeration.truncated) {
-      return Fail(Status::ResourceExhausted(
-          "chain too large for exact answering; use --mode=approx"));
-    }
-    if (opt.memo) {
-      const MemoStats& memo = oca.enumeration.memo_stats;
-      std::printf("memoization: %zu states visited, %llu replayed hits, "
-                  "%zu table entries, %llu hash collisions\n",
-                  oca.enumeration.states_visited,
-                  static_cast<unsigned long long>(memo.hits), memo.entries,
-                  static_cast<unsigned long long>(memo.collisions));
-    }
-    std::printf("exact operational consistent answers "
-                "(success mass %s, failing mass %s):\n",
-                oca.success_mass.ToString().c_str(),
-                oca.failing_mass.ToString().c_str());
-    for (const auto& [tuple, p] : oca.answers) {
-      std::printf("  %-24s %s  (≈ %.6f)\n", TupleToString(tuple).c_str(),
-                  p.ToString().c_str(), p.ToDouble());
-    }
-    if (oca.answers.empty()) std::printf("  (no tuple has CP > 0)\n");
-    if (opt.show_repairs) {
-      std::printf("\nrepair distribution:\n");
-      for (const RepairInfo& info : oca.enumeration.repairs) {
-        std::printf("  p = %-10s { %s }\n",
-                    info.probability.ToString().c_str(),
-                    info.repair.ToString().c_str());
+    enum_options.memo_max_bytes = opt.memo_bytes;
+    if (opt.memo_persist) enum_options.cache = &cache;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const Query& query = queries[qi];
+      if (queries.size() > 1) {
+        std::printf("== query %zu: %s\n", qi + 1,
+                    query.ToString(*schema).c_str());
       }
+      OcaResult oca =
+          ComputeOca(*db, *constraints, *generator, query, enum_options);
+      if (oca.enumeration.truncated) {
+        return Fail(Status::ResourceExhausted(
+            "chain too large for exact answering; use --mode=approx"));
+      }
+      if (opt.memo) {
+        const MemoStats& memo = oca.enumeration.memo_stats;
+        uint64_t probes = memo.hits + memo.misses;
+        std::printf("memoization: %zu states visited, %llu replayed hits "
+                    "(%.1f%% hit rate), %zu table entries, %llu hash "
+                    "collisions, %llu evictions, %zu bytes\n",
+                    oca.enumeration.states_visited,
+                    static_cast<unsigned long long>(memo.hits),
+                    probes == 0 ? 0.0 : 100.0 * memo.hits / probes,
+                    memo.entries,
+                    static_cast<unsigned long long>(memo.collisions),
+                    static_cast<unsigned long long>(memo.evictions),
+                    memo.bytes);
+      }
+      std::printf("exact operational consistent answers "
+                  "(success mass %s, failing mass %s):\n",
+                  oca.success_mass.ToString().c_str(),
+                  oca.failing_mass.ToString().c_str());
+      for (const auto& [tuple, p] : oca.answers) {
+        std::printf("  %-24s %s  (≈ %.6f)\n", TupleToString(tuple).c_str(),
+                    p.ToString().c_str(), p.ToDouble());
+      }
+      if (oca.answers.empty()) std::printf("  (no tuple has CP > 0)\n");
+      if (opt.show_repairs) {
+        std::printf("\nrepair distribution:\n");
+        for (const RepairInfo& info : oca.enumeration.repairs) {
+          std::printf("  p = %-10s { %s }\n",
+                      info.probability.ToString().c_str(),
+                      info.repair.ToString().c_str());
+        }
+      }
+    }
+    if (opt.memo_persist) {
+      MemoStats total = cache.TotalStats();
+      std::printf("\npersistent cache: %zu roots, %zu entries, %zu bytes "
+                  "(delta payloads %.1fx smaller than full copies), "
+                  "%llu hits / %llu misses across %zu queries\n",
+                  cache.roots(), total.entries, total.bytes,
+                  total.payload_bytes == 0
+                      ? 1.0
+                      : static_cast<double>(total.full_payload_bytes) /
+                            static_cast<double>(total.payload_bytes),
+                  static_cast<unsigned long long>(total.hits),
+                  static_cast<unsigned long long>(total.misses),
+                  queries.size());
     }
   } else if (opt.mode == "approx") {
     SamplerOptions sampler_options;
     sampler_options.threads = opt.threads;
     Sampler sampler(*db, *constraints, generator, opt.seed, sampler_options);
-    ApproxOcaResult approx =
-        sampler.EstimateOca(*query, opt.eps, opt.delta);
-    std::printf("approximate answers (n = %zu walks, additive error ≤ %.3f "
-                "with confidence ≥ %.3f, per tuple):\n",
-                approx.walks, opt.eps, 1 - opt.delta);
-    for (const auto& [tuple, estimate] : approx.estimates) {
-      std::printf("  %-24s ≈ %.4f\n", TupleToString(tuple).c_str(),
-                  estimate);
-    }
-    if (approx.failing_walks > 0) {
-      std::printf("warning: %zu/%zu walks hit failing sequences; estimates "
-                  "are for the unconditioned numerator (use a non-failing "
-                  "generator such as --generator=deletions)\n",
-                  approx.failing_walks, approx.walks);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const Query& query = queries[qi];
+      if (queries.size() > 1) {
+        std::printf("== query %zu: %s\n", qi + 1,
+                    query.ToString(*schema).c_str());
+      }
+      ApproxOcaResult approx =
+          sampler.EstimateOca(query, opt.eps, opt.delta);
+      std::printf("approximate answers (n = %zu walks, additive error ≤ "
+                  "%.3f with confidence ≥ %.3f, per tuple):\n",
+                  approx.walks, opt.eps, 1 - opt.delta);
+      for (const auto& [tuple, estimate] : approx.estimates) {
+        std::printf("  %-24s ≈ %.4f\n", TupleToString(tuple).c_str(),
+                    estimate);
+      }
+      if (approx.failing_walks > 0) {
+        std::printf("warning: %zu/%zu walks hit failing sequences; "
+                    "estimates are for the unconditioned numerator (use a "
+                    "non-failing generator such as "
+                    "--generator=deletions)\n",
+                    approx.failing_walks, approx.walks);
+      }
     }
   } else {
     return Fail(Status::InvalidArgument("unknown mode: " + opt.mode));

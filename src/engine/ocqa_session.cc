@@ -1,0 +1,65 @@
+#include "engine/ocqa_session.h"
+
+namespace opcqa {
+namespace engine {
+
+OcqaSession::OcqaSession(Database db, ConstraintSet constraints,
+                         SessionOptions options)
+    : db_(std::move(db)),
+      constraints_(std::move(constraints)),
+      options_(options),
+      cache_(options.cache) {}
+
+EnumerationOptions OcqaSession::QueryOptions() {
+  EnumerationOptions query_options = options_.enumeration;
+  if (options_.persist) query_options.cache = &cache_;
+  return query_options;
+}
+
+OcaResult OcqaSession::Answer(const ChainGenerator& generator,
+                              const Query& query) {
+  return ComputeOca(db_, constraints_, generator, query, QueryOptions());
+}
+
+Rational OcqaSession::TupleProbability(const ChainGenerator& generator,
+                                       const Query& query,
+                                       const Tuple& tuple) {
+  return ComputeTupleProbability(db_, constraints_, generator, query, tuple,
+                                 QueryOptions());
+}
+
+CountingOcaResult OcqaSession::Count(const ChainGenerator& generator,
+                                     const Query& query) {
+  CountingOptions counting;
+  counting.enumeration = QueryOptions();
+  return CountingOca(db_, constraints_, generator, query, counting);
+}
+
+EnumerationResult OcqaSession::Enumerate(const ChainGenerator& generator) {
+  return EnumerateRepairs(db_, constraints_, generator, QueryOptions());
+}
+
+TopKResult OcqaSession::TopK(const ChainGenerator& generator, size_t k) {
+  TopKOptions top_k;
+  top_k.max_states = options_.enumeration.max_states;
+  top_k.memoize = options_.enumeration.memoize;
+  if (options_.persist) top_k.cache = &cache_;
+  return TopKRepairs(db_, constraints_, generator, k, top_k);
+}
+
+bool OcqaSession::InsertFact(const Fact& fact) {
+  size_t old_hash = db_.Hash();
+  if (!db_.Insert(fact)) return false;
+  cache_.InvalidateDatabaseHash(old_hash);
+  return true;
+}
+
+bool OcqaSession::EraseFact(const Fact& fact) {
+  size_t old_hash = db_.Hash();
+  if (!db_.Erase(fact)) return false;
+  cache_.InvalidateDatabaseHash(old_hash);
+  return true;
+}
+
+}  // namespace engine
+}  // namespace opcqa

@@ -1,0 +1,88 @@
+// OcqaSession — engine-level owner of a database, its constraints and the
+// cross-query repair-space cache.
+//
+// The multi-query workload (many queries, one fixed inconsistent
+// database — the setting of arXiv:2204.10592 / 2312.08038 and of any
+// OCQA service) is what the session models: it holds (D, Σ) plus a
+// RepairSpaceCache, threads the cache into every exact computation it
+// runs, and invalidates eagerly when the database is mutated through it.
+// Answers are byte-identical to the free functions in repair/ — the
+// session only changes how fast repeated queries arrive.
+//
+// Mutation model: InsertFact/EraseFact change D in place. The cache keys
+// roots by database content, so post-mutation queries fingerprint to a
+// fresh root even without invalidation; the session still drops the
+// superseded roots immediately (incremental invalidation — roots over
+// *other* databases, e.g. localized sub-instances, survive) so memory is
+// reclaimed before the root LRU would get to it.
+
+#ifndef OPCQA_ENGINE_OCQA_SESSION_H_
+#define OPCQA_ENGINE_OCQA_SESSION_H_
+
+#include <cstdint>
+
+#include "repair/counting.h"
+#include "repair/ocqa.h"
+#include "repair/repair_cache.h"
+#include "repair/top_k.h"
+
+namespace opcqa {
+namespace engine {
+
+struct SessionOptions {
+  /// Defaults for every per-query enumeration: threads, state budget,
+  /// memoization. `memoize` defaults to on — the session exists to share
+  /// repair spaces (individual calls can still override).
+  EnumerationOptions enumeration;
+  /// Budgets of the owned RepairSpaceCache.
+  RepairCacheOptions cache;
+  /// Master switch for cross-query persistence; off = every query gets a
+  /// per-call scratch table (the PR-3 behaviour).
+  bool persist = true;
+
+  SessionOptions() { enumeration.memoize = true; }
+};
+
+class OcqaSession {
+ public:
+  OcqaSession(Database db, ConstraintSet constraints,
+              SessionOptions options = {});
+
+  const Database& database() const { return db_; }
+  const ConstraintSet& constraints() const { return constraints_; }
+
+  /// Exact OCA (repair/ocqa.h) under this session's cache.
+  OcaResult Answer(const ChainGenerator& generator, const Query& query);
+  /// Exact CP of a single tuple.
+  Rational TupleProbability(const ChainGenerator& generator,
+                            const Query& query, const Tuple& tuple);
+  /// Counting (equally-likely-repairs) semantics under the cache.
+  CountingOcaResult Count(const ChainGenerator& generator,
+                          const Query& query);
+  /// Full repair distribution under the cache.
+  EnumerationResult Enumerate(const ChainGenerator& generator);
+  /// Anytime top-k, consuming subtrees earlier queries recorded.
+  TopKResult TopK(const ChainGenerator& generator, size_t k);
+
+  /// Mutate the session database; returns whether it changed. Both drop
+  /// the now-stale cache roots of the previous database content.
+  bool InsertFact(const Fact& fact);
+  bool EraseFact(const Fact& fact);
+
+  RepairSpaceCache& cache() { return cache_; }
+  /// Aggregated cache counters (hit rate, bytes, evictions, compression).
+  MemoStats CacheStats() const { return cache_.TotalStats(); }
+
+ private:
+  EnumerationOptions QueryOptions();
+
+  Database db_;
+  ConstraintSet constraints_;
+  SessionOptions options_;
+  RepairSpaceCache cache_;
+};
+
+}  // namespace engine
+}  // namespace opcqa
+
+#endif  // OPCQA_ENGINE_OCQA_SESSION_H_

@@ -172,6 +172,7 @@ Result<std::vector<Database>> AbcRepairsViaChain(
   enum_options.max_states = options.max_candidates;
   enum_options.threads = options.threads;
   enum_options.memoize = options.memoize;
+  enum_options.cache = options.cache;
   EnumerationResult result =
       EnumerateRepairs(db, constraints, uniform, enum_options);
   if (result.truncated) {

@@ -26,6 +26,8 @@
 
 namespace opcqa {
 
+class RepairSpaceCache;
+
 struct AbcOptions {
   /// Upper bound on enumerated repairs / hitting-set branches.
   size_t max_candidates = 200000;
@@ -38,6 +40,10 @@ struct AbcOptions {
   /// Shared-suffix memoization for the via-chain engine (forwarded to
   /// EnumerationOptions::memoize; results are identical either way).
   bool memoize = false;
+  /// Cross-query repair-space persistence for the via-chain engine
+  /// (forwarded to EnumerationOptions::cache; not owned). With a warm
+  /// cache the uniform-chain walk replays instead of re-enumerating.
+  RepairSpaceCache* cache = nullptr;
 };
 
 /// The conflict hypergraph of D w.r.t. denial-only Σ: one edge per

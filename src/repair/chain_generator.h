@@ -54,6 +54,18 @@ class ChainGenerator {
   /// space (repair/memo.h) sound. Defaults to false (conservative): a
   /// generator must opt in explicitly.
   virtual bool history_independent() const { return false; }
+
+  /// Value identity for cross-query repair-space caching
+  /// (repair/repair_cache.h). A non-empty string is a promise: any two
+  /// generator instances returning the *same* string assign the same
+  /// Probabilities() at every state, so memoized subtrees recorded under
+  /// one may be replayed under the other. The string must therefore
+  /// encode every parameter the distribution depends on (built-ins
+  /// serialize theirs; see trust/priority generators). The default — the
+  /// empty string — opts out: the generator's subtrees are never shared
+  /// across calls, only within one (a scratch table), which is always
+  /// sound.
+  virtual std::string cache_identity() const { return std::string(); }
 };
 
 /// Validates and returns the distribution for a state: non-negative values
@@ -71,6 +83,7 @@ class UniformChainGenerator : public ChainGenerator {
       const std::vector<Operation>& extensions) const override;
   std::string name() const override { return "uniform"; }
   bool history_independent() const override { return true; }
+  std::string cache_identity() const override { return "uniform"; }
 };
 
 /// Uniform over deletion extensions only; addition extensions get 0.
@@ -84,6 +97,7 @@ class DeletionOnlyUniformGenerator : public ChainGenerator {
   std::string name() const override { return "uniform-deletions"; }
   bool supports_only_deletions() const override { return true; }
   bool history_independent() const override { return true; }
+  std::string cache_identity() const override { return "uniform-deletions"; }
 };
 
 /// Wraps an arbitrary probability function.
@@ -93,11 +107,16 @@ class LambdaChainGenerator : public ChainGenerator {
       const RepairingState&, const std::vector<Operation>&)>;
 
   /// Set `memoryless` when `fn` reads only the state's current database /
-  /// violations (see ChainGenerator::history_independent).
+  /// violations (see ChainGenerator::history_independent). A non-empty
+  /// `cache_identity` additionally asserts the cross-call contract of
+  /// ChainGenerator::cache_identity for `fn` — only pass one when every
+  /// parameter `fn` closes over is encoded in it.
   LambdaChainGenerator(std::string name, Fn fn, bool deletions_only = false,
-                       bool memoryless = false)
+                       bool memoryless = false,
+                       std::string cache_identity = std::string())
       : name_(std::move(name)), fn_(std::move(fn)),
-        deletions_only_(deletions_only), memoryless_(memoryless) {}
+        deletions_only_(deletions_only), memoryless_(memoryless),
+        cache_identity_(std::move(cache_identity)) {}
 
   std::vector<Rational> Probabilities(
       const RepairingState& state,
@@ -107,12 +126,14 @@ class LambdaChainGenerator : public ChainGenerator {
   std::string name() const override { return name_; }
   bool supports_only_deletions() const override { return deletions_only_; }
   bool history_independent() const override { return memoryless_; }
+  std::string cache_identity() const override { return cache_identity_; }
 
  private:
   std::string name_;
   Fn fn_;
   bool deletions_only_;
   bool memoryless_;
+  std::string cache_identity_;
 };
 
 }  // namespace opcqa

@@ -1,8 +1,46 @@
 #include "repair/memo.h"
 
+#include <algorithm>
+
 #include "util/hash.h"
 
 namespace opcqa {
+
+namespace {
+
+/// Approximate heap footprint of a Violation inside a std::set: the
+/// red-black node plus the assignment's binding vector.
+size_t ViolationSetBytes(const ViolationSet& eliminated) {
+  size_t bytes = 0;
+  for (const Violation& violation : eliminated) {
+    bytes += 48 /* set node overhead */ + sizeof(Violation) +
+             violation.h.bindings().capacity() *
+                 sizeof(std::pair<VarId, ConstId>);
+  }
+  return bytes;
+}
+
+/// Footprint of a full id-vector Database copy with `facts` facts over a
+/// schema with `relations` relations — the PR-3 per-payload cost: the
+/// object header (schema pointer, outer vector, size_, hash_), one inner
+/// vector header per relation, and the ids themselves.
+size_t DatabaseCopyBytes(size_t facts, size_t relations) {
+  return 2 * sizeof(void*) + sizeof(std::vector<std::vector<FactId>>) +
+         sizeof(std::vector<FactId>) * relations + facts * sizeof(FactId);
+}
+
+/// Footprint of a removed-id delta payload: one vector header + the ids.
+size_t DeltaPayloadBytes(size_t removed) {
+  return sizeof(std::vector<FactId>) + removed * sizeof(FactId);
+}
+
+bool RemovedEquals(const std::vector<FactId>& stored,
+                   const std::set<FactId>& removed) {
+  return stored.size() == removed.size() &&
+         std::equal(stored.begin(), stored.end(), removed.begin());
+}
+
+}  // namespace
 
 size_t StateKey::Combined() const {
   return HashCombine(db_hash, eliminated_hash);
@@ -20,20 +58,97 @@ bool MemoizationApplicable(const RepairContext& context,
   return generator.supports_only_deletions() && prune_zero_probability;
 }
 
-TranspositionTable::TranspositionTable(size_t max_entries)
-    : max_entries_(max_entries) {}
+Database ReconstructRepair(const RepairingState& state,
+                           const MemoOutcome::RepairShare& share) {
+  Database repair = state.current();
+  for (FactId id : share.removed) repair.EraseId(id);
+  return repair;
+}
+
+MemoStats MemoStats::DeltaSince(const MemoStats& earlier) const {
+  MemoStats delta = *this;
+  delta.hits -= earlier.hits;
+  delta.misses -= earlier.misses;
+  delta.collisions -= earlier.collisions;
+  delta.inserts -= earlier.inserts;
+  delta.rejected_full -= earlier.rejected_full;
+  delta.evictions -= earlier.evictions;
+  // entries and the byte gauges stay point-in-time values.
+  return delta;
+}
+
+TranspositionTable::TranspositionTable(size_t max_entries, size_t max_bytes)
+    : max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+void TranspositionTable::SetRootShape(size_t root_facts,
+                                      size_t num_relations) {
+  root_facts_.store(root_facts, std::memory_order_relaxed);
+  num_relations_.store(num_relations, std::memory_order_relaxed);
+}
+
+uint8_t TranspositionTable::CostTier(const MemoOutcome& outcome) {
+  if (outcome.states >= 32768) return 3;
+  if (outcome.states >= 1024) return 2;
+  if (outcome.states >= 32) return 1;
+  return 0;
+}
+
+size_t TranspositionTable::EntryBytes(const Entry& entry) {
+  size_t bytes = sizeof(Entry) + 16 /* multimap node overhead */ +
+                 entry.removed.capacity() * sizeof(FactId) +
+                 ViolationSetBytes(entry.eliminated);
+  const MemoOutcome& outcome = *entry.outcome;
+  bytes += sizeof(MemoOutcome) +
+           outcome.repairs.capacity() * sizeof(MemoOutcome::RepairShare);
+  for (const MemoOutcome::RepairShare& share : outcome.repairs) {
+    bytes += share.removed.capacity() * sizeof(FactId);
+  }
+  return bytes;
+}
+
+size_t TranspositionTable::PayloadBytes(const Entry& entry) {
+  size_t bytes = DeltaPayloadBytes(entry.removed.size());
+  for (const MemoOutcome::RepairShare& share : entry.outcome->repairs) {
+    bytes += DeltaPayloadBytes(share.removed.size());
+  }
+  return bytes;
+}
+
+size_t TranspositionTable::FullPayloadBytes(const Entry& entry) const {
+  // What the PR-3 representation stored where the deltas now are: a full
+  // Database per entry key and per repair share. (Everything else — the
+  // hash key, the eliminated set, the Rational masses — is identical in
+  // both representations and not part of this comparison.) Entry database
+  // size is |root| − |removed|; each repair removes `share.removed` more
+  // facts below it.
+  size_t root_facts = root_facts_.load(std::memory_order_relaxed);
+  size_t relations = num_relations_.load(std::memory_order_relaxed);
+  size_t entry_facts = root_facts > entry.removed.size()
+                           ? root_facts - entry.removed.size()
+                           : 0;
+  size_t bytes = DatabaseCopyBytes(entry_facts, relations);
+  for (const MemoOutcome::RepairShare& share : entry.outcome->repairs) {
+    size_t repair_facts = entry_facts > share.removed.size()
+                              ? entry_facts - share.removed.size()
+                              : 0;
+    bytes += DatabaseCopyBytes(repair_facts, relations);
+  }
+  return bytes;
+}
 
 std::shared_ptr<const MemoOutcome> TranspositionTable::Lookup(
-    const StateKey& key, const Database& db, const ViolationSet& eliminated) {
+    const StateKey& key, const std::set<FactId>& removed,
+    const ViolationSet& eliminated) {
   Stripe& stripe = StripeFor(key);
   std::lock_guard<std::mutex> lock(stripe.mutex);
   auto [begin, end] = stripe.map.equal_range(key.Combined());
   bool collided = false;
   for (auto it = begin; it != end; ++it) {
-    const Entry& entry = it->second;
-    if (entry.key == key && entry.db == db &&
+    Entry& entry = it->second;
+    if (entry.key == key && RemovedEquals(entry.removed, removed) &&
         entry.eliminated == eliminated) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      entry.chances = CostTier(*entry.outcome);  // second chance refresh
       return entry.outcome;
     }
     collided = true;
@@ -43,28 +158,75 @@ std::shared_ptr<const MemoOutcome> TranspositionTable::Lookup(
   return nullptr;
 }
 
-void TranspositionTable::Insert(const StateKey& key, const Database& db,
+void TranspositionTable::EvictUntilWithinBudget(Stripe& stripe) {
+  size_t stripe_max_entries = std::max<size_t>(1, max_entries_ / kNumStripes);
+  size_t stripe_max_bytes =
+      max_bytes_ == 0 ? 0 : std::max<size_t>(1, max_bytes_ / kNumStripes);
+  auto over_budget = [&]() {
+    if (stripe.map.size() > stripe_max_entries) return true;
+    return stripe_max_bytes != 0 && stripe.bytes > stripe_max_bytes;
+  };
+  // CLOCK-style sweep: zero-credit entries go, the rest pay one credit
+  // per pass. Terminates because every full pass either evicts or
+  // strictly decreases the total credits, and credits cannot rise during
+  // the sweep (hits take the stripe lock).
+  while (over_budget() && stripe.map.size() > 1) {
+    for (auto it = stripe.map.begin();
+         it != stripe.map.end() && over_budget();) {
+      Entry& entry = it->second;
+      if (entry.chances == 0) {
+        stripe.bytes -= entry.entry_bytes;
+        stripe.payload_bytes -= entry.payload_bytes;
+        stripe.full_bytes -= entry.full_bytes;
+        it = stripe.map.erase(it);
+        entries_.fetch_sub(1, std::memory_order_relaxed);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        if (entry.chances > 0) --entry.chances;
+        ++it;
+      }
+    }
+  }
+}
+
+void TranspositionTable::Insert(const StateKey& key,
+                                const std::set<FactId>& removed,
                                 ViolationSet eliminated,
                                 std::shared_ptr<const MemoOutcome> outcome) {
-  if (entries_.load(std::memory_order_relaxed) >= max_entries_) {
-    rejected_full_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
   Stripe& stripe = StripeFor(key);
   std::lock_guard<std::mutex> lock(stripe.mutex);
   auto [begin, end] = stripe.map.equal_range(key.Combined());
   for (auto it = begin; it != end; ++it) {
     const Entry& entry = it->second;
-    if (entry.key == key && entry.db == db &&
+    if (entry.key == key && RemovedEquals(entry.removed, removed) &&
         entry.eliminated == eliminated) {
       return;  // first writer wins; outcomes are equal by soundness
     }
   }
-  stripe.map.emplace(key.Combined(),
-                     Entry{key, db, std::move(eliminated),
-                           std::move(outcome)});
+  Entry entry;
+  entry.key = key;
+  entry.removed.assign(removed.begin(), removed.end());
+  entry.eliminated = std::move(eliminated);
+  entry.outcome = std::move(outcome);
+  entry.chances = CostTier(*entry.outcome);
+  entry.entry_bytes = EntryBytes(entry);
+  entry.payload_bytes = PayloadBytes(entry);
+  entry.full_bytes = FullPayloadBytes(entry);
+  size_t stripe_max_bytes =
+      max_bytes_ == 0 ? 0 : std::max<size_t>(1, max_bytes_ / kNumStripes);
+  if (stripe_max_bytes != 0 && entry.entry_bytes > stripe_max_bytes) {
+    // The entry alone overflows its stripe's byte share: storing it would
+    // just thrash the sweep. Count it as dropped.
+    rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  stripe.bytes += entry.entry_bytes;
+  stripe.payload_bytes += entry.payload_bytes;
+  stripe.full_bytes += entry.full_bytes;
+  stripe.map.emplace(key.Combined(), std::move(entry));
   entries_.fetch_add(1, std::memory_order_relaxed);
   inserts_.fetch_add(1, std::memory_order_relaxed);
+  EvictUntilWithinBudget(stripe);
 }
 
 size_t TranspositionTable::size() const {
@@ -78,7 +240,14 @@ MemoStats TranspositionTable::stats() const {
   stats.collisions = collisions_.load(std::memory_order_relaxed);
   stats.inserts = inserts_.load(std::memory_order_relaxed);
   stats.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.entries = entries_.load(std::memory_order_relaxed);
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stats.bytes += stripe.bytes;
+    stats.payload_bytes += stripe.payload_bytes;
+    stats.full_payload_bytes += stripe.full_bytes;
+  }
   return stats;
 }
 

@@ -31,15 +31,44 @@
 // States are keyed on the (database hash, eliminated-set hash) pair both
 // maintained incrementally under ApplyTrusted/Revert — keying is O(1),
 // never O(|D|). Hash equality is only a candidate match: every lookup
-// verifies the stored real id-sets before a hit, so hash collisions
-// degrade performance, never correctness. Entries store the *completed*
-// subtree outcome with masses relative to the subtree root; replaying an
-// entry multiplies by the entering path mass, and exact Rational
-// arithmetic makes the replayed totals — masses, counters, truncation —
+// verifies the stored real sets before a hit, so hash collisions degrade
+// performance, never correctness. Entries store the *completed* subtree
+// outcome with masses relative to the subtree root; replaying an entry
+// multiplies by the entering path mass, and exact Rational arithmetic
+// makes the replayed totals — masses, counters, truncation —
 // byte-identical to the unmemoized walk. The table is shared across the
 // PR-2 worker threads through striped locks; because an entry's value is
 // a function of its key, the publication race is benign and results stay
 // deterministic for every thread count.
+//
+// ## Delta-compressed payloads (PR 4)
+//
+// Memoization only ever applies to deletion-only chains, so every state
+// of a table is the chain root D minus its removed-fact set, and every
+// repair below an entry is the entry's database minus further deletions.
+// Entries therefore store
+//   * the verification key as the sorted removed-id set against D
+//     (≈ depth-sized instead of |D|-sized), and
+//   * each per-repair mass share as the ids removed *below* the entry
+//     state (again depth-sized)
+// — never a full id-vector Database copy. Replaying reconstructs each
+// repair from the live state's database (one id-vector copy plus
+// depth-many erases), which is exactly the copy the aggregation map
+// needed anyway. One table must only ever be used underneath a single
+// chain root (RepairSpaceCache verifies the root database before handing
+// a table out; scratch tables are per-call by construction).
+//
+// ## Cost-aware eviction
+//
+// The PR-3 table stopped inserting once full; this table instead evicts
+// under an entry and/or byte budget with a second-chance (CLOCK-style)
+// sweep weighted by the virtual-subtree size an entry replays: entries
+// whose subtrees are cheap to recompute start with zero protection
+// credits and go first, deep shared suffixes — the entries carrying the
+// speedup — survive longest, and a verified hit refreshes an entry's
+// credits. Eviction only ever costs recomputation (a later walk misses
+// and re-records); results stay byte-identical by the replay argument
+// above.
 
 #ifndef OPCQA_REPAIR_MEMO_H_
 #define OPCQA_REPAIR_MEMO_H_
@@ -47,6 +76,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -58,7 +88,7 @@ namespace opcqa {
 
 /// O(1) fingerprint of a repairing state (see file comment). Equal states
 /// always produce equal keys; unequal states are told apart by the
-/// table's id-set verification.
+/// table's removed/eliminated-set verification.
 struct StateKey {
   size_t db_hash = 0;
   size_t eliminated_hash = 0;
@@ -85,7 +115,10 @@ bool MemoizationApplicable(const RepairContext& context,
 /// by construction).
 struct MemoOutcome {
   struct RepairShare {
-    Database repair;
+    /// Ids removed below the entry state: the repair is the entry state's
+    /// database minus these facts (deletion-only chains; see file
+    /// comment). Sorted in fact value order.
+    std::vector<FactId> removed;
     Rational mass;          // Σ leaf masses relative to the subtree root
     size_t num_sequences;   // successful leaves mapping to this repair
   };
@@ -100,45 +133,84 @@ struct MemoOutcome {
   size_t depth_below = 0;   // deepest leaf depth − subtree-root depth
 };
 
-/// Aggregate table counters (monotone; read with stats()).
+/// Decodes one RepairShare against the live state it was recorded under:
+/// the repair is the state's database minus the share's removed ids. The
+/// single definition of the delta encoding's read side, shared by the
+/// enumerator's replay and the top-k fold.
+Database ReconstructRepair(const RepairingState& state,
+                           const MemoOutcome::RepairShare& share);
+
+/// Aggregate table counters. hits…evictions are monotone; entries, bytes
+/// and full_payload_bytes are point-in-time gauges.
 struct MemoStats {
   uint64_t hits = 0;        // verified lookups
   uint64_t misses = 0;      // no entry under the key
-  uint64_t collisions = 0;  // hash match whose id-sets differed
+  uint64_t collisions = 0;  // hash match whose verified sets differed
   uint64_t inserts = 0;
-  uint64_t rejected_full = 0;  // inserts dropped by the entry cap
+  uint64_t rejected_full = 0;  // inserts too large for any budget
+  uint64_t evictions = 0;      // entries removed by the budget sweep
   size_t entries = 0;
+  /// Approximate heap footprint of the live entries (delta-compressed) —
+  /// the gauge the byte budget enforces.
+  size_t bytes = 0;
+  /// Of `bytes`, what the removed-id delta payloads occupy (the
+  /// verification keys and per-repair shares).
+  size_t payload_bytes = 0;
+  /// What those same payloads would occupy under the PR-3 representation
+  /// (a full id-vector Database copy per key and per repair share);
+  /// full_payload_bytes / payload_bytes is the measured compression
+  /// ratio, which grows like |D| / depth on depth-bounded chains.
+  size_t full_payload_bytes = 0;
+
+  /// Counters accrued since `earlier` (monotone fields diffed, gauges
+  /// kept) — the per-call view over a persistent shared table.
+  MemoStats DeltaSince(const MemoStats& earlier) const;
 };
 
 /// Striped-lock transposition table: StateKey → verified MemoOutcome.
 /// Thread-safe for concurrent Lookup/Insert (one stripe locked per call);
-/// outcomes are immutable once published.
+/// outcomes are immutable once published. All states passed in must
+/// belong to one chain root (their removed sets are deltas against it).
 class TranspositionTable {
  public:
   static constexpr size_t kDefaultMaxEntries = 1u << 20;
+  /// Lock striping factor; budgets are enforced per stripe (an entry
+  /// budget of N allows max(1, N/kNumStripes) entries per stripe).
+  /// Public so tests can construct same-stripe contention.
+  static constexpr size_t kNumStripes = 16;
 
-  explicit TranspositionTable(size_t max_entries = kDefaultMaxEntries);
+  /// `max_bytes` = 0 disables the byte budget (the entry cap remains).
+  explicit TranspositionTable(size_t max_entries = kDefaultMaxEntries,
+                              size_t max_bytes = 0);
 
-  /// The outcome recorded for this exact state, or nullptr. `db` and
+  /// Shape of the chain root this table memoizes under — |D| and the
+  /// schema's relation count — used only to estimate full_payload_bytes
+  /// (the PR-3 representation) for the compression-ratio counters.
+  void SetRootShape(size_t root_facts, size_t num_relations);
+
+  /// The outcome recorded for this exact state, or nullptr. `removed` and
   /// `eliminated` are the verification payloads: a candidate entry whose
-  /// stored id-sets differ is a counted hash collision, never a hit.
+  /// stored sets differ is a counted hash collision, never a hit. A
+  /// verified hit refreshes the entry's eviction-protection credits.
   std::shared_ptr<const MemoOutcome> Lookup(const StateKey& key,
-                                            const Database& db,
+                                            const std::set<FactId>& removed,
                                             const ViolationSet& eliminated);
   std::shared_ptr<const MemoOutcome> Lookup(const RepairingState& state) {
-    return Lookup(KeyOf(state), state.current(), state.eliminated());
+    return Lookup(KeyOf(state), state.removed(), state.eliminated());
   }
 
-  /// Records the completed-subtree outcome below (key, db, eliminated).
-  /// Re-inserting an already-present state keeps the first entry (the
-  /// outcomes are equal by soundness); inserts beyond `max_entries` are
-  /// dropped (existing entries keep serving hits).
-  void Insert(const StateKey& key, const Database& db,
+  /// Records the completed-subtree outcome below (key, removed,
+  /// eliminated). Re-inserting an already-present state keeps the first
+  /// entry (the outcomes are equal by soundness); exceeding the budgets
+  /// triggers the cost-aware eviction sweep, in which the new entry
+  /// competes on its own credits — a cheap newcomer never displaces an
+  /// expensive resident.
+  void Insert(const StateKey& key, const std::set<FactId>& removed,
               ViolationSet eliminated,
               std::shared_ptr<const MemoOutcome> outcome);
   void Insert(const RepairingState& state,
               std::shared_ptr<const MemoOutcome> outcome) {
-    Insert(KeyOf(state), state.current(), state.eliminated(),
+    Insert(KeyOf(state), state.removed(), state.eliminated(),
            std::move(outcome));
   }
 
@@ -148,28 +220,52 @@ class TranspositionTable {
  private:
   struct Entry {
     StateKey key;
-    Database db;              // verification payloads
+    std::vector<FactId> removed;  // verification payload (vs chain root)
     ViolationSet eliminated;
     std::shared_ptr<const MemoOutcome> outcome;
+    /// Second-chance credits: decremented by the eviction sweep, evicted
+    /// at zero, refreshed to the cost tier on every verified hit.
+    uint8_t chances = 0;
+    size_t entry_bytes = 0;    // cached EntryBytes(*this)
+    size_t payload_bytes = 0;  // cached delta-payload share of entry_bytes
+    size_t full_bytes = 0;     // cached PR-3-equivalent payload footprint
   };
   struct Stripe {
     mutable std::mutex mutex;
     // Combined() → entries; same-bucket entries disambiguated by payload.
     std::unordered_multimap<size_t, Entry> map;
+    size_t bytes = 0;
+    size_t payload_bytes = 0;
+    size_t full_bytes = 0;
   };
-  static constexpr size_t kNumStripes = 16;
 
   Stripe& StripeFor(const StateKey& key) {
     return stripes_[key.Combined() % kNumStripes];
   }
 
+  /// Protection credits by replay value: the bigger the virtual subtree an
+  /// entry collapses, the more sweep passes it survives.
+  static uint8_t CostTier(const MemoOutcome& outcome);
+  static size_t EntryBytes(const Entry& entry);
+  static size_t PayloadBytes(const Entry& entry);
+  size_t FullPayloadBytes(const Entry& entry) const;
+  /// Evicts zero-credit entries (decrementing the rest) until `stripe`
+  /// fits its per-stripe share of both budgets. The just-inserted entry
+  /// competes on its own credits — a cheap newcomer never displaces an
+  /// expensive resident (cost-aware admission).
+  void EvictUntilWithinBudget(Stripe& stripe);
+
   size_t max_entries_;
+  size_t max_bytes_;
+  std::atomic<size_t> root_facts_{0};
+  std::atomic<size_t> num_relations_{0};
   std::atomic<size_t> entries_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> collisions_{0};
   std::atomic<uint64_t> inserts_{0};
   std::atomic<uint64_t> rejected_full_{0};
+  std::atomic<uint64_t> evictions_{0};
   Stripe stripes_[kNumStripes];
 };
 

@@ -35,6 +35,10 @@ class PreferenceChainGenerator : public ChainGenerator {
   bool supports_only_deletions() const override { return true; }
   // Weights read only w(·, s(D)) — the current database.
   bool history_independent() const override { return true; }
+  // The distribution is fully determined by the Pref relation symbol.
+  std::string cache_identity() const override {
+    return "preference:" + std::to_string(pref_);
+  }
 
  private:
   PredId pref_;

@@ -36,11 +36,27 @@ PriorityChainGenerator PriorityChainGenerator::MinimalChange() {
       [](const RepairingState&, const Operation& op) {
         return -static_cast<int64_t>(op.size());
       },
-      /*deletions_only=*/false, /*memoryless=*/true);
+      /*deletions_only=*/false, /*memoryless=*/true,
+      /*cache_identity=*/"priority:minimal-change");
 }
 
 PriorityChainGenerator PriorityChainGenerator::DeleteLowestScoreFirst(
     std::map<Fact, int64_t> scores, int64_t default_score) {
+  // Serialize every parameter the rank closes over (facts via their
+  // pred/arg ids) so equal identities imply equal rank functions.
+  std::string identity = "priority:lowest-score:";
+  for (const auto& [fact, score] : scores) {
+    identity += std::to_string(fact.pred());
+    identity += '(';
+    for (size_t i = 0; i < fact.args().size(); ++i) {
+      if (i > 0) identity += ',';
+      identity += std::to_string(fact.args()[i]);
+    }
+    identity += ")=";
+    identity += std::to_string(score);
+    identity += ';';
+  }
+  identity += "default=" + std::to_string(default_score);
   return PriorityChainGenerator(
       "delete-lowest-score",
       [scores = std::move(scores),
@@ -56,7 +72,7 @@ PriorityChainGenerator PriorityChainGenerator::DeleteLowestScoreFirst(
         // highest score touched.
         return -worst;
       },
-      /*deletions_only=*/false, /*memoryless=*/true);
+      /*deletions_only=*/false, /*memoryless=*/true, std::move(identity));
 }
 
 }  // namespace opcqa

@@ -22,12 +22,18 @@ class PriorityChainGenerator : public ChainGenerator {
       std::function<int64_t(const RepairingState&, const Operation&)>;
 
   /// Set `memoryless` when `rank` reads only the state's current database
-  /// and the operation (see ChainGenerator::history_independent).
+  /// and the operation (see ChainGenerator::history_independent). A
+  /// non-empty `cache_identity` asserts the cross-call contract of
+  /// ChainGenerator::cache_identity for `rank` — only pass one when every
+  /// parameter `rank` closes over is encoded in it (the named factories
+  /// below do).
   PriorityChainGenerator(std::string name, RankFn rank,
                          bool deletions_only = false,
-                         bool memoryless = false)
+                         bool memoryless = false,
+                         std::string cache_identity = std::string())
       : name_(std::move(name)), rank_(std::move(rank)),
-        deletions_only_(deletions_only), memoryless_(memoryless) {}
+        deletions_only_(deletions_only), memoryless_(memoryless),
+        cache_identity_(std::move(cache_identity)) {}
 
   std::vector<Rational> Probabilities(
       const RepairingState& state,
@@ -36,6 +42,7 @@ class PriorityChainGenerator : public ChainGenerator {
   std::string name() const override { return name_; }
   bool supports_only_deletions() const override { return deletions_only_; }
   bool history_independent() const override { return memoryless_; }
+  std::string cache_identity() const override { return cache_identity_; }
 
   /// Rank = −|F| : prefer operations that change as few facts as possible
   /// (single-fact deletions beat pair deletions — the classical
@@ -53,6 +60,7 @@ class PriorityChainGenerator : public ChainGenerator {
   RankFn rank_;
   bool deletions_only_;
   bool memoryless_;
+  std::string cache_identity_;
 };
 
 }  // namespace opcqa

@@ -1,0 +1,137 @@
+#include "repair/repair_cache.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace opcqa {
+
+namespace {
+
+/// Deterministic rendering of Σ for verified root identity. Rendering —
+/// not hashing — keeps constraint-set equality collision-free: two
+/// different Σ can share a fingerprint bucket but never a digest.
+std::string ConstraintsDigest(const Schema& schema,
+                              const ConstraintSet& constraints) {
+  std::string digest;
+  for (const Constraint& constraint : constraints) {
+    digest += constraint.ToString(schema);
+    digest += '\n';
+  }
+  return digest;
+}
+
+size_t StringHash(const std::string& text) {
+  return std::hash<std::string>{}(text);
+}
+
+}  // namespace
+
+RepairSpaceCache::RepairSpaceCache(RepairCacheOptions options)
+    : options_(options) {}
+
+std::shared_ptr<TranspositionTable> RepairSpaceCache::TableFor(
+    const Database& db, const ConstraintSet& constraints,
+    const ChainGenerator& generator, bool prune_zero_probability) {
+  std::string identity = generator.cache_identity();
+  if (identity.empty()) return nullptr;  // generator opted out of sharing
+  std::string digest = ConstraintsDigest(db.schema(), constraints);
+  size_t fingerprint = HashCombine(
+      HashCombine(HashCombine(db.Hash(), StringHash(digest)),
+                  StringHash(identity)),
+      prune_zero_probability ? 1u : 0u);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Root& root : roots_) {
+    if (root.fingerprint != fingerprint) continue;
+    // Fingerprint match is only a candidate: verify every component so
+    // hash collisions split into separate roots instead of aliasing.
+    if (root.db == db && root.constraints_digest == digest &&
+        root.generator_identity == identity &&
+        root.prune == prune_zero_probability) {
+      root.last_used = ++tick_;
+      return root.table;
+    }
+  }
+  Root root;
+  root.fingerprint = fingerprint;
+  root.db_hash = db.Hash();
+  root.db = db;
+  root.constraints_digest = std::move(digest);
+  root.generator_identity = std::move(identity);
+  root.prune = prune_zero_probability;
+  root.last_used = ++tick_;
+  root.table = std::make_shared<TranspositionTable>(
+      options_.max_entries_per_root, options_.max_bytes_per_root);
+  root.table->SetRootShape(db.size(), db.schema().size());
+  std::shared_ptr<TranspositionTable> table = root.table;
+  roots_.push_back(std::move(root));
+  if (options_.max_roots > 0 && roots_.size() > options_.max_roots) {
+    auto oldest = std::min_element(
+        roots_.begin(), roots_.end(), [](const Root& a, const Root& b) {
+          return a.last_used < b.last_used;
+        });
+    roots_.erase(oldest);
+  }
+  return table;
+}
+
+size_t RepairSpaceCache::InvalidateDatabase(const Database& db) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t dropped = 0;
+  for (size_t i = roots_.size(); i-- > 0;) {
+    if (roots_[i].db_hash == db.Hash() && roots_[i].db == db) {
+      roots_.erase(roots_.begin() + static_cast<ptrdiff_t>(i));
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+size_t RepairSpaceCache::InvalidateDatabaseHash(size_t db_hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t dropped = 0;
+  for (size_t i = roots_.size(); i-- > 0;) {
+    if (roots_[i].db_hash == db_hash) {
+      roots_.erase(roots_.begin() + static_cast<ptrdiff_t>(i));
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+void RepairSpaceCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  roots_.clear();
+}
+
+size_t RepairSpaceCache::roots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return roots_.size();
+}
+
+MemoStats RepairSpaceCache::TotalStats() const {
+  std::vector<std::shared_ptr<TranspositionTable>> tables;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tables.reserve(roots_.size());
+    for (const Root& root : roots_) tables.push_back(root.table);
+  }
+  MemoStats total;
+  for (const auto& table : tables) {
+    MemoStats stats = table->stats();
+    total.hits += stats.hits;
+    total.misses += stats.misses;
+    total.collisions += stats.collisions;
+    total.inserts += stats.inserts;
+    total.rejected_full += stats.rejected_full;
+    total.evictions += stats.evictions;
+    total.entries += stats.entries;
+    total.bytes += stats.bytes;
+    total.payload_bytes += stats.payload_bytes;
+    total.full_payload_bytes += stats.full_payload_bytes;
+  }
+  return total;
+}
+
+}  // namespace opcqa

@@ -5,6 +5,7 @@
 #include <memory>
 #include <numeric>
 
+#include "repair/repair_cache.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
@@ -74,8 +75,8 @@ class SubtreeWalker {
     if (memo_ != nullptr) {
       key = KeyOf(state);
       std::shared_ptr<const MemoOutcome> cached =
-          memo_->Lookup(key, state.current(), state.eliminated());
-      if (cached != nullptr && Replay(*cached, state.depth(), mass)) {
+          memo_->Lookup(key, state.removed(), state.eliminated());
+      if (cached != nullptr && Replay(*cached, state, mass)) {
         return cached->depth_below;
       }
     }
@@ -165,7 +166,7 @@ class SubtreeWalker {
   // Replays a recorded subtree when it fits the remaining budget. All
   // counters advance exactly as the real walk would, so budgets, shared
   // speculation accounting and truncation stay byte-identical.
-  bool Replay(const MemoOutcome& outcome, size_t depth,
+  bool Replay(const MemoOutcome& outcome, const RepairingState& state,
               const Rational& mass) {
     if (out_.states_visited + outcome.states > budget_) return false;
     out_.states_visited += outcome.states;
@@ -177,9 +178,14 @@ class SubtreeWalker {
     out_.failing_sequences += outcome.failing_sequences;
     out_.success_mass += outcome.success_mass * mass;
     out_.failing_mass += outcome.failing_mass * mass;
-    out_.max_depth = std::max(out_.max_depth, depth + outcome.depth_below);
+    out_.max_depth =
+        std::max(out_.max_depth, state.depth() + outcome.depth_below);
     for (const MemoOutcome::RepairShare& share : outcome.repairs) {
-      auto [it, inserted] = out_.aggregated.try_emplace(share.repair);
+      // Shares store the ids deleted below this state (repair/memo.h):
+      // reconstruct the repair from the live database — the same id-vector
+      // copy the aggregation key needed under full-payload storage.
+      auto [it, inserted] =
+          out_.aggregated.try_emplace(ReconstructRepair(state, share));
       Rational contribution = share.mass * mass;
       it->second.first += contribution;
       it->second.second += share.num_sequences;
@@ -243,11 +249,22 @@ class SubtreeWalker {
     outcome->failing_mass = (out_.failing_mass - frame.failing_mass) / mass;
     outcome->depth_below = depth_below;
     outcome->repairs.reserve(compressed.size());
+    std::vector<FactId> removed_below, resurrected;
     for (const LeafShare& share : compressed) {
+      // Store the repair as its removed-id delta below this state
+      // (repair/memo.h): on the deletion-only chains memoization is
+      // gated to, every leaf database is a subset of this subtree root.
+      state.current().SymmetricDifferenceIds(*share.repair, &removed_below,
+                                             &resurrected);
+      OPCQA_CHECK(resurrected.empty())
+          << "memoized subtree contains a non-deletion edge";
+      // Copy at exact size: moving the reused scratch vector would carry
+      // its high-water capacity into every stored share.
       outcome->repairs.push_back(MemoOutcome::RepairShare{
-          *share.repair, share.mass / mass, share.sequences});
+          std::vector<FactId>(removed_below), share.mass / mass,
+          share.sequences});
     }
-    memo_->Insert(key, state.current(), state.eliminated(),
+    memo_->Insert(key, state.removed(), state.eliminated(),
                   std::move(outcome));
   }
 
@@ -436,18 +453,32 @@ EnumerationResult EnumerateRepairs(const Database& db,
                                    const EnumerationOptions& options) {
   auto context = RepairContext::Make(db, constraints);
   RepairingState root(context);
-  std::unique_ptr<TranspositionTable> memo;
+  std::shared_ptr<TranspositionTable> memo;
   if (options.memoize &&
       MemoizationApplicable(*context, generator,
                             options.prune_zero_probability)) {
-    memo = std::make_unique<TranspositionTable>(options.memo_max_entries);
+    if (options.cache != nullptr) {
+      // Persistent root-keyed table: later queries over the same
+      // (db, Σ, generator) replay this walk's completed subtrees.
+      memo = options.cache->TableFor(db, constraints, generator,
+                                     options.prune_zero_probability);
+    }
+    if (memo == nullptr) {
+      memo = std::make_shared<TranspositionTable>(options.memo_max_entries,
+                                                  options.memo_max_bytes);
+      memo->SetRootShape(db.size(), db.schema().size());
+    }
   }
+  MemoStats stats_before;
+  if (memo != nullptr) stats_before = memo->stats();
   size_t threads = options.threads == 0 ? DefaultThreads() : options.threads;
   EnumerationResult result =
       threads > 1
           ? EnumerateParallel(root, generator, options, threads, memo.get())
           : EnumerateSerial(root, generator, options, memo.get());
-  if (memo != nullptr) result.memo_stats = memo->stats();
+  // Per-call view: counters accrued by this enumeration even when the
+  // table is shared and outlives the call.
+  if (memo != nullptr) result.memo_stats = memo->stats().DeltaSince(stats_before);
   return result;
 }
 

@@ -34,6 +34,8 @@
 
 namespace opcqa {
 
+class RepairSpaceCache;
+
 struct EnumerationOptions {
   /// Maximum number of chain states to visit before giving up. Memoized
   /// replays count the full virtual subtree, so the budget (and the
@@ -51,9 +53,22 @@ struct EnumerationOptions {
   /// to the unmemoized enumeration either way — including truncation and
   /// every counter — for every thread count.
   bool memoize = false;
-  /// Entry cap for the transposition table; once full, existing entries
-  /// keep serving hits but no new subtrees are recorded.
+  /// Entry budget for the transposition table; exceeding it triggers the
+  /// cost-aware eviction sweep (repair/memo.h) — cheap-to-recompute
+  /// entries go first, results stay byte-identical.
   size_t memo_max_entries = TranspositionTable::kDefaultMaxEntries;
+  /// Byte budget for the transposition table (0 = no byte budget).
+  size_t memo_max_bytes = 0;
+  /// Cross-query persistence (repair/repair_cache.h): when set (and
+  /// memoize is on and applicable), the enumeration asks this cache for
+  /// the persistent table of its (db, constraints, generator, pruning)
+  /// root instead of building a per-call scratch table, so later queries
+  /// over the same root replay this walk's completed subtrees. Not owned.
+  /// The per-root budgets come from the cache's own options; memo_stats
+  /// then reports the shared table's counter deltas across this call —
+  /// which include activity from any query running concurrently on the
+  /// same root (single-query-at-a-time callers get exactly their own).
+  RepairSpaceCache* cache = nullptr;
 };
 
 /// One operational repair with its probability.

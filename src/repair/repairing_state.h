@@ -72,6 +72,12 @@ class RepairingState {
   /// collision verification (repair/memo.h).
   const ViolationSet& eliminated() const { return eliminated_; }
 
+  /// Facts of D deleted by the sequence so far. On deletion-only chains
+  /// current() = D − removed(), which is what lets the transposition
+  /// table verify states by this depth-sized delta instead of a full
+  /// database copy (repair/memo.h).
+  const std::set<FactId>& removed() const { return removed_; }
+
   // O(1) state-fingerprint accessors for repair-space memoization. Both
   // are maintained incrementally — the database hash by InsertId/EraseId
   // (O(delta) per operation), the eliminated-set hash by

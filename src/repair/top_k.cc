@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "repair/memo.h"
+#include "repair/repair_cache.h"
 
 namespace opcqa {
 namespace {
@@ -74,6 +75,13 @@ TopKResult TopKRepairs(const Database& db, const ConstraintSet& constraints,
       options.memoize &&
       MemoizationApplicable(*context, generator,
                             /*prune_zero_probability=*/true);
+  // Persistent subtrees recorded by earlier enumerations over this root
+  // (see TopKOptions::cache). Same soundness gate as merging.
+  std::shared_ptr<TranspositionTable> table;
+  if (merge && options.cache != nullptr) {
+    table = options.cache->TableFor(db, constraints, generator,
+                                    /*prune_zero_probability=*/true);
+  }
 
   std::vector<Pending> pool;
   // Transposition index over unexpanded pool entries: combined state-key
@@ -160,6 +168,26 @@ TopKResult TopKRepairs(const Database& db, const ConstraintSet& constraints,
     const std::shared_ptr<RepairingState> state = std::move(top.state);
     ++result.states_expanded;
     result.frontier_mass -= probability;
+
+    if (table != nullptr) {
+      std::shared_ptr<const MemoOutcome> cached = table->Lookup(*state);
+      if (cached != nullptr &&
+          result.states_expanded + cached->states - 1 <=
+              options.max_states) {
+        // Fold the complete recorded subtree: exactly what expanding it
+        // to exhaustion would have contributed, in one step. The entry's
+        // root is already counted by ++states_expanded above.
+        result.states_expanded += cached->states - 1;
+        result.explored_success_mass += cached->success_mass * probability;
+        result.explored_failing_mass += cached->failing_mass * probability;
+        for (const MemoOutcome::RepairShare& share : cached->repairs) {
+          Database repair = ReconstructRepair(*state, share);
+          repair_mass[repair] += share.mass * probability;
+          repair_sequences[repair] += share.num_sequences * sequences;
+        }
+        continue;
+      }
+    }
 
     std::vector<Operation> extensions = state->ValidExtensions();
     if (extensions.empty()) {

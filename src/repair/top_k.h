@@ -27,6 +27,8 @@
 
 namespace opcqa {
 
+class RepairSpaceCache;
+
 struct TopKOptions {
   /// Hard budget on expanded states.
   size_t max_states = 1u << 22;
@@ -45,6 +47,14 @@ struct TopKOptions {
   /// further: lower bounds are at least as tight, but the discovered set
   /// and masses are not comparable entry-by-entry with the unmerged run.
   bool memoize = false;
+  /// Cross-query persistence (repair/repair_cache.h; not owned, applied
+  /// only when `memoize` is sound). The search *consumes* subtrees an
+  /// earlier enumeration over the same root recorded: popping a state
+  /// whose completed outcome is cached folds the exact subtree masses in
+  /// directly — equivalent to fully expanding it, so `exact`/certified
+  /// semantics are unchanged. Best-first order cannot delimit completed
+  /// subtrees on the way out, so the search never inserts.
+  RepairSpaceCache* cache = nullptr;
 };
 
 struct TopKResult {

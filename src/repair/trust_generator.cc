@@ -18,6 +18,27 @@ TrustChainGenerator::TrustChainGenerator(std::map<Fact, Rational> trust,
               default_trust_ <= Rational(1));
 }
 
+std::string TrustChainGenerator::cache_identity() const {
+  // Full serialization over globally-interned ids: equal strings imply
+  // equal trust maps, so no two distinct distributions can ever share a
+  // cached repair space.
+  std::string identity = "trust:";
+  for (const auto& [fact, level] : trust_) {
+    identity += std::to_string(fact.pred());
+    identity += '(';
+    for (size_t i = 0; i < fact.args().size(); ++i) {
+      if (i > 0) identity += ',';
+      identity += std::to_string(fact.args()[i]);
+    }
+    identity += ")=";
+    identity += level.ToString();
+    identity += ';';
+  }
+  identity += "default=";
+  identity += default_trust_.ToString();
+  return identity;
+}
+
 Rational TrustChainGenerator::TrustOf(const Fact& fact) const {
   auto it = trust_.find(fact);
   return it == trust_.end() ? default_trust_ : it->second;

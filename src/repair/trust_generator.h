@@ -42,6 +42,10 @@ class TrustChainGenerator : public ChainGenerator {
   bool supports_only_deletions() const override { return true; }
   // Weights read the violating pairs of s(D) and the fixed trust map.
   bool history_independent() const override { return true; }
+  // Serializes the full trust map (facts via their globally-interned
+  // ids), so equal identities imply equal distributions, never merely
+  // equal hashes.
+  std::string cache_identity() const override;
 
   /// tr(α).
   Rational TrustOf(const Fact& fact) const;

@@ -1,0 +1,130 @@
+#include "sql/exact_runner.h"
+
+#include <string>
+
+#include "constraints/constraint_parser.h"
+#include "sql/parser.h"
+
+namespace opcqa {
+namespace sql {
+
+namespace {
+
+/// One EGD per non-key position of `key`: the two atoms share a variable
+/// at every key position and assert equality position-wise elsewhere —
+/// the textbook functional-dependency encoding, routed through the
+/// constraint parser so it stays in lockstep with the repair core.
+Status AppendKeyEgds(const Schema& schema, const TableKey& key,
+                     ConstraintSet* constraints) {
+  PredId pred = schema.FindRelation(key.table);
+  if (pred == Schema::kNotFound) {
+    return Status::NotFound("unknown table in keys: " + key.table);
+  }
+  size_t arity = schema.Arity(pred);
+  if (key.key_positions.empty()) {
+    return Status::InvalidArgument("empty key position list for " +
+                                   key.table);
+  }
+  std::vector<bool> is_key(arity, false);
+  for (size_t position : key.key_positions) {
+    if (position >= arity) {
+      return Status::OutOfRange("key position out of range for " +
+                                key.table + ": " +
+                                std::to_string(position));
+    }
+    is_key[position] = true;
+  }
+  auto atom = [&](char nonkey_prefix) {
+    std::string text = key.table + "(";
+    for (size_t i = 0; i < arity; ++i) {
+      if (i > 0) text += ',';
+      text += is_key[i] ? "x" + std::to_string(i)
+                        : nonkey_prefix + std::to_string(i);
+    }
+    return text + ")";
+  };
+  for (size_t j = 0; j < arity; ++j) {
+    if (is_key[j]) continue;
+    std::string text = "key_" + key.table + "_" + std::to_string(j) + ": " +
+                       atom('y') + ", " + atom('z') + " -> y" +
+                       std::to_string(j) + " = z" + std::to_string(j);
+    Result<Constraint> constraint = ParseConstraint(schema, text);
+    if (!constraint.ok()) return constraint.status();
+    constraints->push_back(std::move(constraint.value()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Rational SqlExactResult::Probability(const engine::Row& row) const {
+  auto it = probability.find(row);
+  return it == probability.end() ? Rational(0) : it->second;
+}
+
+SqlExactRunner::SqlExactRunner(Database db, ConstraintSet constraints,
+                               SqlExactOptions options)
+    : db_(std::move(db)),
+      constraints_(std::move(constraints)),
+      options_(options),
+      cache_(std::make_unique<RepairSpaceCache>(options.cache)) {}
+
+Result<SqlExactRunner> SqlExactRunner::Make(Database db,
+                                            std::vector<TableKey> keys,
+                                            SqlExactOptions options) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("no key constraints declared");
+  }
+  ConstraintSet constraints;
+  for (const TableKey& key : keys) {
+    Status appended = AppendKeyEgds(db.schema(), key, &constraints);
+    if (!appended.ok()) return appended;
+  }
+  return SqlExactRunner(std::move(db), std::move(constraints), options);
+}
+
+Result<SqlExactResult> SqlExactRunner::Run(std::string_view sql) {
+  Result<StatementPtr> statement = Parse(sql);
+  if (!statement.ok()) return statement.status();
+
+  // Validate the statement (and learn its output columns) against the
+  // dirty database before paying for the enumeration.
+  Catalog dirty_catalog = Catalog::FromDatabase(db_);
+  Result<engine::Relation> dirty_run =
+      Execute(**statement, dirty_catalog, options_.exec);
+  if (!dirty_run.ok()) return dirty_run.status();
+
+  EnumerationOptions enum_options = options_.enumeration;
+  if (options_.persist) enum_options.cache = cache_.get();
+  EnumerationResult enumeration =
+      EnumerateRepairs(db_, constraints_, generator_, enum_options);
+  if (enumeration.truncated) {
+    return Status::ResourceExhausted(
+        "chain too large for exact SQL answering; use SqlApproxRunner");
+  }
+
+  SqlExactResult result;
+  result.columns = dirty_run->columns();
+  result.success_mass = enumeration.success_mass;
+  result.failing_mass = enumeration.failing_mass;
+  result.num_repairs = enumeration.repairs.size();
+  result.memo_stats = enumeration.memo_stats;
+  if (enumeration.success_mass.is_zero()) return result;
+
+  for (const RepairInfo& info : enumeration.repairs) {
+    Catalog catalog = Catalog::FromDatabase(info.repair);
+    Result<engine::Relation> evaluated =
+        Execute(**statement, catalog, options_.exec);
+    if (!evaluated.ok()) return evaluated.status();
+    for (const engine::Row& row : evaluated->rows()) {
+      result.probability[row] += info.probability;
+    }
+  }
+  for (auto& [row, mass] : result.probability) {
+    mass /= enumeration.success_mass;
+  }
+  return result;
+}
+
+}  // namespace sql
+}  // namespace opcqa

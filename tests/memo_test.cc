@@ -133,11 +133,12 @@ TEST(MemoizationApplicableTest, GatesOnDeletionOnlyChainsAndMemorylessness) {
 
 TEST(TranspositionTableTest, RejectsForcedHashCollisions) {
   gen::Workload w = gen::PaperKeyPairExample();
-  Database db1(&w.db.schema());
-  db1.Insert(Fact::Make(*w.schema, "R", {"a", "b"}));
-  Database db2(&w.db.schema());
-  db2.Insert(Fact::Make(*w.schema, "R", {"a", "c"}));
-  ASSERT_FALSE(db1 == db2);
+  FactStore& store = FactStore::Global();
+  std::set<FactId> removed1 = {
+      store.Intern(Fact::Make(*w.schema, "R", {"a", "b"}))};
+  std::set<FactId> removed2 = {
+      store.Intern(Fact::Make(*w.schema, "R", {"a", "c"}))};
+  ASSERT_NE(removed1, removed2);
 
   // Lie about the key: both states claim the same fingerprint, as a real
   // 64-bit collision would.
@@ -145,44 +146,97 @@ TEST(TranspositionTableTest, RejectsForcedHashCollisions) {
   auto outcome1 = std::make_shared<MemoOutcome>();
   outcome1->states = 1;
   TranspositionTable table;
-  table.Insert(forged, db1, {}, outcome1);
+  table.Insert(forged, removed1, {}, outcome1);
 
-  // Same key, different real id-set → rejected, counted as a collision.
-  EXPECT_EQ(table.Lookup(forged, db2, {}), nullptr);
+  // Same key, different real removed-set → rejected, counted as a
+  // collision.
+  EXPECT_EQ(table.Lookup(forged, removed2, {}), nullptr);
   EXPECT_EQ(table.stats().collisions, 1u);
   // The genuine state still hits.
-  EXPECT_EQ(table.Lookup(forged, db1, {}), outcome1);
+  EXPECT_EQ(table.Lookup(forged, removed1, {}), outcome1);
   EXPECT_EQ(table.stats().hits, 1u);
 
   // Both states can live under the colliding key side by side.
   auto outcome2 = std::make_shared<MemoOutcome>();
   outcome2->states = 2;
-  table.Insert(forged, db2, {}, outcome2);
+  table.Insert(forged, removed2, {}, outcome2);
   EXPECT_EQ(table.size(), 2u);
-  EXPECT_EQ(table.Lookup(forged, db1, {}), outcome1);
-  EXPECT_EQ(table.Lookup(forged, db2, {}), outcome2);
+  EXPECT_EQ(table.Lookup(forged, removed1, {}), outcome1);
+  EXPECT_EQ(table.Lookup(forged, removed2, {}), outcome2);
 
   // Differing eliminated sets are told apart the same way.
   Violation v{0, {}};
-  table.Insert(StateKey{1, 2}, db1, {v}, outcome1);
-  EXPECT_EQ(table.Lookup(StateKey{1, 2}, db1, {}), nullptr);
-  EXPECT_EQ(table.Lookup(StateKey{1, 2}, db1, {v}), outcome1);
+  table.Insert(StateKey{1, 2}, removed1, {v}, outcome1);
+  EXPECT_EQ(table.Lookup(StateKey{1, 2}, removed1, {}), nullptr);
+  EXPECT_EQ(table.Lookup(StateKey{1, 2}, removed1, {v}), outcome1);
 }
 
-TEST(TranspositionTableTest, EntryCapDropsInsertsButKeepsServingHits) {
+TEST(TranspositionTableTest, BudgetOverflowEvictsCheapEntriesFirst) {
+  // Entry budgets are enforced per stripe (16 stripes), so a cap of 16
+  // allows one entry per stripe; pushing 64 cheap entries through must
+  // evict, keep the table within budget, and keep the survivors serving
+  // verified hits.
   gen::Workload w = gen::PaperKeyPairExample();
-  Database db1(&w.db.schema());
-  db1.Insert(Fact::Make(*w.schema, "R", {"a", "b"}));
-  Database db2(&w.db.schema());
-  db2.Insert(Fact::Make(*w.schema, "R", {"a", "c"}));
-  TranspositionTable table(/*max_entries=*/1);
-  auto outcome = std::make_shared<MemoOutcome>();
-  table.Insert(StateKey{1, 0}, db1, {}, outcome);
-  table.Insert(StateKey{2, 0}, db2, {}, outcome);
-  EXPECT_EQ(table.size(), 1u);
-  EXPECT_EQ(table.stats().rejected_full, 1u);
-  EXPECT_EQ(table.Lookup(StateKey{1, 0}, db1, {}), outcome);
-  EXPECT_EQ(table.Lookup(StateKey{2, 0}, db2, {}), nullptr);
+  FactStore& store = FactStore::Global();
+  TranspositionTable table(/*max_entries=*/16);
+  std::vector<std::set<FactId>> removed_sets;
+  for (int i = 0; i < 64; ++i) {
+    removed_sets.push_back({store.Intern(
+        Fact::Make(*w.schema, "R", {"a", "x" + std::to_string(i)}))});
+    auto outcome = std::make_shared<MemoOutcome>();
+    outcome->states = 2;  // cost tier 0: no protection credits
+    table.Insert(StateKey{static_cast<size_t>(i * 977), 0},
+                 removed_sets.back(), {}, outcome);
+  }
+  MemoStats stats = table.stats();
+  EXPECT_EQ(stats.inserts, 64u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(table.size(), 16u);
+  EXPECT_EQ(stats.inserts - stats.evictions, stats.entries);
+  // Every surviving entry still answers (and survivors exist).
+  size_t live = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (table.Lookup(StateKey{static_cast<size_t>(i * 977), 0},
+                     removed_sets[static_cast<size_t>(i)], {}) != nullptr) {
+      ++live;
+    }
+  }
+  EXPECT_EQ(live, table.size());
+}
+
+TEST(TranspositionTableTest, ExpensiveSubtreesSurviveTheSweepLongest) {
+  // One expensive entry (big virtual subtree → max protection credits)
+  // among a stream of cheap ones hashed to the same stripe: the sweep
+  // evicts the cheap entries and keeps the expensive one.
+  gen::Workload w = gen::PaperKeyPairExample();
+  FactStore& store = FactStore::Global();
+  TranspositionTable table(/*max_entries=*/16);  // 1 entry per stripe
+  std::set<FactId> expensive_removed = {
+      store.Intern(Fact::Make(*w.schema, "R", {"a", "keep"}))};
+  auto expensive = std::make_shared<MemoOutcome>();
+  expensive->states = 1u << 16;  // top cost tier
+  StateKey expensive_key{0, 0};
+  table.Insert(expensive_key, expensive_removed, {}, expensive);
+  // Force genuine same-stripe contention: keep only candidate keys whose
+  // combined hash lands in the expensive entry's stripe.
+  size_t stripe =
+      expensive_key.Combined() % TranspositionTable::kNumStripes;
+  size_t contenders = 0;
+  for (size_t i = 1; contenders < 8; ++i) {
+    StateKey key{i, 0};
+    if (key.Combined() % TranspositionTable::kNumStripes != stripe) continue;
+    ++contenders;
+    std::set<FactId> removed = {store.Intern(
+        Fact::Make(*w.schema, "R", {"a", "cheap" + std::to_string(i)}))};
+    auto cheap = std::make_shared<MemoOutcome>();
+    cheap->states = 2;
+    table.Insert(key, removed, {}, cheap);
+    // A hot entry: every verified hit refreshes its protection credits,
+    // so no run of cheap newcomers can wear it down.
+    EXPECT_EQ(table.Lookup(expensive_key, expensive_removed, {}), expensive);
+  }
+  EXPECT_EQ(table.Lookup(expensive_key, expensive_removed, {}), expensive);
+  EXPECT_GT(table.stats().evictions, 0u);
 }
 
 // ---------------------------------------------------------------------
@@ -319,20 +373,32 @@ TEST(MemoizedEnumerationTest, InapplicableCombinationsFallBackSilently) {
   ExpectIdenticalResults(del_base, del_memo, "tgd deletions-only");
 }
 
-TEST(MemoizedEnumerationTest, EntryCapOnlyCostsSpeed) {
+TEST(MemoizedEnumerationTest, BudgetPressureOnlyCostsSpeed) {
+  // Entry and byte budgets force the eviction sweep mid-enumeration; the
+  // results must stay byte-identical — eviction can only ever cause a
+  // recomputation, never a wrong replay.
   UniformChainGenerator generator;
   gen::Workload w = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/11);
   EnumerationOptions plain;
   EnumerationResult base =
       EnumerateRepairs(w.db, w.constraints, generator, plain);
-  EnumerationOptions memo = plain;
-  memo.memoize = true;
-  memo.memo_max_entries = 4;
+
+  EnumerationOptions capped = plain;
+  capped.memoize = true;
+  capped.memo_max_entries = 4;  // 1 entry per stripe
   EnumerationResult result =
-      EnumerateRepairs(w.db, w.constraints, generator, memo);
-  ExpectIdenticalResults(base, result, "capped table");
-  EXPECT_GT(result.memo_stats.rejected_full, 0u);
-  EXPECT_LE(result.memo_stats.entries, 4u);
+      EnumerateRepairs(w.db, w.constraints, generator, capped);
+  ExpectIdenticalResults(base, result, "entry-capped table");
+  EXPECT_GT(result.memo_stats.evictions, 0u);
+  EXPECT_LE(result.memo_stats.entries, 16u);  // kNumStripes × 1
+
+  EnumerationOptions byte_capped = plain;
+  byte_capped.memoize = true;
+  byte_capped.memo_max_bytes = 64 * 1024;
+  EnumerationResult byte_result =
+      EnumerateRepairs(w.db, w.constraints, generator, byte_capped);
+  ExpectIdenticalResults(base, byte_result, "byte-capped table");
+  EXPECT_LE(byte_result.memo_stats.bytes, 64u * 1024u);
 }
 
 // ---------------------------------------------------------------------

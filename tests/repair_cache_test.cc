@@ -1,0 +1,362 @@
+// Tests for the cross-query repair-space cache (repair/repair_cache.h):
+// persistence across queries over one root, verified root identity,
+// invalidation on database mutation, eviction under byte pressure with
+// byte-identical results (including post-eviction replay), the
+// delta-compression payload savings, the session/SQL layer threading, and
+// a concurrent two-query-one-cache run (TSan-gated in CI).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/ocqa_session.h"
+#include "gen/workloads.h"
+#include "logic/formula_parser.h"
+#include "repair/repair_cache.h"
+#include "repair/top_k.h"
+#include "repair/trust_generator.h"
+#include "sql/exact_runner.h"
+
+namespace opcqa {
+namespace {
+
+EnumerationOptions MemoOptions(RepairSpaceCache* cache) {
+  EnumerationOptions options;
+  options.memoize = true;
+  options.cache = cache;
+  return options;
+}
+
+// ---------------------------------------------------------------------
+// Cross-query persistence
+// ---------------------------------------------------------------------
+
+TEST(RepairSpaceCacheTest, SecondQueryReplaysTheFirstQuerysChain) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/11);
+  UniformChainGenerator generator;
+  EnumerationResult base =
+      EnumerateRepairs(w.db, w.constraints, generator, {});
+
+  RepairSpaceCache cache;
+  EnumerationResult first =
+      EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+  EXPECT_GT(first.memo_stats.misses, 0u);
+  EnumerationResult second =
+      EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+  // The warm run replays the whole chain from the root entry: exactly one
+  // probe, which hits.
+  EXPECT_EQ(second.memo_stats.hits, 1u);
+  EXPECT_EQ(second.memo_stats.misses, 0u);
+  EXPECT_EQ(cache.roots(), 1u);
+
+  for (const EnumerationResult* result : {&first, &second}) {
+    EXPECT_EQ(result->success_mass, base.success_mass);
+    EXPECT_EQ(result->failing_mass, base.failing_mass);
+    EXPECT_EQ(result->states_visited, base.states_visited);
+    EXPECT_EQ(result->max_depth, base.max_depth);
+    ASSERT_EQ(result->repairs.size(), base.repairs.size());
+    for (size_t i = 0; i < base.repairs.size(); ++i) {
+      EXPECT_EQ(result->repairs[i].repair, base.repairs[i].repair);
+      EXPECT_EQ(result->repairs[i].probability, base.repairs[i].probability);
+      EXPECT_EQ(result->repairs[i].num_sequences,
+                base.repairs[i].num_sequences);
+    }
+  }
+}
+
+TEST(RepairSpaceCacheTest, DistinctTriplesGetDistinctRoots) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(4, 3, 2, /*seed=*/5);
+  gen::Workload other = gen::MakeKeyViolationWorkload(5, 3, 2, /*seed=*/5);
+  ASSERT_FALSE(w.db == other.db);
+  UniformChainGenerator uniform;
+  DeletionOnlyUniformGenerator deletions;
+  RepairSpaceCache cache;
+  EnumerateRepairs(w.db, w.constraints, uniform, MemoOptions(&cache));
+  EXPECT_EQ(cache.roots(), 1u);
+  // Same database, different generator → separate repair space.
+  EnumerateRepairs(w.db, w.constraints, deletions, MemoOptions(&cache));
+  EXPECT_EQ(cache.roots(), 2u);
+  // Different database → separate root again.
+  EnumerateRepairs(other.db, other.constraints, uniform,
+                   MemoOptions(&cache));
+  EXPECT_EQ(cache.roots(), 3u);
+  // Same triple as the first query → reused, not duplicated.
+  EnumerateRepairs(w.db, w.constraints, uniform, MemoOptions(&cache));
+  EXPECT_EQ(cache.roots(), 3u);
+}
+
+TEST(RepairSpaceCacheTest, TrustGeneratorsShareOnlyEqualParameterizations) {
+  gen::TrustWorkload trusted = gen::MakeTrustWorkload(4, 3, 2, /*seed=*/23);
+  TrustChainGenerator trust_a(trusted.trust);
+  TrustChainGenerator trust_same(trusted.trust);
+  TrustChainGenerator trust_other(trusted.trust, Rational(1, 3));
+  EXPECT_EQ(trust_a.cache_identity(), trust_same.cache_identity());
+  EXPECT_NE(trust_a.cache_identity(), trust_other.cache_identity());
+
+  RepairSpaceCache cache;
+  const gen::Workload& w = trusted.workload;
+  EnumerateRepairs(w.db, w.constraints, trust_a, MemoOptions(&cache));
+  EnumerateRepairs(w.db, w.constraints, trust_same, MemoOptions(&cache));
+  EXPECT_EQ(cache.roots(), 1u);  // equal distributions share
+  EnumerateRepairs(w.db, w.constraints, trust_other, MemoOptions(&cache));
+  EXPECT_EQ(cache.roots(), 2u);  // different default trust must not
+}
+
+TEST(RepairSpaceCacheTest, GeneratorsWithoutIdentityNeverShare) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(4, 3, 2, /*seed=*/5);
+  // Memoryless but anonymous: sound to memoize within a call, unsound to
+  // share across instances — the lambda could close over anything.
+  LambdaChainGenerator anonymous(
+      "anonymous-uniform",
+      [](const RepairingState&, const std::vector<Operation>& extensions) {
+        return std::vector<Rational>(
+            extensions.size(),
+            Rational(1, static_cast<int64_t>(extensions.size())));
+      },
+      /*deletions_only=*/false, /*memoryless=*/true);
+  RepairSpaceCache cache;
+  EXPECT_EQ(cache.TableFor(w.db, w.constraints, anonymous, true), nullptr);
+  EnumerationResult result = EnumerateRepairs(w.db, w.constraints, anonymous,
+                                              MemoOptions(&cache));
+  EXPECT_EQ(cache.roots(), 0u);
+  // The per-call scratch table still memoized within the call.
+  EXPECT_GT(result.memo_stats.inserts, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Invalidation on database mutation
+// ---------------------------------------------------------------------
+
+TEST(RepairSpaceCacheTest, MutationInvalidatesStaleRootsAndAnswersFresh) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/17);
+  UniformChainGenerator generator;
+  Result<Query> q = ParseQuery(*w.schema, "Q(x,y) := R(x,y)");
+  ASSERT_TRUE(q.ok());
+
+  engine::OcqaSession session(w.db, w.constraints);
+  OcaResult warm = session.Answer(generator, *q);
+  ASSERT_GT(session.CacheStats().entries, 0u);
+
+  // Mutate: delete one conflicting fact through the session.
+  std::vector<Fact> facts = w.db.AllFacts();
+  ASSERT_TRUE(session.EraseFact(facts.front()));
+  // The stale root was dropped eagerly — no entry of the old repair
+  // space can ever be replayed against the new database.
+  EXPECT_EQ(session.cache().roots(), 0u);
+
+  OcaResult mutated = session.Answer(generator, *q);
+  // Answers equal a from-scratch computation over the mutated database.
+  Database fresh_db = session.database();
+  OcaResult fresh = ComputeOca(fresh_db, w.constraints, generator, *q);
+  EXPECT_EQ(mutated.answers, fresh.answers);
+  EXPECT_EQ(mutated.success_mass, fresh.success_mass);
+  EXPECT_NE(mutated.answers, warm.answers);  // the instance truly changed
+
+  // And the mutated root is cached in turn.
+  OcaResult mutated_again = session.Answer(generator, *q);
+  EXPECT_EQ(mutated_again.answers, mutated.answers);
+  EXPECT_EQ(mutated_again.enumeration.memo_stats.hits, 1u);
+  EXPECT_EQ(mutated_again.enumeration.memo_stats.misses, 0u);
+}
+
+TEST(RepairSpaceCacheTest, InsertAndEraseRoundTripStillFingerprintsSafely) {
+  // Erase + re-insert restores the database content, so the *original*
+  // root would be valid again — but the session dropped it; the point is
+  // that a fresh root is built and the answers stay correct.
+  gen::Workload w = gen::MakeKeyViolationWorkload(4, 3, 2, /*seed=*/29);
+  UniformChainGenerator generator;
+  Result<Query> q = ParseQuery(*w.schema, "Q(x,y) := R(x,y)");
+  ASSERT_TRUE(q.ok());
+  engine::OcqaSession session(w.db, w.constraints);
+  OcaResult original = session.Answer(generator, *q);
+  std::vector<Fact> facts = w.db.AllFacts();
+  ASSERT_TRUE(session.EraseFact(facts.front()));
+  ASSERT_TRUE(session.InsertFact(facts.front()));
+  OcaResult round_tripped = session.Answer(generator, *q);
+  EXPECT_EQ(round_tripped.answers, original.answers);
+  EXPECT_EQ(round_tripped.success_mass, original.success_mass);
+}
+
+// ---------------------------------------------------------------------
+// Eviction under pressure stays byte-identical
+// ---------------------------------------------------------------------
+
+TEST(RepairSpaceCacheTest, ByteBudgetEvictionKeepsResultsByteIdentical) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(6, 5, 2, /*seed=*/100);
+  UniformChainGenerator generator;
+  EnumerationResult base =
+      EnumerateRepairs(w.db, w.constraints, generator, {});
+
+  RepairCacheOptions cache_options;
+  cache_options.max_bytes_per_root = 48 * 1024;  // far below the full space
+  RepairSpaceCache cache(cache_options);
+  for (int round = 0; round < 3; ++round) {
+    EnumerationResult result = EnumerateRepairs(
+        w.db, w.constraints, generator, MemoOptions(&cache));
+    SCOPED_TRACE("round " + std::to_string(round));
+    EXPECT_EQ(result.success_mass, base.success_mass);
+    EXPECT_EQ(result.failing_mass, base.failing_mass);
+    EXPECT_EQ(result.states_visited, base.states_visited);
+    ASSERT_EQ(result.repairs.size(), base.repairs.size());
+    for (size_t i = 0; i < base.repairs.size(); ++i) {
+      EXPECT_EQ(result.repairs[i].repair, base.repairs[i].repair);
+      EXPECT_EQ(result.repairs[i].probability,
+                base.repairs[i].probability);
+    }
+  }
+  MemoStats stats = cache.TotalStats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 48u * 1024u);
+  // Post-eviction replay: warm rounds still found *something* to replay.
+  EXPECT_GT(stats.hits, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Delta compression
+// ---------------------------------------------------------------------
+
+TEST(RepairSpaceCacheTest, DeltaPayloadsBeatFullDatabaseCopies) {
+  // The realistic CQA shape: a large, mostly-clean database with a few
+  // conflicts. Chains are depth-bounded (≤ #violating groups) while |D|
+  // is large, so the removed-id deltas are ≈ depth-sized where PR-3
+  // stored |D|-sized Database copies per key and per repair share —
+  // the ratio grows like |D| / depth.
+  gen::Workload w = gen::MakeKeyViolationWorkload(40, 4, 2, /*seed=*/100);
+  UniformChainGenerator generator;
+  RepairSpaceCache cache;
+  EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+  MemoStats stats = cache.TotalStats();
+  ASSERT_GT(stats.entries, 50u);
+  ASSERT_GT(stats.payload_bytes, 0u);
+  EXPECT_GE(stats.full_payload_bytes, 4 * stats.payload_bytes)
+      << "delta compression should cut payload bytes at least 4x on "
+         "depth-bounded chains";
+}
+
+// ---------------------------------------------------------------------
+// Top-k consumes cached subtrees
+// ---------------------------------------------------------------------
+
+TEST(RepairSpaceCacheTest, TopKConsumesSubtreesRecordedByEnumeration) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/31);
+  UniformChainGenerator generator;
+  TopKOptions plain;
+  TopKResult base = TopKRepairs(w.db, w.constraints, generator, 3, plain);
+  ASSERT_TRUE(base.exact);
+
+  RepairSpaceCache cache;
+  EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+  MemoStats before = cache.TotalStats();
+  TopKOptions cached;
+  cached.memoize = true;
+  cached.cache = &cache;
+  TopKResult result = TopKRepairs(w.db, w.constraints, generator, 3, cached);
+  ASSERT_TRUE(result.exact);
+  // The search actually consumed recorded subtrees...
+  EXPECT_GT(cache.TotalStats().hits, before.hits);
+  // ...and folding counts the virtual subtree, so the expansion counter
+  // matches the plain exhaustive search state for state.
+  EXPECT_EQ(result.states_expanded, base.states_expanded);
+  EXPECT_EQ(result.explored_success_mass, base.explored_success_mass);
+  EXPECT_EQ(result.explored_failing_mass, base.explored_failing_mass);
+  ASSERT_EQ(result.repairs.size(), base.repairs.size());
+  for (size_t i = 0; i < base.repairs.size(); ++i) {
+    EXPECT_EQ(result.repairs[i].repair, base.repairs[i].repair) << i;
+    EXPECT_EQ(result.repairs[i].probability, base.repairs[i].probability)
+        << i;
+    EXPECT_EQ(result.repairs[i].num_sequences,
+              base.repairs[i].num_sequences)
+        << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// SQL exact runner over the shared cache
+// ---------------------------------------------------------------------
+
+TEST(SqlExactRunnerTest, ExactProbabilitiesAndWarmSecondQuery) {
+  // Two key groups of two tuples each. Under the uniform generator every
+  // violating pair {α,β} has three resolutions — delete α, delete β, or
+  // delete both (the Section 3 chain) — so each dirty row survives with
+  // probability 1/3 and there are 3 × 3 = 9 operational repairs.
+  Schema schema;
+  schema.AddRelation("R", 2);
+  Database db(&schema);
+  db.Insert(Fact::Make(schema, "R", {"a", "b"}));
+  db.Insert(Fact::Make(schema, "R", {"a", "c"}));
+  db.Insert(Fact::Make(schema, "R", {"d", "e"}));
+  db.Insert(Fact::Make(schema, "R", {"d", "f"}));
+
+  sql::TableKey key;
+  key.table = "R";
+  key.key_positions = {0};
+  Result<sql::SqlExactRunner> runner =
+      sql::SqlExactRunner::Make(db, {key});
+  ASSERT_TRUE(runner.ok());
+
+  Result<sql::SqlExactResult> first = runner->Run("SELECT c0, c1 FROM R");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->num_repairs, 9u);
+  EXPECT_EQ(first->success_mass, Rational(1));
+  ASSERT_EQ(first->probability.size(), 4u);
+  for (const auto& [row, p] : first->probability) {
+    EXPECT_EQ(p, Rational(1, 3));
+  }
+
+  // A different statement over the same database replays the chain.
+  Result<sql::SqlExactResult> second =
+      runner->Run("SELECT c0 FROM R WHERE c1 = 'b'");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->memo_stats.hits, 1u);
+  EXPECT_EQ(second->memo_stats.misses, 0u);
+  ASSERT_EQ(second->probability.size(), 1u);
+  EXPECT_EQ(second->probability.begin()->second, Rational(1, 3));
+}
+
+// ---------------------------------------------------------------------
+// Concurrent queries over one cache (TSan-gated in CI)
+// ---------------------------------------------------------------------
+
+TEST(RepairSpaceCacheTest, ConcurrentTwoQueryOneCacheIsSafeAndIdentical) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/41);
+  UniformChainGenerator generator;
+  EnumerationResult base =
+      EnumerateRepairs(w.db, w.constraints, generator, {});
+
+  for (int round = 0; round < 4; ++round) {
+    RepairSpaceCache cache;
+    EnumerationResult results[2];
+    {
+      // Two queries race on a cold cache: both walk, both insert into the
+      // shared striped table, each may replay the other's subtrees.
+      std::thread first([&] {
+        EnumerationOptions options = MemoOptions(&cache);
+        options.threads = 2;  // PR-2 pool underneath as well
+        results[0] = EnumerateRepairs(w.db, w.constraints, generator,
+                                      options);
+      });
+      std::thread second([&] {
+        results[1] = EnumerateRepairs(w.db, w.constraints, generator,
+                                      MemoOptions(&cache));
+      });
+      first.join();
+      second.join();
+    }
+    EXPECT_EQ(cache.roots(), 1u);
+    for (const EnumerationResult& result : results) {
+      EXPECT_EQ(result.success_mass, base.success_mass);
+      EXPECT_EQ(result.states_visited, base.states_visited);
+      ASSERT_EQ(result.repairs.size(), base.repairs.size());
+      for (size_t i = 0; i < base.repairs.size(); ++i) {
+        EXPECT_EQ(result.repairs[i].repair, base.repairs[i].repair);
+        EXPECT_EQ(result.repairs[i].probability,
+                  base.repairs[i].probability);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace opcqa
