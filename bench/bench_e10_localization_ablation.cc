@@ -28,7 +28,9 @@ void BM_MonolithicExact(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
 }
-BENCHMARK(BM_MonolithicExact)->DenseRange(1, 6, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MonolithicExact)
+    ->DenseRange(1, 6, 1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_LocalizedExact(benchmark::State& state) {
   size_t conflicts = static_cast<size_t>(state.range(0));
@@ -49,7 +51,9 @@ void BM_LocalizedExact(benchmark::State& state) {
   state.counters["repair_combinations"] =
       localized->NumRepairCombinations().ToDouble();
 }
-BENCHMARK(BM_LocalizedExact)->DenseRange(1, 6, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LocalizedExact)
+    ->DenseRange(1, 6, 1)
+    ->Unit(benchmark::kMillisecond);
 
 // The localized engine keeps scaling where the monolithic one stopped:
 // hundreds of conflicts.

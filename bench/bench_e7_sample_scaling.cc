@@ -30,7 +30,10 @@ void BM_SampleWalk(benchmark::State& state) {
   state.counters["facts"] = static_cast<double>(w.db.size());
   state.counters["walk_steps"] = static_cast<double>(steps);
 }
-BENCHMARK(BM_SampleWalk)->RangeMultiplier(2)->Range(4, 64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SampleWalk)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Unit(benchmark::kMillisecond);
 
 // Full additive-error OCQA at ε=δ=0.1 (150 walks) vs exact enumeration on
 // the same instance: the crossover the paper's approach is about.

@@ -21,6 +21,13 @@
 //             implies --memo)
 //             [--memo-bytes=N]  (byte budget for the memo table / each
 //             cache root; 0 = entries-only budget)
+//             [--memo-dir=PATH]  (disk tier, src/storage/: restore the
+//             repair space from PATH's canonical snapshots on start and
+//             spill it back on exit, so a *fresh process* over the same
+//             database warm-starts from this run's chain walks; implies
+//             --memo-persist)
+//             [--memo-disk-bytes=N]  (byte budget for --memo-dir,
+//             oldest snapshots deleted first; 0 = unbounded)
 //             [--show-repairs] [--show-chain]
 //
 // Usage (SQL mode — the Section 5 scheme; keys as table:pos[,pos...],
@@ -67,6 +74,8 @@ struct Options {
   bool memo = false;   // exact mode: memoize shared repair-space suffixes
   bool memo_persist = false;  // share the repair space across --query list
   size_t memo_bytes = 0;      // byte budget (0 = entries-only budget)
+  std::string memo_dir;       // disk tier directory (empty = memory only)
+  size_t memo_disk_bytes = 0;  // disk budget for --memo-dir (0 = unbounded)
   bool show_repairs = false;
   bool show_chain = false;
 };
@@ -213,6 +222,17 @@ int main(int argc, char** argv) {
           std::strtoull(value.c_str(), nullptr, 10));
       continue;
     }
+    if (ParseFlag(arg, "memo-dir", &value)) {
+      opt.memo_dir = value;
+      opt.memo_persist = true;  // a disk tier needs the persistent cache
+      opt.memo = true;
+      continue;
+    }
+    if (ParseFlag(arg, "memo-disk-bytes", &value)) {
+      opt.memo_disk_bytes = static_cast<size_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+      continue;
+    }
     if (arg == "--show-repairs") {
       opt.show_repairs = true;
       continue;
@@ -223,6 +243,11 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
     return 2;
+  }
+  if (opt.memo_disk_bytes != 0 && opt.memo_dir.empty()) {
+    std::fprintf(stderr,
+                 "warning: --memo-disk-bytes has no effect without "
+                 "--memo-dir (no disk tier configured)\n");
   }
   bool sql_mode = opt.mode == "sql";
   bool fo_inputs_ok = !opt.constraints_path.empty() &&
@@ -235,8 +260,8 @@ int main(int argc, char** argv) {
                  "--query='Q(x) := ...' [--query=... more] "
                  "[--generator=uniform|deletions|minchange] "
                  "[--mode=exact|approx] [--eps --delta --seed --threads "
-                 "--memo --memo-persist --memo-bytes=N] [--show-repairs] "
-                 "[--show-chain]\n"
+                 "--memo --memo-persist --memo-bytes=N --memo-dir=PATH "
+                 "--memo-disk-bytes=N] [--show-repairs] [--show-chain]\n"
                  "   or: opcqa_cli --schema=F --db=F --mode=sql "
                  "--sql='SELECT ...' --keys='R:0;S:0,1' "
                  "[--eps --delta --seed]\n");
@@ -323,8 +348,13 @@ int main(int argc, char** argv) {
   if (opt.mode == "exact") {
     // --memo-persist: one cache shared by the whole --query list, so the
     // first query pays for the chain walk and the rest replay it.
-    RepairSpaceCache cache(RepairCacheOptions{
-        TranspositionTable::kDefaultMaxEntries, opt.memo_bytes, 8});
+    // --memo-dir additionally restores/spills the repair space from/to a
+    // snapshot directory, so a rerun in a fresh process starts warm.
+    RepairCacheOptions cache_options;
+    cache_options.max_bytes_per_root = opt.memo_bytes;
+    cache_options.snapshot_dir = opt.memo_dir;
+    cache_options.max_disk_bytes = opt.memo_disk_bytes;
+    RepairSpaceCache cache(cache_options);
     EnumerationOptions enum_options;
     enum_options.threads = opt.threads;
     enum_options.memoize = opt.memo;
@@ -375,6 +405,9 @@ int main(int argc, char** argv) {
       }
     }
     if (opt.memo_persist) {
+      // Make this run's chain walks durable before reporting, so the
+      // printed spill counters describe what the next process will find.
+      if (!opt.memo_dir.empty()) cache.Persist();
       MemoStats total = cache.TotalStats();
       std::printf("\npersistent cache: %zu roots, %zu entries, %zu bytes "
                   "(delta payloads %.1fx smaller than full copies), "
@@ -387,6 +420,27 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(total.hits),
                   static_cast<unsigned long long>(total.misses),
                   queries.size());
+      if (!opt.memo_dir.empty()) {
+        DiskTierStats disk = cache.disk_stats();
+        std::printf("disk tier (%s): %llu spills (%llu bytes), "
+                    "%llu restores (%llu bytes), %llu rejected snapshots"
+                    "%s\n",
+                    opt.memo_dir.c_str(),
+                    static_cast<unsigned long long>(disk.spills),
+                    static_cast<unsigned long long>(disk.spill_bytes),
+                    static_cast<unsigned long long>(disk.restores),
+                    static_cast<unsigned long long>(disk.restore_bytes),
+                    static_cast<unsigned long long>(
+                        disk.rejected_snapshots),
+                    disk.failed_spills == 0 ? "" : " [SPILLS FAILING]");
+        if (disk.failed_spills > 0) {
+          std::fprintf(stderr,
+                       "warning: %llu spill(s) failed to write to %s — "
+                       "the next process will compute cold\n",
+                       static_cast<unsigned long long>(disk.failed_spills),
+                       opt.memo_dir.c_str());
+        }
+      }
     }
   } else if (opt.mode == "approx") {
     SamplerOptions sampler_options;

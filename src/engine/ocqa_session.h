@@ -69,9 +69,18 @@ class OcqaSession {
   bool InsertFact(const Fact& fact);
   bool EraseFact(const Fact& fact);
 
+  /// Spills every live cache root to the disk tier and blocks until the
+  /// snapshots are durable. No-op unless SessionOptions::cache names a
+  /// snapshot_dir. (Session destruction also spills — see
+  /// repair/repair_cache.h — so calling this is only needed for an
+  /// explicit durability point mid-session.)
+  void Persist() { cache_.Persist(); }
+
   RepairSpaceCache& cache() { return cache_; }
   /// Aggregated cache counters (hit rate, bytes, evictions, compression).
   MemoStats CacheStats() const { return cache_.TotalStats(); }
+  /// Disk-tier counters (spills, restores, rejected snapshots).
+  DiskTierStats DiskStats() const { return cache_.disk_stats(); }
 
  private:
   EnumerationOptions QueryOptions();

@@ -65,9 +65,10 @@ class Assignment {
 /// `partial` (pass an empty Assignment for all homomorphisms). Invokes
 /// `callback` for each; stops early when the callback returns false.
 /// Returns the number of homomorphisms visited.
-size_t FindHomomorphisms(const Conjunction& conjunction, const Database& db,
-                         const Assignment& partial,
-                         const std::function<bool(const Assignment&)>& callback);
+size_t FindHomomorphisms(
+    const Conjunction& conjunction, const Database& db,
+    const Assignment& partial,
+    const std::function<bool(const Assignment&)>& callback);
 
 /// True when at least one homomorphism exists.
 bool HasHomomorphism(const Conjunction& conjunction, const Database& db,

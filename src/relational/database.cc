@@ -13,8 +13,8 @@ namespace {
 const std::vector<FactId> kEmptyBucket;
 
 // Position of `id` in a value-sorted bucket (insertion point if absent).
-std::vector<FactId>::const_iterator LowerBound(const std::vector<FactId>& bucket,
-                                               FactId id) {
+std::vector<FactId>::const_iterator LowerBound(
+    const std::vector<FactId>& bucket, FactId id) {
   const FactStore& store = FactStore::Global();
   return std::lower_bound(bucket.begin(), bucket.end(), id,
                           [&store](FactId a, FactId b) {
@@ -135,7 +135,8 @@ void Database::SymmetricDifferenceIds(const Database& other,
   only_there->clear();
   size_t buckets = std::max(facts_.size(), other.facts_.size());
   for (size_t p = 0; p < buckets; ++p) {
-    const std::vector<FactId>& mine = p < facts_.size() ? facts_[p] : kEmptyBucket;
+    const std::vector<FactId>& mine =
+        p < facts_.size() ? facts_[p] : kEmptyBucket;
     const std::vector<FactId>& theirs =
         p < other.facts_.size() ? other.facts_[p] : kEmptyBucket;
     // Merge walk; equal values share an id, so the equality test is id ==.
@@ -182,7 +183,8 @@ bool Database::operator==(const Database& other) const {
   if (size_ != other.size_) return false;
   size_t buckets = std::max(facts_.size(), other.facts_.size());
   for (size_t p = 0; p < buckets; ++p) {
-    const std::vector<FactId>& mine = p < facts_.size() ? facts_[p] : kEmptyBucket;
+    const std::vector<FactId>& mine =
+        p < facts_.size() ? facts_[p] : kEmptyBucket;
     const std::vector<FactId>& theirs =
         p < other.facts_.size() ? other.facts_[p] : kEmptyBucket;
     if (mine != theirs) return false;

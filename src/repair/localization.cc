@@ -97,7 +97,8 @@ Result<LocalizedRepairs> LocalizeAndEnumerate(
 BigInt LocalizedRepairs::NumRepairCombinations() const {
   BigInt total(int64_t{1});
   for (const LocalizedComponent& component : components_) {
-    total *= BigInt(static_cast<uint64_t>(component.distribution.repairs.size()));
+    total *= BigInt(
+        static_cast<uint64_t>(component.distribution.repairs.size()));
   }
   return total;
 }

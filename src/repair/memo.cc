@@ -1,6 +1,7 @@
 #include "repair/memo.h"
 
 #include <algorithm>
+#include <tuple>
 
 #include "util/hash.h"
 
@@ -40,6 +41,11 @@ bool RemovedEquals(const std::vector<FactId>& stored,
          std::equal(stored.begin(), stored.end(), removed.begin());
 }
 
+bool RemovedEquals(const std::vector<FactId>& stored,
+                   const std::vector<FactId>& removed) {
+  return stored == removed;
+}
+
 }  // namespace
 
 size_t StateKey::Combined() const {
@@ -73,6 +79,7 @@ MemoStats MemoStats::DeltaSince(const MemoStats& earlier) const {
   delta.inserts -= earlier.inserts;
   delta.rejected_full -= earlier.rejected_full;
   delta.evictions -= earlier.evictions;
+  delta.admission_deferred -= earlier.admission_deferred;
   // entries and the byte gauges stay point-in-time values.
   return delta;
 }
@@ -155,6 +162,26 @@ std::shared_ptr<const MemoOutcome> TranspositionTable::Lookup(
   }
   if (collided) collisions_.fetch_add(1, std::memory_order_relaxed);
   misses_.fetch_add(1, std::memory_order_relaxed);
+  if (admission_filter_) {
+    // A second miss under the same key is the admission signal: the state
+    // is being re-reached, so the Insert that follows its re-walk will be
+    // admitted. Saturate at 2 — further misses carry no information.
+    size_t combined = key.Combined();
+    auto it = stripe.probation.find(combined);
+    if (it == stripe.probation.end()) {
+      // Full: displace one arbitrary resident instead of clearing — a
+      // wholesale wipe would repeatedly reset every miss count on roots
+      // with more distinct states than the cap, starving admission of
+      // exactly the big instances the cache exists for. Displacement
+      // only ever delays one key's second sighting.
+      if (stripe.probation.size() >= kProbationCap) {
+        stripe.probation.erase(stripe.probation.begin());
+      }
+      stripe.probation.emplace(combined, 1);
+    } else if (it->second < 2) {
+      ++it->second;
+    }
+  }
   return nullptr;
 }
 
@@ -189,25 +216,16 @@ void TranspositionTable::EvictUntilWithinBudget(Stripe& stripe) {
   }
 }
 
-void TranspositionTable::Insert(const StateKey& key,
-                                const std::set<FactId>& removed,
-                                ViolationSet eliminated,
-                                std::shared_ptr<const MemoOutcome> outcome) {
-  Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> lock(stripe.mutex);
-  auto [begin, end] = stripe.map.equal_range(key.Combined());
+void TranspositionTable::EmplaceEntry(Stripe& stripe, Entry entry) {
+  auto [begin, end] = stripe.map.equal_range(entry.key.Combined());
   for (auto it = begin; it != end; ++it) {
-    const Entry& entry = it->second;
-    if (entry.key == key && RemovedEquals(entry.removed, removed) &&
-        entry.eliminated == eliminated) {
+    const Entry& resident = it->second;
+    if (resident.key == entry.key &&
+        RemovedEquals(resident.removed, entry.removed) &&
+        resident.eliminated == entry.eliminated) {
       return;  // first writer wins; outcomes are equal by soundness
     }
   }
-  Entry entry;
-  entry.key = key;
-  entry.removed.assign(removed.begin(), removed.end());
-  entry.eliminated = std::move(eliminated);
-  entry.outcome = std::move(outcome);
   entry.chances = CostTier(*entry.outcome);
   entry.entry_bytes = EntryBytes(entry);
   entry.payload_bytes = PayloadBytes(entry);
@@ -223,10 +241,75 @@ void TranspositionTable::Insert(const StateKey& key,
   stripe.bytes += entry.entry_bytes;
   stripe.payload_bytes += entry.payload_bytes;
   stripe.full_bytes += entry.full_bytes;
-  stripe.map.emplace(key.Combined(), std::move(entry));
+  size_t combined = entry.key.Combined();
+  stripe.map.emplace(combined, std::move(entry));
   entries_.fetch_add(1, std::memory_order_relaxed);
   inserts_.fetch_add(1, std::memory_order_relaxed);
   EvictUntilWithinBudget(stripe);
+}
+
+void TranspositionTable::Insert(const StateKey& key,
+                                const std::set<FactId>& removed,
+                                ViolationSet eliminated,
+                                std::shared_ptr<const MemoOutcome> outcome) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  if (admission_filter_) {
+    auto it = stripe.probation.find(key.Combined());
+    if (it == stripe.probation.end() || it->second < 2) {
+      // The key has not missed twice: this subtree has only ever been
+      // completed once, so storing it would just feed the eviction sweep.
+      // A declined insert behaves exactly like an immediate eviction —
+      // results stay byte-identical, a re-reach re-walks and re-offers.
+      admission_deferred_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    stripe.probation.erase(it);
+  }
+  Entry entry;
+  entry.key = key;
+  entry.removed.assign(removed.begin(), removed.end());
+  entry.eliminated = std::move(eliminated);
+  entry.outcome = std::move(outcome);
+  EmplaceEntry(stripe, std::move(entry));
+}
+
+void TranspositionTable::RestoreEntry(
+    const StateKey& key, std::vector<FactId> removed,
+    ViolationSet eliminated, std::shared_ptr<const MemoOutcome> outcome) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  Entry entry;
+  entry.key = key;
+  entry.removed = std::move(removed);
+  entry.eliminated = std::move(eliminated);
+  entry.outcome = std::move(outcome);
+  EmplaceEntry(stripe, std::move(entry));
+}
+
+void TranspositionTable::ForEach(
+    const std::function<void(const std::vector<FactId>& removed,
+                             const ViolationSet& eliminated,
+                             const MemoOutcome& outcome)>& fn) const {
+  for (const Stripe& stripe : stripes_) {
+    // Copy the stripe's payloads out under the lock, run the (possibly
+    // slow — snapshot serialization) callback outside it, so concurrent
+    // Lookup/Insert wait microseconds, not the whole encode. Outcomes
+    // are immutable shared_ptrs, so the copies stay consistent.
+    std::vector<std::tuple<std::vector<FactId>, ViolationSet,
+                           std::shared_ptr<const MemoOutcome>>>
+        entries;
+    {
+      std::lock_guard<std::mutex> lock(stripe.mutex);
+      entries.reserve(stripe.map.size());
+      for (const auto& [combined, entry] : stripe.map) {
+        entries.emplace_back(entry.removed, entry.eliminated, entry.outcome);
+      }
+    }
+    for (const auto& [removed, eliminated, outcome] : entries) {
+      fn(removed, eliminated, *outcome);
+    }
+  }
 }
 
 size_t TranspositionTable::size() const {
@@ -241,6 +324,8 @@ MemoStats TranspositionTable::stats() const {
   stats.inserts = inserts_.load(std::memory_order_relaxed);
   stats.rejected_full = rejected_full_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.admission_deferred =
+      admission_deferred_.load(std::memory_order_relaxed);
   stats.entries = entries_.load(std::memory_order_relaxed);
   for (const Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mutex);

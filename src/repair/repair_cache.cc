@@ -1,25 +1,15 @@
 #include "repair/repair_cache.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "storage/canonical.h"
 #include "util/hash.h"
+#include "util/parallel.h"
 
 namespace opcqa {
 
 namespace {
-
-/// Deterministic rendering of Σ for verified root identity. Rendering —
-/// not hashing — keeps constraint-set equality collision-free: two
-/// different Σ can share a fingerprint bucket but never a digest.
-std::string ConstraintsDigest(const Schema& schema,
-                              const ConstraintSet& constraints) {
-  std::string digest;
-  for (const Constraint& constraint : constraints) {
-    digest += constraint.ToString(schema);
-    digest += '\n';
-  }
-  return digest;
-}
 
 size_t StringHash(const std::string& text) {
   return std::hash<std::string>{}(text);
@@ -28,52 +18,281 @@ size_t StringHash(const std::string& text) {
 }  // namespace
 
 RepairSpaceCache::RepairSpaceCache(RepairCacheOptions options)
-    : options_(options) {}
+    : options_(std::move(options)) {
+  if (!options_.snapshot_dir.empty()) {
+    store_ = std::make_unique<storage::SnapshotStore>(
+        storage::SnapshotStoreOptions{options_.snapshot_dir,
+                                      options_.max_disk_bytes});
+  }
+}
+
+RepairSpaceCache::~RepairSpaceCache() {
+  // Session close spills the live roots (the third spill trigger besides
+  // LRU eviction and explicit Persist), then waits so no background task
+  // outlives the store it writes through.
+  if (store_ != nullptr && options_.spill_on_evict) Persist();
+  DrainSpills();
+}
 
 std::shared_ptr<TranspositionTable> RepairSpaceCache::TableFor(
     const Database& db, const ConstraintSet& constraints,
     const ChainGenerator& generator, bool prune_zero_probability) {
   std::string identity = generator.cache_identity();
   if (identity.empty()) return nullptr;  // generator opted out of sharing
-  std::string digest = ConstraintsDigest(db.schema(), constraints);
+  std::string digest = storage::RenderConstraints(db.schema(), constraints);
   size_t fingerprint = HashCombine(
       HashCombine(HashCombine(db.Hash(), StringHash(digest)),
                   StringHash(identity)),
       prune_zero_probability ? 1u : 0u);
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (Root& root : roots_) {
-    if (root.fingerprint != fingerprint) continue;
-    // Fingerprint match is only a candidate: verify every component so
-    // hash collisions split into separate roots instead of aliasing.
-    if (root.db == db && root.constraints_digest == digest &&
-        root.generator_identity == identity &&
-        root.prune == prune_zero_probability) {
-      root.last_used = ++tick_;
-      return root.table;
+  auto find_live = [&]() -> std::shared_ptr<TranspositionTable> {
+    for (Root& root : roots_) {
+      if (root.fingerprint != fingerprint) continue;
+      // Fingerprint match is only a candidate: verify every component so
+      // hash collisions split into separate roots instead of aliasing.
+      if (root.db == db && root.constraints_digest == digest &&
+          root.generator_identity == identity &&
+          root.prune == prune_zero_probability) {
+        root.last_used = ++tick_;
+        return root.table;
+      }
+    }
+    return nullptr;
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (std::shared_ptr<TranspositionTable> table = find_live()) {
+      return table;
     }
   }
-  Root root;
-  root.fingerprint = fingerprint;
-  root.db_hash = db.Hash();
-  root.db = db;
-  root.constraints_digest = std::move(digest);
-  root.generator_identity = std::move(identity);
-  root.prune = prune_zero_probability;
-  root.last_used = ++tick_;
-  root.table = std::make_shared<TranspositionTable>(
-      options_.max_entries_per_root, options_.max_bytes_per_root);
-  root.table->SetRootShape(db.size(), db.schema().size());
-  std::shared_ptr<TranspositionTable> table = root.table;
-  roots_.push_back(std::move(root));
-  if (options_.max_roots > 0 && roots_.size() > options_.max_roots) {
-    auto oldest = std::min_element(
-        roots_.begin(), roots_.end(), [](const Root& a, const Root& b) {
-          return a.last_used < b.last_used;
-        });
-    roots_.erase(oldest);
+
+  // In-memory miss: probe the disk tier outside the lock (decoding and
+  // its verification are self-contained and may be slow).
+  std::shared_ptr<TranspositionTable> table;
+  uint64_t clean_below_inserts = UINT64_MAX;
+  size_t restored_bytes = 0;
+  bool restored = false;
+  if (store_ != nullptr) {
+    table = RestoreFromDisk(db, constraints, digest, identity,
+                            prune_zero_probability, &restored_bytes);
+    if (table != nullptr) {
+      restored = true;
+      clean_below_inserts = table->stats().inserts;
+    }
   }
+  if (table == nullptr) {
+    table = std::make_shared<TranspositionTable>(
+        options_.max_entries_per_root, options_.max_bytes_per_root);
+    table->SetRootShape(db.size(), db.schema().size());
+    // Only persistent tables filter admissions: single-visit subtrees go
+    // through a probational set instead of churning the eviction sweep
+    // (repair/memo.h; scratch tables keep the always-admit behavior).
+    table->EnableAdmissionFilter();
+  }
+
+  Root evicted;
+  bool spill_evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Re-check: another thread may have built this root while we probed
+    // the disk; the resident table wins so concurrent queries share state
+    // (and a losing restore is not counted — it served no query).
+    if (std::shared_ptr<TranspositionTable> resident = find_live()) {
+      return resident;
+    }
+    if (restored) {
+      restores_.fetch_add(1, std::memory_order_relaxed);
+      restore_bytes_.fetch_add(restored_bytes, std::memory_order_relaxed);
+    }
+    Root root;
+    root.fingerprint = fingerprint;
+    root.db_hash = db.Hash();
+    root.db = db;
+    root.constraints_digest = std::move(digest);
+    root.generator_identity = std::move(identity);
+    root.prune = prune_zero_probability;
+    root.last_used = ++tick_;
+    root.table = table;
+    root.clean_below_inserts = clean_below_inserts;
+    roots_.push_back(std::move(root));
+    if (options_.max_roots > 0 && roots_.size() > options_.max_roots) {
+      auto oldest = std::min_element(
+          roots_.begin(), roots_.end(), [](const Root& a, const Root& b) {
+            return a.last_used < b.last_used;
+          });
+      // The memory tier is full: hand the evicted root to the disk tier
+      // so its chain walks survive for a later query (or process). The
+      // spill itself runs after mutex_ drops — the task may execute
+      // inline on a pool worker and must never see mutex_ held.
+      if (store_ != nullptr && options_.spill_on_evict) {
+        evicted = std::move(*oldest);
+        spill_evicted = true;
+      }
+      roots_.erase(oldest);
+    }
+  }
+  if (spill_evicted) SpillAsync(std::move(evicted));
   return table;
+}
+
+std::shared_ptr<TranspositionTable> RepairSpaceCache::RestoreFromDisk(
+    const Database& db, const ConstraintSet& constraints,
+    const std::string& digest, const std::string& identity, bool prune,
+    size_t* restored_bytes) {
+  storage::SnapshotIdentity expected;
+  expected.db_text = db.ToString();
+  expected.constraints_digest = digest;
+  expected.generator_identity = identity;
+  expected.prune = prune;
+  Result<std::string> bytes =
+      store_->Get(storage::StableFingerprint(expected));
+  if (!bytes.ok()) {
+    // Absent snapshot = plain cold miss; an unreadable one counts as
+    // rejected (and still just means cold compute).
+    if (bytes.status().code() != StatusCode::kNotFound) {
+      rejected_snapshots_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return nullptr;
+  }
+  Result<std::shared_ptr<TranspositionTable>> decoded =
+      storage::DecodeSnapshot(*bytes, expected, db, constraints,
+                              options_.max_entries_per_root,
+                              options_.max_bytes_per_root);
+  if (!decoded.ok()) {
+    rejected_snapshots_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  *restored_bytes = bytes->size();
+  (*decoded)->EnableAdmissionFilter();
+  return *decoded;
+}
+
+void RepairSpaceCache::SpillAsync(Root root) {
+  // Owns its copy of the root (callers move one in), so the live roots_
+  // vector can mutate freely. The table itself is shared — the snapshot
+  // is a consistent point-in-time view even while queries keep
+  // inserting. Must be called WITHOUT mutex_ held: the task may run
+  // inline on a pool worker and re-acquires mutex_ for the clean mark.
+  Database db = std::move(root.db);
+  std::string digest = std::move(root.constraints_digest);
+  std::string identity = std::move(root.generator_identity);
+  bool prune = root.prune;
+  std::shared_ptr<TranspositionTable> table = std::move(root.table);
+  uint64_t clean_below = root.clean_below_inserts;
+  auto task = [this, db = std::move(db), digest = std::move(digest),
+               identity = std::move(identity), prune,
+               table = std::move(table), clean_below]() {
+    if (clean_below != UINT64_MAX &&
+        table->stats().inserts <= clean_below) {
+      // Snapshot already up to date (restored or spilled, and untouched
+      // since): rewriting it would only burn IO.
+      std::lock_guard<std::mutex> lock(spill_mutex_);
+      --pending_spills_;
+      spill_cv_.notify_all();
+      return;
+    }
+    {
+      // Serialize same-cache spills end to end: with encode→Put→clean-
+      // mark atomic per spill, the snapshot on disk always corresponds
+      // to the newest clean mark — two concurrent Persist() calls cannot
+      // leave a stale snapshot behind a newer mark (which would make the
+      // final close-time spill skip real entries). Spills are rare
+      // (evict / Persist / close), so the serialization never touches
+      // query paths. Scoped: the unlock must happen BEFORE the pending
+      // decrement below, after which the cache may be destroyed.
+      std::lock_guard<std::mutex> io_lock(spill_io_mutex_);
+      storage::SnapshotIdentity ident;
+      ident.db_text = db.ToString();
+      ident.constraints_digest = digest;
+      ident.generator_identity = identity;
+      ident.prune = prune;
+      // The spill covers at least the entries present now; later inserts
+      // re-dirty the root (conservative if inserts land mid-encode).
+      uint64_t inserts_at_encode = table->stats().inserts;
+      std::string bytes = storage::EncodeSnapshot(ident, db, *table);
+      Status put = store_->Put(storage::StableFingerprint(ident), bytes);
+      if (put.ok()) {
+        spills_.fetch_add(1, std::memory_order_relaxed);
+        spill_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
+        // Mark the live root clean so the next Persist()/destructor pass
+        // skips an identical rewrite (e.g. explicit Persist then close).
+        // SpillAsync's contract guarantees mutex_ is not held here.
+        std::lock_guard<std::mutex> roots_lock(mutex_);
+        for (Root& live : roots_) {
+          if (live.table == table) {
+            live.clean_below_inserts = inserts_at_encode;
+            break;
+          }
+        }
+      } else {
+        // An unwritable/full snapshot directory must be visible to the
+        // operator — "0 spills" alone cannot distinguish "nothing dirty"
+        // from "every spill failing".
+        failed_spills_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(spill_mutex_);
+      --pending_spills_;
+      // Notify under the lock: a drain-then-destroy caller may tear the
+      // condvar down the instant the predicate holds.
+      spill_cv_.notify_all();
+    }
+  };
+  if (ThreadPool::OnWorkerThread()) {
+    // Already on the pool: run inline instead of risking a starvation
+    // deadlock between the enqueued spill and a DrainSpills() above us.
+    {
+      std::lock_guard<std::mutex> lock(spill_mutex_);
+      ++pending_spills_;
+    }
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(spill_mutex_);
+    ++pending_spills_;
+  }
+  ThreadPool::Global().Submit(std::move(task));
+}
+
+void RepairSpaceCache::DrainSpills() {
+  std::unique_lock<std::mutex> lock(spill_mutex_);
+  spill_cv_.wait(lock, [this] { return pending_spills_ == 0; });
+}
+
+void RepairSpaceCache::Persist() {
+  if (store_ == nullptr) return;
+  std::vector<Root> snapshot_roots;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot_roots.reserve(roots_.size());
+    for (const Root& root : roots_) {
+      // Clean roots (restored/spilled, untouched since) would be skipped
+      // by the task anyway — don't even pay the Database copy.
+      if (root.clean_below_inserts != UINT64_MAX &&
+          root.table->stats().inserts <= root.clean_below_inserts) {
+        continue;
+      }
+      snapshot_roots.push_back(root);
+    }
+  }
+  // One copy per root total: the copies above are moved into the tasks.
+  for (Root& root : snapshot_roots) SpillAsync(std::move(root));
+  DrainSpills();
+}
+
+DiskTierStats RepairSpaceCache::disk_stats() const {
+  DiskTierStats stats;
+  stats.spills = spills_.load(std::memory_order_relaxed);
+  stats.spill_bytes = spill_bytes_.load(std::memory_order_relaxed);
+  stats.restores = restores_.load(std::memory_order_relaxed);
+  stats.restore_bytes = restore_bytes_.load(std::memory_order_relaxed);
+  stats.rejected_snapshots =
+      rejected_snapshots_.load(std::memory_order_relaxed);
+  stats.failed_spills = failed_spills_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 size_t RepairSpaceCache::InvalidateDatabase(const Database& db) {
@@ -126,6 +345,7 @@ MemoStats RepairSpaceCache::TotalStats() const {
     total.inserts += stats.inserts;
     total.rejected_full += stats.rejected_full;
     total.evictions += stats.evictions;
+    total.admission_deferred += stats.admission_deferred;
     total.entries += stats.entries;
     total.bytes += stats.bytes;
     total.payload_bytes += stats.payload_bytes;

@@ -32,16 +32,37 @@
 // return the empty identity (the default, and any user lambda that does
 // not opt in) never get a persistent table — callers fall back to the
 // per-call scratch table, which is always sound.
+//
+// ## Disk tier (PR 5)
+//
+// With `snapshot_dir` set, the cache grows a second, durable tier
+// (src/storage/): when the root LRU evicts a root — and on explicit
+// Persist() or destruction — the root's table is serialized to a
+// canonical snapshot (storage/canonical.h: symbolic facts, no process-
+// local ids or hashes) and published atomically by a SnapshotStore; when
+// a root fingerprint misses in memory, the disk tier is probed before
+// computing cold, and a verified snapshot is re-interned into the live
+// FactStore — so a *fresh process* warm-starts from a previous process's
+// chain walks. Spills run on the shared util/parallel.h pool so queries
+// never wait on the disk; restores happen inline on the (per-root, rare)
+// miss path. A corrupt, truncated, version-mismatched or
+// identity-mismatched snapshot is rejected by verification and simply
+// means cold compute — the disk tier can change how fast answers arrive,
+// never what they are.
 
 #ifndef OPCQA_REPAIR_REPAIR_CACHE_H_
 #define OPCQA_REPAIR_REPAIR_CACHE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "repair/memo.h"
+#include "storage/snapshot_store.h"
 
 namespace opcqa {
 
@@ -53,6 +74,30 @@ struct RepairCacheOptions {
   /// Distinct (database, constraints, generator) roots kept live; the
   /// least-recently-used root is dropped beyond this.
   size_t max_roots = 8;
+  /// Directory of the disk tier (storage/snapshot_store.h); empty keeps
+  /// the cache memory-only (the PR-4 behavior).
+  std::string snapshot_dir;
+  /// Spill a root's table when the LRU drops it and on destruction (only
+  /// meaningful with a snapshot_dir; explicit Persist() always spills).
+  bool spill_on_evict = true;
+  /// Byte budget for the snapshot directory, enforced oldest-first after
+  /// every spill; 0 disables disk GC.
+  size_t max_disk_bytes = 0;
+};
+
+/// Counters of the disk tier. All monotone; zero when no snapshot_dir.
+struct DiskTierStats {
+  uint64_t spills = 0;         // snapshots written
+  uint64_t spill_bytes = 0;    // bytes written across all spills
+  uint64_t restores = 0;       // snapshots verified + re-interned
+  uint64_t restore_bytes = 0;  // bytes of the restored snapshots
+  /// Snapshots rejected by verification (corruption, truncation, version
+  /// or identity mismatch) or by IO errors — each one fell back to cold
+  /// compute.
+  uint64_t rejected_snapshots = 0;
+  /// Spill attempts whose write failed (unwritable/full snapshot_dir) —
+  /// the next process will compute cold.
+  uint64_t failed_spills = 0;
 };
 
 /// Session-level owner of persistent transposition tables, shared across
@@ -63,15 +108,30 @@ struct RepairCacheOptions {
 class RepairSpaceCache {
  public:
   explicit RepairSpaceCache(RepairCacheOptions options = {});
+  /// Spills every live root to the disk tier (when configured with
+  /// spill_on_evict) and waits for in-flight background spills.
+  ~RepairSpaceCache();
+
+  RepairSpaceCache(const RepairSpaceCache&) = delete;
+  RepairSpaceCache& operator=(const RepairSpaceCache&) = delete;
 
   /// The persistent table for this exact (db, constraints, generator,
-  /// pruning) root, created on first use. Returns nullptr when the
+  /// pruning) root, created on first use — restored from the disk tier
+  /// when a verified snapshot exists. Returns nullptr when the
   /// generator declines a cache identity — the caller should fall back
   /// to a per-call scratch table. Callers are responsible for the
   /// MemoizationApplicable gate, as with any table.
   std::shared_ptr<TranspositionTable> TableFor(
       const Database& db, const ConstraintSet& constraints,
       const ChainGenerator& generator, bool prune_zero_probability);
+
+  /// Spills every live root to the disk tier now and blocks until the
+  /// snapshots are durable (no-op without a snapshot_dir). Safe to call
+  /// concurrently with queries: each snapshot is a consistent
+  /// point-in-time view of its table.
+  void Persist();
+
+  DiskTierStats disk_stats() const;
 
   /// Eagerly drops every root built over a database with this content
   /// (by hash, then verified). Pass the database *as its roots saw it* —
@@ -103,12 +163,55 @@ class RepairSpaceCache {
     bool prune = false;
     uint64_t last_used = 0;
     std::shared_ptr<TranspositionTable> table;
+    /// Insert count as of the last disk restore or successful spill;
+    /// UINT64_MAX for dirty roots. A spill whose table still sits at
+    /// this count has nothing new to say — the on-disk snapshot already
+    /// holds every entry — and is skipped, so a read-only warm process
+    /// never rewrites its snapshot and an explicit Persist() followed by
+    /// session close writes once, not twice.
+    uint64_t clean_below_inserts = UINT64_MAX;
   };
 
+  /// Probes the disk tier for this root; returns nullptr on miss or on a
+  /// rejected snapshot (counted). Called without mutex_ held — decode can
+  /// be slow and verification needs no cache state. Writes the snapshot
+  /// byte size to `restored_bytes`; the caller counts the restore only
+  /// once the table actually wins installation (a concurrent loser's
+  /// decode must not inflate DiskTierStats).
+  std::shared_ptr<TranspositionTable> RestoreFromDisk(
+      const Database& db, const ConstraintSet& constraints,
+      const std::string& digest, const std::string& identity, bool prune,
+      size_t* restored_bytes);
+  /// Enqueues a spill on the shared pool (the background writer); the
+  /// task renders, encodes and writes without blocking queries. Takes
+  /// the root by value (callers move their copy in). Must be called
+  /// without mutex_ held: on a pool worker the task runs inline and
+  /// itself acquires mutex_ to mark the root clean.
+  void SpillAsync(Root root);
+  /// Blocks until every enqueued spill has completed.
+  void DrainSpills();
+
   RepairCacheOptions options_;
+  std::unique_ptr<storage::SnapshotStore> store_;  // null without disk tier
   mutable std::mutex mutex_;
   uint64_t tick_ = 0;
   std::vector<Root> roots_;
+
+  // Disk-tier counters + in-flight spill tracking (independent of mutex_
+  // so a slow spill never blocks TableFor).
+  std::atomic<uint64_t> spills_{0};
+  std::atomic<uint64_t> spill_bytes_{0};
+  std::atomic<uint64_t> restores_{0};
+  std::atomic<uint64_t> restore_bytes_{0};
+  std::atomic<uint64_t> rejected_snapshots_{0};
+  std::atomic<uint64_t> failed_spills_{0};
+  /// Serializes the encode→Put→clean-mark sequence of each spill task so
+  /// concurrent spills of one root cannot publish out of order (a stale
+  /// snapshot behind a newer clean mark).
+  std::mutex spill_io_mutex_;
+  std::mutex spill_mutex_;
+  std::condition_variable spill_cv_;
+  size_t pending_spills_ = 0;
 };
 
 }  // namespace opcqa

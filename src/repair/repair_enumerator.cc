@@ -478,7 +478,9 @@ EnumerationResult EnumerateRepairs(const Database& db,
           : EnumerateSerial(root, generator, options, memo.get());
   // Per-call view: counters accrued by this enumeration even when the
   // table is shared and outlives the call.
-  if (memo != nullptr) result.memo_stats = memo->stats().DeltaSince(stats_before);
+  if (memo != nullptr) {
+    result.memo_stats = memo->stats().DeltaSince(stats_before);
+  }
   return result;
 }
 

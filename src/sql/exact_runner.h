@@ -81,6 +81,11 @@ class SqlExactRunner {
   const Database& database() const { return db_; }
   /// Aggregated cache counters across all queries so far.
   MemoStats CacheStats() const { return cache_->TotalStats(); }
+  /// Disk-tier counters (SqlExactOptions::cache.snapshot_dir).
+  DiskTierStats DiskStats() const { return cache_->disk_stats(); }
+  /// Spills the cached repair space to the disk tier now (no-op without
+  /// a snapshot_dir; destruction also spills).
+  void Persist() { cache_->Persist(); }
 
  private:
   SqlExactRunner(Database db, ConstraintSet constraints,

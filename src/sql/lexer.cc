@@ -159,13 +159,34 @@ Result<std::vector<Token>> Lex(std::string_view text) {
       continue;
     }
     switch (c) {
-      case ',': push(TokenKind::kComma, ",", tok_line, tok_column); advance(1); continue;
-      case '.': push(TokenKind::kDot, ".", tok_line, tok_column); advance(1); continue;
-      case '*': push(TokenKind::kStar, "*", tok_line, tok_column); advance(1); continue;
-      case '(': push(TokenKind::kLParen, "(", tok_line, tok_column); advance(1); continue;
-      case ')': push(TokenKind::kRParen, ")", tok_line, tok_column); advance(1); continue;
-      case ';': push(TokenKind::kSemicolon, ";", tok_line, tok_column); advance(1); continue;
-      case '=': push(TokenKind::kEq, "=", tok_line, tok_column); advance(1); continue;
+      case ',':
+        push(TokenKind::kComma, ",", tok_line, tok_column);
+        advance(1);
+        continue;
+      case '.':
+        push(TokenKind::kDot, ".", tok_line, tok_column);
+        advance(1);
+        continue;
+      case '*':
+        push(TokenKind::kStar, "*", tok_line, tok_column);
+        advance(1);
+        continue;
+      case '(':
+        push(TokenKind::kLParen, "(", tok_line, tok_column);
+        advance(1);
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")", tok_line, tok_column);
+        advance(1);
+        continue;
+      case ';':
+        push(TokenKind::kSemicolon, ";", tok_line, tok_column);
+        advance(1);
+        continue;
+      case '=':
+        push(TokenKind::kEq, "=", tok_line, tok_column);
+        advance(1);
+        continue;
       case '!':
         if (i + 1 < text.size() && text[i + 1] == '=') {
           push(TokenKind::kNeq, "!=", tok_line, tok_column);

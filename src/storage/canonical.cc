@@ -1,0 +1,489 @@
+#include "storage/canonical.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/term.h"
+#include "relational/symbol_table.h"
+#include "util/hash.h"
+
+namespace opcqa {
+namespace storage {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Framing primitives
+// ---------------------------------------------------------------------
+
+constexpr char kMagic[8] = {'O', 'P', 'C', 'Q', 'S', 'N', 'A', 'P'};
+constexpr uint32_t kSectionIdentity = 1;
+constexpr uint32_t kSectionEntries = 2;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) — the ubiquitous choice for
+/// detecting accidental corruption in storage formats.
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+uint32_t Crc32(const char* data, size_t size) {
+  const auto& table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<uint8_t>(data[i])) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// Little-endian append-only writer. All integers are fixed-width so the
+/// format has no host-dependent layout.
+class Writer {
+ public:
+  explicit Writer(std::string* out) : out_(out) {}
+
+  void U8(uint8_t value) { out_->push_back(static_cast<char>(value)); }
+  void U32(uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      out_->push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+    }
+  }
+  void U64(uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      out_->push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+    }
+  }
+  void Str(const std::string& text) {
+    U32(static_cast<uint32_t>(text.size()));
+    out_->append(text);
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked little-endian reader: every accessor fails (sets a flag
+/// and returns zero/empty) instead of reading past the end, so truncated
+/// or length-corrupted snapshots surface as a clean decode error.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  uint8_t U8() {
+    if (!Require(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint32_t U32() {
+    if (!Require(4)) return 0;
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+               << (8 * i);
+    }
+    pos_ += 4;
+    return value;
+  }
+  uint64_t U64() {
+    if (!Require(8)) return 0;
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+               << (8 * i);
+    }
+    pos_ += 8;
+    return value;
+  }
+  std::string Str() {
+    uint32_t size = U32();
+    if (!Require(size)) return std::string();
+    std::string text(data_ + pos_, size);
+    pos_ += size;
+    return text;
+  }
+  /// A raw sub-span (for section payloads); empty on overflow.
+  std::pair<const char*, size_t> Span(size_t size) {
+    if (!Require(size)) return {nullptr, 0};
+    const char* begin = data_ + pos_;
+    pos_ += size;
+    return {begin, size};
+  }
+
+ private:
+  bool Require(size_t bytes) {
+    if (!ok_ || size_ - pos_ < bytes) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void AppendSection(std::string* out, uint32_t id, const std::string& payload) {
+  Writer writer(out);
+  writer.U32(id);
+  writer.U64(payload.size());
+  writer.U32(Crc32(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+// ---------------------------------------------------------------------
+// Encode
+// ---------------------------------------------------------------------
+
+/// The root's facts in value order — identical in every process holding an
+/// equal database, which is what makes dictionary indices canonical.
+std::vector<FactId> Dictionary(const Database& root_db) {
+  return root_db.AllFactIds();
+}
+
+void EncodeRemoved(Writer* writer, const std::vector<FactId>& removed,
+                   const std::unordered_map<FactId, uint32_t>& index_of) {
+  // Ascending dictionary indices == fact value order, independent of the
+  // process-local numeric id order the live table verifies in.
+  std::vector<uint32_t> indices;
+  indices.reserve(removed.size());
+  for (FactId id : removed) {
+    auto it = index_of.find(id);
+    OPCQA_CHECK(it != index_of.end())
+        << "memo entry removes a fact outside the chain root";
+    indices.push_back(it->second);
+  }
+  std::sort(indices.begin(), indices.end());
+  writer->U32(static_cast<uint32_t>(indices.size()));
+  for (uint32_t index : indices) writer->U32(index);
+}
+
+void EncodeViolation(Writer* writer, const Violation& violation) {
+  writer->U32(static_cast<uint32_t>(violation.constraint_index));
+  const auto& bindings = violation.h.bindings();
+  writer->U32(static_cast<uint32_t>(bindings.size()));
+  for (const auto& [var, value] : bindings) {
+    writer->Str(VarName(var));
+    writer->Str(ConstName(value));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Decode helpers
+// ---------------------------------------------------------------------
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("snapshot rejected: " + what);
+}
+
+/// Maps sorted dictionary indices back to live ids. Returns false on any
+/// out-of-range or non-strictly-ascending index (corrupt payload).
+bool DecodeRemoved(Reader* reader, const std::vector<FactId>& dictionary,
+                   std::vector<FactId>* out) {
+  uint32_t count = reader->U32();
+  if (!reader->ok() || count > dictionary.size()) return false;
+  out->clear();
+  out->reserve(count);
+  uint32_t previous = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t index = reader->U32();
+    if (!reader->ok() || index >= dictionary.size()) return false;
+    if (i > 0 && index <= previous) return false;
+    previous = index;
+    out->push_back(dictionary[index]);
+  }
+  return true;
+}
+
+bool DecodeViolation(Reader* reader, const ConstraintSet& constraints,
+                     Violation* out) {
+  uint32_t constraint_index = reader->U32();
+  uint32_t bindings = reader->U32();
+  if (!reader->ok() || constraint_index >= constraints.size()) return false;
+  std::vector<std::pair<VarId, ConstId>> pairs;
+  // Clamp the reserve: a corrupt count must fail the bounded reads
+  // below, not throw bad_alloc here (decode never aborts).
+  pairs.reserve(std::min<uint32_t>(bindings, 1024));
+  for (uint32_t i = 0; i < bindings; ++i) {
+    std::string var_name = reader->Str();
+    std::string const_name = reader->Str();
+    if (!reader->ok() || var_name.empty()) return false;
+    pairs.emplace_back(Var(var_name), Const(const_name));
+  }
+  // Reject duplicate variables before Bind() (which would CHECK-fail) —
+  // decode must degrade to cold compute, never abort.
+  std::sort(pairs.begin(), pairs.end());
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    if (pairs[i].first == pairs[i - 1].first) return false;
+  }
+  out->constraint_index = constraint_index;
+  out->h = Assignment();
+  for (const auto& [var, value] : pairs) out->h.Bind(var, value);
+  return true;
+}
+
+bool DecodeMass(Reader* reader, Rational* out) {
+  std::string text = reader->Str();
+  if (!reader->ok()) return false;
+  Result<Rational> parsed = Rational::FromString(text);
+  if (!parsed.ok()) return false;
+  *out = std::move(parsed.value());
+  return true;
+}
+
+}  // namespace
+
+std::string RenderConstraints(const Schema& schema,
+                              const ConstraintSet& constraints) {
+  std::string digest;
+  for (const Constraint& constraint : constraints) {
+    digest += constraint.ToString(schema);
+    digest += '\n';
+  }
+  return digest;
+}
+
+uint64_t StableFingerprint(const SnapshotIdentity& identity) {
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  auto mix = [&hash](const char* data, size_t size) {
+    for (size_t i = 0; i < size; ++i) {
+      hash ^= static_cast<uint8_t>(data[i]);
+      hash *= 0x100000001b3ULL;  // FNV prime
+    }
+  };
+  // A separator byte between components keeps ("ab","c") and ("a","bc")
+  // distinct; components themselves never contain 0x1F.
+  char separator = 0x1F;
+  mix(identity.db_text.data(), identity.db_text.size());
+  mix(&separator, 1);
+  mix(identity.constraints_digest.data(), identity.constraints_digest.size());
+  mix(&separator, 1);
+  mix(identity.generator_identity.data(), identity.generator_identity.size());
+  mix(&separator, 1);
+  char prune = identity.prune ? 1 : 0;
+  mix(&prune, 1);
+  return hash;
+}
+
+std::string EncodeSnapshot(const SnapshotIdentity& identity,
+                           const Database& root_db,
+                           const TranspositionTable& table) {
+  std::string identity_payload;
+  {
+    Writer writer(&identity_payload);
+    writer.Str(identity.db_text);
+    writer.Str(identity.constraints_digest);
+    writer.Str(identity.generator_identity);
+    writer.U8(identity.prune ? 1 : 0);
+  }
+
+  std::vector<FactId> dictionary = Dictionary(root_db);
+  std::unordered_map<FactId, uint32_t> index_of;
+  index_of.reserve(dictionary.size());
+  for (uint32_t i = 0; i < dictionary.size(); ++i) {
+    index_of.emplace(dictionary[i], i);
+  }
+
+  std::string entries_payload;
+  size_t entry_count = 0;
+  {
+    Writer writer(&entries_payload);
+    writer.U64(dictionary.size());
+    // Entry count back-patched below (ForEach size is not known upfront —
+    // the table may be mutating concurrently).
+    size_t count_pos = entries_payload.size();
+    writer.U64(0);
+    table.ForEach([&](const std::vector<FactId>& removed,
+                      const ViolationSet& eliminated,
+                      const MemoOutcome& outcome) {
+      EncodeRemoved(&writer, removed, index_of);
+      writer.U32(static_cast<uint32_t>(eliminated.size()));
+      for (const Violation& violation : eliminated) {
+        EncodeViolation(&writer, violation);
+      }
+      writer.U32(static_cast<uint32_t>(outcome.repairs.size()));
+      for (const MemoOutcome::RepairShare& share : outcome.repairs) {
+        EncodeRemoved(&writer, share.removed, index_of);
+        writer.Str(share.mass.ToString());
+        writer.U64(share.num_sequences);
+      }
+      writer.Str(outcome.success_mass.ToString());
+      writer.Str(outcome.failing_mass.ToString());
+      writer.U64(outcome.states);
+      writer.U64(outcome.absorbing_states);
+      writer.U64(outcome.successful_sequences);
+      writer.U64(outcome.failing_sequences);
+      writer.U64(outcome.depth_below);
+      ++entry_count;
+    });
+    std::string patched;
+    Writer(&patched).U64(entry_count);
+    entries_payload.replace(count_pos, patched.size(), patched);
+  }
+
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  Writer header(&out);
+  header.U32(kSnapshotFormatVersion);
+  header.U32(2);  // section count
+  AppendSection(&out, kSectionIdentity, identity_payload);
+  AppendSection(&out, kSectionEntries, entries_payload);
+  return out;
+}
+
+Result<std::shared_ptr<TranspositionTable>> DecodeSnapshot(
+    const std::string& bytes, const SnapshotIdentity& expected,
+    const Database& live_root, const ConstraintSet& constraints,
+    size_t max_entries, size_t max_bytes) {
+  Reader top(bytes.data(), bytes.size());
+  auto [magic, magic_size] = top.Span(sizeof(kMagic));
+  if (!top.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic");
+  }
+  uint32_t version = top.U32();
+  if (!top.ok() || version != kSnapshotFormatVersion) {
+    return Corrupt("format version " + std::to_string(version) +
+                   " (this build reads " +
+                   std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  uint32_t section_count = top.U32();
+  if (!top.ok() || section_count != 2) return Corrupt("bad section count");
+
+  std::pair<const char*, size_t> sections[2] = {};
+  bool seen[2] = {false, false};
+  for (uint32_t i = 0; i < section_count; ++i) {
+    uint32_t id = top.U32();
+    uint64_t size = top.U64();
+    uint32_t crc = top.U32();
+    auto span = top.Span(size);
+    if (!top.ok()) return Corrupt("truncated section");
+    if (Crc32(span.first, span.second) != crc) {
+      return Corrupt("section checksum mismatch");
+    }
+    if (id != kSectionIdentity && id != kSectionEntries) {
+      return Corrupt("unknown section id");
+    }
+    size_t slot = id == kSectionIdentity ? 0 : 1;
+    if (seen[slot]) return Corrupt("duplicate section");
+    seen[slot] = true;
+    sections[slot] = span;
+  }
+  if (!top.AtEnd()) return Corrupt("trailing bytes");
+  if (!seen[0] || !seen[1]) return Corrupt("missing section");
+
+  {
+    Reader reader(sections[0].first, sections[0].second);
+    SnapshotIdentity stored;
+    stored.db_text = reader.Str();
+    stored.constraints_digest = reader.Str();
+    stored.generator_identity = reader.Str();
+    stored.prune = reader.U8() != 0;
+    if (!reader.ok() || !reader.AtEnd()) return Corrupt("identity framing");
+    // Every component verified for real — string equality against the
+    // live rendering, so a fingerprint collision can never alias roots.
+    if (stored.db_text != expected.db_text ||
+        stored.constraints_digest != expected.constraints_digest ||
+        stored.generator_identity != expected.generator_identity ||
+        stored.prune != expected.prune) {
+      return Corrupt("identity mismatch (another root, or stale schema)");
+    }
+  }
+
+  std::vector<FactId> dictionary = Dictionary(live_root);
+  Reader reader(sections[1].first, sections[1].second);
+  uint64_t stored_dictionary_size = reader.U64();
+  if (!reader.ok() || stored_dictionary_size != dictionary.size()) {
+    return Corrupt("dictionary size mismatch");
+  }
+  uint64_t entry_count = reader.U64();
+  if (!reader.ok()) return Corrupt("entries framing");
+
+  auto table = std::make_shared<TranspositionTable>(max_entries, max_bytes);
+  table->SetRootShape(live_root.size(), live_root.schema().size());
+  size_t root_hash = live_root.Hash();
+
+  std::vector<FactId> scratch;
+  for (uint64_t e = 0; e < entry_count; ++e) {
+    if (!DecodeRemoved(&reader, dictionary, &scratch)) {
+      return Corrupt("entry removed-set");
+    }
+    // Live StateKey: the entry state's database is root − removed, and the
+    // incremental Database hash is a wrap-around sum of mixed per-fact
+    // hashes (util/hash.h), so removal subtracts each contribution.
+    size_t db_hash = root_hash;
+    std::vector<FactId> removed(scratch);
+    std::sort(removed.begin(), removed.end());  // numeric order, as stored
+    for (FactId id : removed) {
+      db_hash -= HashMix64(FactStore::Global().hash(id));
+    }
+
+    uint32_t eliminated_count = reader.U32();
+    if (!reader.ok()) return Corrupt("entry eliminated-set");
+    ViolationSet eliminated;
+    size_t eliminated_hash = 0;
+    for (uint32_t i = 0; i < eliminated_count; ++i) {
+      Violation violation;
+      if (!DecodeViolation(&reader, constraints, &violation)) {
+        return Corrupt("violation payload");
+      }
+      eliminated_hash += HashMix64(violation.Hash());
+      if (!eliminated.insert(std::move(violation)).second) {
+        return Corrupt("duplicate eliminated violation");
+      }
+    }
+
+    auto outcome = std::make_shared<MemoOutcome>();
+    uint32_t repair_count = reader.U32();
+    if (!reader.ok()) return Corrupt("repair count");
+    // Clamped for the same reason as in DecodeViolation: corrupt counts
+    // must surface as bounded-read failures, never as bad_alloc.
+    outcome->repairs.reserve(std::min<uint32_t>(repair_count, 65536));
+    for (uint32_t i = 0; i < repair_count; ++i) {
+      MemoOutcome::RepairShare share;
+      if (!DecodeRemoved(&reader, dictionary, &share.removed)) {
+        return Corrupt("repair share removed-set");
+      }
+      // Ascending dictionary indices are fact value order — exactly the
+      // order RepairShare::removed stores (repair/memo.h).
+      if (!DecodeMass(&reader, &share.mass)) return Corrupt("repair mass");
+      share.num_sequences = reader.U64();
+      if (!reader.ok()) return Corrupt("repair sequences");
+      outcome->repairs.push_back(std::move(share));
+    }
+    if (!DecodeMass(&reader, &outcome->success_mass) ||
+        !DecodeMass(&reader, &outcome->failing_mass)) {
+      return Corrupt("outcome masses");
+    }
+    outcome->states = reader.U64();
+    outcome->absorbing_states = reader.U64();
+    outcome->successful_sequences = reader.U64();
+    outcome->failing_sequences = reader.U64();
+    outcome->depth_below = reader.U64();
+    if (!reader.ok()) return Corrupt("outcome counters");
+
+    StateKey key{db_hash, eliminated_hash};
+    table->RestoreEntry(key, std::move(removed), std::move(eliminated),
+                        std::move(outcome));
+  }
+  if (!reader.AtEnd()) return Corrupt("trailing entry bytes");
+  return table;
+}
+
+}  // namespace storage
+}  // namespace opcqa

@@ -1,0 +1,81 @@
+// SnapshotStore — the directory layer of the disk tier: one file per
+// cache root, named by the root's stable fingerprint.
+//
+// The store is deliberately dumb: it moves opaque snapshot bytes between
+// memory and `directory` and never interprets them — all verification
+// (magic, version, checksums, identity components) happens in
+// storage/canonical.h, all policy (when to spill, when to probe) in
+// repair/repair_cache.h. What the store does own:
+//
+//   * Atomic publication. Put() writes to a dot-prefixed temp file in the
+//     same directory, flushes it to stable storage, and rename()s it into
+//     place — readers (including other processes) see either the old
+//     snapshot or the complete new one, never a torn write. A crash mid-
+//     spill leaves only a temp file, which Put() lazily sweeps.
+//   * Oldest-first GC. With max_disk_bytes > 0, every Put() deletes the
+//     stalest snapshots (by modification time) until the directory fits
+//     the budget again; the just-written file is always kept, so a budget
+//     smaller than one snapshot degrades to "keep the newest" instead of
+//     making the tier useless.
+//
+// Thread-safe: all members lock one mutex (spills come from a background
+// writer while queries probe). Cross-process safety rests on the atomic
+// rename plus canonical.h's verification — a concurrent writer can at
+// worst make a reader fall back to cold compute.
+
+#ifndef OPCQA_STORAGE_SNAPSHOT_STORE_H_
+#define OPCQA_STORAGE_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace opcqa {
+namespace storage {
+
+struct SnapshotStoreOptions {
+  /// Directory holding the snapshots (created on first Put).
+  std::string directory;
+  /// Byte budget for the directory; 0 disables GC. Enforced oldest-first
+  /// after every Put, never deleting the file just written.
+  size_t max_disk_bytes = 0;
+};
+
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(SnapshotStoreOptions options);
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// "root-<16 hex digits>.snap" — the canonical snapshot file name.
+  static std::string FileName(uint64_t fingerprint);
+
+  /// Atomically publishes `bytes` as the snapshot for `fingerprint`
+  /// (temp file + fsync + rename), then runs the GC sweep.
+  Status Put(uint64_t fingerprint, const std::string& bytes);
+
+  /// The stored bytes for `fingerprint`; NotFound when no snapshot
+  /// exists. IO errors surface as statuses, never aborts.
+  Result<std::string> Get(uint64_t fingerprint) const;
+
+  /// Total bytes of committed snapshots currently in the directory
+  /// (temp files excluded). 0 when the directory does not exist.
+  size_t TotalBytes() const;
+
+  const std::string& directory() const { return options_.directory; }
+
+ private:
+  /// Deletes oldest-first (never `keep`) until within max_disk_bytes.
+  void GarbageCollectLocked(const std::string& keep);
+
+  SnapshotStoreOptions options_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace storage
+}  // namespace opcqa
+
+#endif  // OPCQA_STORAGE_SNAPSHOT_STORE_H_

@@ -554,7 +554,8 @@ void BigInt::ToMantissaExp(double* mantissa, int64_t* exponent) const {
   }
   // `top` holds the top `taken` bits; significant bits within: bits
   // mod 32 adjustment handled by shifting out leading zeros.
-  int lead_zeros = taken - static_cast<int>(bits - (limbs_.size() - taken / 32) * 0);
+  int lead_zeros =
+      taken - static_cast<int>(bits - (limbs_.size() - taken / 32) * 0);
   (void)lead_zeros;
   // Simpler: shift so the msb of `top` is bit (taken-1).
   while ((top >> 63) == 0) {

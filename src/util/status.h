@@ -78,7 +78,7 @@ class Status {
 template <typename T>
 class Result {
  public:
-  Result(T value) : value_(std::move(value)) {}     // NOLINT: implicit by design
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {  // NOLINT
     OPCQA_CHECK(!status_.ok()) << "Result constructed from OK status";
   }

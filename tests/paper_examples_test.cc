@@ -45,10 +45,14 @@ TEST_F(PreferenceExampleTest, Example6FourRepairsWithExactProbabilities) {
   //   D−{(a,b),(c,a)}: 2/9·2/3 + 3/9·2/5
   //   D−{(b,a),(a,c)}: 3/9·1/4 + 1/9·2/4
   //   D−{(b,a),(c,a)}: 3/9·3/4 + 3/9·3/5
-  Rational p1 = Rational(2, 9) * Rational(1, 3) + Rational(1, 9) * Rational(2, 4);
-  Rational p2 = Rational(2, 9) * Rational(2, 3) + Rational(3, 9) * Rational(2, 5);
-  Rational p3 = Rational(3, 9) * Rational(1, 4) + Rational(1, 9) * Rational(2, 4);
-  Rational p4 = Rational(3, 9) * Rational(3, 4) + Rational(3, 9) * Rational(3, 5);
+  Rational p1 =
+      Rational(2, 9) * Rational(1, 3) + Rational(1, 9) * Rational(2, 4);
+  Rational p2 =
+      Rational(2, 9) * Rational(2, 3) + Rational(3, 9) * Rational(2, 5);
+  Rational p3 =
+      Rational(3, 9) * Rational(1, 4) + Rational(1, 9) * Rational(2, 4);
+  Rational p4 =
+      Rational(3, 9) * Rational(3, 4) + Rational(3, 9) * Rational(3, 5);
 
   EXPECT_EQ(result.ProbabilityOf(Without({P("a", "b"), P("a", "c")})), p1);
   EXPECT_EQ(result.ProbabilityOf(Without({P("a", "b"), P("c", "a")})), p2);

@@ -54,7 +54,8 @@ TEST(RationalTest, ArithmeticExact) {
 TEST(RationalTest, PaperExample6Probability) {
   // Probability of the repair D − {Pref(b,a), Pref(c,a)}:
   // 3/9 · 3/4 + 3/9 · 3/5 = 9/20 = 0.45.
-  Rational p = Rational(3, 9) * Rational(3, 4) + Rational(3, 9) * Rational(3, 5);
+  Rational p =
+      Rational(3, 9) * Rational(3, 4) + Rational(3, 9) * Rational(3, 5);
   EXPECT_EQ(p, Rational(9, 20));
   EXPECT_DOUBLE_EQ(p.ToDouble(), 0.45);
 }

@@ -1,0 +1,480 @@
+// Tests for the disk tier (src/storage/ + the RepairSpaceCache
+// integration): canonical snapshot round trips with byte-identical
+// answers, a genuine fresh-process warm start (fork + exec), rejection of
+// corrupt/truncated/version-mismatched snapshots with cold-compute
+// fallback, disk GC under max_disk_bytes, spill-on-LRU-eviction, the
+// twice-missed admission filter, and a concurrent spill-while-querying
+// run (TSan-gated in CI).
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/workloads.h"
+#include "repair/repair_cache.h"
+#include "repair/repair_enumerator.h"
+#include "storage/canonical.h"
+#include "storage/snapshot_store.h"
+
+namespace opcqa {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh temp directory, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    std::string pattern =
+        (fs::temp_directory_path() / "opcqa_storage_XXXXXX").string();
+    std::vector<char> buffer(pattern.begin(), pattern.end());
+    buffer.push_back('\0');
+    char* made = ::mkdtemp(buffer.data());
+    EXPECT_NE(made, nullptr);
+    path_ = made == nullptr ? std::string() : made;
+  }
+  ~TempDir() {
+    if (!path_.empty()) {
+      std::error_code ignored;
+      fs::remove_all(path_, ignored);
+    }
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+EnumerationOptions MemoOptions(RepairSpaceCache* cache) {
+  EnumerationOptions options;
+  options.memoize = true;
+  options.cache = cache;
+  return options;
+}
+
+RepairCacheOptions DiskOptions(const std::string& dir,
+                               size_t max_disk_bytes = 0) {
+  RepairCacheOptions options;
+  options.snapshot_dir = dir;
+  options.max_disk_bytes = max_disk_bytes;
+  return options;
+}
+
+void ExpectSameDistribution(const EnumerationResult& result,
+                            const EnumerationResult& base) {
+  EXPECT_EQ(result.success_mass, base.success_mass);
+  EXPECT_EQ(result.failing_mass, base.failing_mass);
+  EXPECT_EQ(result.states_visited, base.states_visited);
+  EXPECT_EQ(result.absorbing_states, base.absorbing_states);
+  EXPECT_EQ(result.successful_sequences, base.successful_sequences);
+  EXPECT_EQ(result.failing_sequences, base.failing_sequences);
+  EXPECT_EQ(result.max_depth, base.max_depth);
+  ASSERT_EQ(result.repairs.size(), base.repairs.size());
+  for (size_t i = 0; i < base.repairs.size(); ++i) {
+    EXPECT_EQ(result.repairs[i].repair, base.repairs[i].repair) << i;
+    EXPECT_EQ(result.repairs[i].probability, base.repairs[i].probability)
+        << i;
+    EXPECT_EQ(result.repairs[i].num_sequences,
+              base.repairs[i].num_sequences)
+        << i;
+  }
+}
+
+/// Runs the PR-4-style cold phase: two enumerations (the admission filter
+/// records subtrees once their keys have been seen twice, so the second
+/// pass admits the chain-root entry), then spills to `dir`.
+void WarmDiskTier(const gen::Workload& w, const ChainGenerator& generator,
+                  const std::string& dir) {
+  RepairSpaceCache cache(DiskOptions(dir));
+  EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+  EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+  cache.Persist();
+  ASSERT_GE(cache.disk_stats().spills, 1u);
+}
+
+/// The snapshot file the cache writes for `w` under the uniform
+/// generator with default (pruning) options.
+fs::path SnapshotPathFor(const gen::Workload& w,
+                         const ChainGenerator& generator,
+                         const std::string& dir) {
+  storage::SnapshotIdentity identity;
+  identity.db_text = w.db.ToString();
+  identity.constraints_digest =
+      storage::RenderConstraints(*w.schema, w.constraints);
+  identity.generator_identity = generator.cache_identity();
+  identity.prune = true;
+  return fs::path(dir) / storage::SnapshotStore::FileName(
+                             storage::StableFingerprint(identity));
+}
+
+// ---------------------------------------------------------------------
+// Round trip
+// ---------------------------------------------------------------------
+
+TEST(StorageSnapshotTest, WarmStartFromDiskIsByteIdenticalAndSkipsWalks) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/11);
+  UniformChainGenerator generator;
+  EnumerationResult base =
+      EnumerateRepairs(w.db, w.constraints, generator, {});
+
+  TempDir dir;
+  size_t cold_entries = 0;
+  {
+    RepairSpaceCache cache(DiskOptions(dir.path()));
+    EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+    EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+    cold_entries = cache.TotalStats().entries;
+    // Destruction spills (session close) — no explicit Persist() needed.
+  }
+  ASSERT_TRUE(fs::exists(SnapshotPathFor(w, generator, dir.path())));
+
+  RepairSpaceCache warm_cache(DiskOptions(dir.path()));
+  EnumerationResult warm = EnumerateRepairs(w.db, w.constraints, generator,
+                                            MemoOptions(&warm_cache));
+  // The restored root entry replays the whole chain: one probe, one hit,
+  // zero states actually walked.
+  EXPECT_EQ(warm.memo_stats.hits, 1u);
+  EXPECT_EQ(warm.memo_stats.misses, 0u);
+  ExpectSameDistribution(warm, base);
+  DiskTierStats disk = warm_cache.disk_stats();
+  EXPECT_EQ(disk.restores, 1u);
+  EXPECT_GT(disk.restore_bytes, 0u);
+  EXPECT_EQ(disk.rejected_snapshots, 0u);
+  // Every admitted entry of the cold table survived the round trip.
+  EXPECT_EQ(warm_cache.TotalStats().entries, cold_entries);
+}
+
+TEST(StorageSnapshotTest, EncodeDecodeRoundTripAndIdentityVerification) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(4, 3, 2, /*seed=*/7);
+  UniformChainGenerator generator;
+  RepairSpaceCache cache;  // memory-only: source of a persistent table
+  EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+  EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+  std::shared_ptr<TranspositionTable> table =
+      cache.TableFor(w.db, w.constraints, generator, true);
+  ASSERT_NE(table, nullptr);
+  ASSERT_GT(table->size(), 0u);
+
+  storage::SnapshotIdentity identity;
+  identity.db_text = w.db.ToString();
+  identity.constraints_digest =
+      storage::RenderConstraints(*w.schema, w.constraints);
+  identity.generator_identity = generator.cache_identity();
+  identity.prune = true;
+  std::string bytes = storage::EncodeSnapshot(identity, w.db, *table);
+
+  Result<std::shared_ptr<TranspositionTable>> decoded =
+      storage::DecodeSnapshot(bytes, identity, w.db, w.constraints,
+                              TranspositionTable::kDefaultMaxEntries, 0);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ((*decoded)->size(), table->size());
+
+  // Same bytes against a different root: every identity component is
+  // verified for real, so the snapshot is rejected, not aliased.
+  gen::Workload other = gen::MakeKeyViolationWorkload(5, 3, 2, /*seed=*/7);
+  storage::SnapshotIdentity other_identity = identity;
+  other_identity.db_text = other.db.ToString();
+  Result<std::shared_ptr<TranspositionTable>> rejected =
+      storage::DecodeSnapshot(bytes, other_identity, other.db,
+                              other.constraints,
+                              TranspositionTable::kDefaultMaxEntries, 0);
+  EXPECT_FALSE(rejected.ok());
+}
+
+// ---------------------------------------------------------------------
+// Fresh-process warm start (the real cross-process property)
+// ---------------------------------------------------------------------
+
+// Child half of CrossProcessWarmStart: runs in a *fresh process* (fork +
+// exec), so every fact, constant and variable is re-interned from scratch
+// and all process-local ids/hashes differ from the writer's lifetime.
+// Skipped unless the parent set the snapshot-directory env var.
+TEST(StorageSnapshotTest, ChildProcessWarmStart) {
+  const char* dir = std::getenv("OPCQA_STORAGE_CHILD_DIR");
+  if (dir == nullptr) {
+    GTEST_SKIP() << "child half of CrossProcessWarmStart";
+  }
+  gen::Workload w = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/11);
+  UniformChainGenerator generator;
+  EnumerationResult base =
+      EnumerateRepairs(w.db, w.constraints, generator, {});
+  RepairSpaceCache cache(DiskOptions(dir));
+  EnumerationResult warm =
+      EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+  ASSERT_EQ(cache.disk_stats().restores, 1u);
+  ASSERT_EQ(warm.memo_stats.hits, 1u);
+  ASSERT_EQ(warm.memo_stats.misses, 0u);
+  ExpectSameDistribution(warm, base);
+}
+
+TEST(StorageSnapshotTest, CrossProcessWarmStart) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/11);
+  UniformChainGenerator generator;
+  TempDir dir;
+  WarmDiskTier(w, generator, dir.path());
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Fresh process image: exec, don't just fork — a forked child would
+    // inherit this process's interners and prove nothing.
+    ::setenv("OPCQA_STORAGE_CHILD_DIR", dir.path().c_str(), 1);
+    ::execl("/proc/self/exe", "storage_test",
+            "--gtest_filter=StorageSnapshotTest.ChildProcessWarmStart",
+            static_cast<char*>(nullptr));
+    std::_Exit(127);  // exec failed
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0)
+      << "fresh-process warm start failed; rerun with "
+         "OPCQA_STORAGE_CHILD_DIR for details";
+}
+
+// ---------------------------------------------------------------------
+// Corruption, truncation, version mismatch → cold compute
+// ---------------------------------------------------------------------
+
+class StorageRejectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    w_ = gen::MakeKeyViolationWorkload(4, 3, 2, /*seed=*/19);
+    base_ = EnumerateRepairs(w_.db, w_.constraints, generator_, {});
+    WarmDiskTier(w_, generator_, dir_.path());
+    snapshot_ = SnapshotPathFor(w_, generator_, dir_.path());
+    ASSERT_TRUE(fs::exists(snapshot_));
+  }
+
+  /// A damaged snapshot must degrade to cold compute with byte-identical
+  /// answers and one counted rejection.
+  void ExpectRejectedButCorrect() {
+    RepairSpaceCache cache(DiskOptions(dir_.path()));
+    EnumerationResult result = EnumerateRepairs(
+        w_.db, w_.constraints, generator_, MemoOptions(&cache));
+    DiskTierStats disk = cache.disk_stats();
+    EXPECT_EQ(disk.restores, 0u);
+    EXPECT_EQ(disk.rejected_snapshots, 1u);
+    EXPECT_GT(result.memo_stats.misses, 0u);  // genuinely walked cold
+    ExpectSameDistribution(result, base_);
+  }
+
+  gen::Workload w_;
+  UniformChainGenerator generator_;
+  EnumerationResult base_;
+  TempDir dir_;
+  fs::path snapshot_;
+};
+
+TEST_F(StorageRejectionTest, FlippedPayloadByteIsRejected) {
+  std::fstream file(snapshot_, std::ios::in | std::ios::out |
+                                   std::ios::binary);
+  ASSERT_TRUE(file.good());
+  size_t size = fs::file_size(snapshot_);
+  file.seekp(static_cast<std::streamoff>(size / 2));
+  char byte = 0;
+  file.seekg(static_cast<std::streamoff>(size / 2));
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5A);
+  file.seekp(static_cast<std::streamoff>(size / 2));
+  file.write(&byte, 1);
+  file.close();
+  ExpectRejectedButCorrect();
+}
+
+TEST_F(StorageRejectionTest, TruncatedSnapshotIsRejected) {
+  size_t size = fs::file_size(snapshot_);
+  fs::resize_file(snapshot_, size / 3);
+  ExpectRejectedButCorrect();
+}
+
+TEST_F(StorageRejectionTest, FutureFormatVersionIsRejected) {
+  // Byte 8 is the low byte of the little-endian format version, right
+  // after the 8-byte magic.
+  std::fstream file(snapshot_, std::ios::in | std::ios::out |
+                                   std::ios::binary);
+  ASSERT_TRUE(file.good());
+  file.seekp(8);
+  char version = static_cast<char>(storage::kSnapshotFormatVersion + 1);
+  file.write(&version, 1);
+  file.close();
+  ExpectRejectedButCorrect();
+}
+
+TEST_F(StorageRejectionTest, EmptySnapshotFileIsRejected) {
+  fs::resize_file(snapshot_, 0);
+  ExpectRejectedButCorrect();
+}
+
+// ---------------------------------------------------------------------
+// Disk GC and spill-on-eviction
+// ---------------------------------------------------------------------
+
+TEST(StorageSnapshotTest, DiskGcRespectsMaxDiskBytesOldestFirst) {
+  UniformChainGenerator generator;
+  TempDir dir;
+  std::vector<gen::Workload> workloads;
+  for (size_t keys : {4, 5, 6}) {
+    // Distinct database shapes → three distinct roots and snapshots.
+    workloads.push_back(gen::MakeKeyViolationWorkload(keys, 3, 2, 101));
+  }
+  // Budget of one byte: after every spill the GC deletes everything but
+  // the newest snapshot, oldest first.
+  RepairSpaceCache cache(DiskOptions(dir.path(), /*max_disk_bytes=*/1));
+  for (const gen::Workload& w : workloads) {
+    EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+    // Distinct mtimes so "oldest" is well defined even on coarse clocks.
+    cache.Persist();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  size_t snapshots = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    if (entry.path().extension() == ".snap") ++snapshots;
+  }
+  EXPECT_EQ(snapshots, 1u);
+  // The survivor is the newest root's snapshot.
+  EXPECT_TRUE(fs::exists(
+      SnapshotPathFor(workloads.back(), generator, dir.path())));
+  EXPECT_FALSE(fs::exists(
+      SnapshotPathFor(workloads.front(), generator, dir.path())));
+}
+
+TEST(StorageSnapshotTest, UnwritableDirectoryCountsFailedSpills) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(4, 3, 2, /*seed=*/3);
+  UniformChainGenerator generator;
+  // A path that can never become a directory: spills must fail loudly
+  // (counted), never crash, and queries must be unaffected.
+  RepairCacheOptions options = DiskOptions("/dev/null/opcqa-snapshots");
+  RepairSpaceCache cache(options);
+  EnumerationResult result =
+      EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+  EXPECT_GT(result.repairs.size(), 0u);
+  cache.Persist();
+  DiskTierStats disk = cache.disk_stats();
+  EXPECT_EQ(disk.spills, 0u);
+  EXPECT_GE(disk.failed_spills, 1u);
+}
+
+TEST(StorageSnapshotTest, LruRootEvictionSpillsToDisk) {
+  UniformChainGenerator generator;
+  gen::Workload first = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/31);
+  gen::Workload second = gen::MakeKeyViolationWorkload(4, 3, 2, /*seed=*/32);
+  EnumerationResult base =
+      EnumerateRepairs(first.db, first.constraints, generator, {});
+  TempDir dir;
+  {
+    RepairCacheOptions options = DiskOptions(dir.path());
+    options.max_roots = 1;
+    RepairSpaceCache cache(options);
+    // Warm the first root (two passes admit its chain-root entry), then
+    // querying a second database evicts it — the spill must preserve it.
+    EnumerateRepairs(first.db, first.constraints, generator,
+                     MemoOptions(&cache));
+    EnumerateRepairs(first.db, first.constraints, generator,
+                     MemoOptions(&cache));
+    EnumerateRepairs(second.db, second.constraints, generator,
+                     MemoOptions(&cache));
+    EXPECT_EQ(cache.roots(), 1u);  // only the second root is resident
+  }
+  // A fresh cache warm-starts the *evicted* root from its spill.
+  RepairSpaceCache warm_cache(DiskOptions(dir.path()));
+  EnumerationResult warm = EnumerateRepairs(
+      first.db, first.constraints, generator, MemoOptions(&warm_cache));
+  EXPECT_EQ(warm_cache.disk_stats().restores, 1u);
+  EXPECT_EQ(warm.memo_stats.hits, 1u);
+  EXPECT_EQ(warm.memo_stats.misses, 0u);
+  ExpectSameDistribution(warm, base);
+}
+
+// ---------------------------------------------------------------------
+// Admission filter (persistent tables only)
+// ---------------------------------------------------------------------
+
+TEST(AdmissionFilterTest, RecordsOnlyTwiceMissedKeys) {
+  StateKey key{11, 22};
+  std::set<FactId> removed;
+  ViolationSet eliminated;
+  auto outcome = std::make_shared<MemoOutcome>();
+  outcome->states = 5;
+
+  TranspositionTable filtered;
+  filtered.EnableAdmissionFilter();
+  // First completion (one prior miss, as in a real walk): deferred.
+  EXPECT_EQ(filtered.Lookup(key, removed, eliminated), nullptr);
+  filtered.Insert(key, removed, eliminated, outcome);
+  EXPECT_EQ(filtered.size(), 0u);
+  EXPECT_EQ(filtered.stats().admission_deferred, 1u);
+  // Second reach: the key has now missed twice — admitted.
+  EXPECT_EQ(filtered.Lookup(key, removed, eliminated), nullptr);
+  filtered.Insert(key, removed, eliminated, outcome);
+  EXPECT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered.Lookup(key, removed, eliminated), outcome);
+
+  // Scratch tables admit immediately — the PR-4 behavior is untouched.
+  TranspositionTable scratch;
+  scratch.Insert(key, removed, eliminated, outcome);
+  EXPECT_EQ(scratch.size(), 1u);
+  EXPECT_EQ(scratch.stats().admission_deferred, 0u);
+
+  // Disk-restored entries bypass the filter: they proved their replay
+  // value in a previous process.
+  TranspositionTable restored;
+  restored.EnableAdmissionFilter();
+  restored.RestoreEntry(key, {}, {}, outcome);
+  EXPECT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored.Lookup(key, removed, eliminated), outcome);
+}
+
+// ---------------------------------------------------------------------
+// Concurrent spill while querying (TSan-gated in CI)
+// ---------------------------------------------------------------------
+
+TEST(StorageSnapshotTest, ConcurrentSpillWhileQueryingIsSafeAndIdentical) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/41);
+  UniformChainGenerator generator;
+  EnumerationResult base =
+      EnumerateRepairs(w.db, w.constraints, generator, {});
+
+  TempDir dir;
+  for (int round = 0; round < 3; ++round) {
+    RepairSpaceCache cache(DiskOptions(dir.path()));
+    EnumerationResult results[2];
+    {
+      std::thread queries([&] {
+        for (EnumerationResult& result : results) {
+          result = EnumerateRepairs(w.db, w.constraints, generator,
+                                    MemoOptions(&cache));
+        }
+      });
+      std::thread spiller([&] {
+        // Race snapshots against live inserts: each spill serializes a
+        // consistent point-in-time view of the striped table.
+        for (int i = 0; i < 4; ++i) cache.Persist();
+      });
+      queries.join();
+      spiller.join();
+    }
+    for (const EnumerationResult& result : results) {
+      ExpectSameDistribution(result, base);
+    }
+  }
+  // Whatever the interleaving, the final snapshot restores cleanly.
+  RepairSpaceCache warm_cache(DiskOptions(dir.path()));
+  EnumerationResult warm = EnumerateRepairs(w.db, w.constraints, generator,
+                                            MemoOptions(&warm_cache));
+  EXPECT_EQ(warm_cache.disk_stats().rejected_snapshots, 0u);
+  EXPECT_EQ(warm_cache.disk_stats().restores, 1u);
+  ExpectSameDistribution(warm, base);
+}
+
+}  // namespace
+}  // namespace opcqa
