@@ -28,6 +28,14 @@
 //             --memo-persist)
 //             [--memo-disk-bytes=N]  (byte budget for --memo-dir,
 //             oldest snapshots deleted first; 0 = unbounded)
+//             [--plan=auto|walk|rewrite]  (exact mode: route each query
+//             through the query planner — src/planner/ — and print the
+//             decision. `auto` answers FO-rewritable queries inside the
+//             proven-coincident fragment with the Koutris–Wijsen
+//             rewriting, skipping the chain walk entirely; `walk` forces
+//             the walk; `rewrite` errors on out-of-fragment queries
+//             instead of silently walking. Rewriting reports *certain*
+//             answers (CP = 1) — the full CP distribution needs a walk)
 //             [--show-repairs] [--show-chain]
 //
 // Usage (SQL mode — the Section 5 scheme; keys as table:pos[,pos...],
@@ -50,6 +58,7 @@
 
 #include "constraints/constraint_parser.h"
 #include "logic/formula_parser.h"
+#include "planner/planner.h"
 #include "relational/fact_parser.h"
 #include "repair/ocqa.h"
 #include "repair/priority_generator.h"
@@ -76,6 +85,8 @@ struct Options {
   size_t memo_bytes = 0;      // byte budget (0 = entries-only budget)
   std::string memo_dir;       // disk tier directory (empty = memory only)
   size_t memo_disk_bytes = 0;  // disk budget for --memo-dir (0 = unbounded)
+  std::string plan;  // exact mode: planner dispatch (empty = flag unset,
+                     // behave exactly as before the planner existed)
   bool show_repairs = false;
   bool show_chain = false;
 };
@@ -233,6 +244,7 @@ int main(int argc, char** argv) {
           std::strtoull(value.c_str(), nullptr, 10));
       continue;
     }
+    if (ParseFlag(arg, "plan", &opt.plan)) continue;
     if (arg == "--show-repairs") {
       opt.show_repairs = true;
       continue;
@@ -249,6 +261,11 @@ int main(int argc, char** argv) {
                  "warning: --memo-disk-bytes has no effect without "
                  "--memo-dir (no disk tier configured)\n");
   }
+  if (!opt.plan.empty() && opt.mode != "exact") {
+    std::fprintf(stderr,
+                 "warning: --plan only affects --mode=exact (the sampler "
+                 "and SQL modes always walk)\n");
+  }
   bool sql_mode = opt.mode == "sql";
   bool fo_inputs_ok = !opt.constraints_path.empty() &&
                       !opt.query_texts.empty();
@@ -261,7 +278,8 @@ int main(int argc, char** argv) {
                  "[--generator=uniform|deletions|minchange] "
                  "[--mode=exact|approx] [--eps --delta --seed --threads "
                  "--memo --memo-persist --memo-bytes=N --memo-dir=PATH "
-                 "--memo-disk-bytes=N] [--show-repairs] [--show-chain]\n"
+                 "--memo-disk-bytes=N --plan=auto|walk|rewrite] "
+                 "[--show-repairs] [--show-chain]\n"
                  "   or: opcqa_cli --schema=F --db=F --mode=sql "
                  "--sql='SELECT ...' --keys='R:0;S:0,1' "
                  "[--eps --delta --seed]\n");
@@ -360,11 +378,39 @@ int main(int argc, char** argv) {
     enum_options.memoize = opt.memo;
     enum_options.memo_max_bytes = opt.memo_bytes;
     if (opt.memo_persist) enum_options.cache = &cache;
+    // --plan: dispatch each query through the planner. Without the flag
+    // the CLI behaves (and prints) exactly as before the planner existed.
+    bool use_planner = !opt.plan.empty();
+    planner::QueryPlanner planner;
+    if (use_planner) {
+      Result<planner::PlanMode> plan_mode = planner::ParsePlanMode(opt.plan);
+      if (!plan_mode.ok()) return Fail(plan_mode.status());
+      planner.set_mode(*plan_mode);
+    }
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       const Query& query = queries[qi];
       if (queries.size() > 1) {
         std::printf("== query %zu: %s\n", qi + 1,
                     query.ToString(*schema).c_str());
+      }
+      if (use_planner) {
+        Result<planner::QueryPlan> plan =
+            planner.Plan(*db, *constraints, *generator, query);
+        if (!plan.ok()) return Fail(plan.status());
+        std::printf("plan:        %s — %s\n",
+                    planner::PlanKindName(plan->kind),
+                    plan->reason.c_str());
+        if (plan->kind == planner::PlanKind::kRewriting) {
+          std::set<Tuple> certain =
+              planner::EvaluateCertain(*db, query, plan->rewritten);
+          std::printf("certain operational answers (CP = 1, FO rewriting "
+                      "— no chain walk):\n");
+          for (const Tuple& tuple : certain) {
+            std::printf("  %s\n", TupleToString(tuple).c_str());
+          }
+          if (certain.empty()) std::printf("  (no certain tuple)\n");
+          continue;
+        }
       }
       OcaResult oca =
           ComputeOca(*db, *constraints, *generator, query, enum_options);
@@ -403,6 +449,15 @@ int main(int argc, char** argv) {
                       info.repair.ToString().c_str());
         }
       }
+    }
+    if (use_planner) {
+      const planner::PlannerStats& stats = planner.stats();
+      std::printf("\nplanner: %llu rewriting / %llu walk plans, "
+                  "%llu plan-cache hits, %llu misses\n",
+                  static_cast<unsigned long long>(stats.rewrite_plans),
+                  static_cast<unsigned long long>(stats.walk_plans),
+                  static_cast<unsigned long long>(stats.plan_cache_hits),
+                  static_cast<unsigned long long>(stats.plan_cache_misses));
     }
     if (opt.memo_persist) {
       // Make this run's chain walks durable before reporting, so the

@@ -8,7 +8,8 @@ OcqaSession::OcqaSession(Database db, ConstraintSet constraints,
     : db_(std::move(db)),
       constraints_(std::move(constraints)),
       options_(options),
-      cache_(options.cache) {}
+      cache_(options.cache),
+      planner_(options.plan) {}
 
 EnumerationOptions OcqaSession::QueryOptions() {
   EnumerationOptions query_options = options_.enumeration;
@@ -47,10 +48,35 @@ TopKResult OcqaSession::TopK(const ChainGenerator& generator, size_t k) {
   return TopKRepairs(db_, constraints_, generator, k, top_k);
 }
 
+Result<CertainAnswersResult> OcqaSession::CertainAnswers(
+    const ChainGenerator& generator, const Query& query) {
+  Result<planner::QueryPlan> plan =
+      planner_.Plan(db_, constraints_, generator, query);
+  if (!plan.ok()) return plan.status();
+  CertainAnswersResult result;
+  result.plan = plan->kind;
+  result.plan_reason = plan->reason;
+  if (plan->kind == planner::PlanKind::kRewriting) {
+    std::set<Tuple> certain =
+        planner::EvaluateCertain(db_, query, plan->rewritten);
+    result.answers.assign(certain.begin(), certain.end());
+    return result;
+  }
+  OcaResult oca = Answer(generator, query);
+  if (oca.enumeration.truncated) {
+    return Status::ResourceExhausted(
+        "chain too large for exact certain answers (raise max_states or "
+        "use the sampler)");
+  }
+  result.answers = oca.AnswersAtLeast(Rational(1));
+  return result;
+}
+
 bool OcqaSession::InsertFact(const Fact& fact) {
   size_t old_hash = db_.Hash();
   if (!db_.Insert(fact)) return false;
   cache_.InvalidateDatabaseHash(old_hash);
+  planner_.Invalidate();
   return true;
 }
 
@@ -58,6 +84,7 @@ bool OcqaSession::EraseFact(const Fact& fact) {
   size_t old_hash = db_.Hash();
   if (!db_.Erase(fact)) return false;
   cache_.InvalidateDatabaseHash(old_hash);
+  planner_.Invalidate();
   return true;
 }
 

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 
+#include "planner/planner.h"
 #include "repair/counting.h"
 #include "repair/ocqa.h"
 #include "repair/repair_cache.h"
@@ -39,8 +40,23 @@ struct SessionOptions {
   /// Master switch for cross-query persistence; off = every query gets a
   /// per-call scratch table (the PR-3 behaviour).
   bool persist = true;
+  /// Backend dispatch for CertainAnswers(): kAuto classifies each query
+  /// (planner/planner.h) and uses the FO rewriting where it provably
+  /// matches the walk; kWalk forces the chain walk; kRewrite errors on
+  /// out-of-fragment queries. Distribution-level APIs (Answer, Count,
+  /// Enumerate, TopK) always walk — only certainty has a rewriting.
+  planner::PlanMode plan = planner::PlanMode::kAuto;
 
   SessionOptions() { enumeration.memoize = true; }
+};
+
+/// Certain answers (CP = 1 tuples) plus how they were computed.
+struct CertainAnswersResult {
+  /// The certain tuples, sorted — byte-identical whichever backend ran.
+  std::vector<Tuple> answers;
+  planner::PlanKind plan = planner::PlanKind::kMemoizedWalk;
+  /// The planner's decision rationale for this query.
+  std::string plan_reason;
 };
 
 class OcqaSession {
@@ -64,6 +80,14 @@ class OcqaSession {
   /// Anytime top-k, consuming subtrees earlier queries recorded.
   TopKResult TopK(const ChainGenerator& generator, size_t k);
 
+  /// Tuples with CP = 1 ("certain under the operational semantics"),
+  /// dispatched through the query planner: FO-rewritable queries inside
+  /// the coincidence gates skip the chain walk entirely; everything else
+  /// runs Answer() and filters. Errors when the walk truncates or when
+  /// SessionOptions::plan forces an impossible rewriting.
+  Result<CertainAnswersResult> CertainAnswers(const ChainGenerator& generator,
+                                              const Query& query);
+
   /// Mutate the session database; returns whether it changed. Both drop
   /// the now-stale cache roots of the previous database content.
   bool InsertFact(const Fact& fact);
@@ -81,6 +105,8 @@ class OcqaSession {
   MemoStats CacheStats() const { return cache_.TotalStats(); }
   /// Disk-tier counters (spills, restores, rejected snapshots).
   DiskTierStats DiskStats() const { return cache_.disk_stats(); }
+  /// Planner decision counters (plans, cache hits, invalidations).
+  const planner::PlannerStats& PlanStats() const { return planner_.stats(); }
 
  private:
   EnumerationOptions QueryOptions();
@@ -89,6 +115,7 @@ class OcqaSession {
   ConstraintSet constraints_;
   SessionOptions options_;
   RepairSpaceCache cache_;
+  planner::QueryPlanner planner_;
 };
 
 }  // namespace engine

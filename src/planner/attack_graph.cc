@@ -1,0 +1,349 @@
+#include "planner/attack_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace opcqa {
+namespace planner {
+
+namespace {
+
+/// One recognized key-style EGD: relation, shared (key) positions, and the
+/// single non-key position the equality covers.
+struct KeyEgd {
+  PredId pred = 0;
+  std::vector<size_t> key_positions;  // sorted
+  size_t covered_position = 0;
+};
+
+/// Recognizes one constraint as a key-style EGD:
+///   R(x̄_K, ȳ), R(x̄_K, z̄) → y_j = z_j
+/// with the two atoms sharing exactly the variables at the key positions
+/// K, all other variables pairwise distinct, and the equality taken at one
+/// common non-key position j. Returns false (leaving a reason) otherwise.
+bool RecognizeKeyEgd(const Constraint& constraint, KeyEgd* out,
+                     std::string* reason) {
+  if (!constraint.is_egd()) {
+    *reason = "non-EGD constraint";
+    return false;
+  }
+  const std::vector<Atom>& atoms = constraint.body().atoms();
+  if (atoms.size() != 2 || atoms[0].pred() != atoms[1].pred() ||
+      atoms[0].arity() != atoms[1].arity()) {
+    *reason = "EGD body is not two atoms over one relation";
+    return false;
+  }
+  size_t arity = atoms[0].arity();
+  std::map<VarId, size_t> occurrences;
+  for (const Atom& atom : atoms) {
+    for (const Term& term : atom.terms()) {
+      if (!term.is_var()) {
+        *reason = "EGD body mentions constants";
+        return false;
+      }
+      ++occurrences[term.var()];
+    }
+  }
+  out->pred = atoms[0].pred();
+  out->key_positions.clear();
+  std::vector<size_t> open;  // non-shared positions
+  for (size_t i = 0; i < arity; ++i) {
+    VarId a = atoms[0].terms()[i].var();
+    VarId b = atoms[1].terms()[i].var();
+    if (a == b) {
+      // A shared variable must occur exactly once per atom (else the EGD
+      // constrains more than key-agreement).
+      if (occurrences[a] != 2) {
+        *reason = "shared variable reused outside its key position";
+        return false;
+      }
+      out->key_positions.push_back(i);
+    } else {
+      if (occurrences[a] != 1 || occurrences[b] != 1) {
+        *reason = "non-key variable occurs more than once";
+        return false;
+      }
+      open.push_back(i);
+    }
+  }
+  VarId lhs = constraint.eq_lhs();
+  VarId rhs = constraint.eq_rhs();
+  bool found = false;
+  for (size_t i : open) {
+    VarId a = atoms[0].terms()[i].var();
+    VarId b = atoms[1].terms()[i].var();
+    if ((a == lhs && b == rhs) || (a == rhs && b == lhs)) {
+      out->covered_position = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    *reason = "equality does not pair one non-key position";
+    return false;
+  }
+  return true;
+}
+
+/// Closure of `start` under the FDs lhs → rhs (fixpoint iteration; query
+/// bodies are tiny).
+std::set<VarId> FdClosure(
+    const std::set<VarId>& start,
+    const std::vector<std::pair<std::vector<VarId>, std::vector<VarId>>>&
+        fds) {
+  std::set<VarId> closure = start;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [lhs, rhs] : fds) {
+      bool applies = std::all_of(lhs.begin(), lhs.end(), [&](VarId v) {
+        return closure.count(v) > 0;
+      });
+      if (!applies) continue;
+      for (VarId v : rhs) changed |= closure.insert(v).second;
+    }
+  }
+  return closure;
+}
+
+/// Existential (non-frozen) variables of one atom, deduplicated.
+std::vector<VarId> ExistentialVars(const Atom& atom,
+                                   const std::set<VarId>& frozen) {
+  std::vector<VarId> vars;
+  atom.CollectVariables(&vars);
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  std::erase_if(vars, [&](VarId v) { return frozen.count(v) > 0; });
+  return vars;
+}
+
+/// Existential variables at the key positions of one atom.
+std::vector<VarId> ExistentialKeyVars(const Atom& atom,
+                                      const std::vector<size_t>& key_positions,
+                                      const std::set<VarId>& frozen) {
+  std::vector<VarId> vars;
+  for (size_t i : key_positions) {
+    const Term& term = atom.terms()[i];
+    if (term.is_var() && frozen.count(term.var()) == 0) {
+      vars.push_back(term.var());
+    }
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+/// Attack edges among `atoms` (restricted to indices in `alive`) with the
+/// free/fixed variables `frozen` treated as constants.
+std::vector<AttackEdge> ComputeAttacks(const std::vector<Atom>& atoms,
+                                       const std::vector<size_t>& alive,
+                                       const KeyExtraction& keys,
+                                       const std::set<VarId>& frozen) {
+  std::map<size_t, std::vector<VarId>> exvars, keyvars;
+  for (size_t i : alive) {
+    exvars[i] = ExistentialVars(atoms[i], frozen);
+    keyvars[i] = ExistentialKeyVars(
+        atoms[i], keys.KeyPositions(atoms[i].pred(), atoms[i].arity()),
+        frozen);
+  }
+  auto share_outside = [&](size_t a, size_t b,
+                           const std::set<VarId>& closure) {
+    for (VarId v : exvars[a]) {
+      if (closure.count(v) > 0) continue;
+      if (std::binary_search(exvars[b].begin(), exvars[b].end(), v)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::vector<AttackEdge> edges;
+  for (size_t f : alive) {
+    // F^{+,q}: closure of key(F) under the FDs of the *other* atoms.
+    std::vector<std::pair<std::vector<VarId>, std::vector<VarId>>> fds;
+    for (size_t g : alive) {
+      if (g != f) fds.emplace_back(keyvars[g], exvars[g]);
+    }
+    std::set<VarId> closure =
+        FdClosure({keyvars[f].begin(), keyvars[f].end()}, fds);
+    // BFS from F along existential variables outside the closure.
+    std::set<size_t> reached;
+    std::vector<size_t> frontier = {f};
+    while (!frontier.empty()) {
+      size_t h = frontier.back();
+      frontier.pop_back();
+      for (size_t g : alive) {
+        if (g == h || reached.count(g) > 0) continue;
+        if (g == f) continue;  // self-attacks are not part of the graph
+        if (!share_outside(h, g, closure)) continue;
+        reached.insert(g);
+        frontier.push_back(g);
+      }
+    }
+    for (size_t g : reached) edges.push_back(AttackEdge{f, g});
+  }
+  return edges;
+}
+
+/// True when the directed attack graph has a cycle (DFS; bodies are tiny).
+bool HasCycle(const std::vector<AttackEdge>& edges,
+              const std::vector<size_t>& alive) {
+  std::map<size_t, std::vector<size_t>> adjacency;
+  for (const AttackEdge& e : edges) adjacency[e.from].push_back(e.to);
+  std::map<size_t, int> state;  // 0 = new, 1 = open, 2 = done
+  std::function<bool(size_t)> visit = [&](size_t node) {
+    state[node] = 1;
+    for (size_t next : adjacency[node]) {
+      if (state[next] == 1) return true;
+      if (state[next] == 0 && visit(next)) return true;
+    }
+    state[node] = 2;
+    return false;
+  };
+  for (size_t node : alive) {
+    if (state[node] == 0 && visit(node)) return true;
+  }
+  return false;
+}
+
+CertaintyClassification Fallback(KeyExtraction keys, std::string reason) {
+  CertaintyClassification cls;
+  cls.rewritable = false;
+  cls.reason = std::move(reason);
+  cls.keys = std::move(keys);
+  return cls;
+}
+
+}  // namespace
+
+std::vector<size_t> KeyExtraction::KeyPositions(PredId pred,
+                                                size_t arity) const {
+  auto it = keys.find(pred);
+  if (it != keys.end()) return it->second;
+  std::vector<size_t> all(arity);
+  for (size_t i = 0; i < arity; ++i) all[i] = i;
+  return all;
+}
+
+KeyExtraction ExtractPrimaryKeys(const ConstraintSet& constraints) {
+  KeyExtraction extraction;
+  // Relation → (key positions, covered non-key positions) as recognized
+  // EGDs accumulate; every EGD of a relation must agree on the key.
+  std::map<PredId, std::pair<std::vector<size_t>, std::set<size_t>>> partial;
+  std::map<PredId, size_t> arity_of;
+  for (const Constraint& constraint : constraints) {
+    KeyEgd egd;
+    std::string reason;
+    if (!RecognizeKeyEgd(constraint, &egd, &reason)) {
+      extraction.reason =
+          StrCat("constraint '", constraint.label(), "' is not a key-style "
+                 "EGD (", reason, ")");
+      return extraction;
+    }
+    arity_of[egd.pred] = constraint.body().atoms()[0].arity();
+    auto [it, inserted] = partial.try_emplace(
+        egd.pred, egd.key_positions, std::set<size_t>{egd.covered_position});
+    if (!inserted) {
+      if (it->second.first != egd.key_positions) {
+        extraction.reason = StrCat(
+            "relation of constraint '", constraint.label(),
+            "' has EGDs with conflicting key positions");
+        return extraction;
+      }
+      it->second.second.insert(egd.covered_position);
+    }
+  }
+  for (const auto& [pred, entry] : partial) {
+    const auto& [key_positions, covered] = entry;
+    // The EGDs must cover every non-key position, else Σ is weaker than a
+    // primary key and the KW dichotomy does not apply as-is.
+    for (size_t i = 0; i < arity_of[pred]; ++i) {
+      bool is_key = std::binary_search(key_positions.begin(),
+                                       key_positions.end(), i);
+      if (!is_key && covered.count(i) == 0) {
+        extraction.reason = StrCat(
+            "EGDs cover only part of a relation's non-key positions");
+        return extraction;
+      }
+    }
+    extraction.keys[pred] = key_positions;
+  }
+  extraction.ok = true;
+  return extraction;
+}
+
+CertaintyClassification ClassifyCertainty(const Query& query,
+                                          const ConstraintSet& constraints,
+                                          const Schema& schema) {
+  KeyExtraction keys = ExtractPrimaryKeys(constraints);
+  if (!keys.ok) {
+    std::string reason = keys.reason;
+    return Fallback(std::move(keys), std::move(reason));
+  }
+  if (!query.IsConjunctive()) {
+    return Fallback(std::move(keys), "query is not conjunctive");
+  }
+  const Conjunction& body = query.conjunctive_view()->body;
+  const std::vector<Atom>& atoms = body.atoms();
+  std::set<PredId> seen;
+  for (const Atom& atom : atoms) {
+    if (!seen.insert(atom.pred()).second) {
+      return Fallback(std::move(keys),
+                      StrCat("query has a self-join on ",
+                             schema.RelationName(atom.pred())));
+    }
+  }
+
+  CertaintyClassification cls;
+  cls.keys = std::move(keys);
+  std::set<VarId> frozen(query.head().begin(), query.head().end());
+  std::vector<size_t> alive(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) alive[i] = i;
+
+  cls.attacks = ComputeAttacks(atoms, alive, cls.keys, frozen);
+  if (HasCycle(cls.attacks, alive)) {
+    cls.rewritable = false;
+    cls.reason = "cyclic attack graph";
+    return cls;
+  }
+
+  // Greedy elimination: repeatedly take the lowest-index atom unattacked
+  // within the remaining subquery, then treat its variables as constants
+  // (the rewriting binds them at that step). Recomputing attacks each
+  // round is conservative — shrinking FD sets can create attacks the full
+  // graph lacked; failing to order then simply falls back to the walk.
+  while (!alive.empty()) {
+    std::vector<AttackEdge> attacks =
+        ComputeAttacks(atoms, alive, cls.keys, frozen);
+    std::set<size_t> attacked;
+    for (const AttackEdge& e : attacks) attacked.insert(e.to);
+    size_t pick = atoms.size();
+    for (size_t i : alive) {
+      if (attacked.count(i) == 0) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == atoms.size()) {
+      cls.rewritable = false;
+      cls.reason = StrCat("no unattacked atom after eliminating ",
+                          cls.elimination_order.size(), " atom(s)");
+      cls.elimination_order.clear();
+      return cls;
+    }
+    cls.elimination_order.push_back(pick);
+    std::vector<VarId> vars;
+    atoms[pick].CollectVariables(&vars);
+    frozen.insert(vars.begin(), vars.end());
+    std::erase(alive, pick);
+  }
+
+  cls.rewritable = true;
+  cls.reason = "self-join-free CQ under primary keys; acyclic attack graph";
+  return cls;
+}
+
+}  // namespace planner
+}  // namespace opcqa

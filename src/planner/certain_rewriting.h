@@ -1,0 +1,50 @@
+// The Koutris–Wijsen certain-answer rewriting for FO-rewritable
+// CERTAINTY(q) — the fast path the planner dispatches to.
+//
+// For a self-join-free CQ with an acyclic attack graph, CERTAINTY(q) is
+// expressible in first-order logic over the *inconsistent* database. The
+// compiler eliminates atoms along the classification's unattacked-first
+// order; eliminating F = R(t̄) with key positions K produces
+//
+//   ∃ x̄_K [ ∃ z̄ R(t̄_K, z̄)  ∧  ∀ z̄ ( R(t̄_K, z̄) →  match(z̄) ∧ rest ) ]
+//
+// where z̄ are fresh variables for the non-key positions, match(z̄) equates
+// z_j with any constant / already-bound term F carried there, and `rest`
+// is the rewriting of the remaining atoms with F's non-key variables
+// substituted by z̄: whichever tuple of the key group survives a repair,
+// it must fit F and extend to the rest of the query. The compiled formula
+// is pure FO, so logic/fo_eval.h evaluates it directly on D — no
+// RepairingState, no cache, no chain walk.
+//
+// Evaluation shortcut: certain answers are contained in Q(D) (repairs are
+// subsets of D and CQs are monotone), so EvaluateCertain runs the original
+// query's conjunctive fast path for candidates and filters each through
+// the rewritten body, instead of looping dom(D)^arity.
+
+#ifndef OPCQA_PLANNER_CERTAIN_REWRITING_H_
+#define OPCQA_PLANNER_CERTAIN_REWRITING_H_
+
+#include <set>
+
+#include "planner/attack_graph.h"
+#include "util/status.h"
+
+namespace opcqa {
+namespace planner {
+
+/// Compiles the certain-answer rewriting of `query` (same name and head,
+/// first-order body). `cls` must come from ClassifyCertainty on the same
+/// (query, Σ) pair with cls.rewritable == true; passing a non-rewritable
+/// classification is an InvalidArgument error, never an unsound formula.
+Result<Query> CompileCertainRewriting(const Query& query,
+                                      const CertaintyClassification& cls);
+
+/// Classical certain answers of `query` over `db` via the compiled
+/// rewriting: candidates Q(D), filtered through `rewritten`'s body.
+std::set<Tuple> EvaluateCertain(const Database& db, const Query& query,
+                                const Query& rewritten);
+
+}  // namespace planner
+}  // namespace opcqa
+
+#endif  // OPCQA_PLANNER_CERTAIN_REWRITING_H_

@@ -139,6 +139,51 @@ std::vector<Operation> JustifiedDeletions(const Database& db,
   return ops;
 }
 
+std::shared_ptr<const DeletionCandidateIndex> DeletionCandidateIndex::Build(
+    const ConstraintSet& constraints, const ViolationSet& violations) {
+  auto index = std::make_shared<DeletionCandidateIndex>();
+  // Pass 1: the deduplicated candidate pool, in the emission order of
+  // JustifiedDeletions (fact-value lexicographic).
+  IdSubsetSet pool;
+  std::vector<FactId> image;
+  for (const Violation& v : violations) {
+    EmitDeletionSubsets(constraints, v, &image, &pool);
+  }
+  std::map<std::vector<FactId>, uint32_t, IdVectorValueLess> rank_of;
+  index->ops_.reserve(pool.size());
+  for (const std::vector<FactId>& ids : pool) {
+    rank_of.emplace(ids, static_cast<uint32_t>(index->ops_.size()));
+    index->ops_.push_back(Operation::RemoveIds(ids));
+  }
+  // Pass 2: each violation's subsets as sorted ranks into the pool.
+  for (const Violation& v : violations) {
+    IdSubsetSet subsets;
+    EmitDeletionSubsets(constraints, v, &image, &subsets);
+    std::vector<uint32_t>& ranks = index->ranks_[v];
+    ranks.reserve(subsets.size());
+    for (const std::vector<FactId>& ids : subsets) {
+      ranks.push_back(rank_of.at(ids));
+    }
+    std::sort(ranks.begin(), ranks.end());
+  }
+  return index;
+}
+
+bool DeletionCandidateIndex::AppendFor(const ViolationSet& violations,
+                                       std::vector<Operation>* ops) const {
+  std::vector<uint32_t> merged;
+  for (const Violation& v : violations) {
+    auto it = ranks_.find(v);
+    if (it == ranks_.end()) return false;
+    merged.insert(merged.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  ops->reserve(ops->size() + merged.size());
+  for (uint32_t rank : merged) ops->push_back(ops_[rank]);
+  return true;
+}
+
 std::vector<Operation> JustifiedOperations(const Database& db,
                                            const ConstraintSet& constraints,
                                            const ViolationSet& violations,

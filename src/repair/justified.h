@@ -12,6 +12,9 @@
 #ifndef OPCQA_REPAIR_JUSTIFIED_H_
 #define OPCQA_REPAIR_JUSTIFIED_H_
 
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "constraints/violation.h"
@@ -32,6 +35,42 @@ std::vector<Operation> JustifiedOperations(const Database& db,
 std::vector<Operation> JustifiedDeletions(const Database& db,
                                           const ConstraintSet& constraints,
                                           const ViolationSet& violations);
+
+/// Per-violation deletion-candidate index — the hot spot of denial-only
+/// walks. JustifiedDeletions re-enumerates every violation's body-image
+/// subsets and re-sorts them at *every* step of every chain; with
+/// EGDs/DCs only, deletions are violation-monotone, so the violations of
+/// any reachable state are a subset of V(D,Σ) and all candidate
+/// operations can be materialized once per repair space. Each step then
+/// reduces to merging pre-sorted rank lists and copying pre-built
+/// Operations.
+///
+/// Built by RepairContext::Make for denial-only constraint sets and
+/// shared (immutably) by every state, thread and walk over that context.
+class DeletionCandidateIndex {
+ public:
+  /// Indexes every violation of `violations` (normally V(D,Σ)).
+  static std::shared_ptr<const DeletionCandidateIndex> Build(
+      const ConstraintSet& constraints, const ViolationSet& violations);
+
+  /// Appends the justified deletions for `violations` to `ops` —
+  /// byte-identical (same operations, same order) to
+  /// JustifiedDeletions(db, constraints, violations). Returns false and
+  /// leaves `ops` untouched when some violation is not indexed; the
+  /// caller falls back to recomputing from scratch.
+  bool AppendFor(const ViolationSet& violations,
+                 std::vector<Operation>* ops) const;
+
+  size_t num_violations() const { return ranks_.size(); }
+  size_t num_candidates() const { return ops_.size(); }
+
+ private:
+  /// Distinct candidate deletions in fact-value lexicographic order (the
+  /// order JustifiedDeletions emits).
+  std::vector<Operation> ops_;
+  /// Violation → sorted ranks into ops_ (its body-image subsets).
+  std::map<Violation, std::vector<uint32_t>> ranks_;
+};
 
 /// Decision version of Definition 3: is `op` (db,Σ)-justified? Used to
 /// re-check Global Justification of Additions against D^s_{i-1} − H.

@@ -16,6 +16,10 @@ std::shared_ptr<const RepairContext> RepairContext::Make(
   auto context = std::make_shared<RepairContext>(
       RepairContext{std::move(db), std::move(constraints), std::move(base),
                     std::move(initial_violations), denial_only});
+  if (denial_only && !context->initial_violations.empty()) {
+    context->deletion_index = DeletionCandidateIndex::Build(
+        context->constraints, context->initial_violations);
+  }
   return context;
 }
 
@@ -188,7 +192,13 @@ std::vector<Operation> RepairingState::ValidExtensions() const {
   if (context_->denial_only) {
     // Fast path: every justified deletion is a valid extension (no
     // cancellation partners, no resurrections, no additions to
-    // re-justify).
+    // re-justify). The shared candidate index answers from pre-built
+    // operations; an unindexed violation (never expected — deletions are
+    // violation-monotone) falls back to the from-scratch enumeration.
+    if (context_->deletion_index != nullptr) {
+      std::vector<Operation> ops;
+      if (context_->deletion_index->AppendFor(violations_, &ops)) return ops;
+    }
     return JustifiedDeletions(db_, context_->constraints, violations_);
   }
   std::vector<Operation> candidates = JustifiedOperations(

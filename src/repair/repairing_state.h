@@ -43,6 +43,11 @@ struct RepairContext {
   // violation-monotone (req2 holds for free) and there are no additions to
   // re-justify — ValidExtensions takes a fast path.
   bool denial_only = false;
+  // Denial-only contexts with initial violations also pre-materialize every
+  // candidate deletion once (violation-monotonicity keeps any reachable
+  // state's violations inside V(D,Σ)), so each chain step merges sorted
+  // rank lists instead of re-enumerating subsets. Null otherwise.
+  std::shared_ptr<const DeletionCandidateIndex> deletion_index;
 
   /// Builds the context, deriving B(D,Σ) from D and the constants of Σ.
   static std::shared_ptr<const RepairContext> Make(Database db,

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "planner/planner.h"
 #include "repair/repair_cache.h"
 #include "repair/repair_enumerator.h"
 #include "sql/approx_runner.h"
@@ -43,6 +44,9 @@ struct SqlExactOptions {
   /// Master switch for cross-query persistence (off = per-call tables).
   bool persist = true;
   ExecOptions exec;
+  /// Backend dispatch for RunCertain() (see planner/planner.h). Run()
+  /// always walks — only certainty has a rewriting.
+  planner::PlanMode plan = planner::PlanMode::kAuto;
 
   SqlExactOptions() { enumeration.memoize = true; }
 };
@@ -64,6 +68,17 @@ struct SqlExactResult {
   Rational Probability(const engine::Row& row) const;
 };
 
+/// Certain rows of a SQL statement (CP = 1 over the operational repairs),
+/// plus which backend produced them.
+struct SqlCertainResult {
+  std::vector<std::string> columns;
+  /// The certain rows, sorted and distinct — byte-identical whichever
+  /// backend ran.
+  std::vector<engine::Row> rows;
+  planner::PlanKind plan = planner::PlanKind::kMemoizedWalk;
+  std::string plan_reason;
+};
+
 class SqlExactRunner {
  public:
   /// `db` is the dirty database; `keys` the per-table key constraints
@@ -76,6 +91,13 @@ class SqlExactRunner {
   /// share the cached repair space.
   Result<SqlExactResult> Run(std::string_view sql);
 
+  /// Certain rows of `sql` through the query planner: statements that
+  /// translate to a self-join-free CQ inside the proven-coincident FO
+  /// fragment are answered by the Koutris–Wijsen rewriting over the dirty
+  /// database (no repair enumeration); everything else runs Run() and
+  /// keeps the rows with probability exactly 1.
+  Result<SqlCertainResult> RunCertain(std::string_view sql);
+
   /// The EGDs derived from the table keys.
   const ConstraintSet& constraints() const { return constraints_; }
   const Database& database() const { return db_; }
@@ -83,6 +105,8 @@ class SqlExactRunner {
   MemoStats CacheStats() const { return cache_->TotalStats(); }
   /// Disk-tier counters (SqlExactOptions::cache.snapshot_dir).
   DiskTierStats DiskStats() const { return cache_->disk_stats(); }
+  /// Planner decision counters for RunCertain().
+  const planner::PlannerStats& PlanStats() const { return planner_.stats(); }
   /// Spills the cached repair space to the disk tier now (no-op without
   /// a snapshot_dir; destruction also spills).
   void Persist() { cache_->Persist(); }
@@ -95,6 +119,7 @@ class SqlExactRunner {
   ConstraintSet constraints_;
   SqlExactOptions options_;
   UniformChainGenerator generator_;
+  planner::QueryPlanner planner_;
   // Owned via pointer so the runner stays movable (the cache holds a
   // mutex) for Result<SqlExactRunner>.
   std::unique_ptr<RepairSpaceCache> cache_;

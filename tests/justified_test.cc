@@ -192,6 +192,47 @@ TEST(JustifiedMultiHeadTest, PartialWitnessYieldsSmallerCompletion) {
   EXPECT_TRUE(found_double_add);
 }
 
+TEST(DeletionCandidateIndexTest, MatchesJustifiedDeletionsOnEverySubset) {
+  // The index must reproduce JustifiedDeletions byte-for-byte — same
+  // operations, same order — for every violation subset a denial-only
+  // walk can reach (violations only disappear along deletion chains).
+  gen::Workload w = gen::MakeKeyViolationWorkload(3, 2, 2, /*seed=*/9);
+  ViolationSet all = ComputeViolations(w.db, w.constraints);
+  ASSERT_GE(all.size(), 3u);
+  ASSERT_LE(all.size(), 12u);  // keep the 2^n subset sweep fast
+  std::shared_ptr<const DeletionCandidateIndex> index =
+      DeletionCandidateIndex::Build(w.constraints, all);
+  EXPECT_EQ(index->num_violations(), all.size());
+
+  std::vector<Violation> ordered(all.begin(), all.end());
+  for (size_t mask = 0; mask < (size_t{1} << ordered.size()); ++mask) {
+    ViolationSet subset;
+    for (size_t i = 0; i < ordered.size(); ++i) {
+      if (mask & (size_t{1} << i)) subset.insert(ordered[i]);
+    }
+    std::vector<Operation> indexed;
+    ASSERT_TRUE(index->AppendFor(subset, &indexed));
+    EXPECT_EQ(indexed, JustifiedDeletions(w.db, w.constraints, subset));
+  }
+}
+
+TEST(DeletionCandidateIndexTest, UnindexedViolationFallsBack) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(2, 2, 2, /*seed=*/1);
+  ViolationSet all = ComputeViolations(w.db, w.constraints);
+  ASSERT_GE(all.size(), 2u);
+  // Index only the first violation; asking for both must refuse (the
+  // caller then recomputes from scratch) and leave the output untouched.
+  ViolationSet first_only;
+  first_only.insert(*all.begin());
+  std::shared_ptr<const DeletionCandidateIndex> index =
+      DeletionCandidateIndex::Build(w.constraints, first_only);
+  std::vector<Operation> ops;
+  EXPECT_FALSE(index->AppendFor(all, &ops));
+  EXPECT_TRUE(ops.empty());
+  EXPECT_TRUE(index->AppendFor(first_only, &ops));
+  EXPECT_EQ(ops, JustifiedDeletions(w.db, w.constraints, first_only));
+}
+
 TEST(JustifiedEgdTest, EgdAdmitsOnlyDeletions) {
   Schema schema;
   schema.AddRelation("R", 2);
