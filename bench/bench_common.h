@@ -44,6 +44,12 @@ struct JsonRecorder {
   // drive explicit thread counts record those per row; this field is the
   // harness default, not a claim about every row.
   size_t threads = 1;
+  // Set via MarkThreadSweep(): this section varies worker-thread counts,
+  // so its timings are only meaningful on a multi-core recorder. Together
+  // with the emitted single_core field it lets bench/check_regression.py
+  // refuse to gate a thread sweep whose baseline shows scheduling
+  // overhead instead of speedup (recorded with hardware_concurrency==1).
+  bool thread_sweep = false;
   // (what, paper, measured) rows and free-form notes, in emission order.
   std::vector<std::array<std::string, 3>> rows;
   std::vector<std::string> notes;
@@ -81,6 +87,9 @@ struct JsonRecorder {
     std::fprintf(f,
                  "  \"threads_knob\": %zu,\n  \"hardware_concurrency\": %u,\n",
                  threads, hw == 0 ? 1u : hw);
+    std::fprintf(f, "  \"single_core\": %s,\n  \"thread_sweep\": %s,\n",
+                 hw <= 1 ? "true" : "false",
+                 thread_sweep ? "true" : "false");
     std::fprintf(f, "  \"rows\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
       std::fprintf(f,
@@ -124,7 +133,14 @@ inline void Header(const std::string& experiment_id,
   recorder.experiment_id = experiment_id;
   recorder.title = title;
   recorder.threads = Threads();
+  recorder.thread_sweep = false;
 }
+
+/// Tags the current section as a worker-thread sweep (timings vs thread
+/// count). check_regression.py skips such series when the recording
+/// machine was single-core — a 1-core sweep measures scheduling overhead,
+/// not speedup, and would gate future runners on noise.
+inline void MarkThreadSweep() { internal::Recorder().thread_sweep = true; }
 
 inline void Row(const std::string& what, const std::string& paper,
                 const std::string& measured) {

@@ -281,6 +281,7 @@ void RecordParallelSweep() {
   bench::Header("e5_parallel_scaling",
                 "Exact enumeration wall-clock vs worker threads "
                 "(n=5 key conflicts, ~7e4 chain states)");
+  bench::MarkThreadSweep();
   gen::Workload w = gen::MakeKeyViolationWorkload(7, 5, 2, /*seed=*/100);
   UniformChainGenerator generator;
   double serial_ms = 0;

@@ -96,6 +96,7 @@ void RecordParallelSweep() {
   bench::Header("e7_parallel_scaling",
                 "Approximate OCQA wall-clock vs worker threads "
                 "(9 key conflicts, 2000 walks)");
+  bench::MarkThreadSweep();
   gen::Workload w = gen::MakeKeyViolationWorkload(11, 9, 2, /*seed=*/402);
   UniformChainGenerator generator;
   Result<Query> q = ParseQuery(*w.schema, "Q(x,y) := R(x,y)");

@@ -38,6 +38,23 @@
 //             answers (CP = 1) — the full CP distribution needs a walk)
 //             [--show-repairs] [--show-chain]
 //
+// Usage (serve-trace mode — replay a request log through OcqaServer,
+// src/server/; trace format in server/trace.h):
+//   opcqa_cli --schema=s.txt --db=d.txt --constraints=c.txt
+//             --serve-trace=t.trace
+//             [--serve-workers=N]  (server worker threads; 0 = all cores)
+//             [--serve-out=PATH]  (write rendered responses to PATH
+//             instead of stdout; stdout/PATH carry *only* the canonical
+//             responses, so two runs diff byte-for-byte — the serving
+//             summary goes to stderr)
+//             [--serve-baseline]  (replay the same trace serially on one
+//             session per tenant instead of the server — the reference
+//             output concurrent serving must reproduce exactly)
+//             [--memo-bytes --memo-dir --memo-disk-bytes --threads
+//             --plan]  (shared-cache / per-session knobs, as above; with
+//             --memo-dir the server's shared cache restores from and
+//             spills to the snapshot directory, so a rerun serves warm)
+//
 // Usage (SQL mode — the Section 5 scheme; keys as table:pos[,pos...],
 // ';'-separated):
 //   opcqa_cli --schema=s.txt --db=d.txt --mode=sql
@@ -57,6 +74,7 @@
 #include <string>
 
 #include "constraints/constraint_parser.h"
+#include "gen/workloads.h"
 #include "logic/formula_parser.h"
 #include "planner/planner.h"
 #include "relational/fact_parser.h"
@@ -64,6 +82,8 @@
 #include "repair/priority_generator.h"
 #include "repair/repair_cache.h"
 #include "repair/sampler.h"
+#include "server/ocqa_server.h"
+#include "server/trace.h"
 #include "sql/approx_runner.h"
 #include "util/string_util.h"
 
@@ -87,6 +107,10 @@ struct Options {
   size_t memo_disk_bytes = 0;  // disk budget for --memo-dir (0 = unbounded)
   std::string plan;  // exact mode: planner dispatch (empty = flag unset,
                      // behave exactly as before the planner existed)
+  std::string serve_trace;      // request-log path — serve-trace mode
+  size_t serve_workers = 0;     // server worker threads (0 = all cores)
+  std::string serve_out;        // rendered responses file (empty = stdout)
+  bool serve_baseline = false;  // serial per-tenant replay, not the server
   bool show_repairs = false;
   bool show_chain = false;
 };
@@ -245,6 +269,17 @@ int main(int argc, char** argv) {
       continue;
     }
     if (ParseFlag(arg, "plan", &opt.plan)) continue;
+    if (ParseFlag(arg, "serve-trace", &opt.serve_trace)) continue;
+    if (ParseFlag(arg, "serve-workers", &value)) {
+      opt.serve_workers = static_cast<size_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+      continue;
+    }
+    if (ParseFlag(arg, "serve-out", &opt.serve_out)) continue;
+    if (arg == "--serve-baseline") {
+      opt.serve_baseline = true;
+      continue;
+    }
     if (arg == "--show-repairs") {
       opt.show_repairs = true;
       continue;
@@ -267,8 +302,9 @@ int main(int argc, char** argv) {
                  "and SQL modes always walk)\n");
   }
   bool sql_mode = opt.mode == "sql";
+  bool serve_mode = !opt.serve_trace.empty();
   bool fo_inputs_ok = !opt.constraints_path.empty() &&
-                      !opt.query_texts.empty();
+                      (!opt.query_texts.empty() || serve_mode);
   bool sql_inputs_ok = !opt.sql_text.empty() && !opt.keys_spec.empty();
   if (opt.schema_path.empty() || opt.db_path.empty() ||
       (sql_mode ? !sql_inputs_ok : !fo_inputs_ok)) {
@@ -280,6 +316,10 @@ int main(int argc, char** argv) {
                  "--memo --memo-persist --memo-bytes=N --memo-dir=PATH "
                  "--memo-disk-bytes=N --plan=auto|walk|rewrite] "
                  "[--show-repairs] [--show-chain]\n"
+                 "   or: opcqa_cli --schema=F --db=F --constraints=F "
+                 "--serve-trace=F [--serve-workers=N --serve-out=PATH "
+                 "--serve-baseline --memo-bytes --memo-dir "
+                 "--memo-disk-bytes --threads --plan]\n"
                  "   or: opcqa_cli --schema=F --db=F --mode=sql "
                  "--sql='SELECT ...' --keys='R:0;S:0,1' "
                  "[--eps --delta --seed]\n");
@@ -326,6 +366,105 @@ int main(int argc, char** argv) {
   Result<ConstraintSet> constraints =
       ParseConstraints(*schema, *constraints_text);
   if (!constraints.ok()) return Fail(constraints.status());
+
+  if (serve_mode) {
+    Result<std::string> trace_text = ReadFile(opt.serve_trace);
+    if (!trace_text.ok()) return Fail(trace_text.status());
+    Result<std::vector<server::Request>> requests =
+        server::ParseTrace(*schema, *trace_text);
+    if (!requests.ok()) return Fail(requests.status());
+
+    std::vector<server::Response> responses;
+    if (opt.serve_baseline) {
+      // The reference timeline: every tenant's requests on one private
+      // session, strictly in trace order. Concurrent serving must
+      // reproduce this output byte-for-byte.
+      gen::Workload workload;
+      workload.schema = std::make_shared<Schema>(*schema);
+      workload.db = *db;
+      workload.constraints = *constraints;
+      engine::SessionOptions session_options;
+      session_options.enumeration.threads = opt.threads;
+      session_options.enumeration.memoize = true;
+      responses = server::ReplaySerial(
+          workload, *requests, server::ReplayMode::kSessionPerTenant,
+          session_options);
+      std::fprintf(stderr,
+                   "serve-trace baseline: %zu requests replayed serially "
+                   "(one session per tenant)\n",
+                   requests->size());
+    } else {
+      server::ServerOptions server_options;
+      server_options.workers = opt.serve_workers;
+      server_options.enumeration.threads = opt.threads;
+      server_options.cache.max_bytes_per_root = opt.memo_bytes;
+      server_options.cache.snapshot_dir = opt.memo_dir;
+      server_options.cache.max_disk_bytes = opt.memo_disk_bytes;
+      if (!opt.plan.empty()) {
+        Result<planner::PlanMode> plan_mode =
+            planner::ParsePlanMode(opt.plan);
+        if (!plan_mode.ok()) return Fail(plan_mode.status());
+        server_options.plan = *plan_mode;
+      }
+      server::OcqaServer ocqa_server(*db, *constraints, server_options);
+      responses = ocqa_server.SubmitAll(*requests);
+
+      // The aggregated snapshot — queue, shared cache, disk tier and
+      // every tenant's planner — on stderr, so stdout stays a canonical
+      // byte-diffable response stream.
+      server::ServerStats stats = ocqa_server.Stats();
+      auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+      std::fprintf(stderr,
+                   "serve: %llu submitted, %llu completed across %zu "
+                   "tenants (%llu errors, %llu admission-rejected)\n"
+                   "serve: %llu batches covering %llu requests; %llu "
+                   "walks, %llu replays, %llu rewriting fast-path, %llu "
+                   "top-k, %llu mutations\n"
+                   "serve: %llu pressure bypasses, %llu deadline "
+                   "truncations\n",
+                   u(stats.submitted), u(stats.completed), stats.tenants,
+                   u(stats.errors), u(stats.rejected_admission),
+                   u(stats.batches), u(stats.batched_requests),
+                   u(stats.walks), u(stats.replays),
+                   u(stats.rewriting_fast_path), u(stats.topk_searches),
+                   u(stats.mutations), u(stats.pressure_bypasses),
+                   u(stats.deadline_truncations));
+      uint64_t probes = stats.cache.hits + stats.cache.misses;
+      std::fprintf(stderr,
+                   "cache: %llu hits / %llu misses (%.1f%% hit rate), "
+                   "%zu entries, %zu bytes\n",
+                   u(stats.cache.hits), u(stats.cache.misses),
+                   probes == 0 ? 0.0 : 100.0 * stats.cache.hits / probes,
+                   stats.cache.entries, stats.cache.bytes);
+      if (!opt.memo_dir.empty()) {
+        std::fprintf(stderr,
+                     "disk:  %llu spills (%llu bytes), %llu restores "
+                     "(%llu bytes)%s\n",
+                     u(stats.disk.spills), u(stats.disk.spill_bytes),
+                     u(stats.disk.restores), u(stats.disk.restore_bytes),
+                     stats.disk.failed_spills == 0 ? ""
+                                                   : " [SPILLS FAILING]");
+      }
+      std::fprintf(stderr,
+                   "plan:  %llu rewriting / %llu walk plans, %llu "
+                   "plan-cache hits\n",
+                   u(stats.planner.rewrite_plans),
+                   u(stats.planner.walk_plans),
+                   u(stats.planner.plan_cache_hits));
+    }
+
+    std::string rendered = server::RenderResponses(std::move(responses));
+    if (opt.serve_out.empty()) {
+      std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+    } else {
+      std::ofstream out(opt.serve_out, std::ios::binary);
+      if (!out) {
+        return Fail(Status::Internal("cannot write " + opt.serve_out));
+      }
+      out << rendered;
+    }
+    return 0;
+  }
 
   std::vector<Query> queries;
   for (const std::string& query_text : opt.query_texts) {

@@ -11,45 +11,58 @@ OcqaSession::OcqaSession(Database db, ConstraintSet constraints,
       cache_(options.cache),
       planner_(options.plan) {}
 
-EnumerationOptions OcqaSession::QueryOptions() {
+EnumerationOptions OcqaSession::QueryOptions(const CallOptions& call) {
   EnumerationOptions query_options = options_.enumeration;
-  if (options_.persist) query_options.cache = &cache_;
+  if (options_.persist) query_options.cache = &active_cache();
+  if (call.cache != nullptr) query_options.cache = call.cache;
+  if (call.max_states != 0) query_options.max_states = call.max_states;
   return query_options;
 }
 
 OcaResult OcqaSession::Answer(const ChainGenerator& generator,
-                              const Query& query) {
-  return ComputeOca(db_, constraints_, generator, query, QueryOptions());
+                              const Query& query, const CallOptions& call) {
+  return ComputeOca(db_, constraints_, generator, query, QueryOptions(call));
 }
 
 Rational OcqaSession::TupleProbability(const ChainGenerator& generator,
                                        const Query& query,
                                        const Tuple& tuple) {
   return ComputeTupleProbability(db_, constraints_, generator, query, tuple,
-                                 QueryOptions());
+                                 QueryOptions({}));
 }
 
 CountingOcaResult OcqaSession::Count(const ChainGenerator& generator,
-                                     const Query& query) {
+                                     const Query& query,
+                                     const CallOptions& call) {
   CountingOptions counting;
-  counting.enumeration = QueryOptions();
+  counting.enumeration = QueryOptions(call);
   return CountingOca(db_, constraints_, generator, query, counting);
 }
 
-EnumerationResult OcqaSession::Enumerate(const ChainGenerator& generator) {
-  return EnumerateRepairs(db_, constraints_, generator, QueryOptions());
+EnumerationResult OcqaSession::Enumerate(const ChainGenerator& generator,
+                                         const CallOptions& call) {
+  return EnumerateRepairs(db_, constraints_, generator, QueryOptions(call));
 }
 
-TopKResult OcqaSession::TopK(const ChainGenerator& generator, size_t k) {
+TopKResult OcqaSession::TopK(const ChainGenerator& generator, size_t k,
+                             const CallOptions& call) {
   TopKOptions top_k;
-  top_k.max_states = options_.enumeration.max_states;
+  top_k.max_states = call.max_states != 0 ? call.max_states
+                                          : options_.enumeration.max_states;
   top_k.memoize = options_.enumeration.memoize;
-  if (options_.persist) top_k.cache = &cache_;
+  if (options_.persist) top_k.cache = &active_cache();
+  if (call.cache != nullptr) top_k.cache = call.cache;
   return TopKRepairs(db_, constraints_, generator, k, top_k);
 }
 
+Result<planner::QueryPlan> OcqaSession::Plan(const ChainGenerator& generator,
+                                             const Query& query) {
+  return planner_.Plan(db_, constraints_, generator, query);
+}
+
 Result<CertainAnswersResult> OcqaSession::CertainAnswers(
-    const ChainGenerator& generator, const Query& query) {
+    const ChainGenerator& generator, const Query& query,
+    const CallOptions& call) {
   Result<planner::QueryPlan> plan =
       planner_.Plan(db_, constraints_, generator, query);
   if (!plan.ok()) return plan.status();
@@ -62,7 +75,7 @@ Result<CertainAnswersResult> OcqaSession::CertainAnswers(
     result.answers.assign(certain.begin(), certain.end());
     return result;
   }
-  OcaResult oca = Answer(generator, query);
+  OcaResult oca = Answer(generator, query, call);
   if (oca.enumeration.truncated) {
     return Status::ResourceExhausted(
         "chain too large for exact certain answers (raise max_states or "
@@ -75,7 +88,13 @@ Result<CertainAnswersResult> OcqaSession::CertainAnswers(
 bool OcqaSession::InsertFact(const Fact& fact) {
   size_t old_hash = db_.Hash();
   if (!db_.Insert(fact)) return false;
-  cache_.InvalidateDatabaseHash(old_hash);
+  // Shared caches are left to their owner's LRU: another logical session
+  // may still be serving a database with the pre-mutation content, and
+  // content-keyed fingerprints already make the old roots unreachable
+  // from this session.
+  if (options_.shared_cache == nullptr) {
+    cache_.InvalidateDatabaseHash(old_hash);
+  }
   planner_.Invalidate();
   return true;
 }
@@ -83,7 +102,9 @@ bool OcqaSession::InsertFact(const Fact& fact) {
 bool OcqaSession::EraseFact(const Fact& fact) {
   size_t old_hash = db_.Hash();
   if (!db_.Erase(fact)) return false;
-  cache_.InvalidateDatabaseHash(old_hash);
+  if (options_.shared_cache == nullptr) {
+    cache_.InvalidateDatabaseHash(old_hash);
+  }
   planner_.Invalidate();
   return true;
 }

@@ -15,6 +15,14 @@
 // superseded roots immediately (incremental invalidation — roots over
 // *other* databases, e.g. localized sub-instances, survive) so memory is
 // reclaimed before the root LRU would get to it.
+//
+// Multiplexed sessions: SessionOptions::shared_cache hands the session an
+// externally-owned cache instead of its private one — the OcqaServer
+// (server/ocqa_server.h) wiring, where many logical sessions serve over
+// one repair space. A shared-cache session skips the eager drop on
+// mutation: another logical session may still be serving the
+// pre-mutation content, and content-keyed fingerprints keep the stale
+// root harmless until the owner's LRU reclaims it.
 
 #ifndef OPCQA_ENGINE_OCQA_SESSION_H_
 #define OPCQA_ENGINE_OCQA_SESSION_H_
@@ -35,7 +43,7 @@ struct SessionOptions {
   /// memoization. `memoize` defaults to on — the session exists to share
   /// repair spaces (individual calls can still override).
   EnumerationOptions enumeration;
-  /// Budgets of the owned RepairSpaceCache.
+  /// Budgets of the owned RepairSpaceCache (unused with shared_cache).
   RepairCacheOptions cache;
   /// Master switch for cross-query persistence; off = every query gets a
   /// per-call scratch table (the PR-3 behaviour).
@@ -46,8 +54,26 @@ struct SessionOptions {
   /// out-of-fragment queries. Distribution-level APIs (Answer, Count,
   /// Enumerate, TopK) always walk — only certainty has a rewriting.
   planner::PlanMode plan = planner::PlanMode::kAuto;
+  /// Externally-owned cache this session multiplexes over instead of its
+  /// private one (not owned; must outlive the session). The serving
+  /// setup: many sessions, one repair space, so a root one tenant walked
+  /// warms every tenant with the same database content.
+  RepairSpaceCache* shared_cache = nullptr;
 
   SessionOptions() { enumeration.memoize = true; }
+};
+
+/// Per-call overrides on top of the session defaults.
+struct CallOptions {
+  /// Chain-state budget for this call only (0 = session default) — the
+  /// deadline knob: enumeration truncates beyond it exactly as the free
+  /// functions do, independent of cache warmth or thread count.
+  size_t max_states = 0;
+  /// Redirects this call's enumeration to a different cache (not owned).
+  /// The server's pressure-bypass path: a new root under memory pressure
+  /// computes on a private per-batch cache instead of evicting a live
+  /// root from the shared one.
+  RepairSpaceCache* cache = nullptr;
 };
 
 /// Certain answers (CP = 1 tuples) plus how they were computed.
@@ -66,19 +92,29 @@ class OcqaSession {
 
   const Database& database() const { return db_; }
   const ConstraintSet& constraints() const { return constraints_; }
+  const SessionOptions& options() const { return options_; }
 
   /// Exact OCA (repair/ocqa.h) under this session's cache.
-  OcaResult Answer(const ChainGenerator& generator, const Query& query);
+  OcaResult Answer(const ChainGenerator& generator, const Query& query,
+                   const CallOptions& call = {});
   /// Exact CP of a single tuple.
   Rational TupleProbability(const ChainGenerator& generator,
                             const Query& query, const Tuple& tuple);
   /// Counting (equally-likely-repairs) semantics under the cache.
   CountingOcaResult Count(const ChainGenerator& generator,
-                          const Query& query);
+                          const Query& query, const CallOptions& call = {});
   /// Full repair distribution under the cache.
-  EnumerationResult Enumerate(const ChainGenerator& generator);
+  EnumerationResult Enumerate(const ChainGenerator& generator,
+                              const CallOptions& call = {});
   /// Anytime top-k, consuming subtrees earlier queries recorded.
-  TopKResult TopK(const ChainGenerator& generator, size_t k);
+  TopKResult TopK(const ChainGenerator& generator, size_t k,
+                  const CallOptions& call = {});
+
+  /// The planner's decision for `query` — the CertainAnswers dispatch,
+  /// exposed so front ends (OcqaServer) can route rewriting-planned
+  /// requests around the walk without paying for it.
+  Result<planner::QueryPlan> Plan(const ChainGenerator& generator,
+                                  const Query& query);
 
   /// Tuples with CP = 1 ("certain under the operational semantics"),
   /// dispatched through the query planner: FO-rewritable queries inside
@@ -86,35 +122,43 @@ class OcqaSession {
   /// runs Answer() and filters. Errors when the walk truncates or when
   /// SessionOptions::plan forces an impossible rewriting.
   Result<CertainAnswersResult> CertainAnswers(const ChainGenerator& generator,
-                                              const Query& query);
+                                              const Query& query,
+                                              const CallOptions& call = {});
 
   /// Mutate the session database; returns whether it changed. Both drop
-  /// the now-stale cache roots of the previous database content.
+  /// the now-stale cache roots of the previous database content (private
+  /// cache only — see the multiplexed-sessions note above).
   bool InsertFact(const Fact& fact);
   bool EraseFact(const Fact& fact);
 
   /// Spills every live cache root to the disk tier and blocks until the
-  /// snapshots are durable. No-op unless SessionOptions::cache names a
+  /// snapshots are durable. No-op unless the active cache names a
   /// snapshot_dir. (Session destruction also spills — see
   /// repair/repair_cache.h — so calling this is only needed for an
   /// explicit durability point mid-session.)
-  void Persist() { cache_.Persist(); }
+  void Persist() { active_cache().Persist(); }
 
-  RepairSpaceCache& cache() { return cache_; }
+  /// The cache queries run against: the shared one when configured,
+  /// otherwise the session-owned one.
+  RepairSpaceCache& cache() { return active_cache(); }
   /// Aggregated cache counters (hit rate, bytes, evictions, compression).
-  MemoStats CacheStats() const { return cache_.TotalStats(); }
+  MemoStats CacheStats() const { return active_cache().TotalStats(); }
   /// Disk-tier counters (spills, restores, rejected snapshots).
-  DiskTierStats DiskStats() const { return cache_.disk_stats(); }
+  DiskTierStats DiskStats() const { return active_cache().disk_stats(); }
   /// Planner decision counters (plans, cache hits, invalidations).
   const planner::PlannerStats& PlanStats() const { return planner_.stats(); }
 
  private:
-  EnumerationOptions QueryOptions();
+  EnumerationOptions QueryOptions(const CallOptions& call);
+  RepairSpaceCache& active_cache() const {
+    return options_.shared_cache != nullptr ? *options_.shared_cache
+                                            : cache_;
+  }
 
   Database db_;
   ConstraintSet constraints_;
   SessionOptions options_;
-  RepairSpaceCache cache_;
+  mutable RepairSpaceCache cache_;
   planner::QueryPlanner planner_;
 };
 

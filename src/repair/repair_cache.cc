@@ -88,7 +88,8 @@ std::shared_ptr<TranspositionTable> RepairSpaceCache::TableFor(
     // Only persistent tables filter admissions: single-visit subtrees go
     // through a probational set instead of churning the eviction sweep
     // (repair/memo.h; scratch tables keep the always-admit behavior).
-    table->EnableAdmissionFilter();
+    // Serving caches opt out so a batch's first walk admits everything.
+    if (options_.admission_filter) table->EnableAdmissionFilter();
   }
 
   Root evicted;
@@ -164,8 +165,31 @@ std::shared_ptr<TranspositionTable> RepairSpaceCache::RestoreFromDisk(
     return nullptr;
   }
   *restored_bytes = bytes->size();
-  (*decoded)->EnableAdmissionFilter();
+  if (options_.admission_filter) (*decoded)->EnableAdmissionFilter();
   return *decoded;
+}
+
+bool RepairSpaceCache::HasRoot(const Database& db,
+                               const ConstraintSet& constraints,
+                               const ChainGenerator& generator,
+                               bool prune_zero_probability) const {
+  std::string identity = generator.cache_identity();
+  if (identity.empty()) return false;
+  std::string digest = storage::RenderConstraints(db.schema(), constraints);
+  size_t fingerprint = HashCombine(
+      HashCombine(HashCombine(db.Hash(), StringHash(digest)),
+                  StringHash(identity)),
+      prune_zero_probability ? 1u : 0u);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Root& root : roots_) {
+    if (root.fingerprint != fingerprint) continue;
+    if (root.db == db && root.constraints_digest == digest &&
+        root.generator_identity == identity &&
+        root.prune == prune_zero_probability) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void RepairSpaceCache::SpillAsync(Root root) {

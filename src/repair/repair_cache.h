@@ -83,6 +83,14 @@ struct RepairCacheOptions {
   /// Byte budget for the snapshot directory, enforced oldest-first after
   /// every spill; 0 disables disk GC.
   size_t max_disk_bytes = 0;
+  /// Persistent tables normally require a key to miss twice before its
+  /// subtree is recorded (the PR-5 churn filter for disk-backed sweeps).
+  /// A serving front end that batches many same-root requests behind one
+  /// walk turns this off, so the first walk admits the whole chain and
+  /// every later request in the batch replays from the root entry
+  /// (results are byte-identical either way; only hit/insert patterns
+  /// and sweep churn differ).
+  bool admission_filter = true;
 };
 
 /// Counters of the disk tier. All monotone; zero when no snapshot_dir.
@@ -124,6 +132,16 @@ class RepairSpaceCache {
   std::shared_ptr<TranspositionTable> TableFor(
       const Database& db, const ConstraintSet& constraints,
       const ChainGenerator& generator, bool prune_zero_probability);
+
+  /// True when this exact root is resident in the memory tier. A pure
+  /// probe: no LRU touch, no disk restore, no root creation — the
+  /// serving front end's cache-pressure check (a non-resident root under
+  /// pressure computes on a private table instead of evicting a live
+  /// root; see server/ocqa_server.h). Always false for generators that
+  /// decline a cache identity.
+  bool HasRoot(const Database& db, const ConstraintSet& constraints,
+               const ChainGenerator& generator,
+               bool prune_zero_probability) const;
 
   /// Spills every live root to the disk tier now and blocks until the
   /// snapshots are durable (no-op without a snapshot_dir). Safe to call

@@ -1,0 +1,503 @@
+#include "server/ocqa_server.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace opcqa {
+namespace server {
+
+const char* RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kAnswer: return "answer";
+    case RequestKind::kCount: return "count";
+    case RequestKind::kCertain: return "certain";
+    case RequestKind::kTopK: return "topk";
+    case RequestKind::kInsert: return "insert";
+    case RequestKind::kErase: return "erase";
+  }
+  return "?";
+}
+
+const char* ExecModeName(ExecMode mode) {
+  return mode == ExecMode::kExact ? "exact" : "anytime";
+}
+
+Result<RequestKind> ParseRequestKind(std::string_view text) {
+  if (text == "answer") return RequestKind::kAnswer;
+  if (text == "count") return RequestKind::kCount;
+  if (text == "certain") return RequestKind::kCertain;
+  if (text == "topk") return RequestKind::kTopK;
+  if (text == "insert") return RequestKind::kInsert;
+  if (text == "erase") return RequestKind::kErase;
+  return Status::InvalidArgument("unknown request kind '" +
+                                 std::string(text) + "'");
+}
+
+Result<ExecMode> ParseExecMode(std::string_view text) {
+  if (text == "exact") return ExecMode::kExact;
+  if (text == "anytime") return ExecMode::kAnytime;
+  return Status::InvalidArgument("unknown exec mode '" + std::string(text) +
+                                 "'");
+}
+
+const char* PathName(Response::Path path) {
+  switch (path) {
+    case Response::Path::kWalk: return "walk";
+    case Response::Path::kReplay: return "replay";
+    case Response::Path::kRewriting: return "rewriting";
+    case Response::Path::kMutation: return "mutation";
+    case Response::Path::kError: return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+void AppendTupleProbabilities(const std::map<Tuple, Rational>& answers,
+                              std::string* out) {
+  for (const auto& entry : answers) {
+    *out += TupleToString(entry.first) + "=" + entry.second.ToString() + "\n";
+  }
+}
+
+Status DeadlineExceeded(const Request& request) {
+  return Status::ResourceExhausted(
+      std::string("deadline exceeded: the chain walk truncated and mode=") +
+      ExecModeName(request.mode) +
+      " does not accept lower bounds (raise deadline_states or use anytime)");
+}
+
+}  // namespace
+
+Response ExecuteOnSession(engine::OcqaSession& session,
+                          const ChainGenerator* generator,
+                          const Request& request,
+                          const engine::CallOptions& call,
+                          ExecOutcome* outcome) {
+  Response response;
+  response.id = request.id;
+  response.tenant = request.tenant;
+  ExecOutcome scratch;
+  ExecOutcome& out = outcome != nullptr ? *outcome : scratch;
+  out = ExecOutcome();
+
+  if (request.kind == RequestKind::kInsert ||
+      request.kind == RequestKind::kErase) {
+    bool changed = request.kind == RequestKind::kInsert
+                       ? session.InsertFact(request.fact)
+                       : session.EraseFact(request.fact);
+    response.payload = std::string("changed=") + (changed ? "1" : "0") + "\n";
+    response.path = Response::Path::kMutation;
+    return response;
+  }
+  if (generator == nullptr) {
+    response.status = Status::InvalidArgument("unknown generator '" +
+                                              request.generator + "'");
+    response.path = Response::Path::kError;
+    return response;
+  }
+
+  switch (request.kind) {
+    case RequestKind::kAnswer: {
+      OcaResult oca = session.Answer(*generator, request.query, call);
+      out.enumerated = true;
+      out.memo = oca.enumeration.memo_stats;
+      out.truncated = oca.enumeration.truncated;
+      if (oca.enumeration.truncated && request.mode == ExecMode::kExact) {
+        response.status = DeadlineExceeded(request);
+        response.path = Response::Path::kError;
+        return response;
+      }
+      response.truncated = oca.enumeration.truncated;
+      response.payload = "success_mass=" + oca.success_mass.ToString() +
+                         " failing_mass=" + oca.failing_mass.ToString() + "\n";
+      AppendTupleProbabilities(oca.answers, &response.payload);
+      break;
+    }
+    case RequestKind::kCount: {
+      // Enumerate + fold (what CountingOca does internally) so the
+      // per-call memo delta and the truncation flag stay observable.
+      EnumerationResult chain = session.Enumerate(*generator, call);
+      out.enumerated = true;
+      out.memo = chain.memo_stats;
+      out.truncated = chain.truncated;
+      if (chain.truncated && request.mode == ExecMode::kExact) {
+        response.status = DeadlineExceeded(request);
+        response.path = Response::Path::kError;
+        return response;
+      }
+      CountingOcaResult counts =
+          CountingOcaFromEnumeration(chain, request.query);
+      response.truncated = chain.truncated;
+      response.payload =
+          "repairs=" + std::to_string(counts.num_repairs) + "\n";
+      AppendTupleProbabilities(counts.answers, &response.payload);
+      break;
+    }
+    case RequestKind::kCertain: {
+      // The session's CertainAnswers, unbundled: plan first (so the
+      // server's fast lane and this serial core make the same decision),
+      // then either the rewriting or the walk.
+      Result<planner::QueryPlan> plan = session.Plan(*generator,
+                                                     request.query);
+      if (!plan.ok()) {
+        response.status = plan.status();
+        response.path = Response::Path::kError;
+        return response;
+      }
+      response.payload =
+          std::string("plan=") + planner::PlanKindName(plan->kind) + "\n";
+      if (plan->kind == planner::PlanKind::kRewriting) {
+        std::set<Tuple> certain = planner::EvaluateCertain(
+            session.database(), request.query, plan->rewritten);
+        for (const Tuple& tuple : certain) {
+          response.payload += TupleToString(tuple) + "\n";
+        }
+        response.path = Response::Path::kRewriting;
+        return response;
+      }
+      OcaResult oca = session.Answer(*generator, request.query, call);
+      out.enumerated = true;
+      out.memo = oca.enumeration.memo_stats;
+      out.truncated = oca.enumeration.truncated;
+      if (oca.enumeration.truncated) {
+        // A truncated walk cannot certify CP = 1, whatever the mode.
+        response.status = DeadlineExceeded(request);
+        response.path = Response::Path::kError;
+        return response;
+      }
+      for (const Tuple& tuple : oca.AnswersAtLeast(Rational(1))) {
+        response.payload += TupleToString(tuple) + "\n";
+      }
+      break;
+    }
+    case RequestKind::kTopK: {
+      TopKResult top = session.TopK(*generator, request.top_k, call);
+      out.truncated = !top.exact;
+      if (!top.exact && request.mode == ExecMode::kExact) {
+        // Lower bounds under a drained-frontier cutoff depend on cache
+        // warmth (repair/top_k.h) — only the exact distribution is
+        // replay-stable, so kExact insists on it.
+        response.status = DeadlineExceeded(request);
+        response.path = Response::Path::kError;
+        return response;
+      }
+      response.truncated = !top.exact;
+      response.payload = std::string("exact=") + (top.exact ? "1" : "0") +
+                         " certified=" + (top.certified ? "1" : "0") + "\n";
+      for (const RepairInfo& info : top.repairs) {
+        response.payload += "p=" + info.probability.ToString() + " " +
+                            info.repair.ToString() + "\n";
+      }
+      break;
+    }
+    case RequestKind::kInsert:
+    case RequestKind::kErase:
+      break;  // handled above
+  }
+  if (out.enumerated) {
+    response.path = out.memo.hits > 0 && out.memo.misses == 0
+                        ? Response::Path::kReplay
+                        : Response::Path::kWalk;
+  }
+  return response;
+}
+
+namespace {
+
+RepairCacheOptions SharedCacheOptions(RepairCacheOptions options) {
+  options.admission_filter = false;  // batching: the first walk admits all
+  return options;
+}
+
+bool IsMutation(const Request& request) {
+  return request.kind == RequestKind::kInsert ||
+         request.kind == RequestKind::kErase;
+}
+
+}  // namespace
+
+OcqaServer::OcqaServer(Database base, ConstraintSet constraints,
+                       ServerOptions options)
+    : options_(options),
+      constraints_(std::move(constraints)),
+      base_(std::move(base)),
+      cache_(SharedCacheOptions(options.cache)),
+      pool_(std::make_unique<ThreadPool>(
+          options.workers != 0 ? options.workers : DefaultThreads())) {
+  RegisterGenerator("uniform", std::make_shared<UniformChainGenerator>());
+  RegisterGenerator("uniform-deletions",
+                    std::make_shared<DeletionOnlyUniformGenerator>());
+}
+
+OcqaServer::~OcqaServer() {
+  Drain();
+  pool_.reset();  // join workers before anything they touch dies
+}
+
+void OcqaServer::RegisterGenerator(
+    const std::string& name, std::shared_ptr<const ChainGenerator> generator) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  generators_[name] = std::move(generator);
+}
+
+void OcqaServer::AddTenant(const std::string& name, TenantOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TenantFor(name).options = options;
+}
+
+OcqaServer::Tenant& OcqaServer::TenantFor(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    auto tenant = std::make_unique<Tenant>();
+    engine::SessionOptions session_options;
+    session_options.enumeration = options_.enumeration;
+    session_options.plan = options_.plan;
+    session_options.shared_cache = &cache_;
+    tenant->session = std::make_unique<engine::OcqaSession>(
+        base_, constraints_, session_options);
+    tenant->options = options_.tenant_defaults;
+    it = tenants_.emplace(name, std::move(tenant)).first;
+  }
+  return *it->second;
+}
+
+std::future<Response> OcqaServer::Submit(Request request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tenant& tenant = TenantFor(request.tenant);
+  if (tenant.in_flight >= tenant.options.max_in_flight) {
+    rejected_admission_.fetch_add(1, std::memory_order_relaxed);
+    Response rejected;
+    rejected.id = request.id;
+    rejected.tenant = request.tenant;
+    rejected.status = Status::ResourceExhausted(
+        "tenant '" + request.tenant + "' over its admission budget (" +
+        std::to_string(tenant.options.max_in_flight) + " in flight)");
+    rejected.path = Response::Path::kError;
+    promise.set_value(std::move(rejected));
+    return future;
+  }
+  ++tenant.in_flight;
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.promise = std::move(promise);
+  tenant.queue.push_back(std::move(pending));
+  PumpLocked();
+  return future;
+}
+
+std::vector<Response> OcqaServer::SubmitAll(std::vector<Request> requests) {
+  std::vector<std::future<Response>> futures;
+  futures.reserve(requests.size());
+  for (Request& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  std::vector<Response> responses;
+  responses.reserve(futures.size());
+  for (std::future<Response>& future : futures) {
+    responses.push_back(future.get());
+  }
+  return responses;
+}
+
+void OcqaServer::Drain() { inflight_units_.Wait(); }
+
+void OcqaServer::PumpLocked() {
+  for (auto& entry : tenants_) {
+    Tenant& tenant = *entry.second;
+    if (tenant.busy || tenant.queue.empty()) continue;
+    auto unit = std::make_shared<Unit>(NextUnitLocked(tenant));
+    tenant.busy = true;
+    inflight_units_.Add();
+    Tenant* tenant_ptr = &tenant;  // stable: tenants are never removed
+    pool_->Submit(
+        [this, tenant_ptr, unit] { ExecuteUnit(tenant_ptr, unit); });
+  }
+}
+
+OcqaServer::Unit OcqaServer::NextUnitLocked(Tenant& tenant) {
+  Unit unit;
+  unit.push_back(std::move(tenant.queue.front()));
+  tenant.queue.pop_front();
+  if (IsMutation(unit.front().request) || !options_.batching) return unit;
+  // Copy, not reference: push_back below reallocates `unit`.
+  const std::string head_generator = unit.front().request.generator;
+  // Pull every same-generator read out of the read prefix: between here
+  // and the first queued mutation the tenant database is fixed, so the
+  // same generator means the same chain root, and reads commute.
+  for (auto it = tenant.queue.begin(); it != tenant.queue.end();) {
+    if (IsMutation(it->request)) break;
+    if (it->request.generator == head_generator) {
+      unit.push_back(std::move(*it));
+      it = tenant.queue.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return unit;
+}
+
+const ChainGenerator* OcqaServer::FindGenerator(
+    const std::string& name) const {
+  auto it = generators_.find(name);
+  return it == generators_.end() ? nullptr : it->second.get();
+}
+
+void OcqaServer::ExecuteUnit(Tenant* tenant, std::shared_ptr<Unit> unit) {
+  OPCQA_CHECK(!unit->empty());
+  // Resolve the unit's generator before touching the session: mutex_ and
+  // session_mutex are only ever nested mutex_-first (Stats), so taking
+  // mutex_ under session_mutex here could deadlock.
+  std::shared_ptr<const ChainGenerator> generator;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = generators_.find(unit->front().request.generator);
+    if (it != generators_.end()) generator = it->second;
+  }
+
+  {
+    std::lock_guard<std::mutex> session_lock(tenant->session_mutex);
+    engine::OcqaSession& session = *tenant->session;
+    const bool read_batch = !IsMutation(unit->front().request);
+    if (read_batch && unit->size() >= 2) {
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      batched_requests_.fetch_add(unit->size(), std::memory_order_relaxed);
+    }
+
+    std::vector<bool> done(unit->size(), false);
+    // Planner fast lane: kCertain members inside the rewritable fragment
+    // answer via pure FO evaluation before any member pays for a walk.
+    if (read_batch && generator != nullptr) {
+      for (size_t i = 0; i < unit->size(); ++i) {
+        PendingRequest& pending = (*unit)[i];
+        if (pending.request.kind != RequestKind::kCertain) continue;
+        Result<planner::QueryPlan> plan =
+            session.Plan(*generator, pending.request.query);
+        if (!plan.ok() || plan->kind != planner::PlanKind::kRewriting) {
+          continue;  // walks (or errors) run in queue order below
+        }
+        Response response = ExecuteOnSession(session, generator.get(),
+                                             pending.request, {});
+        rewriting_fast_path_.fetch_add(1, std::memory_order_relaxed);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        pending.promise.set_value(std::move(response));
+        done[i] = true;
+      }
+    }
+
+    // Cache-pressure probe: a cold root while the shared cache is at
+    // budget computes on a unit-private cache (batching still amortizes
+    // inside the unit) instead of evicting a live shared root.
+    std::unique_ptr<RepairSpaceCache> bypass;
+    if (read_batch && generator != nullptr &&
+        !generator->cache_identity().empty()) {
+      bool any_walk_member = false;
+      for (size_t i = 0; i < unit->size(); ++i) {
+        any_walk_member |= !done[i];
+      }
+      const bool resident = cache_.HasRoot(
+          session.database(), session.constraints(), *generator,
+          session.options().enumeration.prune_zero_probability);
+      MemoStats shared = cache_.TotalStats();
+      const bool pressured =
+          cache_.roots() >= options_.cache.max_roots ||
+          (options_.max_cache_bytes != 0 &&
+           shared.bytes >= options_.max_cache_bytes);
+      if (any_walk_member && !resident && pressured) {
+        RepairCacheOptions ephemeral = options_.cache;
+        ephemeral.max_roots = 1;
+        ephemeral.admission_filter = false;
+        ephemeral.snapshot_dir.clear();  // nothing durable about a bypass
+        bypass = std::make_unique<RepairSpaceCache>(ephemeral);
+        pressure_bypasses_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    for (size_t i = 0; i < unit->size(); ++i) {
+      if (done[i]) continue;
+      PendingRequest& pending = (*unit)[i];
+      engine::CallOptions call;
+      call.max_states = pending.request.deadline_states != 0
+                            ? pending.request.deadline_states
+                            : tenant->options.deadline_states;
+      call.cache = bypass.get();
+      ExecOutcome outcome;
+      Response response = ExecuteOnSession(session, generator.get(),
+                                           pending.request, call, &outcome);
+      if (IsMutation(pending.request)) {
+        mutations_.fetch_add(1, std::memory_order_relaxed);
+      } else if (pending.request.kind == RequestKind::kTopK) {
+        topk_searches_.fetch_add(1, std::memory_order_relaxed);
+      } else if (response.path == Response::Path::kRewriting) {
+        rewriting_fast_path_.fetch_add(1, std::memory_order_relaxed);
+      } else if (outcome.enumerated) {
+        if (outcome.memo.hits > 0 && outcome.memo.misses == 0) {
+          replays_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          walks_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (outcome.truncated) {
+        deadline_truncations_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!response.status.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      pending.promise.set_value(std::move(response));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tenant->busy = false;
+    OPCQA_CHECK_GE(tenant->in_flight, unit->size());
+    tenant->in_flight -= unit->size();
+    PumpLocked();  // successors are in flight before this unit's Done()
+  }
+  inflight_units_.Done();
+}
+
+ServerStats OcqaServer::Stats() {
+  ServerStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.rejected_admission =
+      rejected_admission_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  stats.walks = walks_.load(std::memory_order_relaxed);
+  stats.replays = replays_.load(std::memory_order_relaxed);
+  stats.rewriting_fast_path =
+      rewriting_fast_path_.load(std::memory_order_relaxed);
+  stats.topk_searches = topk_searches_.load(std::memory_order_relaxed);
+  stats.mutations = mutations_.load(std::memory_order_relaxed);
+  stats.pressure_bypasses =
+      pressure_bypasses_.load(std::memory_order_relaxed);
+  stats.deadline_truncations =
+      deadline_truncations_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.tenants = tenants_.size();
+    for (auto& entry : tenants_) {
+      std::lock_guard<std::mutex> session_lock(entry.second->session_mutex);
+      const planner::PlannerStats& p = entry.second->session->PlanStats();
+      stats.planner.rewrite_plans += p.rewrite_plans;
+      stats.planner.walk_plans += p.walk_plans;
+      stats.planner.plan_cache_hits += p.plan_cache_hits;
+      stats.planner.plan_cache_misses += p.plan_cache_misses;
+      stats.planner.invalidations += p.invalidations;
+    }
+  }
+  stats.cache = cache_.TotalStats();
+  stats.disk = cache_.disk_stats();
+  return stats;
+}
+
+}  // namespace server
+}  // namespace opcqa

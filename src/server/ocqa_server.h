@@ -1,0 +1,266 @@
+// OcqaServer — batched, multi-tenant OCQA serving over one shared
+// repair-space cache.
+//
+// The engine made one session fast across *its own* queries
+// (engine/ocqa_session.h); a service hosts many logical sessions at
+// once, and with one private cache per caller every tenant pays the
+// FP^#P chain walk again. OcqaServer multiplexes every tenant over a
+// single RepairSpaceCache (and the process-global FactStore), so the
+// first walk of a root — db content ⊕ constraints ⊕ generator identity —
+// warms all of them.
+//
+// ## Threading model
+//
+// Requests enter a per-tenant FIFO through Submit() (thread-safe, any
+// number of callers). A tenant executes at most one *unit* at a time — a
+// unit is either a single mutation or a batch of reads — so each
+// tenant's timeline is serial: its responses are byte-identical to a
+// single-session serial replay of its requests, no matter how many
+// tenants run concurrently (the shared cache is verified-keyed and can
+// only change speed, never answers; repair/repair_cache.h). Units from
+// different tenants run concurrently on a private util/parallel.h
+// ThreadPool; nested ParallelFor inside the enumerator detects the pool
+// worker and runs inline, so server workers never deadlock the pool.
+//
+// ## Root-level batching
+//
+// When a tenant's queue holds several reads against the same chain root
+// (between two mutations the tenant's database is fixed, so same
+// generator ⇒ same root fingerprint), the server pulls the whole
+// same-generator read prefix into one unit: the first member walks the
+// chain cold and — with the cache's twice-miss admission filter off —
+// records every completed subtree, so each later member collapses to a
+// root-entry replay. One memoized walk amortizes across the batch.
+// Reads commute (they share one immutable database state), so executing
+// the prefix out of queue order is observationally equivalent; a
+// mutation is a batch barrier and runs as a singleton unit, which also
+// makes it a drain fence: it cannot start until the tenant's in-flight
+// readers finished, and no later read starts before it completes.
+//
+// ## Planner fast lane
+//
+// kCertain members are planned first (engine planner); a request inside
+// the proven-coincident FO fragment is answered by the rewriting before
+// the batch's walk members run — it never waits on, or pays for, a
+// chain walk.
+//
+// ## Cache pressure
+//
+// A read whose root is not resident while the shared cache is at its
+// root/byte budget would evict a live root that other tenants are
+// replaying from. Under pressure the unit instead computes on a private
+// single-root cache that dies with the unit (batching still amortizes
+// within the unit) — new cold roots degrade to uncached compute instead
+// of thrashing the shared tier.
+//
+// ## QoS
+//
+// Per-tenant admission caps the queued + running requests
+// (TenantOptions::max_in_flight; excess submissions complete immediately
+// with ResourceExhausted), and per-request deadlines bound chain states
+// through the enumerator's budget machinery (Request::deadline_states,
+// default per tenant) — kExact requests fail the deadline loudly,
+// kAnytime requests return truncated lower bounds.
+
+#ifndef OPCQA_SERVER_OCQA_SERVER_H_
+#define OPCQA_SERVER_OCQA_SERVER_H_
+
+#include <atomic>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/ocqa_session.h"
+#include "server/request.h"
+#include "util/parallel.h"
+
+namespace opcqa {
+namespace server {
+
+struct TenantOptions {
+  /// Admission budget: maximum queued + running requests of this tenant;
+  /// submissions beyond it are rejected with ResourceExhausted.
+  size_t max_in_flight = 64;
+  /// Default chain-state budget for this tenant's requests (0 = engine
+  /// default); Request::deadline_states overrides per request.
+  size_t deadline_states = 0;
+};
+
+struct ServerOptions {
+  /// Worker threads executing units (0 = DefaultThreads()). The server
+  /// owns its pool, so several servers with different widths coexist in
+  /// one process.
+  size_t workers = 0;
+  /// Budgets of the shared repair-space cache. The twice-miss admission
+  /// filter is forced off regardless of what this says: batching relies
+  /// on the first walk admitting the whole chain.
+  RepairCacheOptions cache;
+  /// Byte-pressure threshold for the uncached-compute bypass (0 = only
+  /// the max_roots budget signals pressure).
+  size_t max_cache_bytes = 0;
+  /// Same-root batching (off = every read is a singleton unit; answers
+  /// are identical either way, only walk counts differ).
+  bool batching = true;
+  /// Per-tenant session defaults (threads, memoize, base max_states).
+  EnumerationOptions enumeration;
+  planner::PlanMode plan = planner::PlanMode::kAuto;
+  /// Applied to tenants created implicitly by Submit(); AddTenant sets
+  /// explicit ones.
+  TenantOptions tenant_defaults;
+
+  ServerOptions() { enumeration.memoize = true; }  // serving IS sharing
+};
+
+/// Point-in-time server counters. Request/batch counters are exact;
+/// walk/replay classification comes from per-call memo deltas on the
+/// shared cache, so concurrent same-root units can shift a replay to a
+/// walk label (never the reverse) — observability, not semantics.
+struct ServerStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected_admission = 0;  // admission-cap rejections
+  uint64_t errors = 0;              // completed with non-OK status
+  uint64_t batches = 0;             // read units with ≥ 2 members
+  uint64_t batched_requests = 0;    // members riding in those units
+  uint64_t walks = 0;    // enumerating members that missed in the cache
+  uint64_t replays = 0;  // enumerating members served purely from it
+  uint64_t rewriting_fast_path = 0;  // kCertain answered by the rewriting
+  uint64_t topk_searches = 0;        // kTopK members (not walk-classified)
+  uint64_t mutations = 0;
+  uint64_t pressure_bypasses = 0;       // units run on a private cache
+  uint64_t deadline_truncations = 0;    // responses that hit their budget
+  size_t tenants = 0;
+  /// Shared-cache / disk-tier / planner counters aggregated across every
+  /// tenant session, one coherent snapshot.
+  MemoStats cache;
+  DiskTierStats disk;
+  planner::PlannerStats planner;
+};
+
+class OcqaServer {
+ public:
+  /// Every tenant starts from a copy of `base` (content-identical
+  /// databases fingerprint to the same cache root, which is where
+  /// cross-tenant amortization comes from) and diverges through its own
+  /// mutations. "uniform" and "uniform-deletions" generators are
+  /// pre-registered.
+  OcqaServer(Database base, ConstraintSet constraints,
+             ServerOptions options = {});
+  /// Drains in-flight units, then joins the workers.
+  ~OcqaServer();
+
+  OcqaServer(const OcqaServer&) = delete;
+  OcqaServer& operator=(const OcqaServer&) = delete;
+
+  /// Makes `name` resolvable from Request::generator. The generator must
+  /// be safe for concurrent Probabilities() calls (all built-ins are).
+  /// Not callable once requests are in flight.
+  void RegisterGenerator(const std::string& name,
+                         std::shared_ptr<const ChainGenerator> generator);
+
+  /// Creates a tenant with explicit QoS options (idempotent; options of
+  /// an existing tenant are updated).
+  void AddTenant(const std::string& name, TenantOptions options);
+
+  /// Enqueues one request; the future resolves when it executes (or
+  /// immediately, on admission rejection — which is a resolved Response
+  /// with ResourceExhausted, not a broken future).
+  std::future<Response> Submit(Request request);
+
+  /// Submits a whole trace and waits for every response; results are in
+  /// input order regardless of execution interleaving.
+  std::vector<Response> SubmitAll(std::vector<Request> requests);
+
+  /// Blocks until every queued unit has executed. Concurrent Submit()
+  /// during a drain extends it.
+  void Drain();
+
+  /// One coherent snapshot across the queue, the shared cache and every
+  /// tenant session.
+  ServerStats Stats();
+
+  const RepairSpaceCache& cache() const { return cache_; }
+
+ private:
+  struct PendingRequest {
+    Request request;
+    std::promise<Response> promise;
+  };
+  struct Tenant {
+    std::unique_ptr<engine::OcqaSession> session;
+    /// Serializes session access: unit execution and Stats() aggregation
+    /// (planner counters mutate during planning).
+    std::mutex session_mutex;
+    TenantOptions options;
+    // Queue state below is guarded by the server mutex_.
+    std::deque<PendingRequest> queue;
+    bool busy = false;       // a unit of this tenant is running
+    size_t in_flight = 0;    // queued + running requests (admission gauge)
+  };
+  using Unit = std::vector<PendingRequest>;
+
+  Tenant& TenantFor(const std::string& name);  // mutex_ held
+  /// Starts a unit for every idle tenant with queued work. mutex_ held.
+  void PumpLocked();
+  /// Forms the next unit of `tenant` (front mutation, or the
+  /// same-generator read prefix). mutex_ held.
+  Unit NextUnitLocked(Tenant& tenant);
+  /// Executes a unit on a worker: planner fast lane, pressure probe,
+  /// then members in order on the tenant session.
+  void ExecuteUnit(Tenant* tenant, std::shared_ptr<Unit> unit);
+  const ChainGenerator* FindGenerator(const std::string& name) const;
+
+  ServerOptions options_;
+  ConstraintSet constraints_;
+  Database base_;
+  RepairSpaceCache cache_;
+
+  std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::map<std::string, std::shared_ptr<const ChainGenerator>> generators_;
+
+  TaskGroup inflight_units_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_admission_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_requests_{0};
+  std::atomic<uint64_t> walks_{0};
+  std::atomic<uint64_t> replays_{0};
+  std::atomic<uint64_t> rewriting_fast_path_{0};
+  std::atomic<uint64_t> topk_searches_{0};
+  std::atomic<uint64_t> mutations_{0};
+  std::atomic<uint64_t> pressure_bypasses_{0};
+  std::atomic<uint64_t> deadline_truncations_{0};
+
+  /// Last member, so the pool (whose threads the destructor joins first)
+  /// outlives everything units touch.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// The serial execution core shared by server workers and the sequential
+/// baselines (server/trace.h): runs one request on `session` under
+/// `generator` (may be null for mutations) with the resolved per-call
+/// options, and renders the canonical payload. `outcome`, when non-null,
+/// receives the per-call memo delta for walk/replay classification.
+struct ExecOutcome {
+  bool enumerated = false;  // memo delta below is meaningful
+  MemoStats memo;
+  bool truncated = false;
+};
+Response ExecuteOnSession(engine::OcqaSession& session,
+                          const ChainGenerator* generator,
+                          const Request& request,
+                          const engine::CallOptions& call,
+                          ExecOutcome* outcome = nullptr);
+
+}  // namespace server
+}  // namespace opcqa
+
+#endif  // OPCQA_SERVER_OCQA_SERVER_H_

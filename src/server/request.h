@@ -1,0 +1,111 @@
+// Request/Response types of the OCQA serving front end.
+//
+// A Request is one logical operation of one tenant: a query under a named
+// chain generator (exact OCA, counting semantics, certain answers, or
+// anytime top-k), or a mutation of the tenant's database. Responses carry
+// a *canonical text payload* — the same rendering whether the request ran
+// batched on the server, serially on a shared session, or on a fresh
+// per-request session — so byte-for-byte diffs of rendered responses are
+// the serving layer's correctness check (server/trace.h drives them).
+
+#ifndef OPCQA_SERVER_REQUEST_H_
+#define OPCQA_SERVER_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "logic/query.h"
+#include "relational/fact.h"
+#include "util/status.h"
+
+namespace opcqa {
+namespace server {
+
+enum class RequestKind {
+  kAnswer,   // exact OCA: every tuple with CP > 0
+  kCount,    // equally-likely-repairs proportions
+  kCertain,  // CP = 1 tuples (planner-dispatched; may skip the walk)
+  kTopK,     // anytime top-k repairs
+  kInsert,   // mutate the tenant database
+  kErase,
+};
+
+/// What a deadline (state-budget) overrun means for this request.
+enum class ExecMode {
+  /// Truncation is an error: the response carries ResourceExhausted
+  /// instead of a lower-bound distribution. kCertain always behaves this
+  /// way (a truncated walk cannot certify CP = 1).
+  kExact,
+  /// Truncation is an answer: masses/probabilities are exact lower
+  /// bounds over the explored prefix, flagged `truncated`. Note that a
+  /// truncated prefix depends on cache warmth for top-k (see
+  /// repair/top_k.h) — anytime responses are not replay-stable, unlike
+  /// everything kExact returns.
+  kAnytime,
+};
+
+const char* RequestKindName(RequestKind kind);
+const char* ExecModeName(ExecMode mode);
+Result<RequestKind> ParseRequestKind(std::string_view text);
+Result<ExecMode> ParseExecMode(std::string_view text);
+
+struct Request {
+  /// Caller correlation id; echoed in the Response (trace replay renders
+  /// responses in id order).
+  uint64_t id = 0;
+  /// Logical session this request belongs to. Requests of one tenant are
+  /// served in submission order with respect to mutations; tenants are
+  /// created on first use.
+  std::string tenant;
+  RequestKind kind = RequestKind::kAnswer;
+  /// Registered generator name (OcqaServer::RegisterGenerator); ignored
+  /// by mutations.
+  std::string generator = "uniform-deletions";
+  /// Query for kAnswer/kCount/kCertain, plus its source text so traces
+  /// round-trip without a printer/parser fixpoint.
+  Query query;
+  std::string query_text;
+  /// kTopK only.
+  size_t top_k = 1;
+  /// kInsert/kErase only.
+  Fact fact;
+  std::string fact_text;
+  ExecMode mode = ExecMode::kExact;
+  /// Per-request chain-state budget (the deadline knob); 0 = the
+  /// tenant's default budget, which 0 in turn defers to the engine
+  /// default. Enumeration truncates beyond the budget exactly as the
+  /// free functions do.
+  size_t deadline_states = 0;
+};
+
+struct Response {
+  uint64_t id = 0;
+  std::string tenant;
+  Status status;
+  /// Canonical rendering of the result (empty on error). Identical for
+  /// every execution strategy of the same per-tenant timeline — the
+  /// serving layer can change how fast answers arrive, never what they
+  /// are (kAnytime truncated payloads excepted; see ExecMode).
+  std::string payload;
+  /// The kAnytime truncation flag (kExact responses either ran to
+  /// completion or carry an error status).
+  bool truncated = false;
+
+  /// How the request was executed — observability only, never part of
+  /// the payload.
+  enum class Path {
+    kWalk,       // enumerated the chain (cold or partially warm root)
+    kReplay,     // served entirely from the shared repair-space cache
+    kRewriting,  // planner fast lane: FO rewriting, no walk at all
+    kMutation,
+    kError,
+  };
+  Path path = Path::kWalk;
+};
+
+const char* PathName(Response::Path path);
+
+}  // namespace server
+}  // namespace opcqa
+
+#endif  // OPCQA_SERVER_REQUEST_H_

@@ -62,6 +62,24 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 bool ThreadPool::OnWorkerThread() { return t_on_pool_worker; }
 
+void TaskGroup::Add(size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  outstanding_ += n;
+}
+
+void TaskGroup::Done() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OPCQA_CHECK_GT(outstanding_, 0u) << "TaskGroup::Done without Add";
+  // Notify under the lock: a Wait-then-destroy caller may tear the
+  // condvar down the instant the predicate holds.
+  if (--outstanding_ == 0) cv_.notify_all();
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
 void ThreadPool::WorkerLoop() {
   t_on_pool_worker = true;
   for (;;) {

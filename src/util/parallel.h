@@ -67,6 +67,28 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// Tracks a set of in-flight tasks across threads: Add() before handing a
+/// task to an executor, Done() when it completes, Wait() blocks until the
+/// outstanding count returns to zero. Unlike ParallelFor (which owns its
+/// work items for the duration of one call), a TaskGroup lets a long-lived
+/// component — the serving front end draining its request queue — wait for
+/// work that was submitted from many call sites at many times.
+class TaskGroup {
+ public:
+  /// Registers `n` not-yet-completed tasks.
+  void Add(size_t n = 1);
+  /// Marks one task complete; wakes waiters when the count hits zero.
+  void Done();
+  /// Blocks until every added task has called Done(). Safe to call from
+  /// several threads; all of them wake on the zero crossing.
+  void Wait();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t outstanding_ = 0;
+};
+
 /// Runs body(i) for every i in [0, n), using up to `threads` concurrent
 /// executors (the calling thread participates; helpers come from the global
 /// pool). threads == 0 means DefaultThreads(). Indices are claimed from a
