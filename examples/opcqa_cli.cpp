@@ -67,6 +67,9 @@
 //   constraints:  one per line, e.g. "key: R(x,y), R(x,z) -> y = z"
 //
 // SQL-mode tables expose columns c0, c1, ... per relation position.
+//
+// Exit codes: 0 = answered (including degraded runs, which warn on
+// stderr), 1 = hard failure, 2 = usage error.
 
 #include <cstdio>
 #include <fstream>
@@ -203,9 +206,24 @@ Result<Schema> ParseSchemaFile(const std::string& text) {
   return schema;
 }
 
+// Exit-code policy, kept consistent across the FO/SQL/serve-trace modes
+// and asserted by the CI e2e:
+//   0  answered — including *degraded* runs (failed spills, tripped disk
+//      breaker, quarantined snapshots, isolated worker panics) which
+//      additionally print a "warning: degraded ..." line on stderr;
+//   1  hard failure — missing/unparseable input files, unwritable
+//      --serve-out, a chain too large for --mode=exact;
+//   2  usage — unknown flags or bad flag *values* (generator, mode,
+//      plan, keys), missing required flags.
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+int UsageFail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
 }
 
 }  // namespace
@@ -339,7 +357,7 @@ int main(int argc, char** argv) {
   if (sql_mode) {
     Result<std::vector<sql::TableKey>> keys =
         ParseKeysSpec(*schema, opt.keys_spec);
-    if (!keys.ok()) return Fail(keys.status());
+    if (!keys.ok()) return UsageFail(keys.status());
     sql::Catalog catalog = sql::Catalog::FromDatabase(*db);
     sql::SqlApproxRunner runner(std::move(catalog), keys.value(),
                                 opt.seed);
@@ -403,11 +421,16 @@ int main(int argc, char** argv) {
       if (!opt.plan.empty()) {
         Result<planner::PlanMode> plan_mode =
             planner::ParsePlanMode(opt.plan);
-        if (!plan_mode.ok()) return Fail(plan_mode.status());
+        if (!plan_mode.ok()) return UsageFail(plan_mode.status());
         server_options.plan = *plan_mode;
       }
       server::OcqaServer ocqa_server(*db, *constraints, server_options);
       responses = ocqa_server.SubmitAll(*requests);
+
+      // Flush the disk tier before reporting, so the spill counters (and
+      // the degraded-run warning) describe what actually reached disk
+      // instead of deferring to destructor-time spills nobody observes.
+      if (!opt.memo_dir.empty()) ocqa_server.PersistCache();
 
       // The aggregated snapshot — queue, shared cache, disk tier and
       // every tenant's planner — on stderr, so stdout stays a canonical
@@ -416,14 +439,16 @@ int main(int argc, char** argv) {
       auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
       std::fprintf(stderr,
                    "serve: %llu submitted, %llu completed across %zu "
-                   "tenants (%llu errors, %llu admission-rejected)\n"
+                   "tenants (%llu errors: %llu timed out + %llu failed, "
+                   "%llu admission-rejected, %llu shed)\n"
                    "serve: %llu batches covering %llu requests; %llu "
                    "walks, %llu replays, %llu rewriting fast-path, %llu "
                    "top-k, %llu mutations\n"
                    "serve: %llu pressure bypasses, %llu deadline "
                    "truncations\n",
                    u(stats.submitted), u(stats.completed), stats.tenants,
-                   u(stats.errors), u(stats.rejected_admission),
+                   u(stats.errors), u(stats.timed_out), u(stats.failed),
+                   u(stats.rejected_admission), u(stats.shed),
                    u(stats.batches), u(stats.batched_requests),
                    u(stats.walks), u(stats.replays),
                    u(stats.rewriting_fast_path), u(stats.topk_searches),
@@ -451,6 +476,21 @@ int main(int argc, char** argv) {
                    u(stats.planner.rewrite_plans),
                    u(stats.planner.walk_plans),
                    u(stats.planner.plan_cache_hits));
+      // Degraded-but-answered: every request got a canonical response
+      // (possibly an error status that serial replay reproduces), but a
+      // hardening path fired along the way. Warn loudly, exit 0 — the
+      // CI e2e asserts this split against hard failures (1).
+      if (stats.panics > 0 || stats.disk.failed_spills > 0 ||
+          stats.disk.breaker_trips > 0 || stats.disk.quarantined > 0) {
+        std::fprintf(stderr,
+                     "warning: degraded serve run — %llu isolated "
+                     "panic(s), %llu failed spill(s), %llu breaker "
+                     "trip(s), %llu quarantined snapshot(s); responses "
+                     "are complete and canonical\n",
+                     u(stats.panics), u(stats.disk.failed_spills),
+                     u(stats.disk.breaker_trips),
+                     u(stats.disk.quarantined));
+      }
     }
 
     std::string rendered = server::RenderResponses(std::move(responses));
@@ -493,8 +533,8 @@ int main(int argc, char** argv) {
   } else if (opt.generator == "minchange") {
     generator = &minchange;
   } else {
-    return Fail(Status::InvalidArgument("unknown generator: " +
-                                        opt.generator));
+    return UsageFail(Status::InvalidArgument("unknown generator: " +
+                                             opt.generator));
   }
 
   if (opt.show_chain) {
@@ -523,7 +563,7 @@ int main(int argc, char** argv) {
     planner::QueryPlanner planner;
     if (use_planner) {
       Result<planner::PlanMode> plan_mode = planner::ParsePlanMode(opt.plan);
-      if (!plan_mode.ok()) return Fail(plan_mode.status());
+      if (!plan_mode.ok()) return UsageFail(plan_mode.status());
       planner.set_mode(*plan_mode);
     }
     for (size_t qi = 0; qi < queries.size(); ++qi) {
@@ -627,12 +667,17 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(
                         disk.rejected_snapshots),
                     disk.failed_spills == 0 ? "" : " [SPILLS FAILING]");
-        if (disk.failed_spills > 0) {
+        if (disk.failed_spills > 0 || disk.breaker_trips > 0 ||
+            disk.quarantined > 0) {
           std::fprintf(stderr,
-                       "warning: %llu spill(s) failed to write to %s — "
+                       "warning: degraded run — %llu spill(s) failed to "
+                       "write to %s (%llu breaker trip(s), %llu "
+                       "quarantined snapshot(s)); answers are exact, but "
                        "the next process will compute cold\n",
                        static_cast<unsigned long long>(disk.failed_spills),
-                       opt.memo_dir.c_str());
+                       opt.memo_dir.c_str(),
+                       static_cast<unsigned long long>(disk.breaker_trips),
+                       static_cast<unsigned long long>(disk.quarantined));
         }
       }
     }
@@ -664,7 +709,7 @@ int main(int argc, char** argv) {
       }
     }
   } else {
-    return Fail(Status::InvalidArgument("unknown mode: " + opt.mode));
+    return UsageFail(Status::InvalidArgument("unknown mode: " + opt.mode));
   }
   return 0;
 }

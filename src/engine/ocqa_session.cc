@@ -1,5 +1,7 @@
 #include "engine/ocqa_session.h"
 
+#include "util/failpoint.h"
+
 namespace opcqa {
 namespace engine {
 
@@ -21,6 +23,10 @@ EnumerationOptions OcqaSession::QueryOptions(const CallOptions& call) {
 
 OcaResult OcqaSession::Answer(const ChainGenerator& generator,
                               const Query& query, const CallOptions& call) {
+  // Read path only: a crash injected here simulates the chain walk dying
+  // mid-flight and must be containable by the server's per-unit
+  // isolation without diverging any later (mutation-dependent) answer.
+  OPCQA_FAILPOINT_HIT("engine.session.enumerate");
   return ComputeOca(db_, constraints_, generator, query, QueryOptions(call));
 }
 
@@ -41,6 +47,7 @@ CountingOcaResult OcqaSession::Count(const ChainGenerator& generator,
 
 EnumerationResult OcqaSession::Enumerate(const ChainGenerator& generator,
                                          const CallOptions& call) {
+  OPCQA_FAILPOINT_HIT("engine.session.enumerate");
   return EnumerateRepairs(db_, constraints_, generator, QueryOptions(call));
 }
 

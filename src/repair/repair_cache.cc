@@ -1,10 +1,13 @@
 #include "repair/repair_cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "storage/canonical.h"
+#include "util/failpoint.h"
 #include "util/hash.h"
+#include "util/logging.h"
 #include "util/parallel.h"
 
 namespace opcqa {
@@ -20,10 +23,47 @@ size_t StringHash(const std::string& text) {
 RepairSpaceCache::RepairSpaceCache(RepairCacheOptions options)
     : options_(std::move(options)) {
   if (!options_.snapshot_dir.empty()) {
-    store_ = std::make_unique<storage::SnapshotStore>(
-        storage::SnapshotStoreOptions{options_.snapshot_dir,
-                                      options_.max_disk_bytes});
+    storage::SnapshotStoreOptions store_options;
+    store_options.directory = options_.snapshot_dir;
+    store_options.max_disk_bytes = options_.max_disk_bytes;
+    store_ = std::make_unique<storage::SnapshotStore>(store_options);
   }
+}
+
+bool RepairSpaceCache::DiskTierAvailable() {
+  if (options_.breaker_failure_threshold <= 0) return true;
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  if (std::chrono::steady_clock::now() < breaker_open_until_) {
+    breaker_skips_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void RepairSpaceCache::NoteDiskFailure() {
+  if (options_.breaker_failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  ++consecutive_disk_failures_;
+  auto now = std::chrono::steady_clock::now();
+  // Don't re-trip while already open (in-flight tasks may still report
+  // failures); the consecutive count stays >= threshold, so the first
+  // half-open failure after the cooldown trips again immediately.
+  if (consecutive_disk_failures_ >= options_.breaker_failure_threshold &&
+      now >= breaker_open_until_) {
+    breaker_open_until_ =
+        now + std::chrono::milliseconds(options_.breaker_cooldown_ms);
+    breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+    OPCQA_LOG(Warning) << "disk tier circuit breaker tripped after "
+                       << consecutive_disk_failures_
+                       << " consecutive failures; running memory-only for "
+                       << options_.breaker_cooldown_ms << " ms";
+  }
+}
+
+void RepairSpaceCache::NoteDiskSuccess() {
+  if (options_.breaker_failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  consecutive_disk_failures_ = 0;
 }
 
 RepairSpaceCache::~RepairSpaceCache() {
@@ -141,18 +181,23 @@ std::shared_ptr<TranspositionTable> RepairSpaceCache::RestoreFromDisk(
     const Database& db, const ConstraintSet& constraints,
     const std::string& digest, const std::string& identity, bool prune,
     size_t* restored_bytes) {
+  if (!DiskTierAvailable()) return nullptr;  // breaker open: memory-only
   storage::SnapshotIdentity expected;
   expected.db_text = db.ToString();
   expected.constraints_digest = digest;
   expected.generator_identity = identity;
   expected.prune = prune;
-  Result<std::string> bytes =
-      store_->Get(storage::StableFingerprint(expected));
+  uint64_t fingerprint = storage::StableFingerprint(expected);
+  Result<std::string> bytes = [&]() -> Result<std::string> {
+    OPCQA_FAILPOINT("repair_cache.restore");
+    return store_->Get(fingerprint);
+  }();
   if (!bytes.ok()) {
     // Absent snapshot = plain cold miss; an unreadable one counts as
     // rejected (and still just means cold compute).
     if (bytes.status().code() != StatusCode::kNotFound) {
       rejected_snapshots_.fetch_add(1, std::memory_order_relaxed);
+      NoteDiskFailure();
     }
     return nullptr;
   }
@@ -162,8 +207,14 @@ std::shared_ptr<TranspositionTable> RepairSpaceCache::RestoreFromDisk(
                               options_.max_bytes_per_root);
   if (!decoded.ok()) {
     rejected_snapshots_.fetch_add(1, std::memory_order_relaxed);
+    // Verification failure, not tier unavailability — but a second
+    // strike quarantines the bytes so the miss path stops re-decoding
+    // them (the store then answers NotFound, a clean cold miss).
+    store_->MarkCorrupt(fingerprint);
+    NoteDiskFailure();
     return nullptr;
   }
+  NoteDiskSuccess();
   *restored_bytes = bytes->size();
   if (options_.admission_filter) (*decoded)->EnableAdmissionFilter();
   return *decoded;
@@ -207,10 +258,14 @@ void RepairSpaceCache::SpillAsync(Root root) {
   auto task = [this, db = std::move(db), digest = std::move(digest),
                identity = std::move(identity), prune,
                table = std::move(table), clean_below]() {
-    if (clean_below != UINT64_MAX &&
-        table->stats().inserts <= clean_below) {
-      // Snapshot already up to date (restored or spilled, and untouched
-      // since): rewriting it would only burn IO.
+    bool skip = clean_below != UINT64_MAX &&
+                table->stats().inserts <= clean_below;
+    // Snapshot already up to date (restored or spilled, and untouched
+    // since): rewriting it would only burn IO. And with the breaker
+    // open, a spill would only burn a failure — the root stays dirty
+    // and the next spill trigger retries once the tier recovers.
+    if (!skip && !DiskTierAvailable()) skip = true;
+    if (skip) {
       std::lock_guard<std::mutex> lock(spill_mutex_);
       --pending_spills_;
       spill_cv_.notify_all();
@@ -235,8 +290,12 @@ void RepairSpaceCache::SpillAsync(Root root) {
       // re-dirty the root (conservative if inserts land mid-encode).
       uint64_t inserts_at_encode = table->stats().inserts;
       std::string bytes = storage::EncodeSnapshot(ident, db, *table);
-      Status put = store_->Put(storage::StableFingerprint(ident), bytes);
+      Status put = [&]() -> Status {
+        OPCQA_FAILPOINT("repair_cache.spill");
+        return store_->Put(storage::StableFingerprint(ident), bytes);
+      }();
       if (put.ok()) {
+        NoteDiskSuccess();
         spills_.fetch_add(1, std::memory_order_relaxed);
         spill_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
         // Mark the live root clean so the next Persist()/destructor pass
@@ -254,6 +313,7 @@ void RepairSpaceCache::SpillAsync(Root root) {
         // operator — "0 spills" alone cannot distinguish "nothing dirty"
         // from "every spill failing".
         failed_spills_.fetch_add(1, std::memory_order_relaxed);
+        NoteDiskFailure();
       }
     }
     {
@@ -316,6 +376,14 @@ DiskTierStats RepairSpaceCache::disk_stats() const {
   stats.rejected_snapshots =
       rejected_snapshots_.load(std::memory_order_relaxed);
   stats.failed_spills = failed_spills_.load(std::memory_order_relaxed);
+  stats.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+  stats.breaker_skips = breaker_skips_.load(std::memory_order_relaxed);
+  if (store_ != nullptr) {
+    storage::SnapshotStoreStats store_stats = store_->Stats();
+    stats.quarantined = store_stats.quarantined;
+    stats.put_retries = store_stats.put_retries;
+    stats.swept_temps = store_stats.swept_temps;
+  }
   return stats;
 }
 

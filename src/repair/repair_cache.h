@@ -54,6 +54,7 @@
 #define OPCQA_REPAIR_REPAIR_CACHE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -91,6 +92,14 @@ struct RepairCacheOptions {
   /// (results are byte-identical either way; only hit/insert patterns
   /// and sweep churn differ).
   bool admission_filter = true;
+  /// Disk-tier circuit breaker: after this many *consecutive*
+  /// restore/spill failures the tier disables itself for
+  /// breaker_cooldown_ms and the cache runs memory-only (loudly),
+  /// instead of paying a failing probe per miss. 0 disables the breaker.
+  /// After the cooldown one probe is let through (half-open): a success
+  /// closes the breaker, another failure re-trips it immediately.
+  int breaker_failure_threshold = 3;
+  uint64_t breaker_cooldown_ms = 5000;
 };
 
 /// Counters of the disk tier. All monotone; zero when no snapshot_dir.
@@ -106,6 +115,17 @@ struct DiskTierStats {
   /// Spill attempts whose write failed (unwritable/full snapshot_dir) —
   /// the next process will compute cold.
   uint64_t failed_spills = 0;
+  /// Snapshots that failed verification twice and were moved to the
+  /// store's quarantine/ directory — never re-probed until re-spilled.
+  uint64_t quarantined = 0;
+  /// Transient store write failures absorbed by retry-with-backoff.
+  uint64_t put_retries = 0;
+  /// Crashed-writer temp files removed by the store's stale sweep.
+  uint64_t swept_temps = 0;
+  /// Times the circuit breaker tripped (tier disabled for a cooldown).
+  uint64_t breaker_trips = 0;
+  /// Restores/spills skipped because the breaker was open.
+  uint64_t breaker_skips = 0;
 };
 
 /// Session-level owner of persistent transposition tables, shared across
@@ -209,6 +229,16 @@ class RepairSpaceCache {
   /// Blocks until every enqueued spill has completed.
   void DrainSpills();
 
+  /// Circuit breaker: true when the disk tier may be used right now
+  /// (closed, or half-open after the cooldown). Counts a skip when
+  /// false.
+  bool DiskTierAvailable();
+  /// Records a restore/spill failure; trips the breaker at the
+  /// configured threshold of consecutive failures.
+  void NoteDiskFailure();
+  /// Any successful disk interaction closes the breaker's failure run.
+  void NoteDiskSuccess();
+
   RepairCacheOptions options_;
   std::unique_ptr<storage::SnapshotStore> store_;  // null without disk tier
   mutable std::mutex mutex_;
@@ -223,6 +253,13 @@ class RepairSpaceCache {
   std::atomic<uint64_t> restore_bytes_{0};
   std::atomic<uint64_t> rejected_snapshots_{0};
   std::atomic<uint64_t> failed_spills_{0};
+  std::atomic<uint64_t> breaker_trips_{0};
+  std::atomic<uint64_t> breaker_skips_{0};
+  /// Breaker state (separate from mutex_: spill tasks touch it and must
+  /// never contend with TableFor's root scan).
+  std::mutex breaker_mutex_;
+  int consecutive_disk_failures_ = 0;
+  std::chrono::steady_clock::time_point breaker_open_until_{};
   /// Serializes the encode→Put→clean-mark sequence of each spill task so
   /// concurrent spills of one root cannot publish out of order (a stale
   /// snapshot behind a newer clean mark).

@@ -1,7 +1,9 @@
 #include "server/ocqa_server.h"
 
+#include <exception>
 #include <utility>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace opcqa {
@@ -263,14 +265,29 @@ OcqaServer::Tenant& OcqaServer::TenantFor(const std::string& name) {
   return *it->second;
 }
 
+Response OcqaServer::ShedResponse(const Request& request) {
+  Response shed;
+  shed.id = request.id;
+  shed.tenant = request.tenant;
+  shed.status = Status::Unavailable("server shutting down");
+  shed.path = Response::Path::kError;
+  return shed;
+}
+
 std::future<Response> OcqaServer::Submit(Request request) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   std::promise<Response> promise;
   std::future<Response> future = promise.get_future();
   std::lock_guard<std::mutex> lock(mutex_);
+  if (shutting_down_) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    promise.set_value(ShedResponse(request));
+    return future;
+  }
   Tenant& tenant = TenantFor(request.tenant);
   if (tenant.in_flight >= tenant.options.max_in_flight) {
     rejected_admission_.fetch_add(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
     Response rejected;
     rejected.id = request.id;
     rejected.tenant = request.tenant;
@@ -306,12 +323,71 @@ std::vector<Response> OcqaServer::SubmitAll(std::vector<Request> requests) {
 
 void OcqaServer::Drain() { inflight_units_.Wait(); }
 
+bool OcqaServer::AllIdleLocked() const {
+  for (const auto& entry : tenants_) {
+    if (entry.second->busy || !entry.second->queue.empty()) return false;
+  }
+  return true;
+}
+
+void OcqaServer::Shutdown(std::chrono::milliseconds deadline) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;  // Submit() now answers Unavailable
+    // Drain phase: units keep executing and pumping while we wait.
+    bool drained = drained_cv_.wait_for(lock, deadline,
+                                        [this] { return AllIdleLocked(); });
+    if (!drained) {
+      // Deadline passed with work still queued: every queued-but-
+      // unstarted request gets an Unavailable response — shed, not
+      // dropped. Running units are past shedding and finish below.
+      size_t shed_count = 0;
+      for (auto& entry : tenants_) {
+        Tenant& tenant = *entry.second;
+        while (!tenant.queue.empty()) {
+          PendingRequest pending = std::move(tenant.queue.front());
+          tenant.queue.pop_front();
+          OPCQA_CHECK_GE(tenant.in_flight, 1u);
+          --tenant.in_flight;
+          shed_.fetch_add(1, std::memory_order_relaxed);
+          ++shed_count;
+          pending.promise.set_value(ShedResponse(pending.request));
+        }
+        // A unit handed to the pool but not yet picked up by a worker is
+        // equally unstarted — and with every worker occupied it might
+        // only start after the very callers this Shutdown is blocking.
+        // Resolve its requests now; the worker later finds the empty
+        // husk and just releases the slot (ExecuteUnit's entry check).
+        if (tenant.scheduled != nullptr) {
+          for (PendingRequest& pending : *tenant.scheduled) {
+            OPCQA_CHECK_GE(tenant.in_flight, 1u);
+            --tenant.in_flight;
+            shed_.fetch_add(1, std::memory_order_relaxed);
+            ++shed_count;
+            pending.promise.set_value(ShedResponse(pending.request));
+          }
+          tenant.scheduled->clear();
+          tenant.scheduled.reset();
+        }
+      }
+      if (shed_count > 0) {
+        OPCQA_LOG(Warning) << "shutdown deadline passed; shed " << shed_count
+                           << " queued request(s) with Unavailable";
+      }
+    }
+  }
+  // Units already on workers run to completion — their callers get real
+  // answers, and the pool stays healthy for a later (idempotent) call.
+  inflight_units_.Wait();
+}
+
 void OcqaServer::PumpLocked() {
   for (auto& entry : tenants_) {
     Tenant& tenant = *entry.second;
     if (tenant.busy || tenant.queue.empty()) continue;
     auto unit = std::make_shared<Unit>(NextUnitLocked(tenant));
     tenant.busy = true;
+    tenant.scheduled = unit;  // sheddable until a worker picks it up
     inflight_units_.Add();
     Tenant* tenant_ptr = &tenant;  // stable: tenants are never removed
     pool_->Submit(
@@ -348,15 +424,29 @@ const ChainGenerator* OcqaServer::FindGenerator(
 }
 
 void OcqaServer::ExecuteUnit(Tenant* tenant, std::shared_ptr<Unit> unit) {
-  OPCQA_CHECK(!unit->empty());
   // Resolve the unit's generator before touching the session: mutex_ and
   // session_mutex are only ever nested mutex_-first (Stats), so taking
   // mutex_ under session_mutex here could deadlock.
   std::shared_ptr<const ChainGenerator> generator;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = generators_.find(unit->front().request.generator);
-    if (it != generators_.end()) generator = it->second;
+    // Started: from here on Shutdown's deadline pass can't shed us.
+    if (tenant->scheduled == unit) tenant->scheduled.reset();
+    if (unit->empty()) {
+      // Shutdown shed the whole unit before any worker picked it up —
+      // its promises are already resolved and its requests already
+      // uncounted from in_flight. Release the tenant slot and the unit.
+      tenant->busy = false;
+      PumpLocked();
+      if (AllIdleLocked()) drained_cv_.notify_all();
+    } else {
+      auto it = generators_.find(unit->front().request.generator);
+      if (it != generators_.end()) generator = it->second;
+    }
+  }
+  if (unit->empty()) {
+    inflight_units_.Done();
+    return;
   }
 
   {
@@ -367,6 +457,34 @@ void OcqaServer::ExecuteUnit(Tenant* tenant, std::shared_ptr<Unit> unit) {
       batches_.fetch_add(1, std::memory_order_relaxed);
       batched_requests_.fetch_add(unit->size(), std::memory_order_relaxed);
     }
+
+    // Panic isolation: an exception escaping a member — a defect in the
+    // engine, a throwing user generator, an injected failpoint crash —
+    // becomes that member's Internal response. It never unwinds into the
+    // pool worker (whose bodies must not throw; util/parallel.h) and
+    // never poisons another member or tenant.
+    auto run_isolated = [&](PendingRequest& pending,
+                            const engine::CallOptions& call,
+                            ExecOutcome* outcome) -> Response {
+      try {
+        if (!IsMutation(pending.request)) OPCQA_FAILPOINT_HIT("server.unit");
+        return ExecuteOnSession(session, generator.get(), pending.request,
+                                call, outcome);
+      } catch (const std::exception& e) {
+        panics_.fetch_add(1, std::memory_order_relaxed);
+        OPCQA_LOG(Warning) << "isolated a panic in tenant '"
+                           << pending.request.tenant
+                           << "' unit: " << e.what();
+        if (outcome != nullptr) *outcome = ExecOutcome();
+        Response response;
+        response.id = pending.request.id;
+        response.tenant = pending.request.tenant;
+        response.status =
+            Status::Internal(std::string("worker panic: ") + e.what());
+        response.path = Response::Path::kError;
+        return response;
+      }
+    };
 
     std::vector<bool> done(unit->size(), false);
     // Planner fast lane: kCertain members inside the rewritable fragment
@@ -380,9 +498,13 @@ void OcqaServer::ExecuteUnit(Tenant* tenant, std::shared_ptr<Unit> unit) {
         if (!plan.ok() || plan->kind != planner::PlanKind::kRewriting) {
           continue;  // walks (or errors) run in queue order below
         }
-        Response response = ExecuteOnSession(session, generator.get(),
-                                             pending.request, {});
-        rewriting_fast_path_.fetch_add(1, std::memory_order_relaxed);
+        Response response = run_isolated(pending, {}, nullptr);
+        if (response.status.ok()) {
+          rewriting_fast_path_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          errors_.fetch_add(1, std::memory_order_relaxed);
+          failed_.fetch_add(1, std::memory_order_relaxed);
+        }
         completed_.fetch_add(1, std::memory_order_relaxed);
         pending.promise.set_value(std::move(response));
         done[i] = true;
@@ -426,8 +548,7 @@ void OcqaServer::ExecuteUnit(Tenant* tenant, std::shared_ptr<Unit> unit) {
                             : tenant->options.deadline_states;
       call.cache = bypass.get();
       ExecOutcome outcome;
-      Response response = ExecuteOnSession(session, generator.get(),
-                                           pending.request, call, &outcome);
+      Response response = run_isolated(pending, call, &outcome);
       if (IsMutation(pending.request)) {
         mutations_.fetch_add(1, std::memory_order_relaxed);
       } else if (pending.request.kind == RequestKind::kTopK) {
@@ -446,6 +567,13 @@ void OcqaServer::ExecuteUnit(Tenant* tenant, std::shared_ptr<Unit> unit) {
       }
       if (!response.status.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
+        // Deadline misses are the only ResourceExhausted produced during
+        // execution (admission rejections never reach a unit).
+        if (response.status.code() == StatusCode::kResourceExhausted) {
+          timed_out_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed_.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       completed_.fetch_add(1, std::memory_order_relaxed);
       pending.promise.set_value(std::move(response));
@@ -458,6 +586,7 @@ void OcqaServer::ExecuteUnit(Tenant* tenant, std::shared_ptr<Unit> unit) {
     OPCQA_CHECK_GE(tenant->in_flight, unit->size());
     tenant->in_flight -= unit->size();
     PumpLocked();  // successors are in flight before this unit's Done()
+    if (AllIdleLocked()) drained_cv_.notify_all();  // Shutdown's drain wait
   }
   inflight_units_.Done();
 }
@@ -481,6 +610,10 @@ ServerStats OcqaServer::Stats() {
       pressure_bypasses_.load(std::memory_order_relaxed);
   stats.deadline_truncations =
       deadline_truncations_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.timed_out = timed_out_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.panics = panics_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats.tenants = tenants_.size();

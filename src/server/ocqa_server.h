@@ -61,11 +61,25 @@
 // through the enumerator's budget machinery (Request::deadline_states,
 // default per tenant) — kExact requests fail the deadline loudly,
 // kAnytime requests return truncated lower bounds.
+//
+// ## Robustness
+//
+// Shutdown(deadline) stops admission (Submit answers Unavailable),
+// drains queued units for up to the deadline, then fails every
+// queued-but-unstarted request with Unavailable — a caller always gets
+// a response, never a dropped future. Each unit member executes under
+// panic isolation: an exception (a defect, or an injected
+// failpoint crash) poisons only that member's response — an Internal
+// error — never the worker pool or another tenant's unit. Stats()
+// separates the failure buckets: `shed` never executed (admission cap
+// or shutdown), `timed_out` hit its deadline, `failed` everything else.
 
 #ifndef OPCQA_SERVER_OCQA_SERVER_H_
 #define OPCQA_SERVER_OCQA_SERVER_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <future>
 #include <map>
@@ -124,6 +138,17 @@ struct ServerStats {
   uint64_t completed = 0;
   uint64_t rejected_admission = 0;  // admission-cap rejections
   uint64_t errors = 0;              // completed with non-OK status
+  /// Load-shed buckets (disjoint): `shed` requests never executed —
+  /// admission cap, Submit() during shutdown, or queued-but-unstarted at
+  /// the shutdown deadline (all answered ResourceExhausted/Unavailable);
+  /// `timed_out` executed but exceeded their state deadline in kExact
+  /// mode; `failed` executed and failed for any other reason (unknown
+  /// generator, isolated panics, ...). errors == timed_out + failed.
+  uint64_t shed = 0;
+  uint64_t timed_out = 0;
+  uint64_t failed = 0;
+  /// Exceptions caught by per-unit-member isolation (subset of failed).
+  uint64_t panics = 0;
   uint64_t batches = 0;             // read units with ≥ 2 members
   uint64_t batched_requests = 0;    // members riding in those units
   uint64_t walks = 0;    // enumerating members that missed in the cache
@@ -179,9 +204,25 @@ class OcqaServer {
   /// during a drain extends it.
   void Drain();
 
+  /// Graceful shutdown: stops admission (further Submit() calls complete
+  /// immediately with Unavailable), lets queued units drain for up to
+  /// `deadline`, then fails every request that has not *started
+  /// executing* — queued in a tenant FIFO or scheduled on the pool but
+  /// not yet picked up by a worker — with Unavailable, and waits for the
+  /// actually-running units to finish. Every accepted request gets a
+  /// response — nothing is silently dropped. Idempotent; submissions
+  /// stay rejected afterwards.
+  void Shutdown(std::chrono::milliseconds deadline);
+
   /// One coherent snapshot across the queue, the shared cache and every
   /// tenant session.
   ServerStats Stats();
+
+  /// Spills every dirty shared-cache root to the disk tier now (no-op
+  /// without a snapshot_dir), so a Stats() read afterwards reflects what
+  /// the next process will restore — destruction would otherwise spill
+  /// after the caller last looks at the counters.
+  void PersistCache() { cache_.Persist(); }
 
   const RepairSpaceCache& cache() const { return cache_; }
 
@@ -190,6 +231,8 @@ class OcqaServer {
     Request request;
     std::promise<Response> promise;
   };
+  using Unit = std::vector<PendingRequest>;
+
   struct Tenant {
     std::unique_ptr<engine::OcqaSession> session;
     /// Serializes session access: unit execution and Stats() aggregation
@@ -200,8 +243,12 @@ class OcqaServer {
     std::deque<PendingRequest> queue;
     bool busy = false;       // a unit of this tenant is running
     size_t in_flight = 0;    // queued + running requests (admission gauge)
+    /// The unit handed to the pool but not yet picked up by a worker
+    /// (ExecuteUnit clears this first thing). Shutdown's deadline pass
+    /// sheds it like queued work: with every worker occupied it might
+    /// only ever start after the callers Shutdown is blocking on.
+    std::shared_ptr<Unit> scheduled;
   };
-  using Unit = std::vector<PendingRequest>;
 
   Tenant& TenantFor(const std::string& name);  // mutex_ held
   /// Starts a unit for every idle tenant with queued work. mutex_ held.
@@ -214,6 +261,12 @@ class OcqaServer {
   void ExecuteUnit(Tenant* tenant, std::shared_ptr<Unit> unit);
   const ChainGenerator* FindGenerator(const std::string& name) const;
 
+  /// True when every tenant is idle with an empty queue. mutex_ held.
+  bool AllIdleLocked() const;
+  /// The Unavailable response shed requests complete with. mutex_ held
+  /// (only for the counters' sake — it touches no shared state).
+  static Response ShedResponse(const Request& request);
+
   ServerOptions options_;
   ConstraintSet constraints_;
   Database base_;
@@ -221,6 +274,10 @@ class OcqaServer {
 
   std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  bool shutting_down_ = false;
+  /// Signaled (under mutex_) whenever a unit completes and everything is
+  /// idle — Shutdown's drain wait.
+  std::condition_variable drained_cv_;
   std::map<std::string, std::shared_ptr<const ChainGenerator>> generators_;
 
   TaskGroup inflight_units_;
@@ -238,6 +295,10 @@ class OcqaServer {
   std::atomic<uint64_t> mutations_{0};
   std::atomic<uint64_t> pressure_bypasses_{0};
   std::atomic<uint64_t> deadline_truncations_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> timed_out_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> panics_{0};
 
   /// Last member, so the pool (whose threads the destructor joins first)
   /// outlives everything units touch.

@@ -11,12 +11,23 @@
 //     same directory, flushes it to stable storage, and rename()s it into
 //     place — readers (including other processes) see either the old
 //     snapshot or the complete new one, never a torn write. A crash mid-
-//     spill leaves only a temp file, which Put() lazily sweeps.
+//     spill leaves only a temp file, which the stale-temp sweep removes.
+//   * Bounded retry. Transient write/fsync/rename failures are retried
+//     `put_retries` times with exponential backoff, each attempt with a
+//     fresh temp file — a busy disk costs latency, not a lost spill.
+//   * Quarantine. A snapshot the caller reports corrupt twice (via
+//     MarkCorrupt) is moved to `<directory>/quarantine/` and its
+//     fingerprint is never probed again until a fresh Put replaces it —
+//     the corrupt bytes are kept for post-mortem instead of being
+//     re-decoded on every miss or silently deleted.
 //   * Oldest-first GC. With max_disk_bytes > 0, every Put() deletes the
 //     stalest snapshots (by modification time) until the directory fits
 //     the budget again; the just-written file is always kept, so a budget
 //     smaller than one snapshot degrades to "keep the newest" instead of
 //     making the tier useless.
+//   * Crashed-writer sweep. Temp files older than `temp_max_age` are
+//     removed at construction and before every GC pass, so a long-lived
+//     process cannot count orphaned temps against its disk budget.
 //
 // Thread-safe: all members lock one mutex (spills come from a background
 // writer while queries probe). Cross-process safety rests on the atomic
@@ -26,8 +37,11 @@
 #ifndef OPCQA_STORAGE_SNAPSHOT_STORE_H_
 #define OPCQA_STORAGE_SNAPSHOT_STORE_H_
 
+#include <chrono>
 #include <cstdint>
+#include <map>
 #include <mutex>
+#include <set>
 #include <string>
 
 #include "util/status.h"
@@ -41,6 +55,25 @@ struct SnapshotStoreOptions {
   /// Byte budget for the directory; 0 disables GC. Enforced oldest-first
   /// after every Put, never deleting the file just written.
   size_t max_disk_bytes = 0;
+  /// Extra attempts after a failed write/rename (0 = fail fast).
+  int put_retries = 2;
+  /// Backoff before retry k is retry_backoff_ms << (k - 1).
+  uint64_t retry_backoff_ms = 1;
+  /// A temp file older than this is a crashed writer's leftover, not an
+  /// in-flight spill, and may be swept by any process.
+  std::chrono::seconds temp_max_age = std::chrono::hours{1};
+};
+
+/// Counters for the hardening paths; plumbed into DiskTierStats by the
+/// repair cache.
+struct SnapshotStoreStats {
+  /// Put attempts that failed and were retried (not counting the final
+  /// failure of an exhausted Put).
+  uint64_t put_retries = 0;
+  /// Fingerprints moved to quarantine/ after two corruption strikes.
+  uint64_t quarantined = 0;
+  /// Crashed-writer temp files removed by the stale sweep.
+  uint64_t swept_temps = 0;
 };
 
 class SnapshotStore {
@@ -53,26 +86,54 @@ class SnapshotStore {
   /// "root-<16 hex digits>.snap" — the canonical snapshot file name.
   static std::string FileName(uint64_t fingerprint);
 
+  /// Subdirectory (under the store directory) holding quarantined
+  /// snapshots.
+  static constexpr const char* kQuarantineDirName = "quarantine";
+
   /// Atomically publishes `bytes` as the snapshot for `fingerprint`
-  /// (temp file + fsync + rename), then runs the GC sweep.
+  /// (temp file + fsync + rename, with bounded retry), then runs the
+  /// stale-temp sweep and the GC sweep. Clears any corruption strikes
+  /// or quarantine for `fingerprint` — new bytes get a clean slate.
   Status Put(uint64_t fingerprint, const std::string& bytes);
 
   /// The stored bytes for `fingerprint`; NotFound when no snapshot
-  /// exists. IO errors surface as statuses, never aborts.
+  /// exists or the fingerprint is quarantined. IO errors surface as
+  /// statuses, never aborts.
   Result<std::string> Get(uint64_t fingerprint) const;
 
+  /// Records that the caller failed to verify/decode the snapshot for
+  /// `fingerprint`. On the second strike the file is moved to
+  /// quarantine/ and the fingerprint is never probed again (Get returns
+  /// NotFound) until a fresh Put replaces it.
+  void MarkCorrupt(uint64_t fingerprint);
+
+  /// True once `fingerprint` has been quarantined (and not re-Put).
+  bool IsQuarantined(uint64_t fingerprint) const;
+
   /// Total bytes of committed snapshots currently in the directory
-  /// (temp files excluded). 0 when the directory does not exist.
+  /// (temp files and the quarantine subdirectory excluded). 0 when the
+  /// directory does not exist.
   size_t TotalBytes() const;
+
+  SnapshotStoreStats Stats() const;
 
   const std::string& directory() const { return options_.directory; }
 
  private:
+  /// One write-temp + rename attempt; removes its temp file on failure.
+  Status PutAttemptLocked(uint64_t fingerprint, const std::string& bytes);
+  /// Removes temp files older than temp_max_age.
+  void SweepStaleTempsLocked();
   /// Deletes oldest-first (never `keep`) until within max_disk_bytes.
   void GarbageCollectLocked(const std::string& keep);
 
   SnapshotStoreOptions options_;
   mutable std::mutex mutex_;
+  /// Corruption strikes per fingerprint; erased on Put.
+  std::map<uint64_t, int> corrupt_strikes_;
+  /// Fingerprints moved to quarantine/; never probed until re-Put.
+  std::set<uint64_t> quarantined_;
+  SnapshotStoreStats stats_;
 };
 
 }  // namespace storage

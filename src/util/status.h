@@ -23,6 +23,7 @@ enum class StatusCode {
   kOutOfRange,
   kResourceExhausted,
   kInternal,
+  kUnavailable,
 };
 
 /// Human-readable name of a status code, e.g. "InvalidArgument".
@@ -55,6 +56,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

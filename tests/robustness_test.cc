@@ -5,13 +5,19 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "constraints/constraint_parser.h"
 #include "logic/formula_parser.h"
 #include "relational/fact_parser.h"
+#include "repair/memo.h"
+#include "server/trace.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
+#include "storage/canonical.h"
 #include "util/random.h"
 
 namespace opcqa {
@@ -144,6 +150,105 @@ TEST_F(RobustnessTest, FactParserNeverCrashesOnMutations) {
   for (const std::string& mutated : Mutations(kValid, 0xD00D, 400)) {
     (void)ParseDatabase(schema_, mutated);
   }
+}
+
+TEST_F(RobustnessTest, TraceParserNeverCrashesOnMutations) {
+  // The serve-trace request log is user-supplied input (opcqa_cli
+  // --serve-trace): every line must parse to a Request or a Status.
+  const std::string kValid =
+      "# trace header comment\n"
+      "t0 answer exact uniform 0 Q(x,y) := R(x,y)\n"
+      "t1 insert exact - 0 R(a,b)\n"
+      "t0 certain exact uniform 8 Q(x) := exists y R(x,y)\n"
+      "t1 topk anytime uniform 0 2\n"
+      "t0 erase exact - 0 R(a,b)\n";
+  ASSERT_TRUE(server::ParseTrace(schema_, kValid).ok());
+  size_t rejected = 0;
+  for (const std::string& mutated : Mutations(kValid, 0x7ACE, 400)) {
+    Result<std::vector<server::Request>> result =
+        server::ParseTrace(schema_, mutated);  // must return, not crash
+    if (!result.ok()) {
+      ++rejected;
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+  // Mutations hitting the fixed fields (kind, mode, deadline, arity) are
+  // structural errors; only query-text edits can stay well-formed.
+  EXPECT_GT(rejected, 50u);
+}
+
+/// Byte-level mutations (the snapshot format is binary, so printable
+/// noise is not enough): replace/insert/erase a random byte, or truncate
+/// at a random offset.
+std::vector<std::string> ByteMutations(const std::string& bytes,
+                                       uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string mutated = bytes;
+    size_t kind = rng.UniformInt(4);
+    size_t position = rng.UniformInt(mutated.size());
+    char noise = static_cast<char>(rng.UniformInt(256));
+    switch (kind) {
+      case 0:
+        mutated[position] = noise;
+        break;
+      case 1:
+        mutated.insert(position, 1, noise);
+        break;
+      case 2:
+        mutated.erase(position, 1);
+        break;
+      default:
+        mutated.resize(position);
+        break;
+    }
+    out.push_back(std::move(mutated));
+  }
+  return out;
+}
+
+TEST_F(RobustnessTest, SnapshotDecoderNeverCrashesOnMutations) {
+  // Snapshot bytes cross process boundaries (any earlier run, any other
+  // writer may have produced them), so the loader's framing, CRC and
+  // identity checks must turn arbitrary damage into a Status — never an
+  // abort, a hang, or a silently-wrong table.
+  Result<Database> db = ParseDatabase(schema_, "R(a,b). R(a,c). R(d,e).");
+  ASSERT_TRUE(db.ok());
+  Result<Constraint> key =
+      ParseConstraint(schema_, "key: R(x,y), R(x,z) -> y = z");
+  ASSERT_TRUE(key.ok());
+  ConstraintSet constraints{*key};
+
+  TranspositionTable table;
+  auto outcome = std::make_shared<MemoOutcome>();
+  outcome->states = 3;
+  table.Insert(StateKey{11, 22}, std::set<FactId>{}, ViolationSet{},
+               outcome);
+
+  storage::SnapshotIdentity identity;
+  identity.db_text = db->ToString();
+  identity.constraints_digest =
+      storage::RenderConstraints(schema_, constraints);
+  identity.generator_identity = "robustness-sweep|v1";
+  std::string bytes = storage::EncodeSnapshot(identity, *db, table);
+  ASSERT_TRUE(
+      storage::DecodeSnapshot(bytes, identity, *db, constraints, 0, 0)
+          .ok());
+
+  size_t rejected = 0;
+  for (const std::string& mutated : ByteMutations(bytes, 0x5A5A, 400)) {
+    Result<std::shared_ptr<TranspositionTable>> decoded =
+        storage::DecodeSnapshot(mutated, identity, *db, constraints, 0, 0);
+    if (!decoded.ok()) {
+      ++rejected;
+      EXPECT_FALSE(decoded.status().message().empty());
+    }
+  }
+  // CRCs cover every region, so only no-op mutations (replacing a byte
+  // with itself) may still decode.
+  EXPECT_GT(rejected, 350u);
 }
 
 TEST_F(RobustnessTest, ExecutorSurvivesMutatedButParseableSql) {

@@ -3,14 +3,19 @@
 // worker widths, root-level batching counters (N same-root requests →
 // one walk), mutation-during-read isolation, deadline truncation under
 // both exec modes, per-tenant admission rejection, the cache-pressure
-// bypass, the planner fast lane, trace format round-trips, and the
-// aggregated Stats() snapshot. TSan-gated in CI.
+// bypass, the planner fast lane, graceful shutdown (drain + shed with
+// Unavailable), per-unit panic isolation, failure-bucket accounting,
+// trace format round-trips, and the aggregated Stats() snapshot.
+// TSan-gated in CI.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gen/workloads.h"
@@ -345,6 +350,103 @@ TEST(OcqaServerTest, RewritableCertainTakesTheFastLane) {
   std::string reference = RenderResponses(
       ReplaySerial(w, {certain}, ReplayMode::kSessionPerRequest));
   EXPECT_EQ(reference, RenderResponses({response}));
+}
+
+// ---------------------------------------------------------------------
+// Robustness: graceful shutdown, panic isolation, failure accounting
+// ---------------------------------------------------------------------
+
+TEST(OcqaServerTest, ShutdownDrainsAndShedsWithUnavailable) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(4, 3, 2, /*seed=*/7);
+  ServerOptions options;
+  options.workers = 1;
+  OcqaServer server(w.db, w.constraints, options);
+  GateGenerator gate;
+  server.RegisterGenerator("gate", gate.Make());
+
+  // A pins the sole worker; B and C queue behind it.
+  auto a = server.Submit(ReadRequest(0, "t", w, "Q() := exists x R(x,x)",
+                                     "gate"));
+  auto b = server.Submit(ReadRequest(1, "t", w, "Q(x,y) := R(x,y)"));
+  auto c = server.Submit(ReadRequest(2, "u", w, "Q(x,y) := R(x,y)"));
+
+  // Shutdown with an immediate deadline: the queued requests are shed
+  // with Unavailable, while the in-flight gated unit is still awaited —
+  // run it on a side thread so the test can release the gate.
+  std::thread shutdown(
+      [&server] { server.Shutdown(std::chrono::milliseconds(0)); });
+  EXPECT_EQ(b.get().status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(c.get().status.code(), StatusCode::kUnavailable);
+
+  gate.Release();
+  shutdown.join();
+  // The in-flight unit was drained, not abandoned: its answer is intact.
+  EXPECT_TRUE(a.get().status.ok());
+
+  // Post-shutdown submissions are refused up front.
+  Response late = server.Submit(ReadRequest(3, "t", w, "Q(x,y) := R(x,y)"))
+                      .get();
+  EXPECT_EQ(late.status.code(), StatusCode::kUnavailable);
+
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.shed, 3u);  // B, C at the deadline + the late submit
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.errors, 0u);  // shed requests never executed
+}
+
+TEST(OcqaServerTest, PanicInOneUnitIsIsolatedAndCounted) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(4, 3, 2, /*seed=*/7);
+  ServerOptions options;
+  options.workers = 2;
+  OcqaServer server(w.db, w.constraints, options);
+  server.RegisterGenerator(
+      "boom", std::make_shared<LambdaChainGenerator>(
+                  "boom", [](const RepairingState&,
+                             const std::vector<Operation>&)
+                              -> std::vector<Rational> {
+                    throw std::runtime_error("boom");
+                  }));
+
+  Response panicked =
+      server.Submit(ReadRequest(0, "t", w, "Q(x,y) := R(x,y)", "boom"))
+          .get();
+  EXPECT_EQ(panicked.status.code(), StatusCode::kInternal);
+  EXPECT_NE(panicked.status.message().find("worker panic"),
+            std::string::npos);
+  EXPECT_NE(panicked.status.message().find("boom"), std::string::npos);
+
+  // The worker survived: the same server keeps answering correctly.
+  Response after =
+      server.Submit(ReadRequest(1, "t", w, "Q(x,y) := R(x,y)")).get();
+  EXPECT_TRUE(after.status.ok());
+
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.panics, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.timed_out, 0u);
+  EXPECT_EQ(stats.errors, stats.timed_out + stats.failed);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(OcqaServerTest, FailureBucketsSeparateDeadlinesFromHardErrors) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/11);
+  ServerOptions options;
+  options.workers = 1;
+  OcqaServer server(w.db, w.constraints, options);
+
+  // An exact request with a tiny state deadline fails ResourceExhausted
+  // during execution: that lands in timed_out, not failed.
+  Request exact = ReadRequest(0, "t", w, "Q(x,y) := R(x,y)");
+  exact.deadline_states = 8;
+  exact.mode = ExecMode::kExact;
+  EXPECT_EQ(server.Submit(exact).get().status.code(),
+            StatusCode::kResourceExhausted);
+
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.shed, 0u);
 }
 
 // ---------------------------------------------------------------------

@@ -3,14 +3,17 @@
 // answers, a genuine fresh-process warm start (fork + exec), rejection of
 // corrupt/truncated/version-mismatched snapshots with cold-compute
 // fallback, disk GC under max_disk_bytes, spill-on-LRU-eviction, the
-// twice-missed admission filter, and a concurrent spill-while-querying
-// run (TSan-gated in CI).
+// twice-missed admission filter, the hardening paths (bounded Put retry,
+// two-strike quarantine, crashed-writer temp sweep, disk-tier circuit
+// breaker trip + recovery), and a concurrent spill-while-querying run
+// (TSan-gated in CI).
 
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -432,6 +435,152 @@ TEST(AdmissionFilterTest, RecordsOnlyTwiceMissedKeys) {
   restored.RestoreEntry(key, {}, {}, outcome);
   EXPECT_EQ(restored.size(), 1u);
   EXPECT_EQ(restored.Lookup(key, removed, eliminated), outcome);
+}
+
+// ---------------------------------------------------------------------
+// Hardening: retry, quarantine, crashed-writer sweep, circuit breaker
+// ---------------------------------------------------------------------
+
+TEST(StorageHardeningTest, PutRetriesBeforeFailingCleanly) {
+  storage::SnapshotStoreOptions options;
+  // A path that can never become a directory: every attempt fails the
+  // same way, so an exhausted Put surfaces the error instead of aborting.
+  options.directory = "/dev/null/opcqa-retry";
+  options.put_retries = 2;
+  options.retry_backoff_ms = 0;
+  storage::SnapshotStore store(options);
+  Status put = store.Put(1, "bytes");
+  EXPECT_FALSE(put.ok());
+  EXPECT_EQ(store.Stats().put_retries, 2u);  // two retries, then give up
+}
+
+TEST(StorageHardeningTest, TwoCorruptionStrikesQuarantineTheSnapshot) {
+  TempDir dir;
+  storage::SnapshotStoreOptions options;
+  options.directory = dir.path();
+  storage::SnapshotStore store(options);
+  ASSERT_TRUE(store.Put(42, "payload").ok());
+
+  // One strike is forgiven: transient decode failures (torn concurrent
+  // rewrite, cosmic ray in the page cache) must not nuke a good file.
+  store.MarkCorrupt(42);
+  EXPECT_FALSE(store.IsQuarantined(42));
+  ASSERT_TRUE(store.Get(42).ok());
+
+  // The second strike moves the bytes to quarantine/ for post-mortem and
+  // stops probing the fingerprint.
+  store.MarkCorrupt(42);
+  EXPECT_TRUE(store.IsQuarantined(42));
+  EXPECT_EQ(store.Get(42).status().code(), StatusCode::kNotFound);
+  fs::path quarantined = fs::path(dir.path()) /
+                         storage::SnapshotStore::kQuarantineDirName /
+                         storage::SnapshotStore::FileName(42);
+  EXPECT_TRUE(fs::exists(quarantined));
+  EXPECT_EQ(store.Stats().quarantined, 1u);
+
+  // Further strikes are no-ops; a fresh Put gives the root a clean slate.
+  store.MarkCorrupt(42);
+  EXPECT_EQ(store.Stats().quarantined, 1u);
+  ASSERT_TRUE(store.Put(42, "fresh").ok());
+  EXPECT_FALSE(store.IsQuarantined(42));
+  Result<std::string> bytes = store.Get(42);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "fresh");
+}
+
+TEST(StorageHardeningTest, CrashedWriterTempsAreSweptAtOpenAndPut) {
+  TempDir dir;
+  auto make_temp = [&](const std::string& name, bool stale) {
+    fs::path path = fs::path(dir.path()) / name;
+    std::ofstream(path) << "partial";
+    if (stale) {
+      fs::last_write_time(path, fs::file_time_type::clock::now() -
+                                    std::chrono::hours(2));
+    }
+    return path;
+  };
+  fs::path stale = make_temp(".tmp-root-00000000000000aa.snap.9.0", true);
+  fs::path fresh = make_temp(".tmp-root-00000000000000bb.snap.9.1", false);
+
+  // Construction sweeps the crashed writer's leftover but leaves the
+  // fresh temp alone — it may be another process's in-flight spill.
+  storage::SnapshotStoreOptions options;
+  options.directory = dir.path();
+  storage::SnapshotStore store(options);
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(fs::exists(fresh));
+  EXPECT_EQ(store.Stats().swept_temps, 1u);
+
+  // The sweep also runs on every Put, so a long-lived process converges
+  // without reopening the store.
+  fs::path later = make_temp(".tmp-root-00000000000000cc.snap.9.2", true);
+  ASSERT_TRUE(store.Put(7, "hello").ok());
+  EXPECT_FALSE(fs::exists(later));
+  EXPECT_EQ(store.Stats().swept_temps, 2u);
+  Result<std::string> bytes = store.Get(7);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "hello");
+}
+
+TEST(StorageHardeningTest, BreakerTripsToMemoryOnlyAfterRepeatedFailures) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(4, 3, 2, /*seed=*/3);
+  UniformChainGenerator generator;
+  RepairCacheOptions options = DiskOptions("/dev/null/opcqa-breaker");
+  options.breaker_failure_threshold = 1;
+  options.breaker_cooldown_ms = 60000;  // stays open for the whole test
+  RepairSpaceCache cache(options);
+  EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+  EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+
+  // First spill fails on the unwritable tier (after the store's bounded
+  // retries) and trips the breaker.
+  cache.Persist();
+  DiskTierStats tripped = cache.disk_stats();
+  EXPECT_EQ(tripped.failed_spills, 1u);
+  EXPECT_EQ(tripped.breaker_trips, 1u);
+  EXPECT_GE(tripped.put_retries, 2u);
+
+  // While open, further spills are skipped (the root stays dirty) instead
+  // of burning IO on a tier that is known bad.
+  cache.Persist();
+  DiskTierStats open = cache.disk_stats();
+  EXPECT_EQ(open.failed_spills, 1u);
+  EXPECT_GE(open.breaker_skips, 1u);
+}
+
+TEST(StorageHardeningTest, BreakerRecoversAfterCooldown) {
+  gen::Workload w = gen::MakeKeyViolationWorkload(4, 3, 2, /*seed=*/3);
+  UniformChainGenerator generator;
+  TempDir dir;
+  // Block the tier with a regular file where the snapshot directory
+  // should be: every Put fails until the file is removed.
+  fs::path blocked = fs::path(dir.path()) / "tier";
+  std::ofstream(blocked) << "in the way";
+
+  RepairCacheOptions options = DiskOptions(blocked.string());
+  options.breaker_failure_threshold = 1;
+  options.breaker_cooldown_ms = 30;
+  RepairSpaceCache cache(options);
+  EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+  EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&cache));
+  cache.Persist();
+  ASSERT_EQ(cache.disk_stats().breaker_trips, 1u);
+  ASSERT_EQ(cache.disk_stats().spills, 0u);
+
+  // Tier repaired + cooldown elapsed: the half-open probe succeeds and
+  // the dirty root finally reaches disk.
+  fs::remove(blocked);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  cache.Persist();
+  DiskTierStats recovered = cache.disk_stats();
+  EXPECT_EQ(recovered.spills, 1u);
+  EXPECT_EQ(recovered.failed_spills, 1u);
+  EXPECT_EQ(recovered.breaker_trips, 1u);
+
+  // And the spill is real: a fresh cache warm-starts from it.
+  RepairSpaceCache warm(DiskOptions(blocked.string()));
+  EnumerateRepairs(w.db, w.constraints, generator, MemoOptions(&warm));
+  EXPECT_EQ(warm.disk_stats().restores, 1u);
 }
 
 // ---------------------------------------------------------------------
