@@ -26,8 +26,19 @@
 //             spill it back on exit, so a *fresh process* over the same
 //             database warm-starts from this run's chain walks; implies
 //             --memo-persist)
-//             [--memo-disk-bytes=N]  (byte budget for --memo-dir,
-//             oldest snapshots deleted first; 0 = unbounded)
+//             [--memo-disk-bytes=N]  (byte budget for --memo-dir — base
+//             snapshots plus delta logs, whole roots deleted oldest
+//             first; 0 = unbounded)
+//             [--memo-delta=0|1]  (default 1: once a root's base
+//             snapshot exists, spills append only the newly admitted
+//             entries to its delta log; 0 rewrites the whole base every
+//             spill — the PR-5 behavior)
+//             [--memo-compact-ratio=X]  (compact a delta log into a
+//             fresh base once it exceeds X times the base size;
+//             default 0.5, <= 0 compacts on every spill)
+//             [--memo-memory-bytes=N]  (memory-tier byte budget across
+//             all cache roots: overflow demotes the lowest-retention
+//             root to the disk tier early; 0 = off)
 //             [--plan=auto|walk|rewrite]  (exact mode: route each query
 //             through the query planner — src/planner/ — and print the
 //             decision. `auto` answers FO-rewritable queries inside the
@@ -69,7 +80,9 @@
 // SQL-mode tables expose columns c0, c1, ... per relation position.
 //
 // Exit codes: 0 = answered (including degraded runs, which warn on
-// stderr), 1 = hard failure, 2 = usage error.
+// stderr), 1 = hard failure, 2 = usage error. `--help` prints the full
+// flag table (the normative list docs/KNOBS.md is CI-checked against)
+// and exits 0.
 
 #include <cstdio>
 #include <fstream>
@@ -108,6 +121,9 @@ struct Options {
   size_t memo_bytes = 0;      // byte budget (0 = entries-only budget)
   std::string memo_dir;       // disk tier directory (empty = memory only)
   size_t memo_disk_bytes = 0;  // disk budget for --memo-dir (0 = unbounded)
+  bool memo_delta = true;      // delta spills (0 = always rewrite the base)
+  double memo_compact_ratio = 0.5;  // log/base compaction threshold
+  size_t memo_memory_bytes = 0;  // cross-root memory budget (0 = off)
   std::string plan;  // exact mode: planner dispatch (empty = flag unset,
                      // behave exactly as before the planner existed)
   std::string serve_trace;      // request-log path — serve-trace mode
@@ -216,6 +232,91 @@ Result<Schema> ParseSchemaFile(const std::string& text) {
 //   2  usage — unknown flags or bad flag *values* (generator, mode,
 //      plan, keys), missing required flags.
 
+// The complete flag reference, printed by --help (exit 0). One line per
+// flag: "  --name=VALUE  (default/required)  what it does". docs/KNOBS.md
+// is the normative knob table and CI diffs the flag names listed here
+// against it — add new flags in both places.
+void PrintHelp() {
+  std::printf(
+      "opcqa_cli — operational consistent query answering "
+      "(Calautti–Libkin–Pieris, PODS 2018)\n"
+      "\n"
+      "usage: opcqa_cli --schema=F --db=F --constraints=F "
+      "--query='Q(x) := R(x,y)' [flags]\n"
+      "   or: opcqa_cli --schema=F --db=F --constraints=F "
+      "--serve-trace=F [flags]\n"
+      "   or: opcqa_cli --schema=F --db=F --mode=sql --sql='SELECT ...' "
+      "--keys='R:0;S:0,1' [flags]\n"
+      "\n"
+      "input flags:\n"
+      "  --schema=FILE        (required) relation declarations, one "
+      "Name/arity per line\n"
+      "  --db=FILE            (required) facts \"R(a,b).\" separated by "
+      "'.'\n"
+      "  --constraints=FILE   (required outside --mode=sql) one "
+      "constraint per line\n"
+      "  --query=TEXT         FO query 'Q(x) := R(x,y)'; repeatable, "
+      "answered in order\n"
+      "  --sql=TEXT           (--mode=sql) SELECT statement over columns "
+      "c0, c1, ...\n"
+      "  --keys=SPEC          (--mode=sql) key positions "
+      "'R:0;S:0,1'\n"
+      "\n"
+      "answering flags:\n"
+      "  --generator=NAME     (default: uniform) uniform | deletions | "
+      "minchange\n"
+      "  --mode=NAME          (default: exact) exact | approx | sql\n"
+      "  --eps=X              (default: 0.1) approx/sql additive error "
+      "bound\n"
+      "  --delta=X            (default: 0.1) approx/sql failure "
+      "probability\n"
+      "  --seed=N             (default: 42) sampling seed\n"
+      "  --threads=N          (default: 1) enumeration threads; 0 = all "
+      "cores\n"
+      "  --plan=NAME          (default: unset) auto | walk | rewrite — "
+      "planner dispatch\n"
+      "\n"
+      "repair-space cache flags:\n"
+      "  --memo               (default: off) memoize shared repair-space "
+      "suffixes\n"
+      "  --memo-persist       (default: off) share the repair space "
+      "across the --query list; implies --memo\n"
+      "  --memo-bytes=N       (default: 0) byte budget per memo table / "
+      "cache root; 0 = entries-only\n"
+      "  --memo-dir=PATH      (default: unset) disk tier directory; "
+      "implies --memo-persist\n"
+      "  --memo-disk-bytes=N  (default: 0) byte budget for --memo-dir "
+      "(bases + delta logs); 0 = unbounded\n"
+      "  --memo-delta=0|1     (default: 1) append-only delta spills once "
+      "a base snapshot exists; 0 = always rewrite the base\n"
+      "  --memo-compact-ratio=X  (default: 0.5) compact the delta log "
+      "into a fresh base once it exceeds this fraction of the base; <= 0 "
+      "compacts every spill\n"
+      "  --memo-memory-bytes=N   (default: 0) memory-tier byte budget "
+      "across all cache roots; overflow demotes the lowest-retention "
+      "root to disk; 0 = off\n"
+      "\n"
+      "serve-trace flags:\n"
+      "  --serve-trace=FILE   replay a request log through OcqaServer "
+      "(format: server/trace.h)\n"
+      "  --serve-workers=N    (default: 0) server worker threads; 0 = "
+      "all cores\n"
+      "  --serve-out=PATH     (default: stdout) write canonical "
+      "responses to PATH\n"
+      "  --serve-baseline     (default: off) serial per-tenant replay "
+      "instead of the server\n"
+      "\n"
+      "output flags:\n"
+      "  --show-repairs       (default: off) print the repair "
+      "distribution\n"
+      "  --show-chain         (default: off) print the repairing chain "
+      "tree\n"
+      "  --help               print this reference and exit 0\n"
+      "\n"
+      "exit codes: 0 = answered (degraded runs warn on stderr), 1 = hard "
+      "failure, 2 = usage error\n");
+}
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
@@ -233,6 +334,10 @@ int main(int argc, char** argv) {
   std::string value;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintHelp();
+      return 0;
+    }
     if (ParseFlag(arg, "schema", &opt.schema_path)) continue;
     if (ParseFlag(arg, "db", &opt.db_path)) continue;
     if (ParseFlag(arg, "constraints", &opt.constraints_path)) continue;
@@ -286,6 +391,19 @@ int main(int argc, char** argv) {
           std::strtoull(value.c_str(), nullptr, 10));
       continue;
     }
+    if (ParseFlag(arg, "memo-delta", &value)) {
+      opt.memo_delta = value != "0";
+      continue;
+    }
+    if (ParseFlag(arg, "memo-compact-ratio", &value)) {
+      opt.memo_compact_ratio = std::atof(value.c_str());
+      continue;
+    }
+    if (ParseFlag(arg, "memo-memory-bytes", &value)) {
+      opt.memo_memory_bytes = static_cast<size_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+      continue;
+    }
     if (ParseFlag(arg, "plan", &opt.plan)) continue;
     if (ParseFlag(arg, "serve-trace", &opt.serve_trace)) continue;
     if (ParseFlag(arg, "serve-workers", &value)) {
@@ -332,7 +450,9 @@ int main(int argc, char** argv) {
                  "[--generator=uniform|deletions|minchange] "
                  "[--mode=exact|approx] [--eps --delta --seed --threads "
                  "--memo --memo-persist --memo-bytes=N --memo-dir=PATH "
-                 "--memo-disk-bytes=N --plan=auto|walk|rewrite] "
+                 "--memo-disk-bytes=N --memo-delta=0|1 "
+                 "--memo-compact-ratio=X --memo-memory-bytes=N "
+                 "--plan=auto|walk|rewrite] "
                  "[--show-repairs] [--show-chain]\n"
                  "   or: opcqa_cli --schema=F --db=F --constraints=F "
                  "--serve-trace=F [--serve-workers=N --serve-out=PATH "
@@ -340,7 +460,8 @@ int main(int argc, char** argv) {
                  "--memo-disk-bytes --threads --plan]\n"
                  "   or: opcqa_cli --schema=F --db=F --mode=sql "
                  "--sql='SELECT ...' --keys='R:0;S:0,1' "
-                 "[--eps --delta --seed]\n");
+                 "[--eps --delta --seed]\n"
+                 "run opcqa_cli --help for the full flag reference\n");
     return 2;
   }
 
@@ -418,6 +539,9 @@ int main(int argc, char** argv) {
       server_options.cache.max_bytes_per_root = opt.memo_bytes;
       server_options.cache.snapshot_dir = opt.memo_dir;
       server_options.cache.max_disk_bytes = opt.memo_disk_bytes;
+      server_options.cache.delta_spill = opt.memo_delta;
+      server_options.cache.log_compaction_ratio = opt.memo_compact_ratio;
+      server_options.cache.max_memory_bytes = opt.memo_memory_bytes;
       if (!opt.plan.empty()) {
         Result<planner::PlanMode> plan_mode =
             planner::ParsePlanMode(opt.plan);
@@ -469,6 +593,13 @@ int main(int argc, char** argv) {
                      u(stats.disk.restores), u(stats.disk.restore_bytes),
                      stats.disk.failed_spills == 0 ? ""
                                                    : " [SPILLS FAILING]");
+        std::fprintf(stderr,
+                     "disk:  %llu delta appends, %llu compactions, %llu "
+                     "compressed bytes written, %llu promotions / %llu "
+                     "demotions\n",
+                     u(stats.disk.delta_appends), u(stats.disk.compactions),
+                     u(stats.disk.compressed_bytes),
+                     u(stats.disk.promotions), u(stats.disk.demotions));
       }
       std::fprintf(stderr,
                    "plan:  %llu rewriting / %llu walk plans, %llu "
@@ -551,6 +682,9 @@ int main(int argc, char** argv) {
     cache_options.max_bytes_per_root = opt.memo_bytes;
     cache_options.snapshot_dir = opt.memo_dir;
     cache_options.max_disk_bytes = opt.memo_disk_bytes;
+    cache_options.delta_spill = opt.memo_delta;
+    cache_options.log_compaction_ratio = opt.memo_compact_ratio;
+    cache_options.max_memory_bytes = opt.memo_memory_bytes;
     RepairSpaceCache cache(cache_options);
     EnumerationOptions enum_options;
     enum_options.threads = opt.threads;
@@ -667,6 +801,14 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(
                         disk.rejected_snapshots),
                     disk.failed_spills == 0 ? "" : " [SPILLS FAILING]");
+        std::printf("disk tier v2: %llu delta appends, %llu compactions, "
+                    "%llu compressed bytes written, %llu promotions / "
+                    "%llu demotions\n",
+                    static_cast<unsigned long long>(disk.delta_appends),
+                    static_cast<unsigned long long>(disk.compactions),
+                    static_cast<unsigned long long>(disk.compressed_bytes),
+                    static_cast<unsigned long long>(disk.promotions),
+                    static_cast<unsigned long long>(disk.demotions));
         if (disk.failed_spills > 0 || disk.breaker_trips > 0 ||
             disk.quarantined > 0) {
           std::fprintf(stderr,

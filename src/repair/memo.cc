@@ -227,6 +227,7 @@ void TranspositionTable::EmplaceEntry(Stripe& stripe, Entry entry) {
     }
   }
   entry.chances = CostTier(*entry.outcome);
+  entry.sequence = sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
   entry.entry_bytes = EntryBytes(entry);
   entry.payload_bytes = PayloadBytes(entry);
   entry.full_bytes = FullPayloadBytes(entry);
@@ -303,6 +304,28 @@ void TranspositionTable::ForEach(
       std::lock_guard<std::mutex> lock(stripe.mutex);
       entries.reserve(stripe.map.size());
       for (const auto& [combined, entry] : stripe.map) {
+        entries.emplace_back(entry.removed, entry.eliminated, entry.outcome);
+      }
+    }
+    for (const auto& [removed, eliminated, outcome] : entries) {
+      fn(removed, eliminated, *outcome);
+    }
+  }
+}
+
+void TranspositionTable::ForEachSince(
+    uint64_t since, uint64_t upto,
+    const std::function<void(const std::vector<FactId>& removed,
+                             const ViolationSet& eliminated,
+                             const MemoOutcome& outcome)>& fn) const {
+  for (const Stripe& stripe : stripes_) {
+    std::vector<std::tuple<std::vector<FactId>, ViolationSet,
+                           std::shared_ptr<const MemoOutcome>>>
+        entries;
+    {
+      std::lock_guard<std::mutex> lock(stripe.mutex);
+      for (const auto& [combined, entry] : stripe.map) {
+        if (entry.sequence <= since || entry.sequence > upto) continue;
         entries.emplace_back(entry.removed, entry.eliminated, entry.outcome);
       }
     }

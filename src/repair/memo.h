@@ -256,6 +256,28 @@ class TranspositionTable {
                                const ViolationSet& eliminated,
                                const MemoOutcome& outcome)>& fn) const;
 
+  /// Monotone admission clock: every entry that wins residency (Insert
+  /// past the filter, or RestoreEntry) is stamped with the next tick.
+  /// `sequence()` is the newest stamp handed out — the high-water mark a
+  /// delta spill captures. Evictions never rewind it, so "nothing new
+  /// since sequence S" is exactly "no entry carries a stamp > S".
+  uint64_t sequence() const {
+    return sequence_.load(std::memory_order_relaxed);
+  }
+
+  /// ForEach restricted to entries stamped in (since, upto] — the
+  /// still-resident entries admitted after a previous spill captured
+  /// `since` and before this spill captured `upto = sequence()`. Entries
+  /// admitted mid-sweep carry stamps > upto and are excluded, so the view
+  /// is a consistent delta even under concurrent inserts. An entry both
+  /// admitted and evicted inside the window is simply absent (sound: the
+  /// disk tier only ever under-remembers, never mis-remembers).
+  void ForEachSince(
+      uint64_t since, uint64_t upto,
+      const std::function<void(const std::vector<FactId>& removed,
+                               const ViolationSet& eliminated,
+                               const MemoOutcome& outcome)>& fn) const;
+
   size_t size() const;
   MemoStats stats() const;
 
@@ -268,6 +290,8 @@ class TranspositionTable {
     /// Second-chance credits: decremented by the eviction sweep, evicted
     /// at zero, refreshed to the cost tier on every verified hit.
     uint8_t chances = 0;
+    /// Admission stamp from sequence_ (see ForEachSince).
+    uint64_t sequence = 0;
     size_t entry_bytes = 0;    // cached EntryBytes(*this)
     size_t payload_bytes = 0;  // cached delta-payload share of entry_bytes
     size_t full_bytes = 0;     // cached PR-3-equivalent payload footprint
@@ -323,6 +347,8 @@ class TranspositionTable {
   std::atomic<uint64_t> rejected_full_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> admission_deferred_{0};
+  /// Admission clock (see sequence()); stamped inside EmplaceEntry.
+  std::atomic<uint64_t> sequence_{0};
   Stripe stripes_[kNumStripes];
 };
 

@@ -109,18 +109,12 @@ std::shared_ptr<TranspositionTable> RepairSpaceCache::TableFor(
 
   // In-memory miss: probe the disk tier outside the lock (decoding and
   // its verification are self-contained and may be slow).
-  std::shared_ptr<TranspositionTable> table;
-  uint64_t clean_below_inserts = UINT64_MAX;
-  size_t restored_bytes = 0;
-  bool restored = false;
+  RestoredDisk restored;
   if (store_ != nullptr) {
-    table = RestoreFromDisk(db, constraints, digest, identity,
-                            prune_zero_probability, &restored_bytes);
-    if (table != nullptr) {
-      restored = true;
-      clean_below_inserts = table->stats().inserts;
-    }
+    restored = RestoreFromDisk(db, constraints, digest, identity,
+                               prune_zero_probability);
   }
+  std::shared_ptr<TranspositionTable> table = restored.table;
   if (table == nullptr) {
     table = std::make_shared<TranspositionTable>(
         options_.max_entries_per_root, options_.max_bytes_per_root);
@@ -132,8 +126,7 @@ std::shared_ptr<TranspositionTable> RepairSpaceCache::TableFor(
     if (options_.admission_filter) table->EnableAdmissionFilter();
   }
 
-  Root evicted;
-  bool spill_evicted = false;
+  std::vector<Root> victims;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // Re-check: another thread may have built this root while we probed
@@ -142,9 +135,10 @@ std::shared_ptr<TranspositionTable> RepairSpaceCache::TableFor(
     if (std::shared_ptr<TranspositionTable> resident = find_live()) {
       return resident;
     }
-    if (restored) {
+    if (restored.table != nullptr) {
       restores_.fetch_add(1, std::memory_order_relaxed);
-      restore_bytes_.fetch_add(restored_bytes, std::memory_order_relaxed);
+      restore_bytes_.fetch_add(restored.bytes, std::memory_order_relaxed);
+      promotions_.fetch_add(1, std::memory_order_relaxed);
     }
     Root root;
     root.fingerprint = fingerprint;
@@ -155,33 +149,94 @@ std::shared_ptr<TranspositionTable> RepairSpaceCache::TableFor(
     root.prune = prune_zero_probability;
     root.last_used = ++tick_;
     root.table = table;
-    root.clean_below_inserts = clean_below_inserts;
+    if (restored.table != nullptr) {
+      root.base_on_disk = true;
+      // Every restored entry was just stamped; the on-disk state covers
+      // exactly them.
+      root.spilled_through_seq = table->sequence();
+      root.base_bytes = restored.base_bytes;
+      root.log_bytes = restored.log_bytes;
+      root.force_compaction = restored.dirty_tail;
+    }
     roots_.push_back(std::move(root));
-    if (options_.max_roots > 0 && roots_.size() > options_.max_roots) {
-      auto oldest = std::min_element(
-          roots_.begin(), roots_.end(), [](const Root& a, const Root& b) {
-            return a.last_used < b.last_used;
-          });
-      // The memory tier is full: hand the evicted root to the disk tier
-      // so its chain walks survive for a later query (or process). The
-      // spill itself runs after mutex_ drops — the task may execute
-      // inline on a pool worker and must never see mutex_ held.
-      if (store_ != nullptr && options_.spill_on_evict) {
-        evicted = std::move(*oldest);
-        spill_evicted = true;
+    // The memory tier may now be over budget (root count or bytes):
+    // demote the lowest-retention roots to the disk tier so their chain
+    // walks survive for a later query (or process). The spills run after
+    // mutex_ drops — a task may execute inline on a pool worker and must
+    // never see mutex_ held.
+    CollectDemotionsLocked(&victims);
+  }
+  for (Root& victim : victims) {
+    if (store_ != nullptr) {
+      bool clean = victim.base_on_disk && !victim.force_compaction &&
+                   victim.table->sequence() <= victim.spilled_through_seq;
+      if (options_.spill_on_evict || clean) {
+        demotions_.fetch_add(1, std::memory_order_relaxed);
       }
-      roots_.erase(oldest);
+      if (options_.spill_on_evict) SpillAsync(std::move(victim));
     }
   }
-  if (spill_evicted) SpillAsync(std::move(evicted));
   return table;
 }
 
-std::shared_ptr<TranspositionTable> RepairSpaceCache::RestoreFromDisk(
+double RepairSpaceCache::RetentionScoreLocked(const Root& root) const {
+  MemoStats stats = root.table->stats();
+  bool clean_on_disk = store_ != nullptr && root.base_on_disk &&
+                       !root.force_compaction &&
+                       root.table->sequence() <= root.spilled_through_seq;
+  // Loss if dropped now: a clean-on-disk root costs one restore (read +
+  // decode, proportional to its resident footprint); anything else costs
+  // re-walking everything the table has recorded (the uncompressed
+  // payload total — a recompute-cost proxy), on top of that footprint.
+  double loss = clean_on_disk
+                    ? static_cast<double>(stats.bytes)
+                    : static_cast<double>(stats.full_payload_bytes) +
+                          static_cast<double>(stats.bytes);
+  uint64_t age = tick_ - root.last_used;
+  return loss / static_cast<double>(age + 1);
+}
+
+void RepairSpaceCache::CollectDemotionsLocked(std::vector<Root>* victims) {
+  auto memory_bytes = [this] {
+    size_t total = 0;
+    for (const Root& root : roots_) total += root.table->stats().bytes;
+    return total;
+  };
+  while (roots_.size() > 1) {
+    bool over_roots =
+        options_.max_roots > 0 && roots_.size() > options_.max_roots;
+    bool over_memory = options_.max_memory_bytes > 0 &&
+                       memory_bytes() > options_.max_memory_bytes;
+    if (!over_roots && !over_memory) break;
+    // The most recently touched root is never a victim — it is the one
+    // the current query is about to use. Among the rest, drop the
+    // cheapest to lose per tick of idleness. (With equal-size tables and
+    // no disk tier this degenerates to plain LRU.)
+    size_t newest = 0;
+    for (size_t i = 1; i < roots_.size(); ++i) {
+      if (roots_[i].last_used > roots_[newest].last_used) newest = i;
+    }
+    size_t victim = SIZE_MAX;
+    double victim_score = 0.0;
+    for (size_t i = 0; i < roots_.size(); ++i) {
+      if (i == newest) continue;
+      double score = RetentionScoreLocked(roots_[i]);
+      if (victim == SIZE_MAX || score < victim_score) {
+        victim = i;
+        victim_score = score;
+      }
+    }
+    if (victim == SIZE_MAX) break;
+    victims->push_back(std::move(roots_[victim]));
+    roots_.erase(roots_.begin() + static_cast<ptrdiff_t>(victim));
+  }
+}
+
+RepairSpaceCache::RestoredDisk RepairSpaceCache::RestoreFromDisk(
     const Database& db, const ConstraintSet& constraints,
-    const std::string& digest, const std::string& identity, bool prune,
-    size_t* restored_bytes) {
-  if (!DiskTierAvailable()) return nullptr;  // breaker open: memory-only
+    const std::string& digest, const std::string& identity, bool prune) {
+  RestoredDisk out;
+  if (!DiskTierAvailable()) return out;  // breaker open: memory-only
   storage::SnapshotIdentity expected;
   expected.db_text = db.ToString();
   expected.constraints_digest = digest;
@@ -199,7 +254,7 @@ std::shared_ptr<TranspositionTable> RepairSpaceCache::RestoreFromDisk(
       rejected_snapshots_.fetch_add(1, std::memory_order_relaxed);
       NoteDiskFailure();
     }
-    return nullptr;
+    return out;
   }
   Result<std::shared_ptr<TranspositionTable>> decoded =
       storage::DecodeSnapshot(*bytes, expected, db, constraints,
@@ -212,12 +267,35 @@ std::shared_ptr<TranspositionTable> RepairSpaceCache::RestoreFromDisk(
     // them (the store then answers NotFound, a clean cold miss).
     store_->MarkCorrupt(fingerprint);
     NoteDiskFailure();
-    return nullptr;
+    return out;
   }
   NoteDiskSuccess();
-  *restored_bytes = bytes->size();
-  if (options_.admission_filter) (*decoded)->EnableAdmissionFilter();
-  return *decoded;
+  out.table = *decoded;
+  out.base_bytes = bytes->size();
+  out.bytes = bytes->size();
+  // Delta log on top of the base: each record's entries go through the
+  // same re-interning and verification as base entries. A torn/corrupt
+  // tail keeps the valid prefix (base + prefix, never cold) and forces
+  // the next spill to compact; an unverifiable log *head* is ignored
+  // wholesale — it never matches this root's identity, so its records
+  // must not apply.
+  Result<std::string> log = store_->GetLog(fingerprint);
+  if (log.ok()) {
+    storage::DeltaLogApplyResult applied;
+    Status log_status = storage::ApplyDeltaLog(*log, expected, db,
+                                               constraints, out.table.get(),
+                                               &applied);
+    if (!log_status.ok()) {
+      rejected_snapshots_.fetch_add(1, std::memory_order_relaxed);
+      out.dirty_tail = true;  // compact the dead log away on next spill
+    } else {
+      out.log_bytes = log->size();
+      out.bytes += log->size();
+      if (!applied.clean_tail) out.dirty_tail = true;
+    }
+  }
+  if (options_.admission_filter) out.table->EnableAdmissionFilter();
+  return out;
 }
 
 bool RepairSpaceCache::HasRoot(const Database& db,
@@ -254,13 +332,18 @@ void RepairSpaceCache::SpillAsync(Root root) {
   std::string identity = std::move(root.generator_identity);
   bool prune = root.prune;
   std::shared_ptr<TranspositionTable> table = std::move(root.table);
-  uint64_t clean_below = root.clean_below_inserts;
+  bool base_on_disk = root.base_on_disk;
+  uint64_t spilled_through = root.spilled_through_seq;
+  size_t base_bytes = root.base_bytes;
+  size_t log_bytes = root.log_bytes;
+  bool force_compaction = root.force_compaction;
   auto task = [this, db = std::move(db), digest = std::move(digest),
                identity = std::move(identity), prune,
-               table = std::move(table), clean_below]() {
-    bool skip = clean_below != UINT64_MAX &&
-                table->stats().inserts <= clean_below;
-    // Snapshot already up to date (restored or spilled, and untouched
+               table = std::move(table), base_on_disk, spilled_through,
+               base_bytes, log_bytes, force_compaction]() {
+    bool skip = base_on_disk && !force_compaction &&
+                table->sequence() <= spilled_through;
+    // On-disk state already current (restored or spilled, and untouched
     // since): rewriting it would only burn IO. And with the breaker
     // open, a spill would only burn a failure — the root stays dirty
     // and the next spill trigger retries once the tier recovers.
@@ -272,12 +355,12 @@ void RepairSpaceCache::SpillAsync(Root root) {
       return;
     }
     {
-      // Serialize same-cache spills end to end: with encode→Put→clean-
-      // mark atomic per spill, the snapshot on disk always corresponds
-      // to the newest clean mark — two concurrent Persist() calls cannot
+      // Serialize same-cache spills end to end: with encode→write→clean-
+      // mark atomic per spill, the on-disk state always corresponds to
+      // the newest clean mark — two concurrent Persist() calls cannot
       // leave a stale snapshot behind a newer mark (which would make the
       // final close-time spill skip real entries). Spills are rare
-      // (evict / Persist / close), so the serialization never touches
+      // (demotion / Persist / close), so the serialization never touches
       // query paths. Scoped: the unlock must happen BEFORE the pending
       // decrement below, after which the cache may be destroyed.
       std::lock_guard<std::mutex> io_lock(spill_io_mutex_);
@@ -286,34 +369,114 @@ void RepairSpaceCache::SpillAsync(Root root) {
       ident.constraints_digest = digest;
       ident.generator_identity = identity;
       ident.prune = prune;
-      // The spill covers at least the entries present now; later inserts
-      // re-dirty the root (conservative if inserts land mid-encode).
-      uint64_t inserts_at_encode = table->stats().inserts;
-      std::string bytes = storage::EncodeSnapshot(ident, db, *table);
-      Status put = [&]() -> Status {
-        OPCQA_FAILPOINT("repair_cache.spill");
-        return store_->Put(storage::StableFingerprint(ident), bytes);
-      }();
-      if (put.ok()) {
-        NoteDiskSuccess();
-        spills_.fetch_add(1, std::memory_order_relaxed);
-        spill_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
-        // Mark the live root clean so the next Persist()/destructor pass
-        // skips an identical rewrite (e.g. explicit Persist then close).
-        // SpillAsync's contract guarantees mutex_ is not held here.
+      uint64_t fingerprint = storage::StableFingerprint(ident);
+      // The spill covers every entry stamped up to here; later inserts
+      // re-dirty the root (conservative if inserts land mid-encode: the
+      // full encoder may include them, a rewrite is harmless).
+      uint64_t upto = table->sequence();
+
+      // Writeback helper: stamp the live root's residency bookkeeping
+      // (SpillAsync's contract guarantees mutex_ is not held here).
+      auto mark_live = [this, &table](auto mutate) {
         std::lock_guard<std::mutex> roots_lock(mutex_);
         for (Root& live : roots_) {
           if (live.table == table) {
-            live.clean_below_inserts = inserts_at_encode;
+            mutate(live);
             break;
           }
         }
-      } else {
-        // An unwritable/full snapshot directory must be visible to the
-        // operator — "0 spills" alone cannot distinguish "nothing dirty"
-        // from "every spill failing".
-        failed_spills_.fetch_add(1, std::memory_order_relaxed);
-        NoteDiskFailure();
+      };
+
+      // Delta path: base exists, log still healthy, and the new record
+      // would keep the log under the compaction threshold. Everything
+      // else rewrites the base (and drops the log) — the unified
+      // "compaction" of the spill paths.
+      bool delta_done = false;
+      if (options_.delta_spill && base_on_disk && !force_compaction) {
+        size_t record_entries = 0;
+        std::string record = storage::EncodeDeltaRecord(
+            db, *table, spilled_through, upto, &record_entries);
+        if (record_entries == 0) {
+          // The window holds nothing still resident (admitted entries
+          // may have been evicted since): the on-disk state is as
+          // current as it can be made.
+          mark_live([&](Root& live) {
+            live.spilled_through_seq = std::max(live.spilled_through_seq,
+                                                upto);
+          });
+          delta_done = true;
+        } else if (options_.log_compaction_ratio <= 0.0 ||
+                   static_cast<double>(log_bytes + record.size()) >
+                       options_.log_compaction_ratio *
+                           static_cast<double>(base_bytes)) {
+          // Log would outgrow the threshold: fall through to compaction.
+        } else {
+          Status appended = store_->AppendDelta(
+              fingerprint, storage::EncodeDeltaLogHead(ident), record);
+          if (appended.ok()) {
+            NoteDiskSuccess();
+            delta_appends_.fetch_add(1, std::memory_order_relaxed);
+            compressed_bytes_.fetch_add(record.size(),
+                                        std::memory_order_relaxed);
+            size_t on_disk_log = store_->LogBytes(fingerprint);
+            mark_live([&](Root& live) {
+              live.spilled_through_seq = std::max(live.spilled_through_seq,
+                                                  upto);
+              live.log_bytes = on_disk_log;
+            });
+            delta_done = true;
+          } else {
+            // The log may now end mid-record. Readers tolerate that
+            // (valid-prefix), but appending after a torn record would
+            // bury live records behind garbage — so the next spill must
+            // rewrite the base.
+            failed_spills_.fetch_add(1, std::memory_order_relaxed);
+            NoteDiskFailure();
+            mark_live([](Root& live) { live.force_compaction = true; });
+            delta_done = true;  // don't double-fail into a Put this round
+          }
+        }
+      }
+
+      if (!delta_done) {
+        bool compacting = base_on_disk && (log_bytes > 0 || force_compaction);
+        std::string bytes = storage::EncodeSnapshot(ident, db, *table);
+        Status put = [&]() -> Status {
+          if (compacting) OPCQA_FAILPOINT("repair_cache.compact");
+          OPCQA_FAILPOINT("repair_cache.spill");
+          return store_->Put(fingerprint, bytes);
+        }();
+        if (put.ok()) {
+          // The fresh base supersedes every logged record; dropping the
+          // log only after the base is durably published means a crash
+          // between the two leaves base + stale log — whose records are
+          // still true for this identity, merely redundant.
+          store_->DeleteLog(fingerprint);
+          NoteDiskSuccess();
+          spills_.fetch_add(1, std::memory_order_relaxed);
+          spill_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
+          compressed_bytes_.fetch_add(bytes.size(),
+                                      std::memory_order_relaxed);
+          if (compacting) {
+            compactions_.fetch_add(1, std::memory_order_relaxed);
+          }
+          mark_live([&](Root& live) {
+            live.base_on_disk = true;
+            live.spilled_through_seq = std::max(live.spilled_through_seq,
+                                                upto);
+            live.base_bytes = bytes.size();
+            live.log_bytes = 0;
+            live.force_compaction = false;
+          });
+        } else {
+          // An unwritable/full snapshot directory must be visible to the
+          // operator — "0 spills" alone cannot distinguish "nothing
+          // dirty" from "every spill failing". A failed compaction
+          // leaves the previous base (and log) untouched on disk —
+          // Put is atomic and DeleteLog was never reached.
+          failed_spills_.fetch_add(1, std::memory_order_relaxed);
+          NoteDiskFailure();
+        }
       }
     }
     {
@@ -355,8 +518,8 @@ void RepairSpaceCache::Persist() {
     for (const Root& root : roots_) {
       // Clean roots (restored/spilled, untouched since) would be skipped
       // by the task anyway — don't even pay the Database copy.
-      if (root.clean_below_inserts != UINT64_MAX &&
-          root.table->stats().inserts <= root.clean_below_inserts) {
+      if (root.base_on_disk && !root.force_compaction &&
+          root.table->sequence() <= root.spilled_through_seq) {
         continue;
       }
       snapshot_roots.push_back(root);
@@ -376,6 +539,11 @@ DiskTierStats RepairSpaceCache::disk_stats() const {
   stats.rejected_snapshots =
       rejected_snapshots_.load(std::memory_order_relaxed);
   stats.failed_spills = failed_spills_.load(std::memory_order_relaxed);
+  stats.delta_appends = delta_appends_.load(std::memory_order_relaxed);
+  stats.compactions = compactions_.load(std::memory_order_relaxed);
+  stats.compressed_bytes = compressed_bytes_.load(std::memory_order_relaxed);
+  stats.promotions = promotions_.load(std::memory_order_relaxed);
+  stats.demotions = demotions_.load(std::memory_order_relaxed);
   stats.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
   stats.breaker_skips = breaker_skips_.load(std::memory_order_relaxed);
   if (store_ != nullptr) {

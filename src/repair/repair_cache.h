@@ -33,10 +33,10 @@
 // not opt in) never get a persistent table — callers fall back to the
 // per-call scratch table, which is always sound.
 //
-// ## Disk tier (PR 5)
+// ## Disk tier (PR 5, v2 in PR 9)
 //
 // With `snapshot_dir` set, the cache grows a second, durable tier
-// (src/storage/): when the root LRU evicts a root — and on explicit
+// (src/storage/): when a root demotes out of memory — and on explicit
 // Persist() or destruction — the root's table is serialized to a
 // canonical snapshot (storage/canonical.h: symbolic facts, no process-
 // local ids or hashes) and published atomically by a SnapshotStore; when
@@ -49,6 +49,26 @@
 // identity-mismatched snapshot is rejected by verification and simply
 // means cold compute — the disk tier can change how fast answers arrive,
 // never what they are.
+//
+// Storage v2 cuts the tier's write amplification and unifies residency:
+//
+//   * Delta spills. Once a root's base snapshot exists, a spill appends
+//     only the entries stamped since the last spill (the memo's
+//     admission-sequence clock, TranspositionTable::ForEachSince) as one
+//     CRC-framed record to the root's delta log, instead of rewriting
+//     the whole base. The log compacts back into a fresh base once it
+//     outgrows `log_compaction_ratio` of the base (and after any append
+//     failure or torn-tail restore). Restore = base + valid log prefix,
+//     each entry re-verified exactly like base entries — never cold just
+//     because a tail record tore.
+//   * One residency model. Memory and disk are two residency levels of
+//     the same state, not a cache and a backup. Dropping a root from
+//     memory is a *demotion* (its table keeps serving from disk);
+//     restoring one is a *promotion*. The victim when either the root
+//     count or `max_memory_bytes` overflows is picked by retention score
+//     — what dropping costs (cheap restore for clean-on-disk roots, full
+//     recompute otherwise) per tick of idleness — so a hot disk-backed
+//     root is pinned back while a cold dirty one spills early.
 
 #ifndef OPCQA_REPAIR_REPAIR_CACHE_H_
 #define OPCQA_REPAIR_REPAIR_CACHE_H_
@@ -78,12 +98,27 @@ struct RepairCacheOptions {
   /// Directory of the disk tier (storage/snapshot_store.h); empty keeps
   /// the cache memory-only (the PR-4 behavior).
   std::string snapshot_dir;
-  /// Spill a root's table when the LRU drops it and on destruction (only
-  /// meaningful with a snapshot_dir; explicit Persist() always spills).
+  /// Spill a root's table when it demotes out of memory and on
+  /// destruction (only meaningful with a snapshot_dir; explicit
+  /// Persist() always spills).
   bool spill_on_evict = true;
-  /// Byte budget for the snapshot directory, enforced oldest-first after
-  /// every spill; 0 disables disk GC.
+  /// Byte budget for the snapshot directory (bases + delta logs),
+  /// enforced oldest-root-first after every spill; 0 disables disk GC.
   size_t max_disk_bytes = 0;
+  /// Append-only delta spills: once a root's base snapshot exists, a
+  /// spill writes only the entries admitted since the last spill to the
+  /// root's delta log. Off = every spill rewrites the whole base (the
+  /// PR-5 behavior, in the v2 encoding).
+  bool delta_spill = true;
+  /// Compact the delta log back into a fresh base once its size exceeds
+  /// this fraction of the base snapshot's size. <= 0 compacts on every
+  /// spill (a log never survives); large values let the log grow long —
+  /// restores pay proportionally more decode.
+  double log_compaction_ratio = 0.5;
+  /// Global byte budget across every live root's table; 0 disables.
+  /// Overflow demotes the lowest-retention-score root early, before the
+  /// max_roots limit would.
+  size_t max_memory_bytes = 0;
   /// Persistent tables normally require a key to miss twice before its
   /// subtree is recorded (the PR-5 churn filter for disk-backed sweeps).
   /// A serving front end that batches many same-root requests behind one
@@ -126,6 +161,23 @@ struct DiskTierStats {
   uint64_t breaker_trips = 0;
   /// Restores/spills skipped because the breaker was open.
   uint64_t breaker_skips = 0;
+  /// Delta records appended to per-root logs (spills that did NOT
+  /// rewrite the base).
+  uint64_t delta_appends = 0;
+  /// Delta logs compacted back into a fresh base snapshot.
+  uint64_t compactions = 0;
+  /// Total bytes written to the disk tier in the compressed v2 encoding
+  /// (base snapshots + delta records) — the write-amplification figure
+  /// the pr9_disk_delta_ms bench gates. spill_bytes counts base
+  /// snapshots only.
+  uint64_t compressed_bytes = 0;
+  /// Disk-resident roots promoted back into the memory tier (every one
+  /// is also counted in `restores`).
+  uint64_t promotions = 0;
+  /// Roots demoted out of the memory tier with their state kept (or
+  /// being written) on disk. Drops without a disk tier are plain
+  /// evictions, not demotions.
+  uint64_t demotions = 0;
 };
 
 /// Session-level owner of persistent transposition tables, shared across
@@ -201,25 +253,51 @@ class RepairSpaceCache {
     bool prune = false;
     uint64_t last_used = 0;
     std::shared_ptr<TranspositionTable> table;
-    /// Insert count as of the last disk restore or successful spill;
-    /// UINT64_MAX for dirty roots. A spill whose table still sits at
-    /// this count has nothing new to say — the on-disk snapshot already
-    /// holds every entry — and is skipped, so a read-only warm process
-    /// never rewrites its snapshot and an explicit Persist() followed by
-    /// session close writes once, not twice.
-    uint64_t clean_below_inserts = UINT64_MAX;
+    /// True once a base snapshot for this root exists on disk (written
+    /// by a spill, or found there by the restore) — the precondition for
+    /// appending delta records instead of rewriting the base.
+    bool base_on_disk = false;
+    /// Admission-sequence stamp (TranspositionTable::sequence) through
+    /// which the on-disk state — base plus delta log — is current. A
+    /// spill whose table still sits at this stamp has nothing new to say
+    /// and is skipped, so a read-only warm process never rewrites its
+    /// snapshot and an explicit Persist() followed by session close
+    /// writes once, not twice.
+    uint64_t spilled_through_seq = 0;
+    /// Size of the last written/restored base snapshot and of the
+    /// current delta log — the compaction-ratio inputs. Advisory (policy
+    /// only): staleness can mistime a compaction, never corrupt one.
+    size_t base_bytes = 0;
+    size_t log_bytes = 0;
+    /// The next spill must rewrite the base and drop the log: set after
+    /// a failed append (the log may end mid-record) and after a restore
+    /// that hit a torn log tail.
+    bool force_compaction = false;
   };
 
-  /// Probes the disk tier for this root; returns nullptr on miss or on a
-  /// rejected snapshot (counted). Called without mutex_ held — decode can
-  /// be slow and verification needs no cache state. Writes the snapshot
-  /// byte size to `restored_bytes`; the caller counts the restore only
-  /// once the table actually wins installation (a concurrent loser's
-  /// decode must not inflate DiskTierStats).
-  std::shared_ptr<TranspositionTable> RestoreFromDisk(
-      const Database& db, const ConstraintSet& constraints,
-      const std::string& digest, const std::string& identity, bool prune,
-      size_t* restored_bytes);
+  /// What RestoreFromDisk hands back besides the table: the numbers the
+  /// installed Root and the stats counters need.
+  struct RestoredDisk {
+    std::shared_ptr<TranspositionTable> table;
+    size_t bytes = 0;       // base + applied log bytes (restore_bytes)
+    size_t base_bytes = 0;  // base snapshot alone
+    size_t log_bytes = 0;   // applied delta log (0 when none)
+    bool dirty_tail = false;  // log tail torn/corrupt → force compaction
+  };
+
+  /// Probes the disk tier for this root; a null `table` means miss or a
+  /// rejected snapshot (counted). Restores the base snapshot, then
+  /// applies the delta log's valid prefix on top (same per-entry
+  /// verification; a torn tail sets dirty_tail, an unverifiable log head
+  /// is ignored wholesale — base-only, never cold). Called without
+  /// mutex_ held — decode can be slow and verification needs no cache
+  /// state. The caller counts the restore/promotion only once the table
+  /// actually wins installation (a concurrent loser's decode must not
+  /// inflate DiskTierStats).
+  RestoredDisk RestoreFromDisk(const Database& db,
+                               const ConstraintSet& constraints,
+                               const std::string& digest,
+                               const std::string& identity, bool prune);
   /// Enqueues a spill on the shared pool (the background writer); the
   /// task renders, encodes and writes without blocking queries. Takes
   /// the root by value (callers move their copy in). Must be called
@@ -239,6 +317,17 @@ class RepairSpaceCache {
   /// Any successful disk interaction closes the breaker's failure run.
   void NoteDiskSuccess();
 
+  /// The unified residency cost model: what dropping this root now costs
+  /// per tick it has sat idle. Clean-on-disk roots lose only a cheap
+  /// restore (their resident footprint); dirty or disk-less roots lose
+  /// the recorded chain walks (full payload bytes — recompute cost).
+  /// Requires mutex_.
+  double RetentionScoreLocked(const Root& root) const;
+  /// Moves demotion victims out of roots_ (lowest retention score first)
+  /// until both the root-count and max_memory_bytes budgets fit.
+  /// Requires mutex_; callers spill the victims after unlocking.
+  void CollectDemotionsLocked(std::vector<Root>* victims);
+
   RepairCacheOptions options_;
   std::unique_ptr<storage::SnapshotStore> store_;  // null without disk tier
   mutable std::mutex mutex_;
@@ -253,6 +342,11 @@ class RepairSpaceCache {
   std::atomic<uint64_t> restore_bytes_{0};
   std::atomic<uint64_t> rejected_snapshots_{0};
   std::atomic<uint64_t> failed_spills_{0};
+  std::atomic<uint64_t> delta_appends_{0};
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<uint64_t> compressed_bytes_{0};
+  std::atomic<uint64_t> promotions_{0};
+  std::atomic<uint64_t> demotions_{0};
   std::atomic<uint64_t> breaker_trips_{0};
   std::atomic<uint64_t> breaker_skips_{0};
   /// Breaker state (separate from mutex_: spill tasks touch it and must

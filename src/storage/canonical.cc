@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -20,8 +21,10 @@ namespace {
 // ---------------------------------------------------------------------
 
 constexpr char kMagic[8] = {'O', 'P', 'C', 'Q', 'S', 'N', 'A', 'P'};
+constexpr char kLogMagic[8] = {'O', 'P', 'C', 'Q', 'D', 'L', 'O', 'G'};
 constexpr uint32_t kSectionIdentity = 1;
 constexpr uint32_t kSectionEntries = 2;
+constexpr uint32_t kSectionDelta = 3;
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) — the ubiquitous choice for
 /// detecting accidental corruption in storage formats.
@@ -49,8 +52,9 @@ uint32_t Crc32(const char* data, size_t size) {
   return crc ^ 0xFFFFFFFFu;
 }
 
-/// Little-endian append-only writer. All integers are fixed-width so the
-/// format has no host-dependent layout.
+/// Little-endian append-only writer. Fixed-width integers keep the
+/// framing host-independent; Var() is unsigned LEB128 (7 bits per byte,
+/// high bit = continuation), the v2 payload workhorse.
 class Writer {
  public:
   explicit Writer(std::string* out) : out_(out) {}
@@ -65,6 +69,13 @@ class Writer {
     for (int i = 0; i < 8; ++i) {
       out_->push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
     }
+  }
+  void Var(uint64_t value) {
+    while (value >= 0x80) {
+      out_->push_back(static_cast<char>((value & 0x7Fu) | 0x80u));
+      value >>= 7;
+    }
+    out_->push_back(static_cast<char>(value));
   }
   void Str(const std::string& text) {
     U32(static_cast<uint32_t>(text.size()));
@@ -109,6 +120,23 @@ class Reader {
     pos_ += 8;
     return value;
   }
+  /// Unsigned LEB128, capped at 10 bytes / 64 payload bits — an
+  /// over-long or overflowing varint is corruption, not a value.
+  uint64_t Var() {
+    uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (!Require(1)) return 0;
+      uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      if (shift == 63 && (byte & 0xFEu) != 0) {
+        ok_ = false;  // bits beyond the 64th
+        return 0;
+      }
+      value |= static_cast<uint64_t>(byte & 0x7Fu) << shift;
+      if ((byte & 0x80u) == 0) return value;
+    }
+    ok_ = false;
+    return 0;
+  }
   std::string Str() {
     uint32_t size = U32();
     if (!Require(size)) return std::string();
@@ -148,7 +176,50 @@ void AppendSection(std::string* out, uint32_t id, const std::string& payload) {
 }
 
 // ---------------------------------------------------------------------
-// Encode
+// Streaming string dictionary (v2)
+//
+// The decimal num/den mass strings dominate a snapshot and repeat
+// heavily (shared denominators across a chain's subtrees); variable and
+// constant names repeat per violation. Strings are therefore emitted as
+// a varint token into a dictionary built *while streaming*: a token
+// below the current dictionary size reuses that string, a token equal
+// to it defines the next string inline (length-prefixed, appended to
+// the dictionary), anything larger is corruption. Encoder and decoder
+// build identical dictionaries by construction — no dictionary section,
+// no second pass over a possibly-mutating table.
+// ---------------------------------------------------------------------
+
+class StringDictEncoder {
+ public:
+  void Write(Writer* writer, const std::string& text) {
+    auto [it, inserted] = index_.try_emplace(text, index_.size());
+    writer->Var(it->second);
+    if (inserted) writer->Str(text);
+  }
+
+ private:
+  std::unordered_map<std::string, uint64_t> index_;
+};
+
+class StringDictDecoder {
+ public:
+  bool Read(Reader* reader, std::string* out) {
+    uint64_t token = reader->Var();
+    if (!reader->ok() || token > strings_.size()) return false;
+    if (token == strings_.size()) {
+      strings_.push_back(reader->Str());
+      if (!reader->ok()) return false;
+    }
+    *out = strings_[token];
+    return true;
+  }
+
+ private:
+  std::vector<std::string> strings_;
+};
+
+// ---------------------------------------------------------------------
+// Encode helpers
 // ---------------------------------------------------------------------
 
 /// The root's facts in value order — identical in every process holding an
@@ -157,8 +228,19 @@ std::vector<FactId> Dictionary(const Database& root_db) {
   return root_db.AllFactIds();
 }
 
-void EncodeRemoved(Writer* writer, const std::vector<FactId>& removed,
-                   const std::unordered_map<FactId, uint32_t>& index_of) {
+using FactIndexMap = std::unordered_map<FactId, uint32_t>;
+
+FactIndexMap IndexOf(const std::vector<FactId>& dictionary) {
+  FactIndexMap index_of;
+  index_of.reserve(dictionary.size());
+  for (uint32_t i = 0; i < dictionary.size(); ++i) {
+    index_of.emplace(dictionary[i], i);
+  }
+  return index_of;
+}
+
+std::vector<uint32_t> RemovedIndices(const std::vector<FactId>& removed,
+                                     const FactIndexMap& index_of) {
   // Ascending dictionary indices == fact value order, independent of the
   // process-local numeric id order the live table verifies in.
   std::vector<uint32_t> indices;
@@ -170,17 +252,48 @@ void EncodeRemoved(Writer* writer, const std::vector<FactId>& removed,
     indices.push_back(it->second);
   }
   std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+void EncodeRemovedV1(Writer* writer, const std::vector<FactId>& removed,
+                     const FactIndexMap& index_of) {
+  std::vector<uint32_t> indices = RemovedIndices(removed, index_of);
   writer->U32(static_cast<uint32_t>(indices.size()));
   for (uint32_t index : indices) writer->U32(index);
 }
 
-void EncodeViolation(Writer* writer, const Violation& violation) {
+/// v2: varint count, then the first index followed by gap-1 codes — a
+/// strictly ascending set's gaps are >= 1, so the subtraction frees the
+/// common dense-range case into single-byte varints.
+void EncodeRemovedV2(Writer* writer, const std::vector<FactId>& removed,
+                     const FactIndexMap& index_of) {
+  std::vector<uint32_t> indices = RemovedIndices(removed, index_of);
+  writer->Var(indices.size());
+  uint32_t previous = 0;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    writer->Var(i == 0 ? indices[0] : indices[i] - previous - 1);
+    previous = indices[i];
+  }
+}
+
+void EncodeViolationV1(Writer* writer, const Violation& violation) {
   writer->U32(static_cast<uint32_t>(violation.constraint_index));
   const auto& bindings = violation.h.bindings();
   writer->U32(static_cast<uint32_t>(bindings.size()));
   for (const auto& [var, value] : bindings) {
     writer->Str(VarName(var));
     writer->Str(ConstName(value));
+  }
+}
+
+void EncodeViolationV2(Writer* writer, const Violation& violation,
+                       StringDictEncoder* dict) {
+  writer->Var(violation.constraint_index);
+  const auto& bindings = violation.h.bindings();
+  writer->Var(bindings.size());
+  for (const auto& [var, value] : bindings) {
+    dict->Write(writer, VarName(var));
+    dict->Write(writer, ConstName(value));
   }
 }
 
@@ -194,8 +307,8 @@ Status Corrupt(const std::string& what) {
 
 /// Maps sorted dictionary indices back to live ids. Returns false on any
 /// out-of-range or non-strictly-ascending index (corrupt payload).
-bool DecodeRemoved(Reader* reader, const std::vector<FactId>& dictionary,
-                   std::vector<FactId>* out) {
+bool DecodeRemovedV1(Reader* reader, const std::vector<FactId>& dictionary,
+                     std::vector<FactId>* out) {
   uint32_t count = reader->U32();
   if (!reader->ok() || count > dictionary.size()) return false;
   out->clear();
@@ -211,8 +324,41 @@ bool DecodeRemoved(Reader* reader, const std::vector<FactId>& dictionary,
   return true;
 }
 
-bool DecodeViolation(Reader* reader, const ConstraintSet& constraints,
-                     Violation* out) {
+bool DecodeRemovedV2(Reader* reader, const std::vector<FactId>& dictionary,
+                     std::vector<FactId>* out) {
+  uint64_t count = reader->Var();
+  if (!reader->ok() || count > dictionary.size()) return false;
+  out->clear();
+  out->reserve(count);
+  uint64_t index = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t gap = reader->Var();
+    // Bounding the gap first keeps index + gap + 1 from wrapping; any
+    // valid gap is below the dictionary size.
+    if (!reader->ok() || gap >= dictionary.size()) return false;
+    index = i == 0 ? gap : index + gap + 1;
+    if (index >= dictionary.size()) return false;
+    out->push_back(dictionary[index]);
+  }
+  return true;
+}
+
+bool FinishViolation(std::vector<std::pair<VarId, ConstId>> pairs,
+                     uint32_t constraint_index, Violation* out) {
+  // Reject duplicate variables before Bind() (which would CHECK-fail) —
+  // decode must degrade to cold compute, never abort.
+  std::sort(pairs.begin(), pairs.end());
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    if (pairs[i].first == pairs[i - 1].first) return false;
+  }
+  out->constraint_index = constraint_index;
+  out->h = Assignment();
+  for (const auto& [var, value] : pairs) out->h.Bind(var, value);
+  return true;
+}
+
+bool DecodeViolationV1(Reader* reader, const ConstraintSet& constraints,
+                       Violation* out) {
   uint32_t constraint_index = reader->U32();
   uint32_t bindings = reader->U32();
   if (!reader->ok() || constraint_index >= constraints.size()) return false;
@@ -226,25 +372,298 @@ bool DecodeViolation(Reader* reader, const ConstraintSet& constraints,
     if (!reader->ok() || var_name.empty()) return false;
     pairs.emplace_back(Var(var_name), Const(const_name));
   }
-  // Reject duplicate variables before Bind() (which would CHECK-fail) —
-  // decode must degrade to cold compute, never abort.
-  std::sort(pairs.begin(), pairs.end());
-  for (size_t i = 1; i < pairs.size(); ++i) {
-    if (pairs[i].first == pairs[i - 1].first) return false;
-  }
-  out->constraint_index = constraint_index;
-  out->h = Assignment();
-  for (const auto& [var, value] : pairs) out->h.Bind(var, value);
-  return true;
+  return FinishViolation(std::move(pairs), constraint_index, out);
 }
 
-bool DecodeMass(Reader* reader, Rational* out) {
-  std::string text = reader->Str();
-  if (!reader->ok()) return false;
+bool DecodeViolationV2(Reader* reader, const ConstraintSet& constraints,
+                       StringDictDecoder* dict, Violation* out) {
+  uint64_t constraint_index = reader->Var();
+  uint64_t bindings = reader->Var();
+  if (!reader->ok() || constraint_index >= constraints.size()) return false;
+  std::vector<std::pair<VarId, ConstId>> pairs;
+  pairs.reserve(std::min<uint64_t>(bindings, 1024));
+  for (uint64_t i = 0; i < bindings; ++i) {
+    std::string var_name;
+    std::string const_name;
+    if (!dict->Read(reader, &var_name) || !dict->Read(reader, &const_name) ||
+        var_name.empty()) {
+      return false;
+    }
+    pairs.emplace_back(Var(var_name), Const(const_name));
+  }
+  return FinishViolation(std::move(pairs),
+                         static_cast<uint32_t>(constraint_index), out);
+}
+
+bool ParseMass(std::string text, bool ok, Rational* out) {
+  if (!ok) return false;
   Result<Rational> parsed = Rational::FromString(text);
   if (!parsed.ok()) return false;
   *out = std::move(parsed.value());
   return true;
+}
+
+bool DecodeMassV1(Reader* reader, Rational* out) {
+  std::string text = reader->Str();
+  return ParseMass(std::move(text), reader->ok(), out);
+}
+
+bool DecodeMassV2(Reader* reader, StringDictDecoder* dict, Rational* out) {
+  std::string text;
+  bool ok = dict->Read(reader, &text);
+  return ParseMass(std::move(text), ok, out);
+}
+
+// ---------------------------------------------------------------------
+// Identity payload (shared by both versions and the delta-log head)
+// ---------------------------------------------------------------------
+
+std::string EncodeIdentityPayload(const SnapshotIdentity& identity) {
+  std::string payload;
+  Writer writer(&payload);
+  writer.Str(identity.db_text);
+  writer.Str(identity.constraints_digest);
+  writer.Str(identity.generator_identity);
+  writer.U8(identity.prune ? 1 : 0);
+  return payload;
+}
+
+/// Parses an identity section payload and verifies every component by
+/// string equality against the live rendering — the check that makes a
+/// fingerprint collision split roots instead of aliasing them.
+Status VerifyIdentityPayload(const char* data, size_t size,
+                             const SnapshotIdentity& expected) {
+  Reader reader(data, size);
+  SnapshotIdentity stored;
+  stored.db_text = reader.Str();
+  stored.constraints_digest = reader.Str();
+  stored.generator_identity = reader.Str();
+  stored.prune = reader.U8() != 0;
+  if (!reader.ok() || !reader.AtEnd()) return Corrupt("identity framing");
+  if (stored.db_text != expected.db_text ||
+      stored.constraints_digest != expected.constraints_digest ||
+      stored.generator_identity != expected.generator_identity ||
+      stored.prune != expected.prune) {
+    return Corrupt("identity mismatch (another root, or stale schema)");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// Entry payloads
+// ---------------------------------------------------------------------
+
+/// Runs a per-entry callback over some subset of a table (ForEach or a
+/// ForEachSince window) — the seam between full snapshots and delta
+/// records, which share one entry encoding.
+using EntryEnumerator = std::function<void(
+    const std::function<void(const std::vector<FactId>& removed,
+                             const ViolationSet& eliminated,
+                             const MemoOutcome& outcome)>&)>;
+
+std::string EncodeEntriesPayloadV1(const Database& root_db,
+                                   const TranspositionTable& table) {
+  std::vector<FactId> dictionary = Dictionary(root_db);
+  FactIndexMap index_of = IndexOf(dictionary);
+  std::string payload;
+  size_t entry_count = 0;
+  Writer writer(&payload);
+  writer.U64(dictionary.size());
+  // Entry count back-patched below (ForEach size is not known upfront —
+  // the table may be mutating concurrently).
+  size_t count_pos = payload.size();
+  writer.U64(0);
+  table.ForEach([&](const std::vector<FactId>& removed,
+                    const ViolationSet& eliminated,
+                    const MemoOutcome& outcome) {
+    EncodeRemovedV1(&writer, removed, index_of);
+    writer.U32(static_cast<uint32_t>(eliminated.size()));
+    for (const Violation& violation : eliminated) {
+      EncodeViolationV1(&writer, violation);
+    }
+    writer.U32(static_cast<uint32_t>(outcome.repairs.size()));
+    for (const MemoOutcome::RepairShare& share : outcome.repairs) {
+      EncodeRemovedV1(&writer, share.removed, index_of);
+      writer.Str(share.mass.ToString());
+      writer.U64(share.num_sequences);
+    }
+    writer.Str(outcome.success_mass.ToString());
+    writer.Str(outcome.failing_mass.ToString());
+    writer.U64(outcome.states);
+    writer.U64(outcome.absorbing_states);
+    writer.U64(outcome.successful_sequences);
+    writer.U64(outcome.failing_sequences);
+    writer.U64(outcome.depth_below);
+    ++entry_count;
+  });
+  std::string patched;
+  Writer(&patched).U64(entry_count);
+  payload.replace(count_pos, patched.size(), patched);
+  return payload;
+}
+
+std::string EncodeEntriesPayloadV2(const Database& root_db,
+                                   const EntryEnumerator& for_each,
+                                   size_t* entry_count_out) {
+  std::vector<FactId> dictionary = Dictionary(root_db);
+  FactIndexMap index_of = IndexOf(dictionary);
+  std::string payload;
+  size_t entry_count = 0;
+  Writer writer(&payload);
+  // Fixed-width prefix (everything after is varint/dict-coded): the
+  // dictionary size pins the index space, the count is back-patched.
+  writer.U64(dictionary.size());
+  size_t count_pos = payload.size();
+  writer.U64(0);
+  StringDictEncoder dict;
+  for_each([&](const std::vector<FactId>& removed,
+               const ViolationSet& eliminated, const MemoOutcome& outcome) {
+    EncodeRemovedV2(&writer, removed, index_of);
+    writer.Var(eliminated.size());
+    for (const Violation& violation : eliminated) {
+      EncodeViolationV2(&writer, violation, &dict);
+    }
+    writer.Var(outcome.repairs.size());
+    for (const MemoOutcome::RepairShare& share : outcome.repairs) {
+      EncodeRemovedV2(&writer, share.removed, index_of);
+      dict.Write(&writer, share.mass.ToString());
+      writer.Var(share.num_sequences);
+    }
+    dict.Write(&writer, outcome.success_mass.ToString());
+    dict.Write(&writer, outcome.failing_mass.ToString());
+    writer.Var(outcome.states);
+    writer.Var(outcome.absorbing_states);
+    writer.Var(outcome.successful_sequences);
+    writer.Var(outcome.failing_sequences);
+    writer.Var(outcome.depth_below);
+    ++entry_count;
+  });
+  std::string patched;
+  Writer(&patched).U64(entry_count);
+  payload.replace(count_pos, patched.size(), patched);
+  if (entry_count_out != nullptr) *entry_count_out = entry_count;
+  return payload;
+}
+
+/// Decodes one entries payload (either version) into `table`, re-keying
+/// every entry against the live process. The version only changes the
+/// primitive codings; the re-interning and live-hash recomputation are
+/// identical.
+Status RestoreEntriesPayload(const char* data, size_t size, uint32_t version,
+                             const std::vector<FactId>& dictionary,
+                             size_t root_hash,
+                             const ConstraintSet& constraints,
+                             TranspositionTable* table,
+                             size_t* entries_applied) {
+  bool v2 = version >= 2;
+  Reader reader(data, size);
+  StringDictDecoder dict;
+  uint64_t stored_dictionary_size = reader.U64();
+  if (!reader.ok() || stored_dictionary_size != dictionary.size()) {
+    return Corrupt("dictionary size mismatch");
+  }
+  uint64_t entry_count = reader.U64();
+  if (!reader.ok()) return Corrupt("entries framing");
+
+  std::vector<FactId> scratch;
+  for (uint64_t e = 0; e < entry_count; ++e) {
+    bool removed_ok = v2 ? DecodeRemovedV2(&reader, dictionary, &scratch)
+                         : DecodeRemovedV1(&reader, dictionary, &scratch);
+    if (!removed_ok) return Corrupt("entry removed-set");
+    // Live StateKey: the entry state's database is root − removed, and the
+    // incremental Database hash is a wrap-around sum of mixed per-fact
+    // hashes (util/hash.h), so removal subtracts each contribution.
+    size_t db_hash = root_hash;
+    std::vector<FactId> removed(scratch);
+    std::sort(removed.begin(), removed.end());  // numeric order, as stored
+    for (FactId id : removed) {
+      db_hash -= HashMix64(FactStore::Global().hash(id));
+    }
+
+    uint64_t eliminated_count = v2 ? reader.Var() : reader.U32();
+    if (!reader.ok()) return Corrupt("entry eliminated-set");
+    ViolationSet eliminated;
+    size_t eliminated_hash = 0;
+    for (uint64_t i = 0; i < eliminated_count; ++i) {
+      Violation violation;
+      bool violation_ok =
+          v2 ? DecodeViolationV2(&reader, constraints, &dict, &violation)
+             : DecodeViolationV1(&reader, constraints, &violation);
+      if (!violation_ok) return Corrupt("violation payload");
+      eliminated_hash += HashMix64(violation.Hash());
+      if (!eliminated.insert(std::move(violation)).second) {
+        return Corrupt("duplicate eliminated violation");
+      }
+    }
+
+    auto outcome = std::make_shared<MemoOutcome>();
+    uint64_t repair_count = v2 ? reader.Var() : reader.U32();
+    if (!reader.ok()) return Corrupt("repair count");
+    // Clamped for the same reason as in DecodeViolation*: corrupt counts
+    // must surface as bounded-read failures, never as bad_alloc.
+    outcome->repairs.reserve(std::min<uint64_t>(repair_count, 65536));
+    for (uint64_t i = 0; i < repair_count; ++i) {
+      MemoOutcome::RepairShare share;
+      bool share_ok = v2 ? DecodeRemovedV2(&reader, dictionary, &share.removed)
+                         : DecodeRemovedV1(&reader, dictionary, &share.removed);
+      if (!share_ok) return Corrupt("repair share removed-set");
+      // Ascending dictionary indices are fact value order — exactly the
+      // order RepairShare::removed stores (repair/memo.h).
+      bool mass_ok = v2 ? DecodeMassV2(&reader, &dict, &share.mass)
+                        : DecodeMassV1(&reader, &share.mass);
+      if (!mass_ok) return Corrupt("repair mass");
+      share.num_sequences = v2 ? reader.Var() : reader.U64();
+      if (!reader.ok()) return Corrupt("repair sequences");
+      outcome->repairs.push_back(std::move(share));
+    }
+    bool masses_ok =
+        v2 ? DecodeMassV2(&reader, &dict, &outcome->success_mass) &&
+                 DecodeMassV2(&reader, &dict, &outcome->failing_mass)
+           : DecodeMassV1(&reader, &outcome->success_mass) &&
+                 DecodeMassV1(&reader, &outcome->failing_mass);
+    if (!masses_ok) return Corrupt("outcome masses");
+    if (v2) {
+      outcome->states = reader.Var();
+      outcome->absorbing_states = reader.Var();
+      outcome->successful_sequences = reader.Var();
+      outcome->failing_sequences = reader.Var();
+      outcome->depth_below = reader.Var();
+    } else {
+      outcome->states = reader.U64();
+      outcome->absorbing_states = reader.U64();
+      outcome->successful_sequences = reader.U64();
+      outcome->failing_sequences = reader.U64();
+      outcome->depth_below = reader.U64();
+    }
+    if (!reader.ok()) return Corrupt("outcome counters");
+
+    StateKey key{db_hash, eliminated_hash};
+    table->RestoreEntry(key, std::move(removed), std::move(eliminated),
+                        std::move(outcome));
+    if (entries_applied != nullptr) ++*entries_applied;
+  }
+  if (!reader.AtEnd()) return Corrupt("trailing entry bytes");
+  return Status::Ok();
+}
+
+std::string EncodeSnapshotWithVersion(const SnapshotIdentity& identity,
+                                      const Database& root_db,
+                                      const TranspositionTable& table,
+                                      uint32_t version) {
+  std::string entries_payload =
+      version >= 2
+          ? EncodeEntriesPayloadV2(
+                root_db,
+                [&table](const auto& fn) { table.ForEach(fn); }, nullptr)
+          : EncodeEntriesPayloadV1(root_db, table);
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  Writer header(&out);
+  header.U32(version);
+  header.U32(2);  // section count
+  AppendSection(&out, kSectionIdentity, EncodeIdentityPayload(identity));
+  AppendSection(&out, kSectionEntries, entries_payload);
+  return out;
 }
 
 }  // namespace
@@ -284,67 +703,14 @@ uint64_t StableFingerprint(const SnapshotIdentity& identity) {
 std::string EncodeSnapshot(const SnapshotIdentity& identity,
                            const Database& root_db,
                            const TranspositionTable& table) {
-  std::string identity_payload;
-  {
-    Writer writer(&identity_payload);
-    writer.Str(identity.db_text);
-    writer.Str(identity.constraints_digest);
-    writer.Str(identity.generator_identity);
-    writer.U8(identity.prune ? 1 : 0);
-  }
+  return EncodeSnapshotWithVersion(identity, root_db, table,
+                                   kSnapshotFormatVersion);
+}
 
-  std::vector<FactId> dictionary = Dictionary(root_db);
-  std::unordered_map<FactId, uint32_t> index_of;
-  index_of.reserve(dictionary.size());
-  for (uint32_t i = 0; i < dictionary.size(); ++i) {
-    index_of.emplace(dictionary[i], i);
-  }
-
-  std::string entries_payload;
-  size_t entry_count = 0;
-  {
-    Writer writer(&entries_payload);
-    writer.U64(dictionary.size());
-    // Entry count back-patched below (ForEach size is not known upfront —
-    // the table may be mutating concurrently).
-    size_t count_pos = entries_payload.size();
-    writer.U64(0);
-    table.ForEach([&](const std::vector<FactId>& removed,
-                      const ViolationSet& eliminated,
-                      const MemoOutcome& outcome) {
-      EncodeRemoved(&writer, removed, index_of);
-      writer.U32(static_cast<uint32_t>(eliminated.size()));
-      for (const Violation& violation : eliminated) {
-        EncodeViolation(&writer, violation);
-      }
-      writer.U32(static_cast<uint32_t>(outcome.repairs.size()));
-      for (const MemoOutcome::RepairShare& share : outcome.repairs) {
-        EncodeRemoved(&writer, share.removed, index_of);
-        writer.Str(share.mass.ToString());
-        writer.U64(share.num_sequences);
-      }
-      writer.Str(outcome.success_mass.ToString());
-      writer.Str(outcome.failing_mass.ToString());
-      writer.U64(outcome.states);
-      writer.U64(outcome.absorbing_states);
-      writer.U64(outcome.successful_sequences);
-      writer.U64(outcome.failing_sequences);
-      writer.U64(outcome.depth_below);
-      ++entry_count;
-    });
-    std::string patched;
-    Writer(&patched).U64(entry_count);
-    entries_payload.replace(count_pos, patched.size(), patched);
-  }
-
-  std::string out;
-  out.append(kMagic, sizeof(kMagic));
-  Writer header(&out);
-  header.U32(kSnapshotFormatVersion);
-  header.U32(2);  // section count
-  AppendSection(&out, kSectionIdentity, identity_payload);
-  AppendSection(&out, kSectionEntries, entries_payload);
-  return out;
+std::string EncodeSnapshotV1(const SnapshotIdentity& identity,
+                             const Database& root_db,
+                             const TranspositionTable& table) {
+  return EncodeSnapshotWithVersion(identity, root_db, table, 1);
 }
 
 Result<std::shared_ptr<TranspositionTable>> DecodeSnapshot(
@@ -357,9 +723,11 @@ Result<std::shared_ptr<TranspositionTable>> DecodeSnapshot(
     return Corrupt("bad magic");
   }
   uint32_t version = top.U32();
-  if (!top.ok() || version != kSnapshotFormatVersion) {
+  if (!top.ok() || version < kMinSnapshotFormatVersion ||
+      version > kSnapshotFormatVersion) {
     return Corrupt("format version " + std::to_string(version) +
                    " (this build reads " +
+                   std::to_string(kMinSnapshotFormatVersion) + ".." +
                    std::to_string(kSnapshotFormatVersion) + ")");
   }
   uint32_t section_count = top.U32();
@@ -387,102 +755,108 @@ Result<std::shared_ptr<TranspositionTable>> DecodeSnapshot(
   if (!top.AtEnd()) return Corrupt("trailing bytes");
   if (!seen[0] || !seen[1]) return Corrupt("missing section");
 
+  Status identity_ok =
+      VerifyIdentityPayload(sections[0].first, sections[0].second, expected);
+  if (!identity_ok.ok()) return identity_ok;
+
+  std::vector<FactId> dictionary = Dictionary(live_root);
+  auto table = std::make_shared<TranspositionTable>(max_entries, max_bytes);
+  table->SetRootShape(live_root.size(), live_root.schema().size());
+  Status entries_ok = RestoreEntriesPayload(
+      sections[1].first, sections[1].second, version, dictionary,
+      live_root.Hash(), constraints, table.get(), nullptr);
+  if (!entries_ok.ok()) return entries_ok;
+  return table;
+}
+
+std::string EncodeDeltaLogHead(const SnapshotIdentity& identity) {
+  std::string out;
+  out.append(kLogMagic, sizeof(kLogMagic));
+  Writer header(&out);
+  header.U32(kSnapshotFormatVersion);
+  AppendSection(&out, kSectionIdentity, EncodeIdentityPayload(identity));
+  return out;
+}
+
+std::string EncodeDeltaRecord(const Database& root_db,
+                              const TranspositionTable& table,
+                              uint64_t since_seq, uint64_t upto_seq,
+                              size_t* entry_count) {
+  std::string payload = EncodeEntriesPayloadV2(
+      root_db,
+      [&table, since_seq, upto_seq](const auto& fn) {
+        table.ForEachSince(since_seq, upto_seq, fn);
+      },
+      entry_count);
+  std::string out;
+  AppendSection(&out, kSectionDelta, payload);
+  return out;
+}
+
+Status ApplyDeltaLog(const std::string& log_bytes,
+                     const SnapshotIdentity& expected,
+                     const Database& live_root,
+                     const ConstraintSet& constraints,
+                     TranspositionTable* table, DeltaLogApplyResult* result) {
+  *result = DeltaLogApplyResult{};
+  Reader top(log_bytes.data(), log_bytes.size());
+  auto [magic, magic_size] = top.Span(sizeof(kLogMagic));
+  if (!top.ok() || std::memcmp(magic, kLogMagic, sizeof(kLogMagic)) != 0) {
+    return Corrupt("bad delta-log magic");
+  }
+  uint32_t version = top.U32();
+  if (!top.ok() || version < 2 || version > kSnapshotFormatVersion) {
+    return Corrupt("delta-log format version " + std::to_string(version));
+  }
+  // The head's identity section is load-bearing, not advisory: a record
+  // only ever applies after the same string-equality verification a base
+  // snapshot passes. Head damage rejects the whole log (the caller keeps
+  // its base-only table and compacts the log away on the next spill).
   {
-    Reader reader(sections[0].first, sections[0].second);
-    SnapshotIdentity stored;
-    stored.db_text = reader.Str();
-    stored.constraints_digest = reader.Str();
-    stored.generator_identity = reader.Str();
-    stored.prune = reader.U8() != 0;
-    if (!reader.ok() || !reader.AtEnd()) return Corrupt("identity framing");
-    // Every component verified for real — string equality against the
-    // live rendering, so a fingerprint collision can never alias roots.
-    if (stored.db_text != expected.db_text ||
-        stored.constraints_digest != expected.constraints_digest ||
-        stored.generator_identity != expected.generator_identity ||
-        stored.prune != expected.prune) {
-      return Corrupt("identity mismatch (another root, or stale schema)");
+    uint32_t id = top.U32();
+    uint64_t size = top.U64();
+    uint32_t crc = top.U32();
+    auto span = top.Span(size);
+    if (!top.ok() || id != kSectionIdentity) {
+      return Corrupt("delta-log head framing");
     }
+    if (Crc32(span.first, span.second) != crc) {
+      return Corrupt("delta-log head checksum mismatch");
+    }
+    Status identity_ok = VerifyIdentityPayload(span.first, span.second,
+                                               expected);
+    if (!identity_ok.ok()) return identity_ok;
   }
 
   std::vector<FactId> dictionary = Dictionary(live_root);
-  Reader reader(sections[1].first, sections[1].second);
-  uint64_t stored_dictionary_size = reader.U64();
-  if (!reader.ok() || stored_dictionary_size != dictionary.size()) {
-    return Corrupt("dictionary size mismatch");
-  }
-  uint64_t entry_count = reader.U64();
-  if (!reader.ok()) return Corrupt("entries framing");
-
-  auto table = std::make_shared<TranspositionTable>(max_entries, max_bytes);
-  table->SetRootShape(live_root.size(), live_root.schema().size());
   size_t root_hash = live_root.Hash();
-
-  std::vector<FactId> scratch;
-  for (uint64_t e = 0; e < entry_count; ++e) {
-    if (!DecodeRemoved(&reader, dictionary, &scratch)) {
-      return Corrupt("entry removed-set");
+  // Records apply in append order; the first torn or corrupt one ends
+  // application at the valid prefix. A record damaged halfway through
+  // may have restored some of its entries already — sound either way,
+  // since every entry is an independently true fact about this root.
+  while (!top.AtEnd()) {
+    uint32_t id = top.U32();
+    uint64_t size = top.U64();
+    uint32_t crc = top.U32();
+    auto span = top.Span(size);
+    if (!top.ok() || id != kSectionDelta ||
+        Crc32(span.first, span.second) != crc) {
+      result->clean_tail = false;
+      break;
     }
-    // Live StateKey: the entry state's database is root − removed, and the
-    // incremental Database hash is a wrap-around sum of mixed per-fact
-    // hashes (util/hash.h), so removal subtracts each contribution.
-    size_t db_hash = root_hash;
-    std::vector<FactId> removed(scratch);
-    std::sort(removed.begin(), removed.end());  // numeric order, as stored
-    for (FactId id : removed) {
-      db_hash -= HashMix64(FactStore::Global().hash(id));
+    size_t entries_applied = 0;
+    Status record_ok = RestoreEntriesPayload(span.first, span.second,
+                                             version, dictionary, root_hash,
+                                             constraints, table,
+                                             &entries_applied);
+    result->entries_applied += entries_applied;
+    if (!record_ok.ok()) {
+      result->clean_tail = false;
+      break;
     }
-
-    uint32_t eliminated_count = reader.U32();
-    if (!reader.ok()) return Corrupt("entry eliminated-set");
-    ViolationSet eliminated;
-    size_t eliminated_hash = 0;
-    for (uint32_t i = 0; i < eliminated_count; ++i) {
-      Violation violation;
-      if (!DecodeViolation(&reader, constraints, &violation)) {
-        return Corrupt("violation payload");
-      }
-      eliminated_hash += HashMix64(violation.Hash());
-      if (!eliminated.insert(std::move(violation)).second) {
-        return Corrupt("duplicate eliminated violation");
-      }
-    }
-
-    auto outcome = std::make_shared<MemoOutcome>();
-    uint32_t repair_count = reader.U32();
-    if (!reader.ok()) return Corrupt("repair count");
-    // Clamped for the same reason as in DecodeViolation: corrupt counts
-    // must surface as bounded-read failures, never as bad_alloc.
-    outcome->repairs.reserve(std::min<uint32_t>(repair_count, 65536));
-    for (uint32_t i = 0; i < repair_count; ++i) {
-      MemoOutcome::RepairShare share;
-      if (!DecodeRemoved(&reader, dictionary, &share.removed)) {
-        return Corrupt("repair share removed-set");
-      }
-      // Ascending dictionary indices are fact value order — exactly the
-      // order RepairShare::removed stores (repair/memo.h).
-      if (!DecodeMass(&reader, &share.mass)) return Corrupt("repair mass");
-      share.num_sequences = reader.U64();
-      if (!reader.ok()) return Corrupt("repair sequences");
-      outcome->repairs.push_back(std::move(share));
-    }
-    if (!DecodeMass(&reader, &outcome->success_mass) ||
-        !DecodeMass(&reader, &outcome->failing_mass)) {
-      return Corrupt("outcome masses");
-    }
-    outcome->states = reader.U64();
-    outcome->absorbing_states = reader.U64();
-    outcome->successful_sequences = reader.U64();
-    outcome->failing_sequences = reader.U64();
-    outcome->depth_below = reader.U64();
-    if (!reader.ok()) return Corrupt("outcome counters");
-
-    StateKey key{db_hash, eliminated_hash};
-    table->RestoreEntry(key, std::move(removed), std::move(eliminated),
-                        std::move(outcome));
+    ++result->records_applied;
   }
-  if (!reader.AtEnd()) return Corrupt("trailing entry bytes");
-  return table;
+  return Status::Ok();
 }
 
 }  // namespace storage

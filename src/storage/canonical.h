@@ -39,6 +39,21 @@
 // never aborts the process on malformed input. (CRC-32 detects accidental
 // corruption; the format is not authenticated against deliberate
 // tampering — point snapshot_dir at a trusted location.)
+//
+// ## Versions and the delta log (PR 9)
+//
+// This build writes format v2 — varint integers, gap-coded removed-index
+// sets, and a streaming string dictionary over the mass/name strings —
+// and still restores v1 snapshots byte-for-byte-equivalently (the PR-5
+// fixed-width encoding); versions above 2 are rejected, which a caller
+// treats as cold compute. Alongside the base snapshot a root may carry a
+// *delta log*: an append-only file of CRC-framed records, each holding
+// only the entries admitted since the previous spill, so a warm root's
+// Persist writes kilobytes instead of rewriting the whole snapshot. A
+// torn or corrupt record ends log application at the last valid prefix —
+// base plus prefix, never cold. The normative byte-level spec of both
+// versions and the delta-record grammar lives in docs/SNAPSHOT_FORMAT.md;
+// keep that document in lockstep with this file.
 
 #ifndef OPCQA_STORAGE_CANONICAL_H_
 #define OPCQA_STORAGE_CANONICAL_H_
@@ -74,16 +89,26 @@ std::string RenderConstraints(const Schema& schema,
 /// Collisions are harmless: the loader verifies every component for real.
 uint64_t StableFingerprint(const SnapshotIdentity& identity);
 
-/// The on-disk format version this build writes and accepts.
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// The newest on-disk format version: what EncodeSnapshot writes.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+/// The oldest version DecodeSnapshot still restores (the PR-5 format).
+inline constexpr uint32_t kMinSnapshotFormatVersion = 1;
 
 /// Serializes the table's current entries (a point-in-time view; safe
-/// while other threads keep inserting) into canonical snapshot bytes.
-/// `root_db` must be the chain-root database the table memoizes under —
-/// every stored removed id must resolve in it.
+/// while other threads keep inserting) into canonical snapshot bytes in
+/// the newest format version. `root_db` must be the chain-root database
+/// the table memoizes under — every stored removed id must resolve in it.
 std::string EncodeSnapshot(const SnapshotIdentity& identity,
                            const Database& root_db,
                            const TranspositionTable& table);
+
+/// The PR-5 v1 encoder, kept callable so the v1→v2 compatibility tests
+/// (and the committed tests/fixtures snapshot) exercise the legacy
+/// decode path against genuinely old bytes. Product code always writes
+/// the newest version via EncodeSnapshot.
+std::string EncodeSnapshotV1(const SnapshotIdentity& identity,
+                             const Database& root_db,
+                             const TranspositionTable& table);
 
 /// Rebuilds a TranspositionTable from snapshot bytes against the live
 /// process: verifies framing, CRCs and every identity component against
@@ -96,6 +121,47 @@ Result<std::shared_ptr<TranspositionTable>> DecodeSnapshot(
     const std::string& bytes, const SnapshotIdentity& expected,
     const Database& live_root, const ConstraintSet& constraints,
     size_t max_entries, size_t max_bytes);
+
+// ---------------------------------------------------------------------
+// Delta log (format v2)
+// ---------------------------------------------------------------------
+
+/// The head a delta-log file starts with: log magic, format version, and
+/// the full identity section — so a log is verified by string equality
+/// exactly like a base snapshot before a single record applies (a
+/// fingerprint collision in the file name can never alias roots through
+/// the log either). Records are appended after the head.
+std::string EncodeDeltaLogHead(const SnapshotIdentity& identity);
+
+/// One CRC-framed delta record holding the still-resident table entries
+/// stamped in (since_seq, upto_seq] (TranspositionTable::ForEachSince).
+/// `*entry_count` gets the number of entries serialized; when it is 0 the
+/// record carries nothing and need not be appended.
+std::string EncodeDeltaRecord(const Database& root_db,
+                              const TranspositionTable& table,
+                              uint64_t since_seq, uint64_t upto_seq,
+                              size_t* entry_count);
+
+struct DeltaLogApplyResult {
+  size_t records_applied = 0;
+  size_t entries_applied = 0;
+  /// False when a torn or corrupt record ended application early: the
+  /// valid prefix IS applied (base + prefix, never cold), and the caller
+  /// should compact the log away on its next spill.
+  bool clean_tail = true;
+};
+
+/// Applies a delta log on top of a freshly restored base table: verifies
+/// the log head (magic, version, identity string equality against
+/// `expected`), then re-interns each record's entries into `table` in
+/// append order. A bad head returns an error status and applies nothing
+/// (the caller keeps the base-only table); a bad record merely stops
+/// application at the valid prefix (`result->clean_tail = false`).
+Status ApplyDeltaLog(const std::string& log_bytes,
+                     const SnapshotIdentity& expected,
+                     const Database& live_root,
+                     const ConstraintSet& constraints,
+                     TranspositionTable* table, DeltaLogApplyResult* result);
 
 }  // namespace storage
 }  // namespace opcqa

@@ -20,11 +20,20 @@
 //     fingerprint is never probed again until a fresh Put replaces it —
 //     the corrupt bytes are kept for post-mortem instead of being
 //     re-decoded on every miss or silently deleted.
-//   * Oldest-first GC. With max_disk_bytes > 0, every Put() deletes the
-//     stalest snapshots (by modification time) until the directory fits
-//     the budget again; the just-written file is always kept, so a budget
-//     smaller than one snapshot degrades to "keep the newest" instead of
-//     making the tier useless.
+//   * Delta-log append. Alongside the base snapshot a root may own an
+//     append-only delta log (`root-<hex>.log`, format in
+//     storage/canonical.h): AppendDelta() writes the log head on first
+//     use and then one CRC-framed record per call, fsynced, in a single
+//     write() each — a crash tears at most the last record, which the
+//     reader's valid-prefix rule drops.
+//   * Oldest-first GC. With max_disk_bytes > 0, every Put() and
+//     AppendDelta() deletes the stalest *roots* (base + delta log
+//     together, by base modification time) until the directory fits the
+//     budget again. Both files count toward the budget, a root's log is
+//     never orphaned by GC, and a log without a base is swept outright.
+//     The just-written root is always kept, so a budget smaller than one
+//     snapshot degrades to "keep the newest" instead of making the tier
+//     useless.
 //   * Crashed-writer sweep. Temp files older than `temp_max_age` are
 //     removed at construction and before every GC pass, so a long-lived
 //     process cannot count orphaned temps against its disk budget.
@@ -86,6 +95,9 @@ class SnapshotStore {
   /// "root-<16 hex digits>.snap" — the canonical snapshot file name.
   static std::string FileName(uint64_t fingerprint);
 
+  /// "root-<16 hex digits>.log" — the root's delta-log file name.
+  static std::string LogFileName(uint64_t fingerprint);
+
   /// Subdirectory (under the store directory) holding quarantined
   /// snapshots.
   static constexpr const char* kQuarantineDirName = "quarantine";
@@ -110,9 +122,31 @@ class SnapshotStore {
   /// True once `fingerprint` has been quarantined (and not re-Put).
   bool IsQuarantined(uint64_t fingerprint) const;
 
-  /// Total bytes of committed snapshots currently in the directory
-  /// (temp files and the quarantine subdirectory excluded). 0 when the
-  /// directory does not exist.
+  /// Appends `record` to the root's delta log, creating the file with
+  /// `head` first when it does not exist (or is empty). Head+record (or
+  /// record alone) go down in one write() followed by fsync, so a crash
+  /// tears at most the tail record. No retry: a failed append leaves the
+  /// log possibly mid-record — the caller should force a compaction,
+  /// which rewrites the base and deletes the log. Quarantined roots
+  /// reject appends. Runs the same sweeps as Put().
+  Status AppendDelta(uint64_t fingerprint, const std::string& head,
+                     const std::string& record);
+
+  /// The root's delta-log bytes; NotFound when no log exists or the
+  /// root is quarantined. A missing log is the common case (freshly
+  /// compacted root), not an error worth logging.
+  Result<std::string> GetLog(uint64_t fingerprint) const;
+
+  /// Removes the root's delta log (no-op when absent) — called after a
+  /// compaction publishes a fresh base that supersedes the log.
+  void DeleteLog(uint64_t fingerprint);
+
+  /// Size in bytes of the root's delta log, 0 when absent.
+  size_t LogBytes(uint64_t fingerprint) const;
+
+  /// Total bytes of committed snapshots AND delta logs currently in the
+  /// directory (temp files and the quarantine subdirectory excluded).
+  /// 0 when the directory does not exist.
   size_t TotalBytes() const;
 
   SnapshotStoreStats Stats() const;
@@ -124,8 +158,10 @@ class SnapshotStore {
   Status PutAttemptLocked(uint64_t fingerprint, const std::string& bytes);
   /// Removes temp files older than temp_max_age.
   void SweepStaleTempsLocked();
-  /// Deletes oldest-first (never `keep`) until within max_disk_bytes.
-  void GarbageCollectLocked(const std::string& keep);
+  /// Deletes whole roots (base + log) oldest-first by base mtime — never
+  /// the root named `keep_stem` — until within max_disk_bytes; sweeps
+  /// orphan logs (log without base) first.
+  void GarbageCollectLocked(const std::string& keep_stem);
 
   SnapshotStoreOptions options_;
   mutable std::mutex mutex_;
