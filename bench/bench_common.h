@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace opcqa {
 namespace bench {
 
@@ -104,7 +106,38 @@ struct JsonRecorder {
       std::fprintf(f, "    \"%s\"%s\n", Escape(notes[i]).c_str(),
                    i + 1 < notes.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    // End-of-run metrics-registry snapshot (PR 10): lets a perf
+    // investigation correlate a timing shift with counter movement
+    // (cache hit rate, breaker trips, …) without rerunning the bench.
+    const obs::MetricsSnapshot metrics =
+        obs::MetricsRegistry::Global().Snapshot();
+    std::fprintf(f, "  ],\n  \"metrics\": {\n    \"counters\": {");
+    const char* sep = "";
+    for (const auto& [name, value] : metrics.counters) {
+      std::fprintf(f, "%s\n      \"%s\": %llu", sep, Escape(name).c_str(),
+                   static_cast<unsigned long long>(value));
+      sep = ",";
+    }
+    std::fprintf(f, "\n    },\n    \"gauges\": {");
+    sep = "";
+    for (const auto& [name, value] : metrics.gauges) {
+      std::fprintf(f, "%s\n      \"%s\": %lld", sep, Escape(name).c_str(),
+                   static_cast<long long>(value));
+      sep = ",";
+    }
+    std::fprintf(f, "\n    },\n    \"histograms\": {");
+    sep = "";
+    for (const auto& [name, hist] : metrics.histograms) {
+      std::fprintf(f,
+                   "%s\n      \"%s\": {\"count\": %llu, \"sum_ms\": %.3f, "
+                   "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                   "\"max_ms\": %.3f}",
+                   sep, Escape(name).c_str(),
+                   static_cast<unsigned long long>(hist.count), hist.sum_ms,
+                   hist.p50_ms, hist.p95_ms, hist.p99_ms, hist.max_ms);
+      sep = ",";
+    }
+    std::fprintf(f, "\n    }\n  }\n}\n");
     std::fclose(f);
   }
 };

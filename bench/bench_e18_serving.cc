@@ -20,8 +20,10 @@
 // walk per request); extra cores add concurrency across tenants on top.
 //
 // Sweep (OPCQA_BENCH_SWEEP=1) → BENCH_e18_serving_latency.json with
-// throughput and p50/p95/p99 per worker count. The google-benchmark
-// rows (BM_Serving*) feed the pr7_serve_p95_ms regression gate
+// throughput and p50/p95/p99 per worker count, plus the PR 10 registry
+// overhead A/B (metrics on vs off, hard-gated at 3%). The
+// google-benchmark rows (BM_Serving*) feed the pr7_serve_p95_ms and
+// pr10_obs_overhead_ms regression gates
 // (bench/results/BENCH_e18_serving.json, bench/check_regression.py).
 //
 // Failpoint builds (-DOPCQA_FAILPOINTS=ON) additionally expose the
@@ -275,6 +277,41 @@ void RecordServingSweep() {
   OPCQA_CHECK(best_speedup >= 3.0)
       << "serving speedup fell below the 3x acceptance floor: "
       << best_speedup << "x";
+
+  // Registry overhead A/B (PR 10): the metrics registry is always on in
+  // production, so its cost must stay within 3% of serving wall clock.
+  // Same trace, registry enabled vs the set_enabled(false) kill switch
+  // (the switch exists only for this measurement), min-of-5 each. The
+  // +3 ms floor keeps the ratio meaningful when the wall clock is down
+  // in scheduler-noise territory.
+  {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    auto serve_wall = [&]() {
+      double wall = 1e300;
+      for (int rep = 0; rep < 5; ++rep) {
+        server::OcqaServer srv(w.db, w.constraints, ServingOptions(2));
+        LoadResult load = RunLoad(srv, trace, spec.burst);
+        OPCQA_CHECK(server::RenderResponses(load.responses) ==
+                    reference_rendered)
+            << "served answers diverged during the registry A/B";
+        wall = std::min(wall, load.wall_ms);
+      }
+      return wall;
+    };
+    double on_ms = serve_wall();
+    registry.set_enabled(false);
+    double off_ms = serve_wall();
+    registry.set_enabled(true);
+    std::snprintf(measured, sizeof(measured),
+                  "%.2f ms on vs %.2f ms off (%+.2f%%)", on_ms, off_ms,
+                  100.0 * (on_ms / std::max(off_ms, 1e-6) - 1.0));
+    bench::Row("pr10_obs_overhead_ms (registry on/off)", "n/a (ours)",
+               measured);
+    OPCQA_CHECK(on_ms <= off_ms * 1.03 + 3.0)
+        << "metrics registry overhead exceeded the 3% budget: " << on_ms
+        << " ms on vs " << off_ms << " ms off";
+  }
+
   bench::Note("answers byte-identical across all three execution models "
               "(checked every run above; also tests/server_test.cc and "
               "the CI serve-trace e2e)");

@@ -48,6 +48,12 @@
 //             instead of silently walking. Rewriting reports *certain*
 //             answers (CP = 1) — the full CP distribution needs a walk)
 //             [--show-repairs] [--show-chain]
+//             [--metrics]  (print the merged metrics-registry snapshot —
+//             src/obs/ — on stderr; serve mode always prints it)
+//             [--trace-out=FILE]  (tracing builds: Chrome trace_event
+//             JSON of the run's spans, loadable in Perfetto / about:tracing)
+//             [--slow-ms=N]  (tracing builds: span tree of every request
+//             slower than N ms, on stderr)
 //
 // Usage (serve-trace mode — replay a request log through OcqaServer,
 // src/server/; trace format in server/trace.h):
@@ -92,6 +98,10 @@
 #include "constraints/constraint_parser.h"
 #include "gen/workloads.h"
 #include "logic/formula_parser.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/stats_export.h"
+#include "obs/trace.h"
 #include "planner/planner.h"
 #include "relational/fact_parser.h"
 #include "repair/ocqa.h"
@@ -132,6 +142,9 @@ struct Options {
   bool serve_baseline = false;  // serial per-tenant replay, not the server
   bool show_repairs = false;
   bool show_chain = false;
+  bool metrics = false;    // print the merged registry snapshot on stderr
+  std::string trace_out;   // Chrome trace JSON path (tracing builds)
+  double slow_ms = -1;     // slow-query span-tree threshold (< 0 = off)
 };
 
 /// Parses "R:0;S:0,1" into SQL table keys against `schema`.
@@ -306,6 +319,15 @@ void PrintHelp() {
       "  --serve-baseline     (default: off) serial per-tenant replay "
       "instead of the server\n"
       "\n"
+      "observability flags:\n"
+      "  --metrics            (default: off) print the merged metrics "
+      "registry snapshot on stderr (serve mode always prints it)\n"
+      "  --trace-out=FILE     (default: unset) write a Chrome "
+      "trace_event JSON of the run's spans (needs a tracing build, "
+      "-DOPCQA_TRACING=ON)\n"
+      "  --slow-ms=N          (default: unset) print the span tree of "
+      "every request slower than N ms to stderr (tracing builds)\n"
+      "\n"
       "output flags:\n"
       "  --show-repairs       (default: off) print the repair "
       "distribution\n"
@@ -325,6 +347,38 @@ int Fail(const Status& status) {
 int UsageFail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 2;
+}
+
+/// End-of-run observability artifacts: the Chrome trace (--trace-out),
+/// the slow-query span trees (--slow-ms) and, when `print_metrics`, the
+/// registry snapshot — all on stderr / side files, never stdout, so the
+/// canonical answer stream stays byte-diffable. Returns the exit code.
+int FlushObservability(const Options& opt, bool print_metrics) {
+#ifdef OPCQA_TRACING
+  obs::SpanTracer& tracer = obs::SpanTracer::Global();
+  if (tracer.enabled()) {
+    std::vector<obs::SpanRecord> spans = tracer.Collect();
+    if (opt.slow_ms >= 0) {
+      for (uint64_t id : obs::TraceRequestIds(spans)) {
+        if (obs::RequestWallMs(spans, id) < opt.slow_ms) continue;
+        std::fprintf(stderr, "slow request:\n%s",
+                     obs::RenderSpanTree(spans, id).c_str());
+      }
+    }
+    if (!opt.trace_out.empty()) {
+      std::ofstream out(opt.trace_out, std::ios::binary);
+      if (!out) {
+        return Fail(Status::Internal("cannot write " + opt.trace_out));
+      }
+      out << obs::ExportChromeTrace(spans);
+    }
+  }
+#endif
+  if (print_metrics) {
+    std::fputs(obs::MetricsRegistry::Global().Snapshot().RenderText().c_str(),
+               stderr);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -424,6 +478,15 @@ int main(int argc, char** argv) {
       opt.show_chain = true;
       continue;
     }
+    if (arg == "--metrics") {
+      opt.metrics = true;
+      continue;
+    }
+    if (ParseFlag(arg, "trace-out", &opt.trace_out)) continue;
+    if (ParseFlag(arg, "slow-ms", &value)) {
+      opt.slow_ms = std::atof(value.c_str());
+      continue;
+    }
     std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
     return 2;
   }
@@ -465,6 +528,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!opt.trace_out.empty() || opt.slow_ms >= 0) {
+#ifdef OPCQA_TRACING
+    obs::SpanTracer::Global().Enable();
+#else
+    std::fprintf(stderr,
+                 "warning: --trace-out/--slow-ms need a tracing build "
+                 "(-DOPCQA_TRACING=ON); continuing without spans\n");
+#endif
+  }
+
   Result<std::string> schema_text = ReadFile(opt.schema_path);
   if (!schema_text.ok()) return Fail(schema_text.status());
   Result<Schema> schema = ParseSchemaFile(*schema_text);
@@ -497,7 +570,7 @@ int main(int argc, char** argv) {
       rendered += ")";
       std::printf("  %-24s ≈ %.4f\n", rendered.c_str(), frequency);
     }
-    return 0;
+    return FlushObservability(opt, opt.metrics);
   }
 
   Result<std::string> constraints_text = ReadFile(opt.constraints_path);
@@ -556,57 +629,16 @@ int main(int argc, char** argv) {
       // instead of deferring to destructor-time spills nobody observes.
       if (!opt.memo_dir.empty()) ocqa_server.PersistCache();
 
-      // The aggregated snapshot — queue, shared cache, disk tier and
-      // every tenant's planner — on stderr, so stdout stays a canonical
-      // byte-diffable response stream.
+      // The aggregated snapshot — queue, shared cache, disk tier, every
+      // tenant's planner, plus the registry's latency histograms — as ONE
+      // merged RenderText() on stderr, so stdout stays a canonical
+      // byte-diffable response stream. (This replaced the hand-rolled
+      // serve:/cache:/disk:/plan: counter lines.)
       server::ServerStats stats = ocqa_server.Stats();
       auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
-      std::fprintf(stderr,
-                   "serve: %llu submitted, %llu completed across %zu "
-                   "tenants (%llu errors: %llu timed out + %llu failed, "
-                   "%llu admission-rejected, %llu shed)\n"
-                   "serve: %llu batches covering %llu requests; %llu "
-                   "walks, %llu replays, %llu rewriting fast-path, %llu "
-                   "top-k, %llu mutations\n"
-                   "serve: %llu pressure bypasses, %llu deadline "
-                   "truncations\n",
-                   u(stats.submitted), u(stats.completed), stats.tenants,
-                   u(stats.errors), u(stats.timed_out), u(stats.failed),
-                   u(stats.rejected_admission), u(stats.shed),
-                   u(stats.batches), u(stats.batched_requests),
-                   u(stats.walks), u(stats.replays),
-                   u(stats.rewriting_fast_path), u(stats.topk_searches),
-                   u(stats.mutations), u(stats.pressure_bypasses),
-                   u(stats.deadline_truncations));
-      uint64_t probes = stats.cache.hits + stats.cache.misses;
-      std::fprintf(stderr,
-                   "cache: %llu hits / %llu misses (%.1f%% hit rate), "
-                   "%zu entries, %zu bytes\n",
-                   u(stats.cache.hits), u(stats.cache.misses),
-                   probes == 0 ? 0.0 : 100.0 * stats.cache.hits / probes,
-                   stats.cache.entries, stats.cache.bytes);
-      if (!opt.memo_dir.empty()) {
-        std::fprintf(stderr,
-                     "disk:  %llu spills (%llu bytes), %llu restores "
-                     "(%llu bytes)%s\n",
-                     u(stats.disk.spills), u(stats.disk.spill_bytes),
-                     u(stats.disk.restores), u(stats.disk.restore_bytes),
-                     stats.disk.failed_spills == 0 ? ""
-                                                   : " [SPILLS FAILING]");
-        std::fprintf(stderr,
-                     "disk:  %llu delta appends, %llu compactions, %llu "
-                     "compressed bytes written, %llu promotions / %llu "
-                     "demotions\n",
-                     u(stats.disk.delta_appends), u(stats.disk.compactions),
-                     u(stats.disk.compressed_bytes),
-                     u(stats.disk.promotions), u(stats.disk.demotions));
-      }
-      std::fprintf(stderr,
-                   "plan:  %llu rewriting / %llu walk plans, %llu "
-                   "plan-cache hits\n",
-                   u(stats.planner.rewrite_plans),
-                   u(stats.planner.walk_plans),
-                   u(stats.planner.plan_cache_hits));
+      obs::MetricsSnapshot merged = obs::MetricsRegistry::Global().Snapshot();
+      obs::ExportServerStats(stats, &merged);
+      std::fputs(merged.RenderText().c_str(), stderr);
       // Degraded-but-answered: every request got a canonical response
       // (possibly an error status that serial replay reproduces), but a
       // hardening path fired along the way. Warn loudly, exit 0 — the
@@ -634,7 +666,9 @@ int main(int argc, char** argv) {
       }
       out << rendered;
     }
-    return 0;
+    // The serve summary above already is the merged metrics snapshot, so
+    // --metrics needs a separate print only on the baseline path.
+    return FlushObservability(opt, opt.metrics && opt.serve_baseline);
   }
 
   std::vector<Query> queries;
@@ -702,6 +736,8 @@ int main(int argc, char** argv) {
     }
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       const Query& query = queries[qi];
+      OPCQA_TRACE_REQUEST(qi + 1, "cli");
+      OPCQA_TRACE_SPAN("cli.query");
       if (queries.size() > 1) {
         std::printf("== query %zu: %s\n", qi + 1,
                     query.ToString(*schema).c_str());
@@ -829,6 +865,8 @@ int main(int argc, char** argv) {
     Sampler sampler(*db, *constraints, generator, opt.seed, sampler_options);
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       const Query& query = queries[qi];
+      OPCQA_TRACE_REQUEST(qi + 1, "cli");
+      OPCQA_TRACE_SPAN("cli.query");
       if (queries.size() > 1) {
         std::printf("== query %zu: %s\n", qi + 1,
                     query.ToString(*schema).c_str());
@@ -853,5 +891,5 @@ int main(int argc, char** argv) {
   } else {
     return UsageFail(Status::InvalidArgument("unknown mode: " + opt.mode));
   }
-  return 0;
+  return FlushObservability(opt, opt.metrics);
 }

@@ -1,0 +1,131 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace opcqa {
+namespace obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::vector<const SpanRecord*> SpansFor(
+    const std::vector<SpanRecord>& spans, uint64_t request_id) {
+  std::vector<const SpanRecord*> mine;
+  for (const SpanRecord& span : spans) {
+    if (span.request_id == request_id) mine.push_back(&span);
+  }
+  std::sort(mine.begin(), mine.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              if (a->start_ns != b->start_ns) {
+                return a->start_ns < b->start_ns;
+              }
+              return a->depth < b->depth;
+            });
+  return mine;
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[128];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    if (i != 0) out += ",";
+    out += "\n{\"name\":\"";
+    out += JsonEscape(span.name);
+    out += "\",\"cat\":\"opcqa\",\"ph\":\"X\",\"pid\":1";
+    std::snprintf(buf, sizeof(buf), ",\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+                  span.thread, static_cast<double>(span.start_ns) / 1e3,
+                  static_cast<double>(span.dur_ns) / 1e3);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"args\":{\"request\":%llu",
+                  static_cast<unsigned long long>(span.request_id));
+    out += buf;
+    out += ",\"tenant\":\"";
+    out += JsonEscape(span.tenant);
+    out += "\"}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::vector<uint64_t> TraceRequestIds(const std::vector<SpanRecord>& spans) {
+  std::set<uint64_t> ids;
+  for (const SpanRecord& span : spans) {
+    if (span.request_id != 0) ids.insert(span.request_id);
+  }
+  return std::vector<uint64_t>(ids.begin(), ids.end());
+}
+
+double RequestWallMs(const std::vector<SpanRecord>& spans,
+                     uint64_t request_id) {
+  uint64_t begin = UINT64_MAX;
+  uint64_t end = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.request_id != request_id) continue;
+    begin = std::min(begin, span.start_ns);
+    end = std::max(end, span.start_ns + span.dur_ns);
+  }
+  if (begin == UINT64_MAX) return 0.0;
+  return static_cast<double>(end - begin) / 1e6;
+}
+
+std::string RenderSpanTree(const std::vector<SpanRecord>& spans,
+                           uint64_t request_id) {
+  std::vector<const SpanRecord*> mine = SpansFor(spans, request_id);
+  if (mine.empty()) return "";
+  // Indent relative to the request's own outermost span, so a request
+  // that ran deep inside a unit still renders from column zero.
+  uint32_t base_depth = UINT32_MAX;
+  for (const SpanRecord* span : mine) {
+    base_depth = std::min(base_depth, span->depth);
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "request %llu (tenant %s) — %.3f ms\n",
+                static_cast<unsigned long long>(request_id),
+                mine.front()->tenant.c_str(), RequestWallMs(spans, request_id));
+  std::string out = buf;
+  for (const SpanRecord* span : mine) {
+    std::string indent(2 * (span->depth - base_depth + 1), ' ');
+    std::snprintf(buf, sizeof(buf), "%s%-*s %10.3f ms\n", indent.c_str(),
+                  static_cast<int>(40 - indent.size()), span->name.c_str(),
+                  static_cast<double>(span->dur_ns) / 1e6);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace opcqa

@@ -1,0 +1,39 @@
+// Span exporters: Chrome trace_event JSON (chrome://tracing / Perfetto)
+// and the stderr span-tree renderer behind opcqa_cli --slow-ms. Pure
+// functions over SpanRecord vectors — compiled in every build; only the
+// span *producer* (obs/trace.h) is behind OPCQA_TRACING.
+
+#ifndef OPCQA_OBS_CHROME_TRACE_H_
+#define OPCQA_OBS_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace opcqa {
+namespace obs {
+
+/// Chrome trace_event JSON: one complete ("ph":"X") event per span,
+/// microsecond timestamps, request id + tenant in args. Loadable in
+/// chrome://tracing and Perfetto.
+std::string ExportChromeTrace(const std::vector<SpanRecord>& spans);
+
+/// Distinct nonzero request ids, ascending.
+std::vector<uint64_t> TraceRequestIds(const std::vector<SpanRecord>& spans);
+
+/// Wall time of one request: max end minus min start over its spans
+/// (0 when the id has none). With the server's per-member span this is
+/// the member's execution wall clock.
+double RequestWallMs(const std::vector<SpanRecord>& spans, uint64_t request_id);
+
+/// Indented per-request timeline ordered by start time, depth-indented —
+/// the --slow-ms stderr format.
+std::string RenderSpanTree(const std::vector<SpanRecord>& spans,
+                           uint64_t request_id);
+
+}  // namespace obs
+}  // namespace opcqa
+
+#endif  // OPCQA_OBS_CHROME_TRACE_H_

@@ -1,0 +1,36 @@
+// A finished span, as recorded by the tracer (obs/trace.h) and consumed
+// by the exporters (obs/chrome_trace.h). Deliberately outside the
+// OPCQA_TRACING guard: the exporters are plain data-to-string code that
+// tests exercise in every build, while the tracer that *produces* spans
+// in product code compiles out entirely (zero symbols) in stock builds.
+
+#ifndef OPCQA_OBS_SPAN_H_
+#define OPCQA_OBS_SPAN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace opcqa {
+namespace obs {
+
+struct SpanRecord {
+  /// Site name ("server.request", "engine.enumerate", ...). The span
+  /// inventory is documented in docs/OBSERVABILITY.md.
+  std::string name;
+  /// Request context captured at span entry (obs/trace.h
+  /// OPCQA_TRACE_REQUEST); 0/"" outside any request scope.
+  uint64_t request_id = 0;
+  std::string tenant;
+  /// Dense per-tracer thread index (not the OS tid).
+  uint32_t thread = 0;
+  /// Nesting depth at entry on this thread (0 = top level).
+  uint32_t depth = 0;
+  /// Steady-clock nanoseconds since the tracer's Enable() epoch.
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+};
+
+}  // namespace obs
+}  // namespace opcqa
+
+#endif  // OPCQA_OBS_SPAN_H_

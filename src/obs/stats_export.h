@@ -1,0 +1,33 @@
+// Folds the per-subsystem stats structs — which stay the
+// source-compatible views their call sites already use — into an
+// obs::MetricsSnapshot, so one RenderText() covers the whole serving
+// stack (the opcqa_cli serve-mode summary and --metrics dump). Metric
+// names follow the docs/OBSERVABILITY.md catalog: "server.*",
+// "cache.*", "disk.*", "planner.*".
+
+#ifndef OPCQA_OBS_STATS_EXPORT_H_
+#define OPCQA_OBS_STATS_EXPORT_H_
+
+#include "obs/metrics.h"
+#include "planner/planner.h"
+#include "repair/memo.h"
+#include "repair/repair_cache.h"
+#include "server/ocqa_server.h"
+
+namespace opcqa {
+namespace obs {
+
+/// Monotone fields become counters; entries/bytes become gauges.
+void ExportMemoStats(const MemoStats& stats, MetricsSnapshot* out);
+void ExportDiskTierStats(const DiskTierStats& stats, MetricsSnapshot* out);
+void ExportPlannerStats(const planner::PlannerStats& stats,
+                        MetricsSnapshot* out);
+
+/// The whole server view: queue/batch/failure buckets plus the nested
+/// cache/disk/planner aggregates via the exporters above.
+void ExportServerStats(const server::ServerStats& stats, MetricsSnapshot* out);
+
+}  // namespace obs
+}  // namespace opcqa
+
+#endif  // OPCQA_OBS_STATS_EXPORT_H_

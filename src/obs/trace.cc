@@ -1,0 +1,76 @@
+// Empty translation unit unless OPCQA_TRACING is defined — see
+// obs/trace.h for the compile-out contract.
+
+#include "obs/trace.h"
+
+#ifdef OPCQA_TRACING
+
+#include <algorithm>
+
+namespace opcqa {
+namespace obs {
+
+SpanTracer& SpanTracer::Global() {
+  // Leaked singleton (failpoint discipline): thread-local logs may
+  // outlive main() and must still find the registry.
+  static SpanTracer* tracer = new SpanTracer();
+  return *tracer;
+}
+
+SpanTracer::ThreadLog& SpanTracer::Local() {
+  thread_local std::shared_ptr<ThreadLog> log = [this] {
+    auto fresh = std::make_shared<ThreadLog>();
+    std::lock_guard<std::mutex> lock(mutex_);
+    fresh->index = static_cast<uint32_t>(logs_.size());
+    logs_.push_back(fresh);
+    return fresh;
+  }();
+  return *log;
+}
+
+void SpanTracer::Enable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::shared_ptr<ThreadLog>& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    log->spans.clear();
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> SpanTracer::Collect() const {
+  std::vector<SpanRecord> merged;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::shared_ptr<ThreadLog>& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    merged.insert(merged.end(), log->spans.begin(), log->spans.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.thread != b.thread) return a.thread < b.thread;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.depth < b.depth;
+            });
+  return merged;
+}
+
+void SpanTracer::Finish(const char* name, uint64_t start_ns, uint32_t depth) {
+  ThreadLog& log = Local();
+  log.depth = depth;  // balanced even if Disable() raced the span
+  SpanRecord record;
+  record.name = name;
+  record.request_id = log.request_id;
+  record.tenant = log.tenant;
+  record.thread = log.index;
+  record.depth = depth;
+  record.start_ns = start_ns;
+  uint64_t now = NowNanos();
+  record.dur_ns = now > start_ns ? now - start_ns : 0;
+  std::lock_guard<std::mutex> lock(log.mutex);
+  log.spans.push_back(std::move(record));
+}
+
+}  // namespace obs
+}  // namespace opcqa
+
+#endif  // OPCQA_TRACING

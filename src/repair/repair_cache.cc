@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/canonical.h"
 #include "util/failpoint.h"
 #include "util/hash.h"
@@ -77,6 +79,10 @@ RepairSpaceCache::~RepairSpaceCache() {
 std::shared_ptr<TranspositionTable> RepairSpaceCache::TableFor(
     const Database& db, const ConstraintSet& constraints,
     const ChainGenerator& generator, bool prune_zero_probability) {
+  OPCQA_TRACE_SPAN("cache.probe");
+  static obs::Histogram* const probe_latency =
+      obs::MetricsRegistry::Global().GetHistogram("cache.probe_ms");
+  obs::ScopedTimer timer(probe_latency);
   std::string identity = generator.cache_identity();
   if (identity.empty()) return nullptr;  // generator opted out of sharing
   std::string digest = storage::RenderConstraints(db.schema(), constraints);
@@ -235,6 +241,10 @@ void RepairSpaceCache::CollectDemotionsLocked(std::vector<Root>* victims) {
 RepairSpaceCache::RestoredDisk RepairSpaceCache::RestoreFromDisk(
     const Database& db, const ConstraintSet& constraints,
     const std::string& digest, const std::string& identity, bool prune) {
+  OPCQA_TRACE_SPAN("cache.restore");
+  static obs::Histogram* const restore_latency =
+      obs::MetricsRegistry::Global().GetHistogram("cache.restore_ms");
+  obs::ScopedTimer timer(restore_latency);
   RestoredDisk out;
   if (!DiskTierAvailable()) return out;  // breaker open: memory-only
   storage::SnapshotIdentity expected;
@@ -364,6 +374,10 @@ void RepairSpaceCache::SpillAsync(Root root) {
       // query paths. Scoped: the unlock must happen BEFORE the pending
       // decrement below, after which the cache may be destroyed.
       std::lock_guard<std::mutex> io_lock(spill_io_mutex_);
+      OPCQA_TRACE_SPAN("cache.spill");
+      static obs::Histogram* const spill_latency =
+          obs::MetricsRegistry::Global().GetHistogram("cache.spill_ms");
+      obs::ScopedTimer timer(spill_latency);
       storage::SnapshotIdentity ident;
       ident.db_text = db.ToString();
       ident.constraints_digest = digest;

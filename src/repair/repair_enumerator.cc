@@ -5,6 +5,8 @@
 #include <memory>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "repair/repair_cache.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -451,6 +453,10 @@ EnumerationResult EnumerateRepairs(const Database& db,
                                    const ConstraintSet& constraints,
                                    const ChainGenerator& generator,
                                    const EnumerationOptions& options) {
+  OPCQA_TRACE_SPAN("engine.enumerate");
+  static obs::Histogram* const latency =
+      obs::MetricsRegistry::Global().GetHistogram("engine.enumerate_ms");
+  obs::ScopedTimer timer(latency);
   auto context = RepairContext::Make(db, constraints);
   RepairingState root(context);
   std::shared_ptr<TranspositionTable> memo;

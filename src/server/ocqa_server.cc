@@ -3,6 +3,8 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 
@@ -450,6 +452,10 @@ void OcqaServer::ExecuteUnit(Tenant* tenant, std::shared_ptr<Unit> unit) {
   }
 
   {
+    OPCQA_TRACE_SPAN("server.unit");
+    static obs::Histogram* const unit_latency =
+        obs::MetricsRegistry::Global().GetHistogram("server.unit_ms");
+    obs::ScopedTimer unit_timer(unit_latency);
     std::lock_guard<std::mutex> session_lock(tenant->session_mutex);
     engine::OcqaSession& session = *tenant->session;
     const bool read_batch = !IsMutation(unit->front().request);
@@ -467,6 +473,14 @@ void OcqaServer::ExecuteUnit(Tenant* tenant, std::shared_ptr<Unit> unit) {
                             const engine::CallOptions& call,
                             ExecOutcome* outcome) -> Response {
       try {
+        // The span and the histogram time the same scope, so the trace
+        // coverage gate (span sum vs server.request_ms sum) holds by
+        // construction. Both record during unwind on the panic path too.
+        OPCQA_TRACE_REQUEST(pending.request.id, pending.request.tenant);
+        OPCQA_TRACE_SPAN("server.request");
+        static obs::Histogram* const request_latency =
+            obs::MetricsRegistry::Global().GetHistogram("server.request_ms");
+        obs::ScopedTimer request_timer(request_latency);
         if (!IsMutation(pending.request)) OPCQA_FAILPOINT_HIT("server.unit");
         return ExecuteOnSession(session, generator.get(), pending.request,
                                 call, outcome);

@@ -51,7 +51,9 @@ Result<ExecMode> ParseExecMode(std::string_view text);
 
 struct Request {
   /// Caller correlation id; echoed in the Response (trace replay renders
-  /// responses in id order).
+  /// responses in id order). Id 0 means "unattributed": the span tracer
+  /// uses it for out-of-request work, so GenerateTrace/ParseTrace assign
+  /// ids from 1.
   uint64_t id = 0;
   /// Logical session this request belongs to. Requests of one tenant are
   /// served in submission order with respect to mutations; tenants are

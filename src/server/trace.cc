@@ -66,7 +66,7 @@ std::vector<Request> GenerateTrace(const gen::Workload& workload,
   trace.reserve(spec.requests);
   for (size_t i = 0; i < spec.requests; ++i) {
     Request request;
-    request.id = i;
+    request.id = i + 1;  // id 0 = unattributed (request.h)
     size_t tenant = rng.UniformInt(spec.tenants == 0 ? 1 : spec.tenants);
     request.tenant = StrCat("t", tenant);
     request.mode = spec.mode;
@@ -158,7 +158,7 @@ Result<std::vector<Request>> ParseTrace(const Schema& schema,
                  "<deadline> <payload>'"));
     }
     Request request;
-    request.id = requests.size();
+    request.id = requests.size() + 1;  // id 0 = unattributed (request.h)
     request.tenant = fields[0];
     Result<RequestKind> kind = ParseRequestKind(fields[1]);
     if (!kind.ok()) return kind.status();

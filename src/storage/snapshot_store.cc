@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 
@@ -146,6 +148,10 @@ Status SnapshotStore::PutAttemptLocked(uint64_t fingerprint,
 }
 
 Status SnapshotStore::Put(uint64_t fingerprint, const std::string& bytes) {
+  OPCQA_TRACE_SPAN("storage.put");
+  static obs::Histogram* const latency =
+      obs::MetricsRegistry::Global().GetHistogram("storage.put_ms");
+  obs::ScopedTimer timer(latency);
   std::lock_guard<std::mutex> lock(mutex_);
   Status last;
   for (int attempt = 0;; ++attempt) {
@@ -169,6 +175,10 @@ Status SnapshotStore::Put(uint64_t fingerprint, const std::string& bytes) {
 Status SnapshotStore::AppendDelta(uint64_t fingerprint,
                                   const std::string& head,
                                   const std::string& record) {
+  OPCQA_TRACE_SPAN("storage.append");
+  static obs::Histogram* const latency =
+      obs::MetricsRegistry::Global().GetHistogram("storage.append_ms");
+  obs::ScopedTimer timer(latency);
   std::lock_guard<std::mutex> lock(mutex_);
   if (quarantined_.count(fingerprint) != 0) {
     return Status::Internal("root quarantined: " + LogFileName(fingerprint));
@@ -260,6 +270,10 @@ size_t SnapshotStore::LogBytes(uint64_t fingerprint) const {
 }
 
 Result<std::string> SnapshotStore::Get(uint64_t fingerprint) const {
+  OPCQA_TRACE_SPAN("storage.get");
+  static obs::Histogram* const latency =
+      obs::MetricsRegistry::Global().GetHistogram("storage.get_ms");
+  obs::ScopedTimer timer(latency);
   std::lock_guard<std::mutex> lock(mutex_);
   if (quarantined_.count(fingerprint) != 0) {
     return Status::NotFound("snapshot quarantined: " + FileName(fingerprint));
@@ -358,6 +372,10 @@ void SnapshotStore::SweepStaleTempsLocked() {
 
 void SnapshotStore::GarbageCollectLocked(const std::string& keep_stem) {
   if (options_.max_disk_bytes == 0) return;
+  OPCQA_TRACE_SPAN("storage.gc");
+  static obs::Histogram* const latency =
+      obs::MetricsRegistry::Global().GetHistogram("storage.gc_ms");
+  obs::ScopedTimer timer(latency);
   // The unit of accounting and deletion is the *root*: its base snapshot
   // plus its delta log. Deleting only the base would orphan a log (dead
   // bytes no future Put reclaims), and a log that escaped the byte count

@@ -365,7 +365,7 @@ TEST(ChaosTest, ShutdownUnderInjectedFaultsShedsCleanly) {
   // unstarted is shed with Unavailable, everything else completes.
   server.Shutdown(std::chrono::milliseconds(0));
   Request late;
-  late.id = trace.size();
+  late.id = trace.size() + 1;
   late.tenant = "late";
   late.kind = server::RequestKind::kAnswer;
   late.generator = "uniform-deletions";

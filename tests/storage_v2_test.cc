@@ -7,6 +7,7 @@
 // GC accounting (delta logs count toward max_disk_bytes and are never
 // orphaned).
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -515,6 +516,152 @@ TEST(DeltaSpillTest, FailedCompactionLeavesPreviousBaseAndLogReadable) {
   EXPECT_EQ(after.disk_stats().rejected_snapshots, 0u);
   EXPECT_EQ(after.TotalStats().entries, full_entries);
 }
+#endif  // OPCQA_FAILPOINTS
+
+// ---------------------------------------------------------------------
+// kill -9 mid-spill: SIGKILL during a delta append and during a base
+// rewrite, real process death via fork + exec (the ROADMAP e2e item)
+// ---------------------------------------------------------------------
+
+#ifdef OPCQA_FAILPOINTS
+
+/// The deterministic workload both kill -9 halves share.
+gen::Workload KillWorkload() {
+  return gen::MakeKeyViolationWorkload(5, 4, 2, /*seed=*/73);
+}
+
+// Child half of KillNineMidDeltaAppend — parks inside the second
+// AppendDelta (the armed delay failpoint sleeps 60 s at the top of the
+// append, before any byte is written) until the parent's SIGKILL lands.
+TEST(CrashRecoveryTest, ChildAppendUntilKilled) {
+  const char* dir = std::getenv("OPCQA_STORAGE_V2_KILL_DIR");
+  if (dir == nullptr) {
+    GTEST_SKIP() << "child half of the kill -9 crash-recovery tests";
+  }
+  gen::Workload w = KillWorkload();
+  UniformChainGenerator generator;
+  RepairCacheOptions options = DiskOptions(dir);
+  options.log_compaction_ratio = 1e9;  // never compact: pure append path
+  RepairSpaceCache cache(options);
+  std::shared_ptr<TranspositionTable> table = WarmTable(w, generator, &cache);
+  ASSERT_NE(table, nullptr);
+  cache.Persist();  // base: every real entry
+  size_t counter = 0;
+  AddSyntheticEntries(w, table.get(), 2, &counter);
+  cache.Persist();  // append #1 — the valid prefix that must survive
+  std::ofstream(fs::path(dir) / "ready").flush();  // parent may kill now
+  AddSyntheticEntries(w, table.get(), 2, &counter);
+  cache.Persist();  // append #2 parks in the delay; SIGKILL lands here
+  ADD_FAILURE() << "parent failed to SIGKILL the parked child";
+}
+
+// Child half of KillNineMidBaseRewrite — parks inside the second
+// WriteDurably (the base rewrite's temp file, before fopen), so the
+// committed v1 base is still the newest durable state at death.
+TEST(CrashRecoveryTest, ChildRewriteUntilKilled) {
+  const char* dir = std::getenv("OPCQA_STORAGE_V2_KILL_DIR");
+  if (dir == nullptr) {
+    GTEST_SKIP() << "child half of the kill -9 crash-recovery tests";
+  }
+  gen::Workload w = KillWorkload();
+  UniformChainGenerator generator;
+  RepairCacheOptions options = DiskOptions(dir);
+  options.log_compaction_ratio = 0.0;  // every dirty spill rewrites the base
+  RepairSpaceCache cache(options);
+  std::shared_ptr<TranspositionTable> table = WarmTable(w, generator, &cache);
+  ASSERT_NE(table, nullptr);
+  cache.Persist();  // base v1: write #1
+  size_t counter = 0;
+  AddSyntheticEntries(w, table.get(), 1, &counter);
+  std::ofstream(fs::path(dir) / "ready").flush();  // parent may kill now
+  cache.Persist();  // rewrite (write #2) parks in the delay; SIGKILL lands
+  ADD_FAILURE() << "parent failed to SIGKILL the parked child";
+}
+
+/// Fork + execs this test binary running `child_filter` with the given
+/// OPCQA_FAILPOINTS spec armed, waits for the child's ready marker in
+/// `dir`, gives it a beat to park inside the delay failpoint, SIGKILLs
+/// it, and asserts it really died by signal — no atexit, no destructors.
+void RunChildUntilKilled(const std::string& dir, const char* child_filter,
+                         const char* failpoints) {
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::setenv("OPCQA_STORAGE_V2_KILL_DIR", dir.c_str(), 1);
+    ::setenv("OPCQA_FAILPOINTS", failpoints, 1);
+    ::execl("/proc/self/exe", "storage_v2_test", child_filter,
+            static_cast<char*>(nullptr));
+    std::_Exit(127);  // exec failed
+  }
+  fs::path marker = fs::path(dir) / "ready";
+  for (int i = 0; i < 3000 && !fs::exists(marker); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(fs::exists(marker)) << "child never reached the doomed spill";
+  // The doomed spill follows the marker immediately and then sleeps 60 s
+  // inside the failpoint; half a second puts the child well inside it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of dying";
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+  std::error_code ignored;
+  fs::remove(marker, ignored);
+}
+
+// A process SIGKILLed mid-delta-append must leave base + the pre-crash
+// record as a valid prefix: the next process restores both (no rejected
+// snapshot, no cold walk) and answers byte-identically.
+TEST(CrashRecoveryTest, KillNineMidDeltaAppendKeepsValidPrefix) {
+  gen::Workload w = KillWorkload();
+  UniformChainGenerator generator;
+  EnumerationResult base =
+      EnumerateRepairs(w.db, w.constraints, generator, {});
+  TempDir dir;
+  RunChildUntilKilled(
+      dir.path(), "--gtest_filter=CrashRecoveryTest.ChildAppendUntilKilled",
+      "storage.snapshot_store.append=delay,delay=60000,nth=2");
+  // Both tiers survived: the base and the log holding append #1.
+  ASSERT_TRUE(fs::exists(BasePathFor(w, generator, dir.path())));
+  ASSERT_TRUE(fs::exists(LogPathFor(w, generator, dir.path())));
+
+  RepairSpaceCache after(DiskOptions(dir.path()));
+  EnumerationResult warm = EnumerateRepairs(w.db, w.constraints, generator,
+                                            MemoOptions(&after));
+  DiskTierStats disk = after.disk_stats();
+  EXPECT_EQ(disk.restores, 1u);
+  EXPECT_EQ(disk.rejected_snapshots, 0u);
+  EXPECT_EQ(warm.memo_stats.hits, 1u);  // chain-root replay, never cold
+  EXPECT_EQ(warm.memo_stats.misses, 0u);
+  ExpectSameDistribution(warm, base);
+}
+
+// A process SIGKILLed mid-base-Put (the rewrite's temp file never
+// renamed) must leave the previous committed base untouched: the next
+// process restores it and answers byte-identically.
+TEST(CrashRecoveryTest, KillNineMidBaseRewriteKeepsCommittedBase) {
+  gen::Workload w = KillWorkload();
+  UniformChainGenerator generator;
+  EnumerationResult base =
+      EnumerateRepairs(w.db, w.constraints, generator, {});
+  TempDir dir;
+  RunChildUntilKilled(
+      dir.path(), "--gtest_filter=CrashRecoveryTest.ChildRewriteUntilKilled",
+      "storage.snapshot_store.write=delay,delay=60000,nth=2");
+  ASSERT_TRUE(fs::exists(BasePathFor(w, generator, dir.path())));
+
+  RepairSpaceCache after(DiskOptions(dir.path()));
+  EnumerationResult warm = EnumerateRepairs(w.db, w.constraints, generator,
+                                            MemoOptions(&after));
+  DiskTierStats disk = after.disk_stats();
+  EXPECT_EQ(disk.restores, 1u);
+  EXPECT_EQ(disk.rejected_snapshots, 0u);
+  EXPECT_EQ(warm.memo_stats.hits, 1u);
+  EXPECT_EQ(warm.memo_stats.misses, 0u);
+  ExpectSameDistribution(warm, base);
+}
+
 #endif  // OPCQA_FAILPOINTS
 
 // ---------------------------------------------------------------------
